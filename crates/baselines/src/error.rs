@@ -1,0 +1,78 @@
+//! Error type shared by the baseline codecs.
+
+use gompresso_bitstream::StreamError;
+use gompresso_huffman::HuffmanError;
+use gompresso_lz77::Lz77Error;
+use std::fmt;
+
+/// Errors surfaced by the baseline codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The compressed stream is structurally invalid.
+    Malformed {
+        /// Description of the problem.
+        reason: &'static str,
+    },
+    /// The stream ended prematurely.
+    Stream(StreamError),
+    /// An entropy-coding error occurred.
+    Huffman(HuffmanError),
+    /// An LZ77 structural error occurred.
+    Lz77(Lz77Error),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Malformed { reason } => write!(f, "malformed compressed stream: {reason}"),
+            BaselineError::Stream(e) => write!(f, "stream error: {e}"),
+            BaselineError::Huffman(e) => write!(f, "huffman error: {e}"),
+            BaselineError::Lz77(e) => write!(f, "lz77 error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Stream(e) => Some(e),
+            BaselineError::Huffman(e) => Some(e),
+            BaselineError::Lz77(e) => Some(e),
+            BaselineError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<StreamError> for BaselineError {
+    fn from(e: StreamError) -> Self {
+        BaselineError::Stream(e)
+    }
+}
+
+impl From<HuffmanError> for BaselineError {
+    fn from(e: HuffmanError) -> Self {
+        BaselineError::Huffman(e)
+    }
+}
+
+impl From<Lz77Error> for BaselineError {
+    fn from(e: Lz77Error) -> Self {
+        BaselineError::Lz77(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: BaselineError = StreamError::VarintOverflow.into();
+        assert!(matches!(e, BaselineError::Stream(_)));
+        let e: BaselineError = HuffmanError::EmptyAlphabet.into();
+        assert!(matches!(e, BaselineError::Huffman(_)));
+        let e: BaselineError = Lz77Error::ZeroOffset { sequence: 0 }.into();
+        assert!(matches!(e, BaselineError::Lz77(_)));
+        assert!(BaselineError::Malformed { reason: "bad tag" }.to_string().contains("bad tag"));
+    }
+}

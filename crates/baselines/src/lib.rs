@@ -1,0 +1,115 @@
+//! Block-parallel CPU baseline codecs.
+//!
+//! Figure 13/14 of the paper compare Gompresso against four CPU libraries —
+//! zlib (DEFLATE), LZ4, Snappy and Zstd — each parallelised by splitting the
+//! input into 2 MB blocks that worker threads pull from a common queue.
+//! Those libraries cannot be vendored here, so this crate provides clean-room
+//! Rust implementations of the same *format families*, built on the shared
+//! LZ77/Huffman substrates:
+//!
+//! * [`miniflate::Miniflate`] — DEFLATE-like: 32 KB window, two canonical
+//!   Huffman trees, bit-level output (the stand-in for zlib/gzip);
+//! * [`lz4like::Lz4Like`] — byte-level token/offset framing with a 64 KB
+//!   window and a single-probe hash table (the stand-in for LZ4);
+//! * [`snappylike::SnappyLike`] — tag-byte oriented encoding with varint
+//!   literal runs (the stand-in for Snappy);
+//! * [`zstdlike::ZstdLike`] — larger window, deeper matching and a
+//!   Huffman-coded literal stream over byte-level sequence framing (the
+//!   stand-in for Zstd's LZ77+entropy design; see `DESIGN.md` for why the
+//!   FSE stage is approximated by a table-driven Huffman stage);
+//! * [`parallel::BlockParallel`] — the 2 MB block splitter and work-queue
+//!   scheduler used to parallelise all of the above, mirroring the paper's
+//!   methodology (Section V-D).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod lz4like;
+pub mod miniflate;
+pub mod parallel;
+pub mod snappylike;
+pub mod zstdlike;
+
+pub use error::BaselineError;
+pub use lz4like::Lz4Like;
+pub use miniflate::Miniflate;
+pub use parallel::BlockParallel;
+pub use snappylike::SnappyLike;
+pub use zstdlike::ZstdLike;
+
+/// Result alias for baseline codecs.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+/// A single-threaded lossless codec operating on one block of data.
+///
+/// Implementations must be `Send + Sync` so the block-parallel driver can
+/// share one codec instance across worker threads.
+pub trait Codec: Send + Sync {
+    /// Short name used in experiment output ("zlib-like", "lz4-like", …).
+    fn name(&self) -> &'static str;
+
+    /// Compresses one block.
+    fn compress(&self, input: &[u8]) -> Result<Vec<u8>>;
+
+    /// Decompresses one block previously produced by [`Codec::compress`].
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>>;
+}
+
+/// Every baseline codec boxed, for sweeping experiments.
+pub fn all_codecs() -> Vec<Box<dyn Codec>> {
+    vec![
+        Box::new(Miniflate::new()),
+        Box::new(Lz4Like::new()),
+        Box::new(SnappyLike::new()),
+        Box::new(ZstdLike::new()),
+    ]
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn compressible() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(proptest::collection::vec(0u8..12, 1..48), 0..150)
+            .prop_map(|chunks| chunks.concat())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Every baseline codec round-trips arbitrary compressible data.
+        #[test]
+        fn all_codecs_roundtrip(data in compressible()) {
+            for codec in all_codecs() {
+                let compressed = codec.compress(&data).unwrap();
+                let restored = codec.decompress(&compressed).unwrap();
+                prop_assert_eq!(&restored, &data, "codec {}", codec.name());
+            }
+        }
+
+        /// Random (incompressible) data also round-trips.
+        #[test]
+        fn all_codecs_roundtrip_random(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+            for codec in all_codecs() {
+                let compressed = codec.compress(&data).unwrap();
+                let restored = codec.decompress(&compressed).unwrap();
+                prop_assert_eq!(&restored, &data, "codec {}", codec.name());
+            }
+        }
+
+        /// Decompressing corrupted data must never panic.
+        #[test]
+        fn corrupt_data_never_panics(data in compressible(), flip in any::<u8>(), at in any::<u16>()) {
+            for codec in all_codecs() {
+                let mut compressed = codec.compress(&data).unwrap();
+                if !compressed.is_empty() {
+                    let idx = usize::from(at) % compressed.len();
+                    compressed[idx] ^= flip;
+                }
+                let _ = codec.decompress(&compressed);
+            }
+        }
+    }
+}

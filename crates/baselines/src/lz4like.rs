@@ -1,0 +1,110 @@
+//! LZ4-like byte-level codec.
+//!
+//! Mirrors LZ4's design point: a 64 KB window, 4-byte minimum matches, a
+//! single-probe hash table and a fully byte-aligned output format. It reuses
+//! the Gompresso byte-level block encoding, wrapped in a tiny self-contained
+//! frame (uncompressed length + payload).
+
+use crate::{BaselineError, Codec, Result};
+use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
+use gompresso_format::ByteBlock;
+use gompresso_lz77::{decompress_block, Matcher, MatcherConfig};
+
+/// The LZ4-like baseline codec.
+#[derive(Debug, Clone)]
+pub struct Lz4Like {
+    config: MatcherConfig,
+}
+
+impl Default for Lz4Like {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lz4Like {
+    /// Creates the codec with LZ4-style matching parameters.
+    pub fn new() -> Self {
+        Self { config: MatcherConfig::lz4_like() }
+    }
+}
+
+impl Codec for Lz4Like {
+    fn name(&self) -> &'static str {
+        "lz4-like"
+    }
+
+    fn compress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let block = Matcher::new(self.config.clone()).compress(input);
+        let encoded = ByteBlock::encode(&block).map_err(|_| BaselineError::Malformed {
+            reason: "match offset exceeded the byte-format limit",
+        })?;
+        let mut w = ByteWriter::with_capacity(encoded.data.len() + 16);
+        write_varint(&mut w, input.len() as u64);
+        encoded.serialize(&mut w);
+        Ok(w.finish())
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let mut r = ByteReader::new(input);
+        let expected_len = read_varint(&mut r)? as usize;
+        let block = ByteBlock::deserialize(&mut r)
+            .map_err(|_| BaselineError::Malformed { reason: "invalid byte-block payload" })?;
+        let sequences = block
+            .decode()
+            .map_err(|_| BaselineError::Malformed { reason: "invalid byte-block sequences" })?;
+        if sequences.uncompressed_len != expected_len {
+            return Err(BaselineError::Malformed { reason: "frame length disagrees with block" });
+        }
+        Ok(decompress_block(&sequences)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_text() {
+        let codec = Lz4Like::new();
+        let data = b"fast byte level compression for the masses ".repeat(500);
+        let compressed = codec.compress(&data).unwrap();
+        assert!(compressed.len() < data.len() / 3);
+        assert_eq!(codec.decompress(&compressed).unwrap(), data);
+        assert_eq!(codec.name(), "lz4-like");
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        let codec = Lz4Like::new();
+        for data in [&b""[..], b"a", b"ab", b"abcd"] {
+            let compressed = codec.compress(data).unwrap();
+            assert_eq!(codec.decompress(&compressed).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let codec = Lz4Like::new();
+        let data = b"hello hello hello hello".repeat(50);
+        let compressed = codec.compress(&data).unwrap();
+        assert!(codec.decompress(&compressed[..compressed.len() / 2]).is_err());
+        assert!(codec.decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn uses_a_larger_window_than_gompresso_byte() {
+        // Two identical 2 KiB chunks 40 KiB apart are matchable with a 64 KiB
+        // window but not with Gompresso's default 8 KiB window.
+        let chunk: Vec<u8> = (0..2048u32).map(|i| (i % 251) as u8).collect();
+        let mut data = chunk.clone();
+        data.extend((0..40_000u32).map(|i| (i.wrapping_mul(2654435761) >> 9) as u8));
+        data.extend_from_slice(&chunk);
+        let codec = Lz4Like::new();
+        let compressed = codec.compress(&data).unwrap();
+        // The second chunk compresses away, so the output is clearly smaller
+        // than the input minus one chunk would suggest for a small window.
+        assert!(compressed.len() < data.len() - chunk.len() / 2);
+        assert_eq!(codec.decompress(&compressed).unwrap(), data);
+    }
+}

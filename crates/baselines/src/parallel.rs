@@ -1,0 +1,226 @@
+//! Block-parallel driver for the CPU baseline codecs.
+//!
+//! The paper parallelises the single-threaded CPU libraries by splitting the
+//! input into equally-sized blocks (2 MB worked best) that worker threads
+//! pull from a common queue: "Once a thread has completed decompressing a
+//! data block, it immediately processes the next block from a common queue.
+//! This balances the load across CPU threads despite input-dependent
+//! processing times" (Section V-D). This module reproduces that scheme: a
+//! shared index acts as the work queue, worker threads claim blocks until it
+//! is drained, and per-block results are stitched back together in order.
+
+use crate::{BaselineError, Codec, Result};
+use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default block size for the CPU baselines (the paper's 2 MB sweet spot).
+pub const DEFAULT_BLOCK_SIZE: usize = 2 * 1024 * 1024;
+
+/// Wraps a single-block [`Codec`] with block splitting and a work-queue
+/// parallel decompressor.
+#[derive(Debug)]
+pub struct BlockParallel<C: Codec> {
+    codec: C,
+    block_size: usize,
+    threads: usize,
+}
+
+impl<C: Codec> BlockParallel<C> {
+    /// Creates a driver with the paper's 2 MB blocks and one worker per
+    /// available CPU.
+    pub fn new(codec: C) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { codec, block_size: DEFAULT_BLOCK_SIZE, threads }
+    }
+
+    /// Overrides the block size (must be nonzero).
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be nonzero");
+        self.block_size = block_size;
+        self
+    }
+
+    /// Overrides the number of worker threads (must be nonzero).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be nonzero");
+        self.threads = threads;
+        self
+    }
+
+    /// The wrapped codec's name.
+    pub fn name(&self) -> &'static str {
+        self.codec.name()
+    }
+
+    /// Number of worker threads used for decompression.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Compresses `input` block by block (in parallel), producing a framed
+    /// stream: block size, block count, per-block compressed sizes, then the
+    /// concatenated block payloads.
+    pub fn compress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let chunks: Vec<&[u8]> = input.chunks(self.block_size).collect();
+        let compressed = self.run_indexed(chunks.len(), |i| self.codec.compress(chunks[i]))?;
+
+        let mut w = ByteWriter::with_capacity(input.len() / 2 + 64);
+        write_varint(&mut w, self.block_size as u64);
+        write_varint(&mut w, input.len() as u64);
+        write_varint(&mut w, compressed.len() as u64);
+        for block in &compressed {
+            write_varint(&mut w, block.len() as u64);
+        }
+        for block in &compressed {
+            w.write_bytes(block);
+        }
+        Ok(w.finish())
+    }
+
+    /// Decompresses a stream produced by [`Self::compress`] using the
+    /// work-queue scheduler.
+    pub fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let mut r = ByteReader::new(input);
+        let block_size = read_varint(&mut r)? as usize;
+        let total_len = read_varint(&mut r)? as usize;
+        let n_blocks = read_varint(&mut r)? as usize;
+        if block_size == 0 || n_blocks > (1 << 28) {
+            return Err(BaselineError::Malformed { reason: "invalid block-parallel frame header" });
+        }
+        let mut sizes = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            sizes.push(read_varint(&mut r)? as usize);
+        }
+        let mut payloads = Vec::with_capacity(n_blocks);
+        for &size in &sizes {
+            payloads.push(r.read_bytes(size)?);
+        }
+
+        let blocks = self.run_indexed(n_blocks, |i| self.codec.decompress(payloads[i]))?;
+        let mut out = Vec::with_capacity(total_len);
+        for block in blocks {
+            out.extend_from_slice(&block);
+        }
+        if out.len() != total_len {
+            return Err(BaselineError::Malformed { reason: "reassembled size disagrees with frame header" });
+        }
+        Ok(out)
+    }
+
+    /// Runs `work(i)` for every `i < n` across the worker threads, pulling
+    /// indices from a shared counter (the common queue), and returns the
+    /// results in index order.
+    fn run_indexed<F>(&self, n: usize, work: F) -> Result<Vec<Vec<u8>>>
+    where
+        F: Fn(usize) -> Result<Vec<u8>> + Sync,
+    {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<Vec<u8>>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(n);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = work(i);
+                    *results[i].lock() = Some(result);
+                });
+            }
+        });
+
+        let mut out = Vec::with_capacity(n);
+        for slot in results {
+            match slot.into_inner() {
+                Some(Ok(block)) => out.push(block),
+                Some(Err(e)) => return Err(e),
+                None => return Err(BaselineError::Malformed { reason: "worker abandoned a block" }),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lz4Like, Miniflate, SnappyLike, ZstdLike};
+
+    fn corpus(len: usize) -> Vec<u8> {
+        let mut data = Vec::with_capacity(len);
+        let mut i = 0u64;
+        while data.len() < len {
+            data.extend_from_slice(format!("record {} :: some payload text {}\n", i, i % 321).as_bytes());
+            i += 1;
+        }
+        data.truncate(len);
+        data
+    }
+
+    #[test]
+    fn parallel_roundtrip_across_blocks() {
+        let data = corpus(700_000);
+        let driver = BlockParallel::new(Lz4Like::new()).with_block_size(64 * 1024).with_threads(4);
+        let compressed = driver.compress(&data).unwrap();
+        assert!(compressed.len() < data.len());
+        assert_eq!(driver.decompress(&compressed).unwrap(), data);
+        assert_eq!(driver.name(), "lz4-like");
+        assert_eq!(driver.threads(), 4);
+    }
+
+    #[test]
+    fn all_codecs_work_under_the_driver() {
+        let data = corpus(300_000);
+        macro_rules! check {
+            ($codec:expr) => {{
+                let driver = BlockParallel::new($codec).with_block_size(32 * 1024).with_threads(3);
+                let compressed = driver.compress(&data).unwrap();
+                assert_eq!(driver.decompress(&compressed).unwrap(), data, "codec {}", driver.name());
+            }};
+        }
+        check!(Miniflate::new());
+        check!(Lz4Like::new());
+        check!(SnappyLike::new());
+        check!(ZstdLike::new());
+    }
+
+    #[test]
+    fn single_thread_and_single_block_edge_cases() {
+        let data = corpus(10_000);
+        let driver = BlockParallel::new(SnappyLike::new()).with_threads(1);
+        let compressed = driver.compress(&data).unwrap();
+        assert_eq!(driver.decompress(&compressed).unwrap(), data);
+
+        let empty = driver.compress(&[]).unwrap();
+        assert_eq!(driver.decompress(&empty).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn results_are_identical_regardless_of_thread_count() {
+        let data = corpus(500_000);
+        let one = BlockParallel::new(ZstdLike::new()).with_block_size(64 * 1024).with_threads(1);
+        let many = BlockParallel::new(ZstdLike::new()).with_block_size(64 * 1024).with_threads(8);
+        assert_eq!(one.compress(&data).unwrap(), many.compress(&data).unwrap());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let data = corpus(200_000);
+        let driver = BlockParallel::new(Lz4Like::new()).with_block_size(32 * 1024);
+        let compressed = driver.compress(&data).unwrap();
+        assert!(driver.decompress(&compressed[..compressed.len() / 2]).is_err());
+        assert!(driver.decompress(&[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be nonzero")]
+    fn zero_block_size_is_rejected() {
+        let _ = BlockParallel::new(Lz4Like::new()).with_block_size(0);
+    }
+}

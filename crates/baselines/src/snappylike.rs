@@ -1,0 +1,210 @@
+//! Snappy-like byte-level codec.
+//!
+//! Follows Snappy's element framing: the stream is a sequence of elements,
+//! each starting with a tag byte whose low two bits select the element kind
+//! (literal run, copy with 1-byte offset, copy with 2-byte offset) and whose
+//! high bits carry the length. Like Snappy it favours raw speed: 4-byte
+//! minimum matches, a single-probe hash table, no entropy coding.
+
+use crate::{BaselineError, Codec, Result};
+use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
+use gompresso_lz77::{Matcher, MatcherConfig};
+
+const TAG_LITERAL: u8 = 0b00;
+const TAG_COPY1: u8 = 0b01;
+const TAG_COPY2: u8 = 0b10;
+
+/// The Snappy-like baseline codec.
+#[derive(Debug, Clone)]
+pub struct SnappyLike {
+    config: MatcherConfig,
+}
+
+impl Default for SnappyLike {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SnappyLike {
+    /// Creates the codec with Snappy-style matching parameters.
+    pub fn new() -> Self {
+        Self {
+            config: MatcherConfig {
+                window_size: 32 * 1024,
+                min_match_len: 4,
+                max_match_len: 64,
+                chain_depth: 1,
+                hash_bits: 14,
+                ..MatcherConfig::default()
+            },
+        }
+    }
+
+    fn emit_literals(out: &mut ByteWriter, literals: &[u8]) {
+        let mut rest = literals;
+        while !rest.is_empty() {
+            // Up to 60 literal bytes inline in the tag; longer runs use a
+            // one-byte extension (Snappy's 61-element form).
+            let take = rest.len().min(255 + 61);
+            if take <= 60 {
+                out.write_u8(((take as u8 - 1) << 2) | TAG_LITERAL);
+            } else {
+                out.write_u8((60 << 2) | TAG_LITERAL);
+                out.write_u8((take - 61) as u8);
+            }
+            out.write_bytes(&rest[..take]);
+            rest = &rest[take..];
+        }
+    }
+
+    fn emit_copy(out: &mut ByteWriter, offset: u32, len: u32) {
+        let mut remaining = len;
+        while remaining > 0 {
+            // Copies encode 4..=64 bytes per element; longer matches are
+            // split (leaving at least 4 for the final element).
+            let mut take = remaining.min(64);
+            if remaining - take > 0 && remaining - take < 4 {
+                take = remaining - 4;
+            }
+            if offset < 2048 && (4..=11).contains(&take) {
+                // 1-byte-offset form: 3 length bits, 3 high offset bits.
+                let tag = (((take - 4) as u8) << 2) | (((offset >> 8) as u8) << 5) | TAG_COPY1;
+                out.write_u8(tag);
+                out.write_u8((offset & 0xFF) as u8);
+            } else {
+                let tag = (((take - 1) as u8) << 2) | TAG_COPY2;
+                out.write_u8(tag);
+                out.write_u16_le(offset as u16);
+            }
+            remaining -= take;
+        }
+    }
+}
+
+impl Codec for SnappyLike {
+    fn name(&self) -> &'static str {
+        "snappy-like"
+    }
+
+    fn compress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let block = Matcher::new(self.config.clone()).compress(input);
+        let mut out = ByteWriter::with_capacity(input.len() / 2 + 16);
+        write_varint(&mut out, input.len() as u64);
+        let mut literal_cursor = 0usize;
+        for seq in &block.sequences {
+            let lit_end = literal_cursor + seq.literal_len as usize;
+            if seq.literal_len > 0 {
+                Self::emit_literals(&mut out, &block.literals[literal_cursor..lit_end]);
+            }
+            literal_cursor = lit_end;
+            if seq.match_len > 0 {
+                Self::emit_copy(&mut out, seq.match_offset, seq.match_len);
+            }
+        }
+        Ok(out.finish())
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let mut r = ByteReader::new(input);
+        let expected_len = read_varint(&mut r)? as usize;
+        if expected_len > (1 << 31) {
+            return Err(BaselineError::Malformed { reason: "declared length is implausibly large" });
+        }
+        let mut out = Vec::with_capacity(expected_len);
+        while out.len() < expected_len {
+            let tag = r.read_u8()?;
+            match tag & 0b11 {
+                TAG_LITERAL => {
+                    let field = usize::from(tag >> 2);
+                    let len = if field < 60 {
+                        field + 1
+                    } else if field == 60 {
+                        usize::from(r.read_u8()?) + 61
+                    } else {
+                        return Err(BaselineError::Malformed { reason: "unsupported literal tag form" });
+                    };
+                    out.extend_from_slice(r.read_bytes(len)?);
+                }
+                TAG_COPY1 => {
+                    let len = usize::from((tag >> 2) & 0b111) + 4;
+                    let offset = (usize::from(tag >> 5) << 8) | usize::from(r.read_u8()?);
+                    copy_within(&mut out, offset, len)?;
+                }
+                TAG_COPY2 => {
+                    let len = usize::from(tag >> 2) + 1;
+                    let offset = usize::from(r.read_u16_le()?);
+                    copy_within(&mut out, offset, len)?;
+                }
+                _ => return Err(BaselineError::Malformed { reason: "reserved tag value" }),
+            }
+            if out.len() > expected_len {
+                return Err(BaselineError::Malformed { reason: "output overruns declared length" });
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn copy_within(out: &mut Vec<u8>, offset: usize, len: usize) -> Result<()> {
+    if offset == 0 || offset > out.len() {
+        return Err(BaselineError::Malformed { reason: "copy offset out of range" });
+    }
+    let start = out.len() - offset;
+    for i in 0..len {
+        let b = out[start + i];
+        out.push(b);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_inputs() {
+        let codec = SnappyLike::new();
+        let cases: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"a".to_vec(),
+            b"snappy snappy snappy snappy snappy ".repeat(300),
+            (0..10_000u32).map(|i| (i.wrapping_mul(2654435761) >> 11) as u8).collect(),
+            vec![0u8; 100_000],
+        ];
+        for data in cases {
+            let compressed = codec.compress(&data).unwrap();
+            assert_eq!(codec.decompress(&compressed).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn long_literal_runs_use_extended_form() {
+        let codec = SnappyLike::new();
+        // 200 unique bytes force a literal run longer than 60.
+        let data: Vec<u8> = (0..200u16).map(|i| (i ^ (i >> 3)) as u8).collect();
+        let compressed = codec.compress(&data).unwrap();
+        assert_eq!(codec.decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn compresses_repetitive_text_well() {
+        let codec = SnappyLike::new();
+        let data = b"row,col,value\n1,2,3.5\n1,3,4.5\n".repeat(1000);
+        let compressed = codec.compress(&data).unwrap();
+        assert!(compressed.len() < data.len() / 3, "only {} -> {}", data.len(), compressed.len());
+    }
+
+    #[test]
+    fn corrupt_streams_error_cleanly() {
+        let codec = SnappyLike::new();
+        let data = b"corrupt corrupt corrupt".repeat(100);
+        let mut compressed = codec.compress(&data).unwrap();
+        // Point a copy before the start of the output.
+        let n = compressed.len();
+        compressed[n / 2] = 0xFF;
+        let _ = codec.decompress(&compressed); // must not panic
+        assert!(codec.decompress(&compressed[..4]).is_err() || codec.decompress(&compressed[..4]).is_ok());
+        assert!(codec.decompress(&[0x03]).is_err());
+    }
+}

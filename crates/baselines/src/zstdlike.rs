@@ -1,0 +1,236 @@
+//! Zstd-like codec: deeper LZ77 matching plus an entropy-coded literal
+//! stream over byte-framed sequences.
+//!
+//! Zstandard separates the LZ77 sequence structure (literal lengths, match
+//! lengths, offsets) from the literal bytes and entropy-codes the literals
+//! with a table-driven coder. This baseline mirrors that architecture with
+//! the pieces available in this workspace: a 64 KB window with deeper hash
+//! chains than the LZ4-like codec, byte-framed sequence descriptors, and a
+//! canonical length-limited Huffman stage for the literal bytes. `DESIGN.md`
+//! documents why this approximates Zstd's FSE stage: the goal in Figure 13
+//! is a point between zlib (best ratio, slowest) and LZ4 (fastest, worst
+//! ratio), which this construction reproduces.
+
+use crate::{BaselineError, Codec, Result};
+use gompresso_bitstream::{read_varint, write_varint, BitReader, BitWriter, ByteReader, ByteWriter};
+use gompresso_huffman::{CanonicalCode, DecodeTable, EncodeTable, Histogram};
+use gompresso_lz77::{decompress_block, Matcher, MatcherConfig, Sequence, SequenceBlock};
+
+/// Maximum codeword length of the literal coder (keeps the decode LUT small
+/// while costing almost nothing in ratio for byte alphabets).
+const LITERAL_CWL: u8 = 11;
+
+/// The Zstd-like baseline codec.
+#[derive(Debug, Clone)]
+pub struct ZstdLike {
+    config: MatcherConfig,
+}
+
+impl Default for ZstdLike {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ZstdLike {
+    /// Creates the codec with Zstd-style matching parameters.
+    pub fn new() -> Self {
+        Self {
+            // Minimum match of 4: our byte-framed sequence descriptors cost
+            // ~4 bytes, so 3-byte matches would expand the stream (real Zstd
+            // can afford them because FSE makes descriptors fractional-byte).
+            config: MatcherConfig {
+                window_size: 64 * 1024,
+                min_match_len: 4,
+                max_match_len: 258,
+                chain_depth: 32,
+                hash_bits: 16,
+                ..MatcherConfig::default()
+            },
+        }
+    }
+}
+
+impl Codec for ZstdLike {
+    fn name(&self) -> &'static str {
+        "zstd-like"
+    }
+
+    fn compress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let block = Matcher::new(self.config.clone()).compress(input);
+        let mut w = ByteWriter::with_capacity(input.len() / 2 + 64);
+        write_varint(&mut w, input.len() as u64);
+        write_varint(&mut w, block.sequences.len() as u64);
+
+        // Literal stream: Huffman-coded when it pays, stored raw otherwise
+        // (Zstd makes the same raw-vs-compressed decision per block).
+        if block.literals.is_empty() {
+            w.write_u8(0); // no literals
+        } else {
+            let hist = Histogram::from_symbols(
+                256,
+                &block.literals.iter().map(|&b| u16::from(b)).collect::<Vec<u16>>(),
+            );
+            let code = CanonicalCode::from_histogram(&hist, LITERAL_CWL)?;
+            let enc = EncodeTable::new(&code);
+            let mut bits = BitWriter::with_capacity(block.literals.len());
+            for &b in &block.literals {
+                enc.encode(&mut bits, u16::from(b))?;
+            }
+            let coded = bits.finish();
+            if coded.len() + 64 < block.literals.len() {
+                w.write_u8(1); // huffman-coded literals
+                code.serialize(&mut w);
+                write_varint(&mut w, block.literals.len() as u64);
+                write_varint(&mut w, coded.len() as u64);
+                w.write_bytes(&coded);
+            } else {
+                w.write_u8(2); // raw literals
+                write_varint(&mut w, block.literals.len() as u64);
+                w.write_bytes(&block.literals);
+            }
+        }
+
+        // Sequence descriptors, byte-framed.
+        for seq in &block.sequences {
+            write_varint(&mut w, u64::from(seq.literal_len));
+            write_varint(&mut w, u64::from(seq.match_len));
+            if seq.match_len > 0 {
+                w.write_u16_le(seq.match_offset as u16);
+            }
+        }
+        Ok(w.finish())
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let mut r = ByteReader::new(input);
+        let expected_len = read_varint(&mut r)? as usize;
+        let n_sequences = read_varint(&mut r)? as usize;
+        if expected_len > (1 << 31) || n_sequences > (1 << 28) {
+            return Err(BaselineError::Malformed { reason: "implausible header counters" });
+        }
+
+        let literal_mode = r.read_u8()?;
+        let literals: Vec<u8> = match literal_mode {
+            0 => Vec::new(),
+            1 => {
+                let code = CanonicalCode::deserialize(&mut r)?;
+                let dec = DecodeTable::new(&code)?;
+                let n_literals = read_varint(&mut r)? as usize;
+                let coded_len = read_varint(&mut r)? as usize;
+                if n_literals > expected_len {
+                    return Err(BaselineError::Malformed { reason: "literal count exceeds output size" });
+                }
+                let coded = r.read_bytes(coded_len)?;
+                let mut bits = BitReader::new(coded);
+                let mut literals = Vec::with_capacity(n_literals);
+                for _ in 0..n_literals {
+                    let sym = dec.decode(&mut bits)?;
+                    if sym > 255 {
+                        return Err(BaselineError::Malformed { reason: "literal symbol out of byte range" });
+                    }
+                    literals.push(sym as u8);
+                }
+                literals
+            }
+            2 => {
+                let n_literals = read_varint(&mut r)? as usize;
+                if n_literals > expected_len {
+                    return Err(BaselineError::Malformed { reason: "literal count exceeds output size" });
+                }
+                r.read_bytes(n_literals)?.to_vec()
+            }
+            _ => return Err(BaselineError::Malformed { reason: "unknown literal stream mode" }),
+        };
+
+        let mut sequences = Vec::with_capacity(n_sequences);
+        for _ in 0..n_sequences {
+            let literal_len = read_varint(&mut r)?;
+            let match_len = read_varint(&mut r)?;
+            if literal_len > u64::from(u32::MAX) || match_len > u64::from(u32::MAX) {
+                return Err(BaselineError::Malformed { reason: "sequence field out of range" });
+            }
+            let match_offset = if match_len > 0 { u32::from(r.read_u16_le()?) } else { 0 };
+            sequences.push(Sequence {
+                literal_len: literal_len as u32,
+                match_offset,
+                match_len: match_len as u32,
+            });
+        }
+
+        let block = SequenceBlock { sequences, literals, uncompressed_len: expected_len };
+        Ok(decompress_block(&block)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lz4like::Lz4Like;
+    use crate::miniflate::Miniflate;
+
+    fn structured_text(len: usize) -> Vec<u8> {
+        let mut data = Vec::with_capacity(len + 64);
+        let mut i = 0u64;
+        while data.len() < len {
+            data.extend_from_slice(
+                format!("timestamp={} level=INFO module=ingest msg=\"processed batch {}\"\n", 1_400_000_000 + i, i % 997)
+                    .as_bytes(),
+            );
+            i += 1;
+        }
+        data.truncate(len);
+        data
+    }
+
+    #[test]
+    fn roundtrip_various_inputs() {
+        let codec = ZstdLike::new();
+        for data in [
+            Vec::new(),
+            b"z".to_vec(),
+            structured_text(300_000),
+            (0..30_000u32).map(|i| (i.wrapping_mul(2654435761) >> 5) as u8).collect::<Vec<u8>>(),
+            vec![42u8; 50_000],
+        ] {
+            let compressed = codec.compress(&data).unwrap();
+            assert_eq!(codec.decompress(&compressed).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn ratio_sits_between_lz4_and_deflate() {
+        let data = structured_text(400_000);
+        let zstd = ZstdLike::new().compress(&data).unwrap().len();
+        let lz4 = Lz4Like::new().compress(&data).unwrap().len();
+        let flate = Miniflate::new().compress(&data).unwrap().len();
+        assert!(zstd < lz4, "zstd-like ({zstd}) should beat lz4-like ({lz4})");
+        // The descriptors are byte-framed (unlike real Zstd's FSE), so on
+        // this extremely repetitive corpus the bit-level codec keeps a
+        // sizeable lead; the zstd-like ratio must still stay within 2× of it
+        // and sit strictly between the byte-level and bit-level codecs.
+        assert!((zstd as f64) < flate as f64 * 2.0, "zstd-like {zstd} vs zlib-like {flate}");
+        assert!(zstd > flate, "zstd-like should not beat the full bit-level codec here");
+    }
+
+    #[test]
+    fn incompressible_literals_fall_back_to_raw_mode() {
+        let codec = ZstdLike::new();
+        let data: Vec<u8> = (0..60_000u32).map(|i| (i.wrapping_mul(2654435761) >> 3) as u8).collect();
+        let compressed = codec.compress(&data).unwrap();
+        // Raw fallback keeps expansion negligible.
+        assert!(compressed.len() < data.len() + data.len() / 64 + 64);
+        assert_eq!(codec.decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupted_headers_error_cleanly() {
+        let codec = ZstdLike::new();
+        let data = structured_text(10_000);
+        let compressed = codec.compress(&data).unwrap();
+        assert!(codec.decompress(&compressed[..3]).is_err());
+        let mut bad = compressed.clone();
+        bad[2] = 0x7F; // clobber the literal-mode/size area
+        let _ = codec.decompress(&bad); // must not panic
+    }
+}

@@ -1,0 +1,25 @@
+//! Figure 11: compression-side cost of Dependency Elimination (speed with
+//! and without DE; the ratio side is covered by the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gompresso_bench::{matrix_data, wikipedia_data};
+use gompresso_core::{compress, CompressorConfig};
+
+const SIZE: usize = 4 * 1024 * 1024;
+
+fn bench_de_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_de_compression_speed");
+    group.sample_size(10);
+    for (name, data) in [("wikipedia", wikipedia_data(SIZE)), ("matrix", matrix_data(SIZE))] {
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        for (variant, config) in [("without_de", CompressorConfig::byte()), ("with_de", CompressorConfig::byte_de())] {
+            group.bench_with_input(BenchmarkId::new(variant, name), &data, |b, data| {
+                b.iter(|| compress(data, &config).unwrap().stats.compressed_size);
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_de_compression);
+criterion_main!(benches);

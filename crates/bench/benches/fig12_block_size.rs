@@ -1,0 +1,25 @@
+//! Figure 12: Gompresso/Bit decompression cost across data block sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gompresso_bench::wikipedia_data;
+use gompresso_core::{compress, decompress, CompressorConfig};
+
+const SIZE: usize = 4 * 1024 * 1024;
+
+fn bench_block_sizes(c: &mut Criterion) {
+    let data = wikipedia_data(SIZE);
+    let mut group = c.benchmark_group("fig12_block_size");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for block_kb in [32usize, 64, 128, 256] {
+        let config = CompressorConfig { block_size: block_kb * 1024, ..CompressorConfig::bit_de() };
+        let file = compress(&data, &config).unwrap();
+        group.bench_with_input(BenchmarkId::new("bit_de_decompress", block_kb), &file.file, |b, f| {
+            b.iter(|| decompress(f).unwrap().0.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_sizes);
+criterion_main!(benches);

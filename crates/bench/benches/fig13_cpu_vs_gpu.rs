@@ -1,0 +1,44 @@
+//! Figure 13: host-side decompression throughput of the block-parallel CPU
+//! baselines versus the Gompresso decompressor (the GPU-estimate side of the
+//! figure is produced by the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gompresso_baselines::{BlockParallel, Lz4Like, Miniflate, SnappyLike, ZstdLike};
+use gompresso_bench::wikipedia_data;
+use gompresso_core::{compress, decompress, CompressorConfig};
+
+const SIZE: usize = 4 * 1024 * 1024;
+const CPU_BLOCK: usize = 2 * 1024 * 1024;
+
+fn bench_cpu_vs_gpu(c: &mut Criterion) {
+    let data = wikipedia_data(SIZE);
+    let mut group = c.benchmark_group("fig13_decompression");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    macro_rules! cpu_case {
+        ($codec:expr) => {{
+            let driver = BlockParallel::new($codec).with_block_size(CPU_BLOCK);
+            let compressed = driver.compress(&data).unwrap();
+            let label = driver.name();
+            group.bench_with_input(BenchmarkId::new("cpu", label), &compressed, |b, input| {
+                b.iter(|| driver.decompress(input).unwrap().len());
+            });
+        }};
+    }
+    cpu_case!(SnappyLike::new());
+    cpu_case!(Lz4Like::new());
+    cpu_case!(ZstdLike::new());
+    cpu_case!(Miniflate::new());
+
+    for (label, config) in [("gomp_bit_de", CompressorConfig::bit_de()), ("gomp_byte_de", CompressorConfig::byte_de())] {
+        let file = compress(&data, &config).unwrap();
+        group.bench_with_input(BenchmarkId::new("gompresso", label), &file.file, |b, f| {
+            b.iter(|| decompress(f).unwrap().0.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_vs_gpu);
+criterion_main!(benches);

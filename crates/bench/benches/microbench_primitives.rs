@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the substrates: warp primitives, Huffman coding and
+//! the LZ77 matcher. Not a paper figure, but useful for tracking regressions
+//! in the pieces every experiment depends on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gompresso_bench::wikipedia_data;
+use gompresso_bitstream::{BitReader, BitWriter};
+use gompresso_huffman::{CanonicalCode, DecodeTable, EncodeTable, Histogram};
+use gompresso_lz77::{Matcher, MatcherConfig};
+use gompresso_simt::{Warp, WARP_SIZE};
+
+fn bench_warp_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_warp");
+    let values: [u64; WARP_SIZE] = std::array::from_fn(|i| (i as u64 * 37) % 101);
+    group.bench_function("exclusive_prefix_sum", |b| {
+        b.iter(|| {
+            let mut warp = Warp::new();
+            warp.exclusive_prefix_sum(&values).1
+        });
+    });
+    group.finish();
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let data = wikipedia_data(1 << 20);
+    let symbols: Vec<u16> = data.iter().map(|&b| u16::from(b)).collect();
+    let hist = Histogram::from_symbols(256, &symbols);
+    let code = CanonicalCode::from_histogram(&hist, 12).unwrap();
+    let enc = EncodeTable::new(&code);
+    let dec = DecodeTable::new(&code).unwrap();
+    let mut w = BitWriter::new();
+    for &s in &symbols {
+        enc.encode(&mut w, s).unwrap();
+    }
+    let encoded = w.finish();
+
+    let mut group = c.benchmark_group("micro_huffman");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    group.bench_function("encode_1mib", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(encoded.len());
+            for &s in &symbols {
+                enc.encode(&mut w, s).unwrap();
+            }
+            w.finish().len()
+        });
+    });
+    group.bench_function("decode_1mib", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&encoded);
+            let mut n = 0usize;
+            for _ in 0..symbols.len() {
+                n += usize::from(dec.decode(&mut r).unwrap() & 1);
+            }
+            n
+        });
+    });
+    group.finish();
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let data = wikipedia_data(1 << 20);
+    let mut group = c.benchmark_group("micro_lz77");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    for (label, config) in [
+        ("gompresso", MatcherConfig::gompresso()),
+        ("gompresso_de", MatcherConfig::gompresso_de()),
+        ("deflate_like", MatcherConfig::deflate_like()),
+    ] {
+        let matcher = Matcher::new(config);
+        group.bench_function(format!("compress_{label}"), |b| {
+            b.iter(|| matcher.compress(&data).sequences.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_warp_primitives, bench_huffman, bench_matcher);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Regenerates the paper's tables and figures as text tables.
+//!
+//! ```text
+//! experiments [--exp all|setup|fig9a|fig9b|fig9c|fig11|fig12|fig13|fig14] [--size-mb N]
+//! ```
+//!
+//! `--size-mb` scales the synthetic datasets (default 8 MiB, the paper used
+//! ~1 GB; larger sizes sharpen the GPU estimates but take proportionally
+//! longer on the host).
+
+use gompresso_bench::{
+    fig11_de_impact, fig12_block_size, fig13_speed_vs_ratio, fig14_energy, fig9a_strategy_comparison,
+    fig9b_bytes_per_round, fig9c_nesting_depth, setup_dataset_ratios, Table,
+};
+
+fn parse_args() -> (String, usize) {
+    let mut exp = "all".to_string();
+    let mut size_mb = 8usize;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" if i + 1 < args.len() => {
+                exp = args[i + 1].clone();
+                i += 2;
+            }
+            "--size-mb" if i + 1 < args.len() => {
+                size_mb = args[i + 1].parse().unwrap_or(8).max(1);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--exp all|setup|fig9a|fig9b|fig9c|fig11|fig12|fig13|fig14] [--size-mb N]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    (exp, size_mb)
+}
+
+fn main() {
+    let (exp, size_mb) = parse_args();
+    let size = size_mb * 1024 * 1024;
+    let run = |name: &str| exp == "all" || exp == name;
+
+    println!("Gompresso experiment harness — dataset size {size_mb} MiB per dataset");
+    println!("GPU figures are estimates from the simulated Tesla K40 model; CPU figures are host wall clock.\n");
+
+    if run("setup") {
+        println!("== Section V setup: dataset compressibility (paper: gzip 3.09:1 wikipedia, 4.99:1 matrix) ==");
+        let mut t = Table::new(&["dataset", "zlib-like ratio"]);
+        for row in setup_dataset_ratios(size) {
+            t.row(&[row.dataset, format!("{:.2}", row.zlib_like_ratio)]);
+        }
+        println!("{}", t.render());
+    }
+
+    if run("fig9a") {
+        println!("== Figure 9a: Gompresso/Byte LZ77 decompression speed by strategy (no PCIe) ==");
+        let mut t = Table::new(&["dataset", "strategy", "GPU est. GB/s", "host GB/s", "mean rounds"]);
+        for row in fig9a_strategy_comparison(size) {
+            t.row(&[
+                row.dataset,
+                row.strategy,
+                format!("{:.2}", row.gpu_speed_gbps),
+                format!("{:.2}", row.host_speed_gbps),
+                format!("{:.2}", row.mean_rounds),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    if run("fig9b") {
+        println!("== Figure 9b: mean back-reference bytes resolved per MRR round ==");
+        let mut t = Table::new(&["dataset", "round", "mean bytes/group"]);
+        for row in fig9b_bytes_per_round(size) {
+            t.row(&[row.dataset, row.round.to_string(), format!("{:.2}", row.mean_bytes)]);
+        }
+        println!("{}", t.render());
+    }
+
+    if run("fig9c") {
+        println!("== Figure 9c: MRR decompression time vs nesting depth (Figure 10 datasets) ==");
+        let mut t = Table::new(&["depth", "mean rounds", "GPU est. ms", "host ms"]);
+        for row in fig9c_nesting_depth(size, &[1, 2, 4, 8, 16, 32]) {
+            t.row(&[
+                row.depth.to_string(),
+                format!("{:.2}", row.mean_rounds),
+                format!("{:.2}", row.gpu_time_ms),
+                format!("{:.2}", row.host_time_ms),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    if run("fig11") {
+        println!("== Figure 11: compression ratio / speed degradation from Dependency Elimination ==");
+        let mut t = Table::new(&["dataset", "variant", "ratio", "compression MB/s"]);
+        for row in fig11_de_impact(size) {
+            t.row(&[
+                row.dataset,
+                row.variant,
+                format!("{:.3}", row.ratio),
+                format!("{:.1}", row.compression_speed_mbps),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    if run("fig12") {
+        println!("== Figure 12: Gompresso/Bit speed (PCIe included) and ratio vs block size ==");
+        let mut t = Table::new(&["block size", "GPU est. GB/s (In/Out)", "ratio"]);
+        for row in fig12_block_size(size, &[32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024]) {
+            t.row(&[
+                format!("{} KB", row.block_size / 1024),
+                format!("{:.2}", row.speed_gbps),
+                format!("{:.3}", row.ratio),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    let mut fig13_cache = Vec::new();
+    if run("fig13") || run("fig14") {
+        for dataset in ["wikipedia", "matrix"] {
+            let rows = fig13_speed_vs_ratio(size, dataset);
+            if run("fig13") {
+                println!("== Figure 13: decompression speed vs compression ratio ({dataset}) ==");
+                let mut t = Table::new(&["system", "ratio", "GB/s"]);
+                for row in &rows {
+                    t.row(&[row.system.clone(), format!("{:.3}", row.ratio), format!("{:.2}", row.speed_gbps)]);
+                }
+                println!("{}", t.render());
+            }
+            if dataset == "wikipedia" {
+                fig13_cache = rows;
+            }
+        }
+    }
+
+    if run("fig14") {
+        println!("== Figure 14: energy vs compression ratio (wikipedia) ==");
+        let mut t = Table::new(&["system", "ratio", "joules (model)", "J/GB"]);
+        for row in fig14_energy(&fig13_cache, size) {
+            t.row(&[
+                row.system.clone(),
+                format!("{:.3}", row.ratio),
+                format!("{:.1}", row.joules),
+                format!("{:.1}", gompresso_energy::EnergyModel::joules_per_gb(row.joules, size as u64)),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}

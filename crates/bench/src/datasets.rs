@@ -1,0 +1,47 @@
+//! Dataset preparation shared by experiments and benches.
+
+use gompresso_datasets::{DatasetGenerator, MatrixMarketGenerator, NestingGenerator, WikipediaGenerator};
+
+/// Fixed seed so every experiment run sees identical data.
+const SEED: u64 = 20160816; // ICPP 2016 week
+
+/// Synthetic Wikipedia XML of the given size.
+pub fn wikipedia_data(len: usize) -> Vec<u8> {
+    WikipediaGenerator::new(SEED).generate(len)
+}
+
+/// Synthetic Matrix Market edge list of the given size.
+pub fn matrix_data(len: usize) -> Vec<u8> {
+    MatrixMarketGenerator::new(SEED).generate(len)
+}
+
+/// Figure 10 nesting-depth dataset of the given size.
+pub fn nesting_data(depth: u32, len: usize) -> Vec<u8> {
+    NestingGenerator::new(depth).generate(len)
+}
+
+/// Resolves a dataset by the name used on the experiments CLI.
+pub fn by_name(name: &str, len: usize) -> Option<Vec<u8>> {
+    match name {
+        "wikipedia" => Some(wikipedia_data(len)),
+        "matrix" => Some(matrix_data(len)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_resolves_known_datasets() {
+        assert_eq!(by_name("wikipedia", 1000).unwrap().len(), 1000);
+        assert_eq!(by_name("matrix", 1000).unwrap().len(), 1000);
+        assert!(by_name("unknown", 1000).is_none());
+    }
+
+    #[test]
+    fn nesting_data_is_sized() {
+        assert_eq!(nesting_data(16, 1700).len(), 1700);
+    }
+}

@@ -1,0 +1,87 @@
+//! Experiment harness regenerating the paper's evaluation section.
+//!
+//! Every table and figure of the paper has a corresponding function here
+//! that produces structured rows; the `experiments` binary prints them as
+//! paper-style tables and `EXPERIMENTS.md` records a reference run. The
+//! criterion benches under `benches/` exercise the same code paths with
+//! statistically sound timing for the wall-clock (host CPU) numbers.
+//!
+//! Dataset sizes default to a few MiB so the whole suite runs in seconds;
+//! the `experiments` binary accepts `--size-mb` to scale up towards the
+//! paper's 1 GB inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod table;
+
+pub use datasets::{matrix_data, nesting_data, wikipedia_data};
+pub use experiments::*;
+pub use table::Table;
+
+/// Gigabyte constant used for bandwidth formatting.
+pub const GB: f64 = 1.0e9;
+
+/// Formats a byte-per-second figure as GB/s (decimal, as in the paper).
+pub fn gbps(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec / GB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_conversion() {
+        assert!((gbps(2.0e9) - 2.0).abs() < 1e-12);
+        assert_eq!(gbps(0.0), 0.0);
+    }
+
+    #[test]
+    fn experiment_smoke_fig9a() {
+        // A tiny run of the Figure 9a experiment must produce one row per
+        // strategy per dataset with DE at least as fast as SC.
+        let rows = fig9a_strategy_comparison(256 * 1024);
+        assert_eq!(rows.len(), 6);
+        for dataset in ["wikipedia", "matrix"] {
+            let sc = rows.iter().find(|r| r.dataset == dataset && r.strategy == "SC").unwrap();
+            let de = rows.iter().find(|r| r.dataset == dataset && r.strategy == "DE").unwrap();
+            assert!(de.gpu_speed_gbps >= sc.gpu_speed_gbps);
+        }
+    }
+
+    #[test]
+    fn experiment_smoke_fig9c() {
+        let rows = fig9c_nesting_depth(128 * 1024, &[1, 8, 32]);
+        assert_eq!(rows.len(), 3);
+        // Deeper nesting must not be faster.
+        assert!(rows[2].gpu_time_ms >= rows[0].gpu_time_ms * 0.9);
+        assert!(rows[2].mean_rounds > rows[0].mean_rounds);
+    }
+
+    #[test]
+    fn experiment_smoke_fig11_and_12() {
+        let rows = fig11_de_impact(256 * 1024);
+        assert_eq!(rows.len(), 4);
+        for pair in rows.chunks(2) {
+            // DE ratio never exceeds the unconstrained ratio.
+            assert!(pair[1].ratio <= pair[0].ratio * 1.001);
+        }
+        let rows = fig12_block_size(512 * 1024, &[32 * 1024, 256 * 1024]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.ratio > 1.0));
+    }
+
+    #[test]
+    fn experiment_smoke_fig13_and_14() {
+        let rows = fig13_speed_vs_ratio(256 * 1024, "wikipedia");
+        // 4 CPU codecs + 4 GPU configurations.
+        assert!(rows.len() >= 8);
+        assert!(rows.iter().all(|r| r.ratio > 0.5));
+        let energy = fig14_energy(&rows, 256 * 1024);
+        assert_eq!(energy.len(), rows.len());
+        assert!(energy.iter().all(|e| e.joules > 0.0));
+    }
+}

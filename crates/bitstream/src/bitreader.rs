@@ -1,0 +1,255 @@
+//! LSB-first bit reader.
+
+use crate::{Result, StreamError};
+
+/// Reads bits LSB-first from a byte slice.
+///
+/// Mirrors [`crate::BitWriter`]. The reader additionally supports
+/// `peek`/`consume` pairs, which is how the table-driven Huffman decoder
+/// examines the next `CWL` bits without committing to a code length, and
+/// bit-exact positioning, which is how the parallel decoder seeks each
+/// sub-block decoder to its start offset (computed from the sub-block size
+/// list in the file header).
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Index of the next byte to load into the accumulator.
+    next_byte: usize,
+    /// Bit accumulator holding already-loaded, not-yet-consumed bits.
+    acc: u64,
+    /// Number of valid bits in `acc`.
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`, positioned at bit 0.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, next_byte: 0, acc: 0, nbits: 0 }
+    }
+
+    /// Creates a reader positioned at an absolute bit offset into `data`.
+    ///
+    /// Returns an error if the offset lies beyond the end of the data.
+    pub fn at_bit_offset(data: &'a [u8], bit_offset: u64) -> Result<Self> {
+        let total_bits = data.len() as u64 * 8;
+        if bit_offset > total_bits {
+            return Err(StreamError::UnexpectedEof {
+                needed: ((bit_offset - total_bits) / 8) as usize + 1,
+                remaining: 0,
+            });
+        }
+        let byte = (bit_offset / 8) as usize;
+        let bit_in_byte = (bit_offset % 8) as u32;
+        let mut reader = Self { data, next_byte: byte, acc: 0, nbits: 0 };
+        if bit_in_byte > 0 {
+            // Skip the already-consumed low bits of the current byte.
+            reader.fill();
+            reader.acc >>= bit_in_byte;
+            reader.nbits -= bit_in_byte;
+        }
+        Ok(reader)
+    }
+
+    /// Absolute bit position of the next bit that will be read.
+    pub fn bit_position(&self) -> u64 {
+        self.next_byte as u64 * 8 - u64::from(self.nbits)
+    }
+
+    /// Total number of bits in the underlying slice.
+    pub fn total_bits(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+
+    /// Number of bits remaining in the stream.
+    pub fn remaining_bits(&self) -> u64 {
+        self.total_bits() - self.bit_position()
+    }
+
+    /// Reads `width` (0..=32) bits, LSB first.
+    pub fn read_bits(&mut self, width: u32) -> Result<u32> {
+        if width > 32 {
+            return Err(StreamError::InvalidBitWidth(width));
+        }
+        if width == 0 {
+            return Ok(0);
+        }
+        self.fill();
+        if self.nbits < width {
+            return Err(StreamError::UnexpectedEof {
+                needed: ((width - self.nbits) as usize).div_ceil(8),
+                remaining: self.data.len() - self.next_byte,
+            });
+        }
+        let mask = if width == 32 { u64::from(u32::MAX) } else { (1u64 << width) - 1 };
+        let value = (self.acc & mask) as u32;
+        self.acc >>= width;
+        self.nbits -= width;
+        Ok(value)
+    }
+
+    /// Reads a single bit.
+    pub fn read_bit(&mut self) -> Result<bool> {
+        Ok(self.read_bits(1)? != 0)
+    }
+
+    /// Peeks at the next `width` (0..=32) bits without consuming them.
+    ///
+    /// If fewer than `width` bits remain, the missing high bits are zero.
+    /// This matches the behaviour table-driven Huffman decoders rely on when
+    /// the final code word of a stream is shorter than the LUT index width.
+    pub fn peek_bits(&mut self, width: u32) -> Result<u32> {
+        if width > 32 {
+            return Err(StreamError::InvalidBitWidth(width));
+        }
+        if width == 0 {
+            return Ok(0);
+        }
+        self.fill();
+        let mask = if width == 32 { u64::from(u32::MAX) } else { (1u64 << width) - 1 };
+        Ok((self.acc & mask) as u32)
+    }
+
+    /// Consumes `width` bits previously examined with [`Self::peek_bits`].
+    ///
+    /// Errors if fewer than `width` bits remain.
+    pub fn consume_bits(&mut self, width: u32) -> Result<()> {
+        if width > 32 {
+            return Err(StreamError::InvalidBitWidth(width));
+        }
+        self.fill();
+        if self.nbits < width {
+            return Err(StreamError::UnexpectedEof {
+                needed: ((width - self.nbits) as usize).div_ceil(8),
+                remaining: self.data.len() - self.next_byte,
+            });
+        }
+        self.acc >>= width;
+        self.nbits -= width;
+        Ok(())
+    }
+
+    /// Discards bits until the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        let misaligned = (self.bit_position() % 8) as u32;
+        if misaligned != 0 {
+            // Safe: there are always at least `8 - misaligned` bits loaded or
+            // loadable, because bit_position() is derived from loaded bytes.
+            let _ = self.consume_bits(8 - misaligned);
+        }
+    }
+
+    fn fill(&mut self) {
+        while self.nbits <= 56 && self.next_byte < self.data.len() {
+            self.acc |= u64::from(self.data[self.next_byte]) << self.nbits;
+            self.next_byte += 1;
+            self.nbits += 8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitWriter;
+
+    fn written(pairs: &[(u32, u32)]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        for &(v, width) in pairs {
+            w.write_bits(v, width);
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn reads_back_mixed_widths() {
+        let bytes = written(&[(0b101, 3), (0xFFFF, 16), (0, 1), (0x3FF, 10)]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xFFFF);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(10).unwrap(), 0x3FF);
+    }
+
+    #[test]
+    fn zero_width_read_is_ok() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn over_wide_read_is_rejected() {
+        let mut r = BitReader::new(&[0u8; 8]);
+        assert_eq!(r.read_bits(33), Err(StreamError::InvalidBitWidth(33)));
+        assert_eq!(r.peek_bits(40), Err(StreamError::InvalidBitWidth(40)));
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        let mut r = BitReader::new(&[0xAB]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert!(matches!(r.read_bits(1), Err(StreamError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let bytes = written(&[(0xAB, 8), (0xCD, 8)]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(8).unwrap(), 0xAB);
+        assert_eq!(r.peek_bits(16).unwrap(), 0xCDAB);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert_eq!(r.read_bits(8).unwrap(), 0xCD);
+    }
+
+    #[test]
+    fn peek_past_end_zero_fills() {
+        let mut r = BitReader::new(&[0b0000_0001]);
+        // Only 8 bits available; peeking 12 returns the byte with zero fill.
+        assert_eq!(r.peek_bits(12).unwrap(), 1);
+        // But consuming 12 must fail.
+        assert!(r.consume_bits(12).is_err());
+    }
+
+    #[test]
+    fn bit_position_tracking() {
+        let bytes = written(&[(0x12345678, 32), (0x1F, 5)]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bit_position(), 0);
+        r.read_bits(7).unwrap();
+        assert_eq!(r.bit_position(), 7);
+        r.read_bits(25).unwrap();
+        assert_eq!(r.bit_position(), 32);
+        assert_eq!(r.remaining_bits(), r.total_bits() - 32);
+    }
+
+    #[test]
+    fn at_bit_offset_seeks_correctly() {
+        // Write 3 sub-blocks of known bit lengths and seek to each.
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3); // sub-block 0: 3 bits
+        w.write_bits(0x5A, 7); // sub-block 1: 7 bits
+        w.write_bits(0x3FF, 10); // sub-block 2: 10 bits
+        let bytes = w.finish();
+
+        let mut r = BitReader::at_bit_offset(&bytes, 0).unwrap();
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        let mut r = BitReader::at_bit_offset(&bytes, 3).unwrap();
+        assert_eq!(r.read_bits(7).unwrap(), 0x5A);
+        let mut r = BitReader::at_bit_offset(&bytes, 10).unwrap();
+        assert_eq!(r.read_bits(10).unwrap(), 0x3FF);
+    }
+
+    #[test]
+    fn at_bit_offset_rejects_out_of_range() {
+        assert!(BitReader::at_bit_offset(&[0u8; 2], 17).is_err());
+        assert!(BitReader::at_bit_offset(&[0u8; 2], 16).is_ok());
+    }
+
+    #[test]
+    fn align_to_byte_discards_partial() {
+        let bytes = written(&[(0b1, 1), (0, 7), (0xEE, 8)]);
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(1).unwrap();
+        r.align_to_byte();
+        assert_eq!(r.read_bits(8).unwrap(), 0xEE);
+    }
+}

@@ -1,0 +1,180 @@
+//! LSB-first bit writer.
+
+/// Accumulates bits LSB-first into a byte vector.
+///
+/// The bit order matches DEFLATE: the first bit written becomes the least
+/// significant bit of the first output byte. Code words produced by the
+/// canonical Huffman encoder are written with [`BitWriter::write_bits`] using
+/// the code's bit-reversed representation so that the decoder can peek
+/// `CWL`-bit windows directly (see the `gompresso-huffman` crate).
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bit accumulator; the low `nbits` bits are pending output.
+    acc: u64,
+    /// Number of valid bits in `acc` (always < 8 after `flush_bytes`).
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self { bytes: Vec::new(), acc: 0, nbits: 0 }
+    }
+
+    /// Creates an empty writer with space reserved for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { bytes: Vec::with_capacity(capacity), acc: 0, nbits: 0 }
+    }
+
+    /// Appends the low `width` bits of `value` to the stream, LSB first.
+    ///
+    /// `width` may be 0 (no-op) up to 32. Bits of `value` above `width` are
+    /// ignored.
+    pub fn write_bits(&mut self, value: u32, width: u32) {
+        debug_assert!(width <= 32, "bit width {width} out of range");
+        if width == 0 {
+            return;
+        }
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        self.acc |= u64::from(value & mask) << self.nbits;
+        self.nbits += width;
+        self.flush_bytes();
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(u32::from(bit), 1);
+    }
+
+    /// Number of complete bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.bytes.len() as u64 * 8 + u64::from(self.nbits)
+    }
+
+    /// Pads the stream with zero bits to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        if self.nbits > 0 {
+            let pad = 8 - (self.nbits % 8);
+            if pad != 8 {
+                self.write_bits(0, pad);
+            }
+        }
+        self.flush_bytes();
+    }
+
+    /// Finishes the stream, padding the final partial byte with zero bits,
+    /// and returns the underlying bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.bytes
+    }
+
+    /// Finishes the stream and also reports the exact number of payload
+    /// bits written (excluding final padding).
+    pub fn finish_with_bit_len(mut self) -> (Vec<u8>, u64) {
+        let bit_len = self.bit_len();
+        self.align_to_byte();
+        (self.bytes, bit_len)
+    }
+
+    fn flush_bytes(&mut self) {
+        while self.nbits >= 8 {
+            self.bytes.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitReader;
+
+    #[test]
+    fn empty_writer_produces_no_bytes() {
+        let w = BitWriter::new();
+        assert_eq!(w.finish(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn single_bits_pack_lsb_first() {
+        let mut w = BitWriter::new();
+        // Write bits 1,0,1,1 -> value 0b1101 in LSB-first order = 0x0D.
+        w.write_bit(true);
+        w.write_bit(false);
+        w.write_bit(true);
+        w.write_bit(true);
+        assert_eq!(w.finish(), vec![0b0000_1101]);
+    }
+
+    #[test]
+    fn multi_byte_value_is_split() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xABCD, 16);
+        assert_eq!(w.finish(), vec![0xCD, 0xAB]);
+    }
+
+    #[test]
+    fn width_zero_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFFFF_FFFF, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn width_32_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF, 32);
+        w.write_bits(0x1234_5678, 32);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.read_bits(32).unwrap(), 0x1234_5678);
+    }
+
+    #[test]
+    fn excess_value_bits_are_masked() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xFF, 3); // only low 3 bits (0b111) kept
+        assert_eq!(w.finish(), vec![0b0000_0111]);
+    }
+
+    #[test]
+    fn align_to_byte_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.align_to_byte();
+        w.write_bits(0xFF, 8);
+        assert_eq!(w.finish(), vec![0x01, 0xFF]);
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.write_bits(0x7F, 7);
+        assert_eq!(w.bit_len(), 10);
+        let (bytes, bit_len) = w.finish_with_bit_len();
+        assert_eq!(bit_len, 10);
+        assert_eq!(bytes.len(), 2);
+    }
+
+    #[test]
+    fn straddling_accumulator_boundary() {
+        // 5 writes of 31 bits cross the 64-bit accumulator boundary.
+        let vals = [0x7FFF_FFFFu32, 0x2AAA_AAAA, 0x1555_5555, 0x0F0F_0F0F, 0x7BCD_EF01];
+        let mut w = BitWriter::new();
+        for &v in &vals {
+            w.write_bits(v, 31);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &vals {
+            assert_eq!(r.read_bits(31).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Bounds-checked little-endian byte reader.
+
+use crate::{Result, StreamError};
+
+/// Cursor over a byte slice with little-endian scalar helpers.
+///
+/// Every read is bounds-checked and reports [`StreamError::UnexpectedEof`]
+/// instead of panicking, which is what allows the decompressors to treat
+/// arbitrarily corrupted files as recoverable errors.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader positioned at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the cursor has reached the end of the data.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StreamError::UnexpectedEof { needed: n - self.remaining(), remaining: self.remaining() });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a single byte.
+    pub fn read_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16_le(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32_le(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64_le(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads exactly `n` bytes and returns them as a borrowed slice.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Skips `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Result<()> {
+        self.take(n).map(|_| ())
+    }
+
+    /// Returns the remainder of the input without consuming it.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.data[self.pos..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_reads_advance_cursor() {
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8, 9];
+        let mut r = ByteReader::new(&data);
+        assert_eq!(r.read_u8().unwrap(), 1);
+        assert_eq!(r.read_u16_le().unwrap(), u16::from_le_bytes([2, 3]));
+        assert_eq!(r.read_u32_le().unwrap(), u32::from_le_bytes([4, 5, 6, 7]));
+        assert_eq!(r.position(), 7);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.rest(), &[8, 9]);
+    }
+
+    #[test]
+    fn eof_reports_needed_bytes() {
+        let mut r = ByteReader::new(&[1, 2]);
+        match r.read_u32_le() {
+            Err(StreamError::UnexpectedEof { needed, remaining }) => {
+                assert_eq!(needed, 2);
+                assert_eq!(remaining, 2);
+            }
+            other => panic!("expected EOF error, got {other:?}"),
+        }
+        // Cursor must not have moved on failure.
+        assert_eq!(r.position(), 0);
+    }
+
+    #[test]
+    fn read_bytes_and_skip() {
+        let data = b"header:payload";
+        let mut r = ByteReader::new(data);
+        assert_eq!(r.read_bytes(6).unwrap(), b"header");
+        r.skip(1).unwrap();
+        assert_eq!(r.read_bytes(7).unwrap(), b"payload");
+        assert!(r.is_empty());
+        assert!(r.skip(1).is_err());
+    }
+}

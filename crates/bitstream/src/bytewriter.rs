@@ -1,0 +1,112 @@
+//! Little-endian byte writer used by the file format and byte-level codecs.
+
+/// Append-only byte buffer with little-endian scalar helpers.
+///
+/// Used to serialize the Gompresso file header (Fig. 3 of the paper), the
+/// per-block sub-block size lists, and the Gompresso/Byte (LZ4-style)
+/// sequence streams.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    bytes: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self { bytes: Vec::new() }
+    }
+
+    /// Creates an empty writer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { bytes: Vec::with_capacity(capacity) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn write_u16_le(&mut self, v: u16) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn write_u32_le(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn write_u64_le(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a raw byte slice.
+    pub fn write_bytes(&mut self, data: &[u8]) {
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// Overwrites 4 bytes at `offset` with a little-endian `u32`.
+    ///
+    /// Used to back-patch size fields whose value is only known after the
+    /// payload has been written. Panics if `offset + 4` exceeds the current
+    /// length — that is a programming error, not a data error.
+    pub fn patch_u32_le(&mut self, offset: usize, v: u32) {
+        self.bytes[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Consumes the writer and returns the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_are_little_endian() {
+        let mut w = ByteWriter::new();
+        w.write_u16_le(0x1122);
+        w.write_u32_le(0xA1B2C3D4);
+        assert_eq!(w.finish(), vec![0x22, 0x11, 0xD4, 0xC3, 0xB2, 0xA1]);
+    }
+
+    #[test]
+    fn patch_overwrites_placeholder() {
+        let mut w = ByteWriter::new();
+        w.write_u8(0xEE);
+        let pos = w.len();
+        w.write_u32_le(0); // placeholder
+        w.write_bytes(b"payload");
+        w.patch_u32_le(pos, 7);
+        let bytes = w.finish();
+        assert_eq!(&bytes[1..5], &7u32.to_le_bytes());
+        assert_eq!(&bytes[5..], b"payload");
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut w = ByteWriter::with_capacity(16);
+        assert!(w.is_empty());
+        w.write_u64_le(1);
+        assert_eq!(w.len(), 8);
+        assert!(!w.is_empty());
+    }
+}

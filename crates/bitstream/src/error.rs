@@ -1,0 +1,76 @@
+//! Error type shared by all stream readers.
+
+use std::fmt;
+
+/// Errors produced by the bit/byte stream readers.
+///
+/// All decode paths in the workspace surface malformed input through this
+/// type (usually wrapped by a higher-level error); they never panic on bad
+/// data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The reader ran out of input while more data was required.
+    UnexpectedEof {
+        /// Number of additional bytes (or bits/8 rounded up) that were
+        /// needed to satisfy the read.
+        needed: usize,
+        /// Number of bytes remaining in the stream.
+        remaining: usize,
+    },
+    /// A bit-level read requested more than 32 bits at once.
+    InvalidBitWidth(u32),
+    /// A varint did not terminate within the maximal 10-byte encoding.
+    VarintOverflow,
+    /// A length or offset field decoded to a value that is out of the range
+    /// permitted by the caller.
+    ValueOutOfRange {
+        /// Human-readable description of the field being decoded.
+        what: &'static str,
+        /// The decoded value.
+        value: u64,
+        /// The maximum permitted value.
+        max: u64,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of stream: needed {needed} more byte(s), {remaining} remaining"
+            ),
+            StreamError::InvalidBitWidth(w) => {
+                write!(f, "invalid bit width {w}: must be between 0 and 32")
+            }
+            StreamError::VarintOverflow => write!(f, "varint exceeded maximum encoded length"),
+            StreamError::ValueOutOfRange { what, value, max } => {
+                write!(f, "{what} value {value} exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StreamError::UnexpectedEof { needed: 4, remaining: 1 };
+        assert!(e.to_string().contains("needed 4"));
+        let e = StreamError::InvalidBitWidth(40);
+        assert!(e.to_string().contains("40"));
+        let e = StreamError::ValueOutOfRange { what: "match length", value: 300, max: 255 };
+        assert!(e.to_string().contains("match length"));
+        assert!(e.to_string().contains("300"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StreamError>();
+    }
+}

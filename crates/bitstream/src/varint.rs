@@ -1,0 +1,114 @@
+//! LEB128-style variable-length integer encoding.
+//!
+//! The Gompresso file header stores per-block and per-sub-block sizes as
+//! varints: most sub-blocks are small (a few hundred bytes of bitstream), so
+//! fixed 4-byte fields would roughly double the header overhead that the
+//! paper's Figure 12 shows to be negligible.
+
+use crate::{ByteReader, ByteWriter, Result, StreamError};
+
+/// Maximum number of bytes a `u64` varint can occupy.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` to `w` using LEB128 (7 bits per byte, MSB is the
+/// continuation flag).
+pub fn write_varint(w: &mut ByteWriter, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            w.write_u8(byte);
+            return;
+        }
+        w.write_u8(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`write_varint`] will emit for `value`.
+pub fn varint_len(value: u64) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    let bits = 64 - value.leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Reads a varint previously written with [`write_varint`].
+pub fn read_varint(r: &mut ByteReader<'_>) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for _ in 0..MAX_VARINT_LEN {
+        let byte = r.read_u8()?;
+        let payload = u64::from(byte & 0x7F);
+        if shift == 63 && payload > 1 {
+            return Err(StreamError::VarintOverflow);
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(StreamError::VarintOverflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) -> (u64, usize) {
+        let mut w = ByteWriter::new();
+        write_varint(&mut w, v);
+        let bytes = w.finish();
+        let len = bytes.len();
+        let mut r = ByteReader::new(&bytes);
+        (read_varint(&mut r).unwrap(), len)
+    }
+
+    #[test]
+    fn small_values_take_one_byte() {
+        for v in [0u64, 1, 63, 127] {
+            assert_eq!(roundtrip(v), (v, 1));
+        }
+    }
+
+    #[test]
+    fn boundary_values() {
+        assert_eq!(roundtrip(128), (128, 2));
+        assert_eq!(roundtrip(16_383), (16_383, 2));
+        assert_eq!(roundtrip(16_384), (16_384, 3));
+        assert_eq!(roundtrip(u32::MAX as u64), (u32::MAX as u64, 5));
+        assert_eq!(roundtrip(u64::MAX), (u64::MAX, 10));
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, 1 << 35, u64::MAX] {
+            let mut w = ByteWriter::new();
+            write_varint(&mut w, v);
+            assert_eq!(w.len(), varint_len(v), "length mismatch for {v}");
+        }
+    }
+
+    #[test]
+    fn unterminated_varint_is_an_error() {
+        let bytes = [0x80u8; 11];
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(read_varint(&mut r), Err(StreamError::VarintOverflow)));
+    }
+
+    #[test]
+    fn overflow_beyond_u64_is_an_error() {
+        // 10 bytes, last byte carries bits above position 63.
+        let bytes = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(read_varint(&mut r), Err(StreamError::VarintOverflow)));
+    }
+
+    #[test]
+    fn truncated_varint_is_eof() {
+        let bytes = [0x80u8, 0x80];
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(read_varint(&mut r), Err(StreamError::UnexpectedEof { .. })));
+    }
+}

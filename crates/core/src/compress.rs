@@ -1,0 +1,268 @@
+//! Parallel Gompresso compression.
+//!
+//! Compression follows the pipeline of the paper's Figure 2: the input is
+//! split into equally-sized data blocks, each block is LZ77-compressed
+//! independently (with or without Dependency Elimination), and the token
+//! stream of each block is encoded either byte-level (Gompresso/Byte) or
+//! with two canonical, length-limited Huffman trees and sub-block
+//! partitioning (Gompresso/Bit). Blocks are processed in parallel with a
+//! rayon thread pool, which stands in for both the GPU compression kernels
+//! of the authors' earlier work and the paper's parallelised CPU libraries.
+
+use crate::config::CompressorConfig;
+use crate::stats::CompressionStats;
+use crate::Result;
+use gompresso_bitstream::ByteWriter;
+use gompresso_format::{
+    token_code::TokenCoder, BitBlock, BlockPayload, ByteBlock, CompressedFile, EncodingMode, FileHeader,
+};
+use gompresso_lz77::{Matcher, SequenceBlock};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// The result of a compression run: the in-memory file plus statistics.
+#[derive(Debug, Clone)]
+pub struct CompressedOutput {
+    /// The compressed file (serialize with [`CompressedFile::serialize`]).
+    pub file: CompressedFile,
+    /// Statistics about the run.
+    pub stats: CompressionStats,
+}
+
+/// Gompresso compressor.
+#[derive(Debug, Clone)]
+pub struct Compressor {
+    config: CompressorConfig,
+}
+
+/// Convenience wrapper: compress `data` with `config`.
+pub fn compress(data: &[u8], config: &CompressorConfig) -> Result<CompressedOutput> {
+    Compressor::new(config.clone())?.compress(data)
+}
+
+impl Compressor {
+    /// Creates a compressor after validating the configuration.
+    pub fn new(config: CompressorConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CompressorConfig {
+        &self.config
+    }
+
+    /// The token coder implied by the configuration (Bit mode only).
+    pub fn token_coder(&self) -> Result<TokenCoder> {
+        Ok(TokenCoder::new(
+            self.config.min_match_len as u32,
+            self.config.max_match_len as u32,
+            self.config.window_size as u32,
+        )?)
+    }
+
+    /// Compresses `data` into an in-memory Gompresso file.
+    pub fn compress(&self, data: &[u8]) -> Result<CompressedOutput> {
+        let start = Instant::now();
+        let cfg = &self.config;
+        let matcher = Matcher::new(cfg.matcher_config());
+        let coder = self.token_coder()?;
+
+        let chunks: Vec<&[u8]> = if data.is_empty() {
+            Vec::new()
+        } else {
+            data.chunks(cfg.block_size).collect()
+        };
+
+        // Per-block compression runs in parallel; each block is independent
+        // by construction (the sliding window never crosses block borders).
+        let per_block: Vec<Result<(BlockPayload, BlockSummary)>> = chunks
+            .par_iter()
+            .map(|chunk| {
+                let seq_block = matcher.compress(chunk);
+                let summary = BlockSummary::from(&seq_block);
+                let mut w = ByteWriter::new();
+                match cfg.mode {
+                    EncodingMode::Bit => {
+                        let bit = BitBlock::encode(
+                            &seq_block,
+                            &coder,
+                            cfg.sequences_per_sub_block,
+                            cfg.max_codeword_len,
+                        )?;
+                        bit.serialize(&mut w);
+                    }
+                    EncodingMode::Byte => {
+                        let byte = ByteBlock::encode(&seq_block)?;
+                        byte.serialize(&mut w);
+                    }
+                }
+                Ok((BlockPayload { bytes: w.finish() }, summary))
+            })
+            .collect();
+
+        let mut payloads = Vec::with_capacity(per_block.len());
+        let mut summary = BlockSummary::default();
+        for item in per_block {
+            let (payload, block_summary) = item?;
+            payloads.push(payload);
+            summary.merge(&block_summary);
+        }
+
+        let header = FileHeader {
+            mode: cfg.mode,
+            window_size: cfg.window_size as u32,
+            min_match_len: cfg.min_match_len as u32,
+            max_match_len: cfg.max_match_len as u32,
+            uncompressed_size: data.len() as u64,
+            block_size: cfg.block_size as u32,
+            sequences_per_sub_block: cfg.sequences_per_sub_block,
+            max_codeword_len: cfg.max_codeword_len,
+            block_compressed_sizes: Vec::new(), // filled by CompressedFile::new
+        };
+        let file = CompressedFile::new(header, payloads)?;
+        let wall_seconds = start.elapsed().as_secs_f64();
+
+        let stats = CompressionStats {
+            uncompressed_size: data.len() as u64,
+            compressed_size: file.compressed_size() as u64,
+            blocks: file.blocks.len(),
+            sequences: summary.sequences,
+            matches: summary.matches,
+            literal_bytes: summary.literal_bytes,
+            mean_match_len: if summary.matches == 0 {
+                0.0
+            } else {
+                summary.match_bytes as f64 / summary.matches as f64
+            },
+            wall_seconds,
+        };
+        Ok(CompressedOutput { file, stats })
+    }
+}
+
+/// Aggregatable per-block statistics.
+#[derive(Debug, Default, Clone, Copy)]
+struct BlockSummary {
+    sequences: u64,
+    matches: u64,
+    literal_bytes: u64,
+    match_bytes: u64,
+}
+
+impl BlockSummary {
+    fn merge(&mut self, other: &BlockSummary) {
+        self.sequences += other.sequences;
+        self.matches += other.matches;
+        self.literal_bytes += other.literal_bytes;
+        self.match_bytes += other.match_bytes;
+    }
+}
+
+impl From<&SequenceBlock> for BlockSummary {
+    fn from(block: &SequenceBlock) -> Self {
+        BlockSummary {
+            sequences: block.sequences.len() as u64,
+            matches: block.match_count() as u64,
+            literal_bytes: block.literal_len() as u64,
+            match_bytes: block.match_len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(len: usize) -> Vec<u8> {
+        b"a man a plan a canal panama ".iter().copied().cycle().take(len).collect()
+    }
+
+    #[test]
+    fn compresses_text_with_reasonable_ratio() {
+        let data = text(1 << 20);
+        for config in [CompressorConfig::bit(), CompressorConfig::byte()] {
+            let out = compress(&data, &config).unwrap();
+            assert!(out.stats.ratio() > 3.0, "ratio {} too low for {:?}", out.stats.ratio(), config.mode);
+            assert_eq!(out.stats.uncompressed_size, data.len() as u64);
+            assert_eq!(out.stats.blocks, 4);
+            assert!(out.stats.sequences > 0);
+            assert!(out.stats.matches > 0);
+            assert!(out.stats.mean_match_len >= 3.0);
+            assert!(out.stats.wall_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn bit_mode_compresses_better_than_byte_mode_on_text() {
+        let data = text(512 * 1024);
+        let bit = compress(&data, &CompressorConfig::bit()).unwrap();
+        let byte = compress(&data, &CompressorConfig::byte()).unwrap();
+        assert!(
+            bit.stats.compressed_size < byte.stats.compressed_size,
+            "bit {} should beat byte {}",
+            bit.stats.compressed_size,
+            byte.stats.compressed_size
+        );
+    }
+
+    #[test]
+    fn de_costs_a_bounded_amount_of_ratio() {
+        let data = text(512 * 1024);
+        let plain = compress(&data, &CompressorConfig::byte()).unwrap();
+        let de = compress(&data, &CompressorConfig::byte_de()).unwrap();
+        assert!(de.stats.compressed_size >= plain.stats.compressed_size);
+        // The paper reports ≤ 19 % degradation; this highly repetitive
+        // input is a worst-ish case, so allow 35 %.
+        assert!(
+            (de.stats.compressed_size as f64) < plain.stats.compressed_size as f64 * 1.35,
+            "DE degradation too large: {} -> {}",
+            plain.stats.compressed_size,
+            de.stats.compressed_size
+        );
+    }
+
+    #[test]
+    fn empty_input_produces_valid_empty_file() {
+        let out = compress(&[], &CompressorConfig::bit()).unwrap();
+        assert_eq!(out.file.blocks.len(), 0);
+        assert_eq!(out.stats.uncompressed_size, 0);
+        let bytes = out.file.serialize();
+        let parsed = CompressedFile::deserialize(&bytes).unwrap();
+        assert_eq!(parsed.header.uncompressed_size, 0);
+    }
+
+    #[test]
+    fn block_count_follows_block_size() {
+        let data = text(100_000);
+        let config = CompressorConfig { block_size: 16 * 1024, ..CompressorConfig::bit() };
+        let out = compress(&data, &config).unwrap();
+        assert_eq!(out.file.blocks.len(), 100_000usize.div_ceil(16 * 1024));
+        assert_eq!(out.file.header.block_uncompressed_size(0), 16 * 1024);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let bad = CompressorConfig { block_size: 0, ..CompressorConfig::bit() };
+        assert!(Compressor::new(bad).is_err());
+    }
+
+    #[test]
+    fn incompressible_data_does_not_explode() {
+        // Pseudo-random bytes: compressed size may exceed the input slightly
+        // (headers + literal framing) but must stay within a few percent.
+        let data: Vec<u8> = (0..512 * 1024u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        for config in [CompressorConfig::bit(), CompressorConfig::byte()] {
+            let out = compress(&data, &config).unwrap();
+            assert!(
+                (out.stats.compressed_size as f64) < data.len() as f64 * 1.05,
+                "{} mode expanded too much: {}",
+                match config.mode {
+                    EncodingMode::Bit => "bit",
+                    EncodingMode::Byte => "byte",
+                },
+                out.stats.compressed_size
+            );
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Compressor configuration.
+
+use crate::{GompressoError, Result};
+use gompresso_format::EncodingMode;
+use gompresso_lz77::MatcherConfig;
+
+/// Configuration of the Gompresso compressor.
+///
+/// The defaults mirror the paper's evaluation setup (Section V): 256 KB data
+/// blocks, an 8 KB sliding window, 64-byte match lookahead, 16 sequences per
+/// sub-block and a 10-bit maximum codeword length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressorConfig {
+    /// Bit-level (Huffman) or byte-level encoding.
+    pub mode: EncodingMode,
+    /// Uncompressed size of each data block. Chosen "depending on the total
+    /// data size and the number of available processing elements".
+    pub block_size: usize,
+    /// Sliding-window (dictionary) size; must be a power of two.
+    pub window_size: usize,
+    /// Minimum match length.
+    pub min_match_len: usize,
+    /// Maximum match length (the paper's 64-byte lookahead).
+    pub max_match_len: usize,
+    /// Number of hash-chain candidates examined per position.
+    pub chain_depth: usize,
+    /// Sequences per sub-block for parallel Huffman decoding (Bit mode).
+    pub sequences_per_sub_block: u32,
+    /// Maximum Huffman codeword length (CWL) — bounds the decode LUT size.
+    pub max_codeword_len: u8,
+    /// Enable Dependency Elimination during matching.
+    pub dependency_elimination: bool,
+    /// Use the paper's conservative below-high-water-mark DE rule instead of
+    /// the precise no-same-group-dependency rule.
+    pub strict_hwm: bool,
+    /// Minimal staleness (bytes) for the DE hash-replacement policy.
+    pub min_staleness: usize,
+}
+
+impl Default for CompressorConfig {
+    fn default() -> Self {
+        CompressorConfig {
+            mode: EncodingMode::Bit,
+            block_size: 256 * 1024,
+            window_size: 8 * 1024,
+            min_match_len: 3,
+            max_match_len: 64,
+            chain_depth: 8,
+            sequences_per_sub_block: 16,
+            max_codeword_len: 10,
+            dependency_elimination: false,
+            strict_hwm: false,
+            min_staleness: 1024,
+        }
+    }
+}
+
+impl CompressorConfig {
+    /// Gompresso/Bit without Dependency Elimination.
+    pub fn bit() -> Self {
+        Self { mode: EncodingMode::Bit, ..Self::default() }
+    }
+
+    /// Gompresso/Byte without Dependency Elimination.
+    pub fn byte() -> Self {
+        Self { mode: EncodingMode::Byte, ..Self::default() }
+    }
+
+    /// Gompresso/Bit with Dependency Elimination (the configuration used for
+    /// the paper's headline comparisons).
+    pub fn bit_de() -> Self {
+        Self { mode: EncodingMode::Bit, dependency_elimination: true, ..Self::default() }
+    }
+
+    /// Gompresso/Byte with Dependency Elimination.
+    pub fn byte_de() -> Self {
+        Self { mode: EncodingMode::Byte, dependency_elimination: true, ..Self::default() }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        let err = |reason: &str| Err(GompressoError::InvalidConfig { reason: reason.to_string() });
+        if self.block_size == 0 || self.block_size > (1 << 30) {
+            return err("block size must be between 1 byte and 1 GiB");
+        }
+        if !self.window_size.is_power_of_two() || self.window_size < 256 {
+            return err("window size must be a power of two of at least 256 bytes");
+        }
+        if self.window_size > self.block_size.next_power_of_two() * 2 && self.block_size > 4096 {
+            // A window much larger than a block is wasteful but not wrong;
+            // only flag the clearly inconsistent case of a tiny block.
+        }
+        if self.min_match_len < 3 {
+            return err("minimum match length must be at least 3");
+        }
+        if self.max_match_len < self.min_match_len || self.max_match_len > 64 * 1024 {
+            return err("maximum match length must lie between the minimum and 64 KiB");
+        }
+        if self.mode == EncodingMode::Byte && self.window_size > 64 * 1024 {
+            return err("byte mode stores offsets in 16 bits, so the window cannot exceed 64 KiB");
+        }
+        if self.sequences_per_sub_block == 0 {
+            return err("sub-blocks must contain at least one sequence");
+        }
+        if self.mode == EncodingMode::Bit && !(2..=16).contains(&self.max_codeword_len) {
+            return err("maximum codeword length must be between 2 and 16 bits");
+        }
+        if self.chain_depth == 0 {
+            return err("chain depth must be at least 1");
+        }
+        Ok(())
+    }
+
+    /// The LZ77 matcher configuration corresponding to this compressor
+    /// configuration.
+    pub fn matcher_config(&self) -> MatcherConfig {
+        MatcherConfig {
+            window_size: self.window_size,
+            min_match_len: self.min_match_len,
+            max_match_len: self.max_match_len,
+            chain_depth: self.chain_depth,
+            dependency_elimination: self.dependency_elimination,
+            strict_hwm: self.strict_hwm,
+            min_staleness: self.min_staleness,
+            ..MatcherConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = CompressorConfig::default();
+        assert_eq!(c.block_size, 256 * 1024);
+        assert_eq!(c.window_size, 8 * 1024);
+        assert_eq!(c.max_match_len, 64);
+        assert_eq!(c.sequences_per_sub_block, 16);
+        assert_eq!(c.max_codeword_len, 10);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn presets_are_valid_and_distinct() {
+        for (config, mode, de) in [
+            (CompressorConfig::bit(), EncodingMode::Bit, false),
+            (CompressorConfig::byte(), EncodingMode::Byte, false),
+            (CompressorConfig::bit_de(), EncodingMode::Bit, true),
+            (CompressorConfig::byte_de(), EncodingMode::Byte, true),
+        ] {
+            config.validate().unwrap();
+            assert_eq!(config.mode, mode);
+            assert_eq!(config.dependency_elimination, de);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = |f: fn(&mut CompressorConfig)| {
+            let mut c = CompressorConfig::default();
+            f(&mut c);
+            assert!(c.validate().is_err(), "{c:?} should be invalid");
+        };
+        bad(|c| c.block_size = 0);
+        bad(|c| c.window_size = 1000);
+        bad(|c| c.window_size = 128);
+        bad(|c| c.min_match_len = 2);
+        bad(|c| c.max_match_len = 2);
+        bad(|c| c.sequences_per_sub_block = 0);
+        bad(|c| c.max_codeword_len = 1);
+        bad(|c| c.max_codeword_len = 20);
+        bad(|c| c.chain_depth = 0);
+        bad(|c| {
+            c.mode = EncodingMode::Byte;
+            c.window_size = 128 * 1024;
+        });
+    }
+
+    #[test]
+    fn matcher_config_reflects_settings() {
+        let c = CompressorConfig { dependency_elimination: true, window_size: 4096, ..CompressorConfig::bit() };
+        let m = c.matcher_config();
+        assert!(m.dependency_elimination);
+        assert_eq!(m.window_size, 4096);
+        assert_eq!(m.max_match_len, 64);
+    }
+
+    #[test]
+    fn byte_mode_allows_codeword_len_zero_field_to_be_ignored() {
+        let mut c = CompressorConfig::byte();
+        c.max_codeword_len = 0;
+        // Byte mode ignores the codeword length; validation still passes.
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,451 @@
+//! Massively-parallel decompression (paper, Section III-B).
+//!
+//! Decompression exploits two levels of parallelism:
+//!
+//! * **inter-block** — every data block is independent; blocks are handed to
+//!   a rayon thread pool, standing in for the GPU grid of thread groups;
+//! * **intra-block** — within each block, a simulated 32-lane warp performs
+//!   parallel Huffman decoding (one sub-block per lane, Gompresso/Bit only)
+//!   followed by warp-level LZ77 decompression with the configured
+//!   back-reference resolution strategy.
+//!
+//! The simulated kernels charge instruction, memory and round counters that
+//! the Tesla K40 cost model turns into the GPU time estimates reported in
+//! [`DecompressionReport`].
+
+use crate::stats::{DecompressionReport, MrrStats};
+use crate::strategy::ResolutionStrategy;
+use crate::warp_lz77::decompress_block_warp;
+use crate::{GompressoError, Result};
+use gompresso_bitstream::ByteReader;
+use gompresso_format::{token_code::TokenCoder, BitBlock, ByteBlock, CompressedFile, EncodingMode};
+use gompresso_huffman::DecodeTable;
+use gompresso_lz77::SequenceBlock;
+use gompresso_simt::{CostModel, KernelCounters, Warp, WarpCounters, WARP_SIZE};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Warp instructions charged per decoded Huffman symbol (table lookup,
+/// shift/consume, extra-bit handling, token store).
+const INSTR_PER_SYMBOL: u64 = 10;
+/// Fixed per-sub-block decoding overhead (offset computation, loop set-up).
+const SUB_BLOCK_OVERHEAD_INSTR: u64 = 24;
+/// Bytes written to device memory per decoded token (the decoder's output
+/// token stream that the LZ77 kernel later consumes).
+const TOKEN_STREAM_BYTES_PER_SEQ: u64 = 12;
+
+/// Decompressor configuration.
+#[derive(Debug, Clone)]
+pub struct DecompressorConfig {
+    /// Back-reference resolution strategy.
+    pub strategy: ResolutionStrategy,
+    /// When decompressing with the DE strategy, verify the DE invariant and
+    /// fail with [`GompressoError::DependencyEliminationViolated`] if the
+    /// file was not compressed with Dependency Elimination.
+    pub validate_de: bool,
+    /// GPU device / PCIe model used for the time estimates.
+    pub cost_model: CostModel,
+}
+
+impl Default for DecompressorConfig {
+    fn default() -> Self {
+        DecompressorConfig {
+            strategy: ResolutionStrategy::DependencyEliminated,
+            validate_de: false,
+            cost_model: CostModel::tesla_k40(),
+        }
+    }
+}
+
+/// Gompresso decompressor.
+#[derive(Debug, Clone)]
+pub struct Decompressor {
+    config: DecompressorConfig,
+}
+
+/// Decompresses `file` with the default configuration (DE strategy, K40
+/// cost model).
+pub fn decompress(file: &CompressedFile) -> Result<(Vec<u8>, DecompressionReport)> {
+    Decompressor::new(DecompressorConfig::default()).decompress(file)
+}
+
+/// Decompresses `file` with an explicit configuration.
+pub fn decompress_with(
+    file: &CompressedFile,
+    config: &DecompressorConfig,
+) -> Result<(Vec<u8>, DecompressionReport)> {
+    Decompressor::new(config.clone()).decompress(file)
+}
+
+/// Per-block result produced by the parallel phase.
+struct BlockResult {
+    output: Vec<u8>,
+    decode_counters: Option<WarpCounters>,
+    lz77_counters: WarpCounters,
+    mrr: MrrStats,
+}
+
+impl Decompressor {
+    /// Creates a decompressor.
+    pub fn new(config: DecompressorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DecompressorConfig {
+        &self.config
+    }
+
+    /// Decompresses an in-memory Gompresso file, returning the original data
+    /// and a full report (counters, MRR statistics, GPU time estimates).
+    pub fn decompress(&self, file: &CompressedFile) -> Result<(Vec<u8>, DecompressionReport)> {
+        let start = Instant::now();
+        let header = &file.header;
+        header.validate()?;
+        let coder = TokenCoder::new(header.min_match_len, header.max_match_len, header.window_size)?;
+
+        let results: Vec<Result<BlockResult>> = file
+            .blocks
+            .par_iter()
+            .enumerate()
+            .map(|(idx, payload)| self.decompress_block(header.mode, &coder, idx, &payload.bytes, header))
+            .collect();
+
+        let mut output = Vec::with_capacity(header.uncompressed_size as usize);
+        let mut decode_counters = KernelCounters::new();
+        let mut lz77_counters = KernelCounters::new();
+        let mut mrr = MrrStats::default();
+        for result in results {
+            let block = result?;
+            output.extend_from_slice(&block.output);
+            if let Some(decode) = &block.decode_counters {
+                decode_counters.add_warp(decode);
+            }
+            lz77_counters.add_warp(&block.lz77_counters);
+            mrr.merge(&block.mrr);
+        }
+
+        if output.len() as u64 != header.uncompressed_size {
+            return Err(GompressoError::OutputSizeMismatch {
+                declared: header.uncompressed_size,
+                produced: output.len() as u64,
+            });
+        }
+
+        let compressed_size = file.compressed_size() as u64;
+        let gpu = DecompressionReport::estimate(
+            &self.config.cost_model,
+            &decode_counters,
+            &lz77_counters,
+            header.max_codeword_len,
+            compressed_size,
+            header.uncompressed_size,
+        );
+        let report = DecompressionReport {
+            uncompressed_size: header.uncompressed_size,
+            compressed_size,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            decode_counters,
+            lz77_counters,
+            mrr,
+            gpu,
+        };
+        Ok((output, report))
+    }
+
+    fn decompress_block(
+        &self,
+        mode: EncodingMode,
+        coder: &TokenCoder,
+        block_index: usize,
+        payload: &[u8],
+        header: &gompresso_format::FileHeader,
+    ) -> Result<BlockResult> {
+        let expected_len = header.block_uncompressed_size(block_index);
+        let (seq_block, decode_counters) = match mode {
+            EncodingMode::Bit => {
+                let mut r = ByteReader::new(payload);
+                let bit = BitBlock::deserialize(&mut r)?;
+                let (seq_block, warp) = decode_bit_block(&bit, coder, payload.len())?;
+                (seq_block, Some(warp.into_counters()))
+            }
+            EncodingMode::Byte => {
+                let mut r = ByteReader::new(payload);
+                let byte = ByteBlock::deserialize(&mut r)?;
+                (byte.decode()?, None)
+            }
+        };
+
+        if seq_block.uncompressed_len as u64 != expected_len {
+            return Err(GompressoError::OutputSizeMismatch {
+                declared: expected_len,
+                produced: seq_block.uncompressed_len as u64,
+            });
+        }
+
+        let outcome = decompress_block_warp(
+            &seq_block,
+            self.config.strategy,
+            self.config.validate_de && self.config.strategy == ResolutionStrategy::DependencyEliminated,
+            block_index,
+        )?;
+        Ok(BlockResult {
+            output: outcome.output,
+            decode_counters,
+            lz77_counters: outcome.counters,
+            mrr: outcome.mrr,
+        })
+    }
+}
+
+/// Parallel Huffman decoding of one block: each lane of the simulated warp
+/// decodes one sub-block using the block's two shared decode LUTs.
+fn decode_bit_block(bit: &BitBlock, coder: &TokenCoder, payload_bytes: usize) -> Result<(SequenceBlock, Warp)> {
+    let mut warp = Warp::new();
+
+    // The compressed block is staged in device memory; reading it is a
+    // coalesced streaming read.
+    warp.global_read(payload_bytes as u64, true);
+
+    // LUT construction into shared memory (charged once per block; on the
+    // GPU the group's threads cooperate on this).
+    let lit_len_dec = DecodeTable::new(&bit.lit_len_code)?;
+    let offset_dec = DecodeTable::new(&bit.offset_code)?;
+    let lut_bytes = u64::from(lit_len_dec.simulated_shared_bytes() + offset_dec.simulated_shared_bytes());
+    warp.shared_write(lut_bytes);
+    warp.charge_instructions(lut_bytes / 4);
+
+    let n_sub_blocks = bit.sub_block_count();
+    let mut sequences = Vec::with_capacity(bit.n_sequences as usize);
+    let mut literals = Vec::new();
+
+    // Lanes process sub-blocks 32 at a time in lock step.
+    for group_start in (0..n_sub_blocks).step_by(WARP_SIZE) {
+        let group_end = (group_start + WARP_SIZE).min(n_sub_blocks);
+        let mut max_lane_symbols = 0u64;
+        let mut group_sequences = 0u64;
+        let mut group_shared_reads = 0u64;
+        for sub in group_start..group_end {
+            let (seqs, lits) = bit.decode_sub_block_with(sub, coder, &lit_len_dec, &offset_dec)?;
+            let symbols = lits.len() as u64
+                + seqs.iter().map(|s| if s.has_match() { 2u64 } else { 1u64 }).sum::<u64>();
+            max_lane_symbols = max_lane_symbols.max(symbols);
+            group_sequences += seqs.len() as u64;
+            group_shared_reads += symbols * 4;
+            sequences.extend(seqs);
+            literals.extend(lits);
+        }
+        // Lock-step cost: the warp runs as long as its busiest lane.
+        warp.charge_instructions(max_lane_symbols * INSTR_PER_SYMBOL + SUB_BLOCK_OVERHEAD_INSTR);
+        warp.shared_read(group_shared_reads);
+        // The decoded token stream is written back to device memory for the
+        // LZ77 kernel (paper, Section III-B-1).
+        warp.global_write(group_sequences * TOKEN_STREAM_BYTES_PER_SEQ, true);
+        // Literal bytes also travel through the token stream.
+        warp.global_write(literals.len() as u64, true);
+    }
+
+    let seq_block = SequenceBlock {
+        sequences,
+        literals,
+        uncompressed_len: bit.uncompressed_len as usize,
+    };
+    Ok((seq_block, warp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compress;
+    use crate::config::CompressorConfig;
+
+    fn wiki_like(len: usize) -> Vec<u8> {
+        let mut data = Vec::with_capacity(len);
+        let mut i = 0u64;
+        while data.len() < len {
+            data.extend_from_slice(
+                format!(
+                    "<page><title>Article {}</title><text>The quick brown fox jumps over entry {} of the corpus.</text></page>\n",
+                    i % 1000,
+                    i
+                )
+                .as_bytes(),
+            );
+            i += 1;
+        }
+        data.truncate(len);
+        data
+    }
+
+    fn cfg_small(mut c: CompressorConfig) -> CompressorConfig {
+        c.block_size = 64 * 1024;
+        c
+    }
+
+    #[test]
+    fn bit_mode_roundtrip_with_all_strategies() {
+        let data = wiki_like(300_000);
+        let out = compress(&data, &cfg_small(CompressorConfig::bit_de())).unwrap();
+        for strategy in ResolutionStrategy::ALL {
+            let config = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+            let (restored, report) = decompress_with(&out.file, &config).unwrap();
+            assert_eq!(restored, data, "strategy {strategy}");
+            assert_eq!(report.uncompressed_size, data.len() as u64);
+            assert!(report.compressed_size > 0);
+            assert!(report.wall_seconds > 0.0);
+            // Bit mode runs a decode kernel on every block.
+            assert_eq!(report.decode_counters.warps as usize, out.file.blocks.len());
+            assert_eq!(report.lz77_counters.warps as usize, out.file.blocks.len());
+            assert!(report.gpu.decode_kernel_s > 0.0);
+            assert!(report.gpu.lz77_kernel_s > 0.0);
+            assert!(report.gpu.with_io_s() > report.gpu.device_only_s());
+        }
+    }
+
+    #[test]
+    fn byte_mode_roundtrip_and_fused_kernel() {
+        let data = wiki_like(200_000);
+        let out = compress(&data, &cfg_small(CompressorConfig::byte_de())).unwrap();
+        let (restored, report) = decompress(&out.file).unwrap();
+        assert_eq!(restored, data);
+        // Byte mode has no separate Huffman decode kernel.
+        assert_eq!(report.decode_counters.warps, 0);
+        assert_eq!(report.gpu.decode_kernel_s, 0.0);
+        assert!(report.gpu.lz77_kernel_s > 0.0);
+    }
+
+    #[test]
+    fn validate_de_accepts_de_files_and_rejects_others() {
+        let data = wiki_like(200_000);
+        let de_file = compress(&data, &cfg_small(CompressorConfig::byte_de())).unwrap();
+        let plain_file = compress(&data, &cfg_small(CompressorConfig::byte())).unwrap();
+
+        let config = DecompressorConfig {
+            strategy: ResolutionStrategy::DependencyEliminated,
+            validate_de: true,
+            ..DecompressorConfig::default()
+        };
+        let (restored, _) = decompress_with(&de_file.file, &config).unwrap();
+        assert_eq!(restored, data);
+
+        // The non-DE file contains same-warp nesting on this input and must
+        // be rejected when validation is requested...
+        let err = decompress_with(&plain_file.file, &config);
+        assert!(matches!(err, Err(GompressoError::DependencyEliminationViolated { .. })));
+        // ...but decompresses fine with MRR.
+        let mrr = DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
+        let (restored, report) = decompress_with(&plain_file.file, &mrr).unwrap();
+        assert_eq!(restored, data);
+        assert!(report.mrr.total_groups > 0);
+        assert!(report.mrr.mean_rounds() >= 1.0);
+    }
+
+    #[test]
+    fn mrr_round_statistics_decrease_per_round() {
+        let data = wiki_like(400_000);
+        let out = compress(&data, &cfg_small(CompressorConfig::bit())).unwrap();
+        let config = DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
+        let (_, report) = decompress_with(&out.file, &config).unwrap();
+        let stats = &report.mrr;
+        assert!(stats.total_groups > 0);
+        assert!(!stats.bytes_per_round.is_empty());
+        // Figure 9b: the bulk of the bytes resolve in round 1.
+        assert!(stats.bytes_per_round[0] > *stats.bytes_per_round.last().unwrap());
+    }
+
+    #[test]
+    fn strategy_costs_are_ordered_de_fastest_sc_slowest() {
+        let data = wiki_like(400_000);
+        let out = compress(&data, &cfg_small(CompressorConfig::byte_de())).unwrap();
+        let mut estimates = Vec::new();
+        for strategy in ResolutionStrategy::ALL {
+            let config = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+            let (_, report) = decompress_with(&out.file, &config).unwrap();
+            estimates.push((strategy, report.gpu.device_only_s()));
+        }
+        let sc = estimates[0].1;
+        let mrr = estimates[1].1;
+        let de = estimates[2].1;
+        assert!(de <= mrr, "DE ({de}) should not be slower than MRR ({mrr})");
+        assert!(mrr <= sc, "MRR ({mrr}) should not be slower than SC ({sc})");
+        assert!(sc / de >= 2.0, "SC should be much slower than DE (sc={sc}, de={de})");
+    }
+
+    #[test]
+    fn corrupted_payload_is_an_error_not_a_panic() {
+        let data = wiki_like(150_000);
+        let out = compress(&data, &cfg_small(CompressorConfig::bit())).unwrap();
+        let mut bytes = out.file.serialize();
+        // Corrupt a span in the middle of the first block payload.
+        let start = bytes.len() / 2;
+        let end = (start + 64).min(bytes.len());
+        for b in &mut bytes[start..end] {
+            *b = b.wrapping_add(97);
+        }
+        match CompressedFile::deserialize(&bytes) {
+            Ok(file) => {
+                // Whatever happens, it must be an error or a clean (possibly
+                // wrong-length-detected) result, never a panic.
+                let _ = decompress(&file);
+            }
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let data = wiki_like(100_000);
+        let out = compress(&data, &cfg_small(CompressorConfig::byte())).unwrap();
+        let bytes = out.file.serialize();
+        let truncated = &bytes[..bytes.len() / 2];
+        assert!(CompressedFile::deserialize(truncated).is_err());
+    }
+
+    #[test]
+    fn empty_file_decompresses_to_empty_output() {
+        let out = compress(&[], &CompressorConfig::bit()).unwrap();
+        let (restored, report) = decompress(&out.file).unwrap();
+        assert!(restored.is_empty());
+        assert_eq!(report.uncompressed_size, 0);
+        assert_eq!(report.gpu.device_only_s(), 0.0);
+    }
+
+    #[test]
+    fn larger_blocks_improve_estimated_bit_decode_speed() {
+        // Figure 12: larger blocks expose more sub-block parallelism and
+        // amortise per-block overhead.
+        let data = wiki_like(1 << 20);
+        let small = compress(&data, &CompressorConfig { block_size: 32 * 1024, ..CompressorConfig::bit_de() }).unwrap();
+        let large = compress(&data, &CompressorConfig { block_size: 256 * 1024, ..CompressorConfig::bit_de() }).unwrap();
+        let (_, small_report) = decompress(&small.file).unwrap();
+        let (_, large_report) = decompress(&large.file).unwrap();
+        assert!(
+            large_report.gpu.with_io_s() <= small_report.gpu.with_io_s() * 1.1,
+            "large blocks should not be slower end-to-end: {} vs {}",
+            large_report.gpu.with_io_s(),
+            small_report.gpu.with_io_s()
+        );
+        // Ratio changes only moderately with block size (this synthetic
+        // corpus is far more compressible than the paper's datasets, which
+        // amplifies the relative per-block header overhead; the realistic
+        // Figure 12 reproduction lives in the bench crate).
+        let small_ratio = small.stats.ratio();
+        let large_ratio = large.stats.ratio();
+        assert!((small_ratio - large_ratio).abs() / large_ratio < 0.3);
+        assert!(small_ratio > 1.0 && large_ratio > 1.0);
+    }
+
+    #[test]
+    fn gpu_estimate_reflects_pcie_ceiling_for_byte_mode() {
+        let data = wiki_like(1 << 20);
+        let out = compress(&data, &CompressorConfig::byte_de()).unwrap();
+        let (_, report) = decompress(&out.file).unwrap();
+        let no_pcie = report.gpu_bandwidth_no_pcie();
+        let in_out = report.gpu_bandwidth_in_out();
+        // Adding transfers can only slow things down, and the end-to-end
+        // bandwidth cannot exceed the PCIe link's sustained bandwidth.
+        assert!(in_out < no_pcie);
+        let pcie = CostModel::tesla_k40().pcie().sustained_bandwidth();
+        assert!(in_out <= pcie * 1.01, "in_out {in_out} exceeds PCIe {pcie}");
+    }
+}

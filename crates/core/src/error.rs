@@ -1,0 +1,101 @@
+//! Top-level error type.
+
+use gompresso_format::FormatError;
+use gompresso_huffman::HuffmanError;
+use gompresso_lz77::Lz77Error;
+use std::fmt;
+
+/// Errors surfaced by the Gompresso compressor and decompressor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GompressoError {
+    /// A configuration value is invalid or internally inconsistent.
+    InvalidConfig {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// The compressed file is malformed.
+    Format(FormatError),
+    /// An entropy-coding error occurred.
+    Huffman(HuffmanError),
+    /// An LZ77 structural error occurred.
+    Lz77(Lz77Error),
+    /// Decompression produced output whose size disagrees with the header.
+    OutputSizeMismatch {
+        /// Size declared by the header.
+        declared: u64,
+        /// Size actually produced.
+        produced: u64,
+    },
+    /// The Dependency Elimination strategy was requested for a file whose
+    /// blocks contain same-warp nested back-references.
+    DependencyEliminationViolated {
+        /// Index of the offending block.
+        block: usize,
+    },
+}
+
+impl fmt::Display for GompressoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GompressoError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            GompressoError::Format(e) => write!(f, "format error: {e}"),
+            GompressoError::Huffman(e) => write!(f, "huffman error: {e}"),
+            GompressoError::Lz77(e) => write!(f, "lz77 error: {e}"),
+            GompressoError::OutputSizeMismatch { declared, produced } => {
+                write!(f, "output size mismatch: header declares {declared} bytes, produced {produced}")
+            }
+            GompressoError::DependencyEliminationViolated { block } => write!(
+                f,
+                "block {block} contains same-warp nested back-references; it was not compressed with DE"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GompressoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GompressoError::Format(e) => Some(e),
+            GompressoError::Huffman(e) => Some(e),
+            GompressoError::Lz77(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FormatError> for GompressoError {
+    fn from(e: FormatError) -> Self {
+        GompressoError::Format(e)
+    }
+}
+
+impl From<HuffmanError> for GompressoError {
+    fn from(e: HuffmanError) -> Self {
+        GompressoError::Huffman(e)
+    }
+}
+
+impl From<Lz77Error> for GompressoError {
+    fn from(e: Lz77Error) -> Self {
+        GompressoError::Lz77(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: GompressoError = FormatError::BadMagic.into();
+        assert!(e.to_string().contains("magic"));
+        let e: GompressoError = HuffmanError::EmptyAlphabet.into();
+        assert!(matches!(e, GompressoError::Huffman(_)));
+        let e: GompressoError = Lz77Error::ZeroOffset { sequence: 1 }.into();
+        assert!(matches!(e, GompressoError::Lz77(_)));
+        let e = GompressoError::OutputSizeMismatch { declared: 10, produced: 5 };
+        assert!(e.to_string().contains("10"));
+        let e = GompressoError::InvalidConfig { reason: "block size is zero".into() };
+        assert!(e.to_string().contains("block size"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Back-reference resolution strategies (paper, Section IV).
+
+use std::fmt;
+
+/// How a warp resolves the back-references of its 32 sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResolutionStrategy {
+    /// **SC** — Sequential Copying: one lane at a time copies its
+    /// back-reference, in sequence order. No intra-block parallelism for the
+    /// copy phase; the baseline of Figure 9a.
+    SequentialCopy,
+    /// **MRR** — Multi-Round Resolution (Figure 5): each round, every lane
+    /// whose referenced data lies below the warp-wide high-water mark copies
+    /// its back-reference; the high-water mark is advanced with a
+    /// `ballot` + leading-zero count + `shfl` and the loop repeats until all
+    /// lanes are done.
+    MultiRound,
+    /// **DE** — Dependency Elimination: the compressor guaranteed that no
+    /// back-reference depends on another back-reference of the same warp, so
+    /// every lane copies in a single round.
+    #[default]
+    DependencyEliminated,
+}
+
+impl ResolutionStrategy {
+    /// All strategies, in the order they appear in the paper's Figure 9a.
+    pub const ALL: [ResolutionStrategy; 3] = [
+        ResolutionStrategy::SequentialCopy,
+        ResolutionStrategy::MultiRound,
+        ResolutionStrategy::DependencyEliminated,
+    ];
+
+    /// The short name used in the paper's figures.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            ResolutionStrategy::SequentialCopy => "SC",
+            ResolutionStrategy::MultiRound => "MRR",
+            ResolutionStrategy::DependencyEliminated => "DE",
+        }
+    }
+}
+
+impl fmt::Display for ResolutionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ResolutionStrategy::SequentialCopy.to_string(), "SC");
+        assert_eq!(ResolutionStrategy::MultiRound.to_string(), "MRR");
+        assert_eq!(ResolutionStrategy::DependencyEliminated.to_string(), "DE");
+    }
+
+    #[test]
+    fn all_lists_every_variant_once() {
+        assert_eq!(ResolutionStrategy::ALL.len(), 3);
+        let mut names: Vec<_> = ResolutionStrategy::ALL.iter().map(|s| s.short_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn default_is_de() {
+        assert_eq!(ResolutionStrategy::default(), ResolutionStrategy::DependencyEliminated);
+    }
+}

@@ -1,0 +1,200 @@
+//! Artificial datasets with a controlled back-reference nesting depth
+//! (paper, Figure 10).
+//!
+//! Each dataset is a stream of 17-byte units: a separator byte (drawn from a
+//! byte range disjoint from the content, so no match can cross units) plus a
+//! 16-byte string. The 16-byte strings belong to `32 / depth` *families*;
+//! consecutive instances of the same family differ in exactly one byte,
+//! alternating between the first and the last position, so LZ77 encodes each
+//! instance as a back-reference to the *previous instance of its family*.
+//! Families are interleaved round-robin, so within one warp group of 32
+//! sequences every family forms a dependency chain of length ≈ `depth` —
+//! which is exactly the number of MRR rounds the warp will need.
+
+use crate::DatasetGenerator;
+
+/// Length of the repeated content string (matches the paper's choice of 16,
+/// close to the average match length of the real datasets).
+const STRING_LEN: usize = 16;
+
+/// Generator for a dataset that induces a chosen MRR nesting depth.
+#[derive(Debug, Clone, Copy)]
+pub struct NestingGenerator {
+    /// Target nesting depth (1..=32); the number of string families is
+    /// `32 / depth` (rounded up to at least 1).
+    pub depth: u32,
+}
+
+impl NestingGenerator {
+    /// Creates a generator for the given nesting depth (clamped to 1..=32).
+    pub fn new(depth: u32) -> Self {
+        Self { depth: depth.clamp(1, 32) }
+    }
+
+    /// Number of distinct repeated-string families used.
+    pub fn families(&self) -> usize {
+        (32 / self.depth as usize).max(1)
+    }
+}
+
+impl DatasetGenerator for NestingGenerator {
+    fn name(&self) -> &str {
+        "nesting-depth (synthetic)"
+    }
+
+    fn generate(&self, len: usize) -> Vec<u8> {
+        let families = self.families();
+        // Interior bytes (positions 1..15) of each family come from a 6-byte
+        // alphabet disjoint from every other family's, arranged without any
+        // repeated trigram, so no match of length >= 3 can cross family
+        // boundaries or stay inside a single instance. The two corner bytes
+        // (positions 0 and 15) are the "one-byte change" positions; their
+        // values cycle with two different periods whose combination exceeds
+        // the sliding window, so an instance never fully reappears and the
+        // best match is always the *previous* instance of the same family.
+        const INTERIOR_PERM: [u8; STRING_LEN] = [0, 1, 2, 3, 4, 5, 0, 2, 4, 1, 3, 5, 0, 3, 1, 4];
+        let alphabet_start = |f: usize| 0x20u8 + (f as u8) * 6;
+        let mut strings: Vec<[u8; STRING_LEN]> = (0..families)
+            .map(|f| {
+                let mut s = [0u8; STRING_LEN];
+                for (i, b) in s.iter_mut().enumerate() {
+                    *b = alphabet_start(f) + INTERIOR_PERM[i];
+                }
+                // Initial corner values (corner alphabet is 0x00..0x20,
+                // shared by all families — a corner is never adjacent to
+                // another corner, so cross-family trigrams stay impossible).
+                s[0] = f as u8 % 32;
+                s[STRING_LEN - 1] = (f as u8 + 7) % 29;
+                s
+            })
+            .collect();
+        let mut instance_count = vec![0u64; families];
+
+        let mut out = Vec::with_capacity(len + STRING_LEN + 1);
+        let mut unit = 0usize;
+        while out.len() < len {
+            let f = unit % families;
+            // Separator bytes live in 0xE0.. (disjoint from all content
+            // alphabets) and cycle with period 31 — coprime to every family
+            // count — so matches cannot span units.
+            out.push(0xE0 + (unit % 31) as u8);
+            out.extend_from_slice(&strings[f]);
+
+            // Mutate one corner for the next instance, alternating first and
+            // last. The first corner cycles through 32 values, the last
+            // through 29; the (first, last) pair therefore repeats only
+            // after 2 × lcm(32, 29) = 1856 instances ≈ 31 KB — beyond the
+            // 8 KB window, so older instances never become full matches.
+            let count = instance_count[f];
+            if count % 2 == 0 {
+                strings[f][0] = ((count / 2 + 1 + f as u64) % 32) as u8;
+            } else {
+                strings[f][STRING_LEN - 1] = ((count / 2 + 1 + 7 + f as u64) % 29) as u8;
+            }
+            instance_count[f] += 1;
+            unit += 1;
+        }
+        out.truncate(len);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_count_follows_depth() {
+        assert_eq!(NestingGenerator::new(1).families(), 32);
+        assert_eq!(NestingGenerator::new(2).families(), 16);
+        assert_eq!(NestingGenerator::new(8).families(), 4);
+        assert_eq!(NestingGenerator::new(16).families(), 2);
+        assert_eq!(NestingGenerator::new(32).families(), 1);
+        // Out-of-range depths are clamped.
+        assert_eq!(NestingGenerator::new(0).families(), 32);
+        assert_eq!(NestingGenerator::new(100).families(), 1);
+    }
+
+    #[test]
+    fn units_are_17_bytes_and_separators_are_disjoint() {
+        let data = NestingGenerator::new(4).generate(17 * 100);
+        for unit in data.chunks_exact(17) {
+            assert!(unit[0] >= 0xE0, "separator byte expected, got {:#x}", unit[0]);
+            assert!(
+                unit[1..].iter().all(|&b| b < 0xE0),
+                "content bytes must stay below the separator range"
+            );
+        }
+    }
+
+    #[test]
+    fn family_interiors_use_disjoint_alphabets() {
+        let gen = NestingGenerator::new(1); // 32 families
+        let data = gen.generate(17 * 64);
+        let units: Vec<&[u8]> = data.chunks_exact(17).collect();
+        for f in 0..gen.families() {
+            // Interior bytes (content positions 1..15) must come from family
+            // f's own 6-byte alphabet.
+            for &b in &units[f][2..16] {
+                assert!(b >= 0x20, "interior byte {b:#x} outside content range");
+                let family_of_byte = (b - 0x20) / 6;
+                assert_eq!(family_of_byte as usize, f, "byte {b:#x} leaked into family {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_same_family_instances_differ_in_one_byte() {
+        let gen = NestingGenerator::new(8); // 4 families
+        let families = gen.families();
+        let data = gen.generate(17 * 64);
+        let units: Vec<&[u8]> = data.chunks_exact(17).collect();
+        for i in families..units.len() {
+            let prev = &units[i - families][1..];
+            let cur = &units[i][1..];
+            let diff = prev.iter().zip(cur).filter(|(a, b)| a != b).count();
+            assert!(diff <= 1, "unit {i} differs from previous instance in {diff} bytes");
+        }
+    }
+
+    #[test]
+    fn different_families_do_not_collide() {
+        let gen = NestingGenerator::new(8);
+        let data = gen.generate(17 * 32);
+        let units: Vec<&[u8]> = data.chunks_exact(17).collect();
+        // Within the first round-robin of families all strings differ.
+        for a in 0..gen.families() {
+            for b in (a + 1)..gen.families() {
+                assert_ne!(&units[a][1..], &units[b][1..]);
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_nesting_yields_deeper_dependency_chains() {
+        // Indirect structural check using a simple hash of repeated
+        // 16-grams: with one family, nearly every unit matches the previous
+        // unit (lag 1); with 32 families, matches have lag 32.
+        for depth in [1u32, 32] {
+            let gen = NestingGenerator::new(depth);
+            let data = gen.generate(17 * 200);
+            let units: Vec<&[u8]> = data.chunks_exact(17).collect();
+            let lag = gen.families();
+            let mut near_matches = 0usize;
+            for i in lag..units.len() {
+                let shared = units[i][1..]
+                    .iter()
+                    .zip(&units[i - lag][1..])
+                    .filter(|(a, b)| a == b)
+                    .count();
+                if shared >= STRING_LEN - 1 {
+                    near_matches += 1;
+                }
+            }
+            assert!(
+                near_matches > units.len() - lag - 5,
+                "depth {depth}: only {near_matches} near-matches at lag {lag}"
+            );
+        }
+    }
+}

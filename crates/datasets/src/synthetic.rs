@@ -1,0 +1,53 @@
+//! Simple control datasets used by tests and micro-benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `len` bytes of uniformly random data — incompressible by construction.
+pub fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![0u8; len];
+    rng.fill(out.as_mut_slice());
+    out
+}
+
+/// `len` copies of a single byte — maximally compressible.
+pub fn constant_bytes(byte: u8, len: usize) -> Vec<u8> {
+    vec![byte; len]
+}
+
+/// A phrase repeated until `len` bytes are produced — a well-understood
+/// mid-compressibility workload.
+pub fn repeated_phrase(phrase: &str, len: usize) -> Vec<u8> {
+    phrase.bytes().cycle().take(len).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_bytes_are_deterministic_per_seed() {
+        assert_eq!(random_bytes(1, 1000), random_bytes(1, 1000));
+        assert_ne!(random_bytes(1, 1000), random_bytes(2, 1000));
+        assert_eq!(random_bytes(3, 0).len(), 0);
+    }
+
+    #[test]
+    fn random_bytes_have_high_byte_diversity() {
+        let data = random_bytes(9, 100_000);
+        let mut seen = [false; 256];
+        for &b in &data {
+            seen[b as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() == 256);
+    }
+
+    #[test]
+    fn constant_and_phrase_generators() {
+        assert_eq!(constant_bytes(7, 5), vec![7, 7, 7, 7, 7]);
+        let p = repeated_phrase("abc", 7);
+        assert_eq!(p, b"abcabca");
+        assert_eq!(repeated_phrase("xyz", 0).len(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Zipf-distributed index sampling.
+//!
+//! Natural-language word frequencies follow Zipf's law; the Wikipedia
+//! generator samples words from its dictionary with a Zipf distribution so
+//! that the byte-level redundancy (and therefore the compression ratio) of
+//! the synthetic corpus resembles real English text.
+
+use rand::Rng;
+
+/// A Zipf sampler over indices `0..n` with exponent `s`.
+///
+/// Sampling uses the precomputed cumulative distribution and a binary
+/// search, which is plenty fast for data generation.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with exponent `s` (typically ~1.0).
+    ///
+    /// Panics if `n` is 0 — a programming error in the caller.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf distribution needs at least one item");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating-point drift at the top end.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf: weights }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples an index in `0..n`, ranked by popularity (0 = most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("CDF contains no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn low_ranks_dominate() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must be sampled far more often than rank 100.
+        assert!(counts[0] > counts[100] * 5, "rank0={} rank100={}", counts[0], counts[100]);
+        // Every sample is in range (implicitly checked by indexing) and the
+        // tail is still reachable occasionally.
+        assert!(counts.iter().skip(500).any(|&c| c > 0));
+    }
+
+    #[test]
+    fn single_item_always_sampled() {
+        let zipf = Zipf::new(1, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+        assert_eq!(zipf.len(), 1);
+        assert!(!zipf.is_empty());
+    }
+
+    #[test]
+    fn exponent_zero_is_roughly_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.3, "uniform sampling too skewed: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

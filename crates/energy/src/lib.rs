@@ -1,0 +1,160 @@
+//! Wall-socket power and energy model (paper, Figure 14).
+//!
+//! The paper measures energy at the wall plug with a power meter, comparing
+//! the GPU decompressor against block-parallel CPU libraries on the same
+//! server (with the GPU physically removed for the CPU-only runs). A power
+//! meter is not available in this reproduction, so this crate substitutes an
+//! analytical model built from public power figures for the paper's
+//! hardware: a dual-socket Xeon E5-2620 v2 server and a Tesla K40 board.
+//! Energy is simply average power × elapsed time, which is also how the
+//! paper interprets its measurements ("the power drawn at the system level
+//! does not differ significantly for different algorithms").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gompresso_simt::GpuDeviceModel;
+
+/// Average wall power of a platform in a given state, in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerDraw {
+    /// Power when the relevant units are idle.
+    pub idle_w: f64,
+    /// Power when the relevant units are fully busy.
+    pub busy_w: f64,
+}
+
+impl PowerDraw {
+    /// Linear interpolation between idle and busy for a utilization in
+    /// `[0, 1]`.
+    pub fn at_utilization(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle_w + (self.busy_w - self.idle_w) * u
+    }
+}
+
+/// Energy model for the paper's test system.
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    /// Wall power of the CPU server (dual E5-2620 v2, RAM, disks, PSU
+    /// losses) without any GPU installed.
+    pub cpu_server: PowerDraw,
+    /// Additional board power of the GPU when installed.
+    pub gpu_board: PowerDraw,
+    /// CPU utilization assumed while the GPU is decompressing (the host
+    /// only orchestrates transfers).
+    pub host_utilization_during_gpu_run: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+impl EnergyModel {
+    /// Power figures modelled after the paper's testbed: a dual-socket
+    /// E5-2620 v2 server (2 × 80 W TDP CPUs plus platform overhead) and a
+    /// Tesla K40 (235 W TDP, ~25 W idle).
+    pub fn paper_testbed() -> Self {
+        let k40 = GpuDeviceModel::tesla_k40();
+        EnergyModel {
+            cpu_server: PowerDraw { idle_w: 95.0, busy_w: 260.0 },
+            gpu_board: PowerDraw { idle_w: k40.idle_power_w, busy_w: k40.board_power_w },
+            host_utilization_during_gpu_run: 0.15,
+        }
+    }
+
+    /// Energy (J) for a CPU-only decompression run of `seconds` at the given
+    /// core utilization (1.0 = all 24 hardware threads busy). The GPU is
+    /// physically absent, as in the paper's CPU measurements.
+    pub fn cpu_run_energy(&self, seconds: f64, utilization: f64) -> f64 {
+        self.cpu_server.at_utilization(utilization) * seconds.max(0.0)
+    }
+
+    /// Energy (J) for a GPU decompression run: the host draws near-idle
+    /// power while the GPU board runs at `gpu_utilization` for
+    /// `kernel_seconds` and idles during the remaining `transfer_seconds`
+    /// (PCIe DMA keeps the GPU's compute units mostly idle).
+    pub fn gpu_run_energy(&self, kernel_seconds: f64, transfer_seconds: f64, gpu_utilization: f64) -> f64 {
+        let kernel_seconds = kernel_seconds.max(0.0);
+        let transfer_seconds = transfer_seconds.max(0.0);
+        let host = self.cpu_server.at_utilization(self.host_utilization_during_gpu_run);
+        let gpu_busy = self.gpu_board.at_utilization(gpu_utilization);
+        let gpu_idle = self.gpu_board.at_utilization(0.1);
+        host * (kernel_seconds + transfer_seconds) + gpu_busy * kernel_seconds + gpu_idle * transfer_seconds
+    }
+
+    /// Convenience: joules per gigabyte of uncompressed data.
+    pub fn joules_per_gb(energy_j: f64, uncompressed_bytes: u64) -> f64 {
+        if uncompressed_bytes == 0 {
+            return 0.0;
+        }
+        energy_j * 1.0e9 / uncompressed_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_interpolation_is_clamped_and_monotonic() {
+        let p = PowerDraw { idle_w: 100.0, busy_w: 300.0 };
+        assert_eq!(p.at_utilization(0.0), 100.0);
+        assert_eq!(p.at_utilization(1.0), 300.0);
+        assert_eq!(p.at_utilization(-1.0), 100.0);
+        assert_eq!(p.at_utilization(2.0), 300.0);
+        assert!((p.at_utilization(0.5) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_runs_use_less_energy_on_the_same_platform() {
+        let m = EnergyModel::paper_testbed();
+        let slow = m.cpu_run_energy(1.0, 1.0);
+        let fast = m.cpu_run_energy(0.5, 1.0);
+        assert!(fast < slow);
+        assert!((slow / fast - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_energy_accounts_for_transfers_at_lower_power() {
+        let m = EnergyModel::paper_testbed();
+        let kernels_only = m.gpu_run_energy(0.1, 0.0, 0.9);
+        let with_transfers = m.gpu_run_energy(0.1, 0.1, 0.9);
+        assert!(with_transfers > kernels_only);
+        // The transfer phase adds less than a busy-GPU phase of equal length
+        // would.
+        let double_kernels = m.gpu_run_energy(0.2, 0.0, 0.9);
+        assert!(with_transfers < double_kernels);
+    }
+
+    #[test]
+    fn paper_scale_sanity_check() {
+        // Decompressing 1 GB on 24 CPU threads at ~2.5 GB/s (parallel
+        // zlib-like) takes ~0.4 s and should land in the tens of joules, as
+        // in Figure 14 (zlib ≈ 80–90 J there; our server model is a little
+        // leaner).
+        let m = EnergyModel::paper_testbed();
+        let e_zlib = m.cpu_run_energy(0.4, 1.0);
+        assert!(e_zlib > 50.0 && e_zlib < 150.0, "zlib-like energy {e_zlib}");
+        // A GPU run at ~5 GB/s end-to-end (0.2 s) should be meaningfully
+        // cheaper, in the spirit of the paper's 17 % saving.
+        let e_gpu = m.gpu_run_energy(0.12, 0.08, 0.9);
+        assert!(e_gpu < e_zlib, "gpu {e_gpu} vs zlib {e_zlib}");
+    }
+
+    #[test]
+    fn joules_per_gb_helper() {
+        assert_eq!(EnergyModel::joules_per_gb(10.0, 0), 0.0);
+        let j = EnergyModel::joules_per_gb(50.0, 1_000_000_000);
+        assert!((j - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_times_are_treated_as_zero() {
+        let m = EnergyModel::paper_testbed();
+        assert_eq!(m.cpu_run_energy(-1.0, 1.0), 0.0);
+        assert_eq!(m.gpu_run_energy(-1.0, -2.0, 0.5), 0.0);
+    }
+}

@@ -1,0 +1,435 @@
+//! Bit-level block payload (Gompresso/Bit).
+//!
+//! Each data block is entropy-coded with two canonical, length-limited
+//! Huffman trees (literal/length and offset) and the resulting bitstream is
+//! partitioned into *sub-blocks* of a fixed number of sequences. The bit
+//! size of every sub-block is recorded so that, at decompression time, each
+//! GPU thread can compute its sub-block's absolute bit offset with a prefix
+//! sum and start decoding immediately — the single-pass parallel Huffman
+//! decoding scheme of Section III-B-1.
+
+use crate::token_code::{TokenCoder, END_OF_SEQUENCES, FIRST_LENGTH_SYMBOL};
+use crate::{FormatError, Result};
+use gompresso_bitstream::{read_varint, write_varint, BitReader, BitWriter, ByteReader, ByteWriter};
+use gompresso_huffman::{CanonicalCode, DecodeTable, EncodeTable, Histogram};
+use gompresso_lz77::{Sequence, SequenceBlock};
+
+/// A Huffman-coded data block with sub-block index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitBlock {
+    /// Canonical code for literals, the end-of-sequences marker and match
+    /// lengths.
+    pub lit_len_code: CanonicalCode,
+    /// Canonical code for match offsets.
+    pub offset_code: CanonicalCode,
+    /// Number of sequences in the block.
+    pub n_sequences: u32,
+    /// Uncompressed size of the block in bytes.
+    pub uncompressed_len: u32,
+    /// Number of sequences per sub-block.
+    pub sequences_per_sub_block: u32,
+    /// Size in bits of each encoded sub-block, in order.
+    pub sub_block_bits: Vec<u32>,
+    /// The concatenated Huffman bitstream of all sub-blocks.
+    pub bitstream: Vec<u8>,
+}
+
+impl BitBlock {
+    /// Entropy-codes an LZ77 sequence block.
+    pub fn encode(
+        block: &SequenceBlock,
+        coder: &TokenCoder,
+        sequences_per_sub_block: u32,
+        max_codeword_len: u8,
+    ) -> Result<Self> {
+        assert!(sequences_per_sub_block >= 1, "sub-blocks must hold at least one sequence");
+
+        // Pass 1: histograms over both alphabets.
+        let mut lit_len_hist = Histogram::new(coder.lit_len_alphabet());
+        let mut offset_hist = Histogram::new(coder.offset_alphabet());
+        // Guarantee both alphabets are non-empty so code construction cannot
+        // fail on blocks without matches (or without literals).
+        lit_len_hist.add(END_OF_SEQUENCES);
+        offset_hist.add(0);
+
+        let mut literal_cursor = 0usize;
+        for seq in &block.sequences {
+            let lit_end = literal_cursor + seq.literal_len as usize;
+            for &b in &block.literals[literal_cursor..lit_end] {
+                lit_len_hist.add(u16::from(b));
+            }
+            literal_cursor = lit_end;
+            if seq.has_match() {
+                let (len_sym, _, _) = coder.encode_length(seq.match_len)?;
+                let (off_sym, _, _) = coder.encode_offset(seq.match_offset)?;
+                lit_len_hist.add(len_sym);
+                offset_hist.add(off_sym);
+            } else {
+                lit_len_hist.add(END_OF_SEQUENCES);
+            }
+        }
+
+        let lit_len_code = CanonicalCode::from_histogram(&lit_len_hist, max_codeword_len)?;
+        let offset_code = CanonicalCode::from_histogram(&offset_hist, max_codeword_len)?;
+        let lit_len_enc = EncodeTable::new(&lit_len_code);
+        let offset_enc = EncodeTable::new(&offset_code);
+
+        // Pass 2: emit the bitstream, recording sub-block boundaries.
+        let mut w = BitWriter::with_capacity(block.literals.len());
+        let mut sub_block_bits = Vec::new();
+        let mut sub_block_start_bit = 0u64;
+        let mut literal_cursor = 0usize;
+        for (i, seq) in block.sequences.iter().enumerate() {
+            let lit_end = literal_cursor + seq.literal_len as usize;
+            for &b in &block.literals[literal_cursor..lit_end] {
+                lit_len_enc.encode(&mut w, u16::from(b))?;
+            }
+            literal_cursor = lit_end;
+            if seq.has_match() {
+                let (len_sym, len_bits, len_extra) = coder.encode_length(seq.match_len)?;
+                lit_len_enc.encode(&mut w, len_sym)?;
+                w.write_bits(len_extra, u32::from(len_bits));
+                let (off_sym, off_bits, off_extra) = coder.encode_offset(seq.match_offset)?;
+                offset_enc.encode(&mut w, off_sym)?;
+                w.write_bits(off_extra, u32::from(off_bits));
+            } else {
+                lit_len_enc.encode(&mut w, END_OF_SEQUENCES)?;
+            }
+
+            let is_sub_block_end = (i + 1) % sequences_per_sub_block as usize == 0;
+            let is_last = i + 1 == block.sequences.len();
+            if is_sub_block_end || is_last {
+                let bits = w.bit_len() - sub_block_start_bit;
+                sub_block_bits.push(u32::try_from(bits).map_err(|_| FormatError::InvalidToken {
+                    reason: "sub-block exceeds 2^32 bits",
+                })?);
+                sub_block_start_bit = w.bit_len();
+            }
+        }
+
+        Ok(BitBlock {
+            lit_len_code,
+            offset_code,
+            n_sequences: block.sequences.len() as u32,
+            uncompressed_len: block.uncompressed_len as u32,
+            sequences_per_sub_block,
+            sub_block_bits,
+            bitstream: w.finish(),
+        })
+    }
+
+    /// Number of sub-blocks in the block.
+    pub fn sub_block_count(&self) -> usize {
+        self.sub_block_bits.len()
+    }
+
+    /// Absolute starting bit offset of sub-block `index`.
+    pub fn sub_block_bit_offset(&self, index: usize) -> Result<u64> {
+        if index >= self.sub_block_bits.len() {
+            return Err(FormatError::SubBlockOutOfRange { index, available: self.sub_block_bits.len() });
+        }
+        Ok(self.sub_block_bits[..index].iter().map(|&b| u64::from(b)).sum())
+    }
+
+    /// Number of sequences stored in sub-block `index` (the final sub-block
+    /// may be short).
+    pub fn sub_block_sequences(&self, index: usize) -> Result<u32> {
+        if index >= self.sub_block_bits.len() {
+            return Err(FormatError::SubBlockOutOfRange { index, available: self.sub_block_bits.len() });
+        }
+        let full = self.sequences_per_sub_block;
+        let start = index as u32 * full;
+        Ok((self.n_sequences - start).min(full))
+    }
+
+    /// Decodes one sub-block into its sequences and literal bytes.
+    ///
+    /// This is the unit of work one GPU thread performs during parallel
+    /// Huffman decoding; `gompresso-core` calls it once per (warp lane,
+    /// sub-block) pair.
+    pub fn decode_sub_block(&self, index: usize, coder: &TokenCoder) -> Result<(Vec<Sequence>, Vec<u8>)> {
+        let lit_len_dec = DecodeTable::new(&self.lit_len_code)?;
+        let offset_dec = DecodeTable::new(&self.offset_code)?;
+        self.decode_sub_block_with(index, coder, &lit_len_dec, &offset_dec)
+    }
+
+    /// Same as [`Self::decode_sub_block`] but reuses prebuilt decode tables
+    /// (the paper shares the two LUTs of a block across all of its
+    /// sub-block decoders via GPU shared memory).
+    pub fn decode_sub_block_with(
+        &self,
+        index: usize,
+        coder: &TokenCoder,
+        lit_len_dec: &DecodeTable,
+        offset_dec: &DecodeTable,
+    ) -> Result<(Vec<Sequence>, Vec<u8>)> {
+        let start_bit = self.sub_block_bit_offset(index)?;
+        let n_seq = self.sub_block_sequences(index)? as usize;
+        let mut r = BitReader::at_bit_offset(&self.bitstream, start_bit)?;
+        let mut sequences = Vec::with_capacity(n_seq);
+        let mut literals = Vec::new();
+
+        for _ in 0..n_seq {
+            let mut literal_len = 0u32;
+            let (match_offset, match_len) = loop {
+                let sym = lit_len_dec.decode(&mut r)?;
+                if sym < END_OF_SEQUENCES {
+                    literals.push(sym as u8);
+                    literal_len += 1;
+                } else if sym == END_OF_SEQUENCES {
+                    break (0u32, 0u32);
+                } else {
+                    // A match-length symbol terminates the literal run.
+                    debug_assert!(sym >= FIRST_LENGTH_SYMBOL);
+                    let len_bits = coder.length_extra_bits(sym)?;
+                    let len_extra = r.read_bits(u32::from(len_bits))?;
+                    let match_len = coder.decode_length(sym, len_extra)?;
+                    let off_sym = offset_dec.decode(&mut r)?;
+                    let off_bits = coder.offset_extra_bits(off_sym)?;
+                    let off_extra = r.read_bits(u32::from(off_bits))?;
+                    let match_offset = coder.decode_offset(off_sym, off_extra)?;
+                    break (match_offset, match_len);
+                }
+            };
+            sequences.push(Sequence { literal_len, match_offset, match_len });
+        }
+        Ok((sequences, literals))
+    }
+
+    /// Decodes the whole block back into an LZ77 sequence block
+    /// (sequentially; the parallel path lives in `gompresso-core`).
+    pub fn decode_all(&self, coder: &TokenCoder) -> Result<SequenceBlock> {
+        let lit_len_dec = DecodeTable::new(&self.lit_len_code)?;
+        let offset_dec = DecodeTable::new(&self.offset_code)?;
+        let mut sequences = Vec::with_capacity(self.n_sequences as usize);
+        let mut literals = Vec::new();
+        for i in 0..self.sub_block_count() {
+            let (mut seqs, lits) = self.decode_sub_block_with(i, coder, &lit_len_dec, &offset_dec)?;
+            sequences.append(&mut seqs);
+            literals.extend_from_slice(&lits);
+        }
+        Ok(SequenceBlock { sequences, literals, uncompressed_len: self.uncompressed_len as usize })
+    }
+
+    /// Serializes the block payload.
+    pub fn serialize(&self, w: &mut ByteWriter) {
+        self.lit_len_code.serialize(w);
+        self.offset_code.serialize(w);
+        write_varint(w, u64::from(self.n_sequences));
+        write_varint(w, u64::from(self.uncompressed_len));
+        write_varint(w, u64::from(self.sequences_per_sub_block));
+        write_varint(w, self.sub_block_bits.len() as u64);
+        for &bits in &self.sub_block_bits {
+            write_varint(w, u64::from(bits));
+        }
+        write_varint(w, self.bitstream.len() as u64);
+        w.write_bytes(&self.bitstream);
+    }
+
+    /// Deserializes a block payload written by [`Self::serialize`].
+    pub fn deserialize(r: &mut ByteReader<'_>) -> Result<Self> {
+        let lit_len_code = CanonicalCode::deserialize(r)?;
+        let offset_code = CanonicalCode::deserialize(r)?;
+        let n_sequences = read_varint(r)?;
+        let uncompressed_len = read_varint(r)?;
+        let sequences_per_sub_block = read_varint(r)?;
+        if n_sequences > u64::from(u32::MAX)
+            || uncompressed_len > u64::from(u32::MAX)
+            || sequences_per_sub_block == 0
+            || sequences_per_sub_block > u64::from(u32::MAX)
+        {
+            return Err(FormatError::InvalidToken { reason: "bit block counters out of range" });
+        }
+        let n_sub_blocks = read_varint(r)? as usize;
+        if n_sub_blocks > (1 << 28) {
+            return Err(FormatError::InvalidToken { reason: "sub-block count out of range" });
+        }
+        let mut sub_block_bits = Vec::with_capacity(n_sub_blocks);
+        for _ in 0..n_sub_blocks {
+            let bits = read_varint(r)?;
+            if bits > u64::from(u32::MAX) {
+                return Err(FormatError::InvalidToken { reason: "sub-block bit size out of range" });
+            }
+            sub_block_bits.push(bits as u32);
+        }
+        let stream_len = read_varint(r)? as usize;
+        let bitstream = r.read_bytes(stream_len)?.to_vec();
+        // The declared sub-block bit sizes must fit inside the bitstream.
+        let total_bits: u64 = sub_block_bits.iter().map(|&b| u64::from(b)).sum();
+        if total_bits > bitstream.len() as u64 * 8 {
+            return Err(FormatError::InvalidToken { reason: "sub-block sizes exceed bitstream length" });
+        }
+        Ok(BitBlock {
+            lit_len_code,
+            offset_code,
+            n_sequences: n_sequences as u32,
+            uncompressed_len: uncompressed_len as u32,
+            sequences_per_sub_block: sequences_per_sub_block as u32,
+            sub_block_bits,
+            bitstream,
+        })
+    }
+
+    /// Compressed size in bytes of the serialized payload (trees + sizes +
+    /// bitstream).
+    pub fn compressed_len(&self) -> usize {
+        let mut w = ByteWriter::new();
+        self.serialize(&mut w);
+        w.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gompresso_lz77::{decompress_block, Matcher, MatcherConfig};
+
+    fn coder() -> TokenCoder {
+        TokenCoder::new(3, 64, 8 * 1024).unwrap()
+    }
+
+    fn encode_input(input: &[u8], per_sub_block: u32) -> (SequenceBlock, BitBlock) {
+        let block = Matcher::new(MatcherConfig::default()).compress(input);
+        let bit = BitBlock::encode(&block, &coder(), per_sub_block, 10).unwrap();
+        (block, bit)
+    }
+
+    #[test]
+    fn full_roundtrip_through_bit_encoding() {
+        let input = b"she sells sea shells by the sea shore ".repeat(100);
+        let (block, bit) = encode_input(&input, 16);
+        let decoded = bit.decode_all(&coder()).unwrap();
+        assert_eq!(decoded, block);
+        assert_eq!(decompress_block(&decoded).unwrap(), input);
+    }
+
+    #[test]
+    fn sub_block_partitioning_matches_sequence_counts() {
+        let input = b"abcabcabcabcdefdefdef".repeat(200);
+        let (block, bit) = encode_input(&input, 16);
+        let expected_sub_blocks = block.sequences.len().div_ceil(16);
+        assert_eq!(bit.sub_block_count(), expected_sub_blocks);
+        let mut total = 0u32;
+        for i in 0..bit.sub_block_count() {
+            total += bit.sub_block_sequences(i).unwrap();
+        }
+        assert_eq!(total, bit.n_sequences);
+        // Sub-block bit sizes must sum to the total bitstream length (before
+        // byte padding).
+        let total_bits: u64 = bit.sub_block_bits.iter().map(|&b| u64::from(b)).sum();
+        assert!(total_bits <= bit.bitstream.len() as u64 * 8);
+        assert!(total_bits + 8 > bit.bitstream.len() as u64 * 8 - 7);
+    }
+
+    #[test]
+    fn each_sub_block_decodes_independently() {
+        let input = b"independent sub-block decoding is the point of gompresso ".repeat(150);
+        let (block, bit) = encode_input(&input, 8);
+        let lit_dec = DecodeTable::new(&bit.lit_len_code).unwrap();
+        let off_dec = DecodeTable::new(&bit.offset_code).unwrap();
+        let mut sequences = Vec::new();
+        let mut literals = Vec::new();
+        // Decode sub-blocks out of order to prove independence.
+        let mut order: Vec<usize> = (0..bit.sub_block_count()).collect();
+        order.reverse();
+        let mut parts: Vec<(usize, Vec<Sequence>, Vec<u8>)> = Vec::new();
+        for i in order {
+            let (s, l) = bit.decode_sub_block_with(i, &coder(), &lit_dec, &off_dec).unwrap();
+            parts.push((i, s, l));
+        }
+        parts.sort_by_key(|p| p.0);
+        for (_, s, l) in parts {
+            sequences.extend(s);
+            literals.extend(l);
+        }
+        assert_eq!(sequences, block.sequences);
+        assert_eq!(literals, block.literals);
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let input = b"serialize me serialize me serialize me".repeat(60);
+        let (_, bit) = encode_input(&input, 16);
+        let mut w = ByteWriter::new();
+        bit.serialize(&mut w);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        let back = BitBlock::deserialize(&mut r).unwrap();
+        assert_eq!(back, bit);
+        assert!(r.is_empty());
+        assert_eq!(bit.compressed_len(), bytes.len());
+    }
+
+    #[test]
+    fn bit_encoding_beats_byte_estimate_on_text() {
+        let input = b"entropy coding pays off on skewed byte distributions like english text "
+            .repeat(300);
+        let (block, bit) = encode_input(&input, 16);
+        assert!(bit.compressed_len() < block.byte_encoded_estimate());
+        assert!(bit.compressed_len() < input.len() / 2);
+    }
+
+    #[test]
+    fn literal_only_block_roundtrips() {
+        // Incompressible input: single literal-only sequence, EOS-coded.
+        let input: Vec<u8> = (0..1000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let (block, bit) = encode_input(&input, 16);
+        assert_eq!(bit.decode_all(&coder()).unwrap(), block);
+    }
+
+    #[test]
+    fn empty_block_roundtrips() {
+        let block = SequenceBlock::new();
+        let bit = BitBlock::encode(&block, &coder(), 16, 10).unwrap();
+        assert_eq!(bit.sub_block_count(), 0);
+        let decoded = bit.decode_all(&coder()).unwrap();
+        assert_eq!(decoded.sequences.len(), 0);
+    }
+
+    #[test]
+    fn out_of_range_sub_block_is_rejected() {
+        let input = b"some data some data".repeat(10);
+        let (_, bit) = encode_input(&input, 16);
+        let n = bit.sub_block_count();
+        assert!(matches!(
+            bit.decode_sub_block(n, &coder()),
+            Err(FormatError::SubBlockOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_bitstream_errors_not_panics() {
+        let input = b"corrupt me please corrupt me please".repeat(50);
+        let (_, mut bit) = encode_input(&input, 16);
+        // Flip a swath of bytes in the middle of the stream.
+        let mid = bit.bitstream.len() / 2;
+        let end = (mid + 32).min(bit.bitstream.len());
+        for b in &mut bit.bitstream[mid..end] {
+            *b ^= 0xFF;
+        }
+        // Either an error or a structurally different decode is fine; a
+        // panic is not.
+        let _ = bit.decode_all(&coder());
+    }
+
+    #[test]
+    fn truncated_serialization_errors() {
+        let input = b"truncate truncate truncate".repeat(40);
+        let (_, bit) = encode_input(&input, 16);
+        let mut w = ByteWriter::new();
+        bit.serialize(&mut w);
+        let bytes = w.finish();
+        for cut in [1usize, bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(BitBlock::deserialize(&mut r).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn max_codeword_length_is_respected() {
+        let input = b"aaaaabbbbbcccccdddddeeeee".repeat(400);
+        let (_, bit) = encode_input(&input, 16);
+        assert!(bit.lit_len_code.longest_used() <= 10);
+        assert!(bit.offset_code.longest_used() <= 10);
+    }
+}

@@ -1,0 +1,228 @@
+//! Byte-level block payload (Gompresso/Byte).
+//!
+//! Gompresso/Byte trades compression ratio for decoding speed by using a
+//! fixed, byte-aligned encoding in the style of LZ4 (paper, Sections II-A
+//! and III-B): each sequence is a token byte holding the literal length and
+//! match length nibbles (15 = "extension bytes follow"), the literal bytes,
+//! a 2-byte little-endian offset and optional match-length extension bytes.
+//! Because every field is byte aligned, decoding and LZ77 decompression can
+//! be fused into a single pass.
+
+use crate::{FormatError, Result};
+use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
+use gompresso_lz77::{Sequence, SequenceBlock};
+
+/// A byte-encoded data block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteBlock {
+    /// Number of sequences encoded.
+    pub n_sequences: u32,
+    /// Uncompressed size of the block in bytes.
+    pub uncompressed_len: u32,
+    /// The encoded sequence stream.
+    pub data: Vec<u8>,
+}
+
+/// Nibble value that signals "length continues in extension bytes".
+const NIBBLE_EXTENDED: u32 = 15;
+
+fn write_extended(w: &mut ByteWriter, mut remainder: u32) {
+    // LZ4-style 255-chained extension bytes.
+    while remainder >= 255 {
+        w.write_u8(255);
+        remainder -= 255;
+    }
+    w.write_u8(remainder as u8);
+}
+
+fn read_extended(r: &mut ByteReader<'_>) -> Result<u32> {
+    let mut total = 0u32;
+    loop {
+        let b = r.read_u8()?;
+        total = total.checked_add(u32::from(b)).ok_or(FormatError::InvalidToken {
+            reason: "length extension overflows",
+        })?;
+        if b != 255 {
+            return Ok(total);
+        }
+    }
+}
+
+impl ByteBlock {
+    /// Encodes an LZ77 sequence block into the byte-level format.
+    ///
+    /// Match offsets must fit in 16 bits (the compressor's window is at most
+    /// 64 KB in byte mode); larger offsets are a configuration error.
+    pub fn encode(block: &SequenceBlock) -> Result<Self> {
+        let mut w = ByteWriter::with_capacity(block.literals.len() + block.sequences.len() * 4);
+        let mut literal_cursor = 0usize;
+        for seq in &block.sequences {
+            let lit_len = seq.literal_len;
+            let match_len = seq.match_len;
+            if seq.has_match() && seq.match_offset > u32::from(u16::MAX) {
+                return Err(FormatError::InvalidToken { reason: "match offset exceeds 64 KiB in byte mode" });
+            }
+            let lit_nibble = u32::from(lit_len).min(NIBBLE_EXTENDED);
+            let match_nibble = match_len.min(NIBBLE_EXTENDED);
+            w.write_u8(((lit_nibble << 4) | match_nibble) as u8);
+            if lit_nibble == NIBBLE_EXTENDED {
+                write_extended(&mut w, lit_len - NIBBLE_EXTENDED);
+            }
+            let lit_end = literal_cursor + lit_len as usize;
+            w.write_bytes(&block.literals[literal_cursor..lit_end]);
+            literal_cursor = lit_end;
+            if match_len > 0 {
+                w.write_u16_le(seq.match_offset as u16);
+                if match_nibble == NIBBLE_EXTENDED {
+                    write_extended(&mut w, match_len - NIBBLE_EXTENDED);
+                }
+            }
+        }
+        Ok(ByteBlock {
+            n_sequences: block.sequences.len() as u32,
+            uncompressed_len: block.uncompressed_len as u32,
+            data: w.finish(),
+        })
+    }
+
+    /// Decodes the byte stream back into an LZ77 sequence block.
+    pub fn decode(&self) -> Result<SequenceBlock> {
+        let mut r = ByteReader::new(&self.data);
+        let mut sequences = Vec::with_capacity(self.n_sequences as usize);
+        let mut literals = Vec::new();
+        for _ in 0..self.n_sequences {
+            let token = r.read_u8()?;
+            let lit_nibble = u32::from(token >> 4);
+            let match_nibble = u32::from(token & 0x0F);
+            let lit_len = if lit_nibble == NIBBLE_EXTENDED {
+                NIBBLE_EXTENDED + read_extended(&mut r)?
+            } else {
+                lit_nibble
+            };
+            literals.extend_from_slice(r.read_bytes(lit_len as usize)?);
+            let (match_offset, match_len) = if match_nibble == 0 {
+                (0u32, 0u32)
+            } else {
+                let offset = u32::from(r.read_u16_le()?);
+                let len = if match_nibble == NIBBLE_EXTENDED {
+                    NIBBLE_EXTENDED + read_extended(&mut r)?
+                } else {
+                    match_nibble
+                };
+                if offset == 0 {
+                    return Err(FormatError::InvalidToken { reason: "zero match offset" });
+                }
+                (offset, len)
+            };
+            sequences.push(Sequence { literal_len: lit_len, match_offset, match_len });
+        }
+        Ok(SequenceBlock { sequences, literals, uncompressed_len: self.uncompressed_len as usize })
+    }
+
+    /// Serializes the block payload (sequence count, uncompressed length and
+    /// the encoded stream).
+    pub fn serialize(&self, w: &mut ByteWriter) {
+        write_varint(w, u64::from(self.n_sequences));
+        write_varint(w, u64::from(self.uncompressed_len));
+        write_varint(w, self.data.len() as u64);
+        w.write_bytes(&self.data);
+    }
+
+    /// Deserializes a block payload written by [`Self::serialize`].
+    pub fn deserialize(r: &mut ByteReader<'_>) -> Result<Self> {
+        let n_sequences = read_varint(r)?;
+        let uncompressed_len = read_varint(r)?;
+        let data_len = read_varint(r)?;
+        if n_sequences > u64::from(u32::MAX) || uncompressed_len > u64::from(u32::MAX) {
+            return Err(FormatError::InvalidToken { reason: "byte block counters out of range" });
+        }
+        let data = r.read_bytes(data_len as usize)?.to_vec();
+        Ok(ByteBlock { n_sequences: n_sequences as u32, uncompressed_len: uncompressed_len as u32, data })
+    }
+
+    /// Compressed size of this block in bytes (payload only).
+    pub fn compressed_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gompresso_lz77::{decompress_block, Matcher, MatcherConfig};
+
+    fn roundtrip(input: &[u8]) -> ByteBlock {
+        let block = Matcher::new(MatcherConfig::default()).compress(input);
+        let encoded = ByteBlock::encode(&block).unwrap();
+        let decoded = encoded.decode().unwrap();
+        assert_eq!(decoded, block);
+        assert_eq!(decompress_block(&decoded).unwrap(), input);
+        encoded
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        roundtrip(b"aacaacbacadd");
+        roundtrip(b"");
+        roundtrip(b"x");
+        roundtrip(&[0u8; 1000]);
+    }
+
+    #[test]
+    fn long_literals_and_matches_use_extension_bytes() {
+        // 1000 distinct-ish literal bytes force the literal-extension path;
+        // a long run forces the match-extension path.
+        let mut input: Vec<u8> = (0..1000u32).map(|i| (i.wrapping_mul(37) % 251) as u8).collect();
+        input.extend(std::iter::repeat_n(b'r', 700));
+        let encoded = roundtrip(&input);
+        assert!(encoded.compressed_len() < input.len() + 64);
+    }
+
+    #[test]
+    fn compressible_data_shrinks() {
+        let input = b"hello world hello world hello world ".repeat(200);
+        let encoded = roundtrip(&input);
+        assert!(encoded.compressed_len() < input.len() / 2);
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let input = b"the rain in spain falls mainly on the plain ".repeat(50);
+        let block = Matcher::new(MatcherConfig::default()).compress(&input);
+        let encoded = ByteBlock::encode(&block).unwrap();
+        let mut w = ByteWriter::new();
+        encoded.serialize(&mut w);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        let back = ByteBlock::deserialize(&mut r).unwrap();
+        assert_eq!(back, encoded);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_payload_errors() {
+        let input = b"abcabcabcabc".repeat(20);
+        let block = Matcher::new(MatcherConfig::default()).compress(&input);
+        let encoded = ByteBlock::encode(&block).unwrap();
+        let mut truncated = encoded.clone();
+        truncated.data.truncate(truncated.data.len() / 2);
+        assert!(truncated.decode().is_err());
+    }
+
+    #[test]
+    fn oversized_offset_is_rejected_at_encode_time() {
+        let block = SequenceBlock {
+            sequences: vec![Sequence { literal_len: 0, match_offset: 70_000, match_len: 4 }],
+            literals: vec![],
+            uncompressed_len: 4,
+        };
+        assert!(ByteBlock::encode(&block).is_err());
+    }
+
+    #[test]
+    fn zero_offset_in_stream_is_rejected_at_decode_time() {
+        // Token byte: 0 literals, match nibble 4; then offset 0.
+        let bad = ByteBlock { n_sequences: 1, uncompressed_len: 4, data: vec![0x04, 0x00, 0x00] };
+        assert!(bad.decode().is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Error type for the file format layer.
+
+use gompresso_bitstream::StreamError;
+use gompresso_huffman::HuffmanError;
+use gompresso_lz77::Lz77Error;
+use std::fmt;
+
+/// Errors surfaced while reading or writing Gompresso files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The file does not start with the Gompresso magic bytes.
+    BadMagic,
+    /// The file declares a format version this library does not understand.
+    UnsupportedVersion(u8),
+    /// A header field holds a value outside its permitted range.
+    InvalidHeaderField {
+        /// Name of the field.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// A block payload is shorter than its declared size.
+    TruncatedBlock {
+        /// Index of the block.
+        block: usize,
+    },
+    /// A sub-block index is out of range for its block.
+    SubBlockOutOfRange {
+        /// The requested sub-block index.
+        index: usize,
+        /// Number of sub-blocks in the block.
+        available: usize,
+    },
+    /// A decoded token is structurally invalid (e.g. a match length symbol
+    /// where a literal is required).
+    InvalidToken {
+        /// Description of the violation.
+        reason: &'static str,
+    },
+    /// The underlying byte/bit stream ended prematurely or was malformed.
+    Stream(StreamError),
+    /// A Huffman tree or codeword was invalid.
+    Huffman(HuffmanError),
+    /// An LZ77 structural error (used when validating decoded sequences).
+    Lz77(Lz77Error),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "not a Gompresso file (bad magic)"),
+            FormatError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            FormatError::InvalidHeaderField { field, value } => {
+                write!(f, "invalid header field {field} = {value}")
+            }
+            FormatError::TruncatedBlock { block } => write!(f, "block {block} is truncated"),
+            FormatError::SubBlockOutOfRange { index, available } => {
+                write!(f, "sub-block {index} requested but only {available} exist")
+            }
+            FormatError::InvalidToken { reason } => write!(f, "invalid token: {reason}"),
+            FormatError::Stream(e) => write!(f, "stream error: {e}"),
+            FormatError::Huffman(e) => write!(f, "huffman error: {e}"),
+            FormatError::Lz77(e) => write!(f, "lz77 error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Stream(e) => Some(e),
+            FormatError::Huffman(e) => Some(e),
+            FormatError::Lz77(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StreamError> for FormatError {
+    fn from(e: StreamError) -> Self {
+        FormatError::Stream(e)
+    }
+}
+
+impl From<HuffmanError> for FormatError {
+    fn from(e: HuffmanError) -> Self {
+        FormatError::Huffman(e)
+    }
+}
+
+impl From<Lz77Error> for FormatError {
+    fn from(e: Lz77Error) -> Self {
+        FormatError::Lz77(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_source() {
+        let e: FormatError = StreamError::VarintOverflow.into();
+        assert!(matches!(e, FormatError::Stream(_)));
+        let e: FormatError = HuffmanError::EmptyAlphabet.into();
+        assert!(matches!(e, FormatError::Huffman(_)));
+        let e: FormatError = Lz77Error::ZeroOffset { sequence: 0 }.into();
+        assert!(matches!(e, FormatError::Lz77(_)));
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert!(FormatError::BadMagic.to_string().contains("magic"));
+        assert!(FormatError::SubBlockOutOfRange { index: 9, available: 4 }.to_string().contains('9'));
+        assert!(FormatError::InvalidHeaderField { field: "block_size", value: 0 }
+            .to_string()
+            .contains("block_size"));
+    }
+}

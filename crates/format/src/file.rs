@@ -1,0 +1,157 @@
+//! Top-level compressed-file container.
+//!
+//! A Gompresso file is the serialized [`FileHeader`] followed by each
+//! block's payload, back to back (paper, Figure 3). The header records every
+//! block's compressed size, so the decompressor can compute all block
+//! offsets up front and hand blocks to thread groups without parsing — the
+//! property that makes inter-block parallel decompression trivial, in
+//! contrast to the variable-length blocks that force pigz to decompress
+//! sequentially (Section II-C).
+
+use crate::header::FileHeader;
+use crate::{FormatError, Result};
+use gompresso_bitstream::{ByteReader, ByteWriter};
+
+/// One block's serialized payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPayload {
+    /// Serialized block bytes (a `BitBlock` or `ByteBlock` payload).
+    pub bytes: Vec<u8>,
+}
+
+/// An in-memory compressed file: header plus block payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedFile {
+    /// The file header.
+    pub header: FileHeader,
+    /// Block payloads in block order.
+    pub blocks: Vec<BlockPayload>,
+}
+
+impl CompressedFile {
+    /// Assembles a file from a header template (its
+    /// `block_compressed_sizes` are overwritten) and block payloads.
+    pub fn new(mut header: FileHeader, blocks: Vec<BlockPayload>) -> Result<Self> {
+        header.block_compressed_sizes = blocks
+            .iter()
+            .map(|b| {
+                u32::try_from(b.bytes.len())
+                    .map_err(|_| FormatError::InvalidHeaderField { field: "block_compressed_size", value: b.bytes.len() as u64 })
+            })
+            .collect::<Result<Vec<u32>>>()?;
+        header.validate()?;
+        Ok(Self { header, blocks })
+    }
+
+    /// Serializes the whole file to bytes.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(
+            64 + self.blocks.iter().map(|b| b.bytes.len()).sum::<usize>(),
+        );
+        self.header.serialize(&mut w);
+        for block in &self.blocks {
+            w.write_bytes(&block.bytes);
+        }
+        w.finish()
+    }
+
+    /// Parses a file from bytes, validating the header and block sizes.
+    pub fn deserialize(data: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(data);
+        let header = FileHeader::deserialize(&mut r)?;
+        let mut blocks = Vec::with_capacity(header.block_count());
+        for (i, &size) in header.block_compressed_sizes.iter().enumerate() {
+            let bytes = r
+                .read_bytes(size as usize)
+                .map_err(|_| FormatError::TruncatedBlock { block: i })?
+                .to_vec();
+            blocks.push(BlockPayload { bytes });
+        }
+        Ok(Self { header, blocks })
+    }
+
+    /// Total compressed size in bytes (header + payloads).
+    pub fn compressed_size(&self) -> usize {
+        let mut w = ByteWriter::new();
+        self.header.serialize(&mut w);
+        w.len() + self.blocks.iter().map(|b| b.bytes.len()).sum::<usize>()
+    }
+
+    /// Compression ratio (uncompressed / compressed).
+    pub fn compression_ratio(&self) -> f64 {
+        let compressed = self.compressed_size();
+        if compressed == 0 {
+            return 0.0;
+        }
+        self.header.uncompressed_size as f64 / compressed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::EncodingMode;
+
+    fn header_for(uncompressed: u64, block_size: u32, n_blocks: usize) -> FileHeader {
+        FileHeader {
+            mode: EncodingMode::Byte,
+            window_size: 8192,
+            min_match_len: 3,
+            max_match_len: 64,
+            uncompressed_size: uncompressed,
+            block_size,
+            sequences_per_sub_block: 16,
+            max_codeword_len: 10,
+            block_compressed_sizes: vec![0; n_blocks],
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let blocks = vec![
+            BlockPayload { bytes: vec![1, 2, 3, 4, 5] },
+            BlockPayload { bytes: vec![6, 7, 8] },
+            BlockPayload { bytes: vec![9; 100] },
+        ];
+        let file = CompressedFile::new(header_for(2500, 1000, 3), blocks).unwrap();
+        let bytes = file.serialize();
+        assert_eq!(bytes.len(), file.compressed_size());
+        let back = CompressedFile::deserialize(&bytes).unwrap();
+        assert_eq!(back, file);
+        assert!(back.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn new_rejects_inconsistent_block_count() {
+        // Header geometry implies 3 blocks but only 2 payloads are supplied.
+        let blocks = vec![BlockPayload { bytes: vec![1] }, BlockPayload { bytes: vec![2] }];
+        assert!(CompressedFile::new(header_for(2500, 1000, 2), blocks).is_err());
+    }
+
+    #[test]
+    fn truncated_file_reports_block() {
+        let blocks = vec![BlockPayload { bytes: vec![1; 50] }, BlockPayload { bytes: vec![2; 50] }];
+        let file = CompressedFile::new(header_for(1500, 1000, 2), blocks).unwrap();
+        let bytes = file.serialize();
+        let cut = bytes.len() - 30;
+        match CompressedFile::deserialize(&bytes[..cut]) {
+            Err(FormatError::TruncatedBlock { block }) => assert_eq!(block, 1),
+            other => panic!("expected truncated block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let file = CompressedFile::new(header_for(0, 1000, 0), vec![]).unwrap();
+        let bytes = file.serialize();
+        let back = CompressedFile::deserialize(&bytes).unwrap();
+        assert_eq!(back.blocks.len(), 0);
+        assert_eq!(back.compression_ratio(), 0.0);
+    }
+
+    #[test]
+    fn garbage_input_is_rejected() {
+        assert!(CompressedFile::deserialize(b"definitely not a gompresso file").is_err());
+        assert!(CompressedFile::deserialize(&[]).is_err());
+    }
+}

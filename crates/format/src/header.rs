@@ -1,0 +1,286 @@
+//! The Gompresso file header (paper, Figure 3).
+
+use crate::{FormatError, Result, FORMAT_VERSION, MAGIC};
+use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
+
+/// Whether the file uses bit-level (Huffman) or byte-level encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncodingMode {
+    /// Gompresso/Bit: LZ77 + canonical length-limited Huffman coding.
+    Bit,
+    /// Gompresso/Byte: LZ77 + LZ4-style byte-level encoding.
+    Byte,
+}
+
+impl EncodingMode {
+    fn to_u8(self) -> u8 {
+        match self {
+            EncodingMode::Bit => 0,
+            EncodingMode::Byte => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(EncodingMode::Bit),
+            1 => Ok(EncodingMode::Byte),
+            other => Err(FormatError::InvalidHeaderField { field: "mode", value: u64::from(other) }),
+        }
+    }
+}
+
+/// The compressed file header: global compression parameters plus the
+/// compressed size of every block, which is what allows the decompressor to
+/// locate and assign blocks to thread groups without scanning the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileHeader {
+    /// Encoding mode of all blocks in the file.
+    pub mode: EncodingMode,
+    /// Sliding-window ("dictionary") size in bytes used during compression.
+    pub window_size: u32,
+    /// Minimum match length used during compression.
+    pub min_match_len: u32,
+    /// Maximum match length used during compression.
+    pub max_match_len: u32,
+    /// Total uncompressed size of the file in bytes.
+    pub uncompressed_size: u64,
+    /// Uncompressed size of each data block (the last block may be shorter).
+    pub block_size: u32,
+    /// Number of sequences per sub-block for parallel Huffman decoding.
+    pub sequences_per_sub_block: u32,
+    /// Maximum Huffman codeword length (CWL); unused in Byte mode.
+    pub max_codeword_len: u8,
+    /// Compressed payload size in bytes of each block, in order.
+    pub block_compressed_sizes: Vec<u32>,
+}
+
+impl FileHeader {
+    /// Number of data blocks in the file.
+    pub fn block_count(&self) -> usize {
+        self.block_compressed_sizes.len()
+    }
+
+    /// Uncompressed size of block `index`, accounting for the shorter final
+    /// block.
+    pub fn block_uncompressed_size(&self, index: usize) -> u64 {
+        let full = u64::from(self.block_size);
+        let start = index as u64 * full;
+        let remaining = self.uncompressed_size.saturating_sub(start);
+        remaining.min(full)
+    }
+
+    /// Validates internal consistency of the header fields.
+    pub fn validate(&self) -> Result<()> {
+        if self.block_size == 0 {
+            return Err(FormatError::InvalidHeaderField { field: "block_size", value: 0 });
+        }
+        if self.window_size == 0 || !self.window_size.is_power_of_two() {
+            return Err(FormatError::InvalidHeaderField {
+                field: "window_size",
+                value: u64::from(self.window_size),
+            });
+        }
+        if self.min_match_len < 1 || self.max_match_len < self.min_match_len {
+            return Err(FormatError::InvalidHeaderField {
+                field: "max_match_len",
+                value: u64::from(self.max_match_len),
+            });
+        }
+        if self.sequences_per_sub_block == 0 {
+            return Err(FormatError::InvalidHeaderField { field: "sequences_per_sub_block", value: 0 });
+        }
+        if self.mode == EncodingMode::Bit && (self.max_codeword_len < 2 || self.max_codeword_len > 24) {
+            return Err(FormatError::InvalidHeaderField {
+                field: "max_codeword_len",
+                value: u64::from(self.max_codeword_len),
+            });
+        }
+        let expected_blocks = self.uncompressed_size.div_ceil(u64::from(self.block_size)) as usize;
+        let expected_blocks = if self.uncompressed_size == 0 { 0 } else { expected_blocks };
+        if expected_blocks != self.block_compressed_sizes.len() {
+            return Err(FormatError::InvalidHeaderField {
+                field: "block_compressed_sizes",
+                value: self.block_compressed_sizes.len() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes the header, including magic and version.
+    pub fn serialize(&self, w: &mut ByteWriter) {
+        w.write_bytes(&MAGIC);
+        w.write_u8(FORMAT_VERSION);
+        w.write_u8(self.mode.to_u8());
+        w.write_u32_le(self.window_size);
+        w.write_u32_le(self.min_match_len);
+        w.write_u32_le(self.max_match_len);
+        w.write_u64_le(self.uncompressed_size);
+        w.write_u32_le(self.block_size);
+        w.write_u32_le(self.sequences_per_sub_block);
+        w.write_u8(self.max_codeword_len);
+        write_varint(w, self.block_compressed_sizes.len() as u64);
+        for &size in &self.block_compressed_sizes {
+            write_varint(w, u64::from(size));
+        }
+    }
+
+    /// Deserializes and validates a header.
+    pub fn deserialize(r: &mut ByteReader<'_>) -> Result<Self> {
+        let magic = r.read_bytes(4)?;
+        if magic != MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let version = r.read_u8()?;
+        if version != FORMAT_VERSION {
+            return Err(FormatError::UnsupportedVersion(version));
+        }
+        let mode = EncodingMode::from_u8(r.read_u8()?)?;
+        let window_size = r.read_u32_le()?;
+        let min_match_len = r.read_u32_le()?;
+        let max_match_len = r.read_u32_le()?;
+        let uncompressed_size = r.read_u64_le()?;
+        let block_size = r.read_u32_le()?;
+        let sequences_per_sub_block = r.read_u32_le()?;
+        let max_codeword_len = r.read_u8()?;
+        let block_count = read_varint(r)? as usize;
+        if block_count > (1 << 28) {
+            return Err(FormatError::InvalidHeaderField { field: "block_count", value: block_count as u64 });
+        }
+        let mut block_compressed_sizes = Vec::with_capacity(block_count);
+        for _ in 0..block_count {
+            let size = read_varint(r)?;
+            if size > u64::from(u32::MAX) {
+                return Err(FormatError::InvalidHeaderField { field: "block_compressed_size", value: size });
+            }
+            block_compressed_sizes.push(size as u32);
+        }
+        let header = FileHeader {
+            mode,
+            window_size,
+            min_match_len,
+            max_match_len,
+            uncompressed_size,
+            block_size,
+            sequences_per_sub_block,
+            max_codeword_len,
+            block_compressed_sizes,
+        };
+        header.validate()?;
+        Ok(header)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> FileHeader {
+        FileHeader {
+            mode: EncodingMode::Bit,
+            window_size: 8 * 1024,
+            min_match_len: 3,
+            max_match_len: 64,
+            uncompressed_size: 1_000_000,
+            block_size: 256 * 1024,
+            sequences_per_sub_block: 16,
+            max_codeword_len: 10,
+            block_compressed_sizes: vec![100_000, 90_000, 85_000, 60_000],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let header = sample_header();
+        header.validate().unwrap();
+        let mut w = ByteWriter::new();
+        header.serialize(&mut w);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        let back = FileHeader::deserialize(&mut r).unwrap();
+        assert_eq!(back, header);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn block_sizing_math() {
+        let header = sample_header();
+        assert_eq!(header.block_count(), 4);
+        assert_eq!(header.block_uncompressed_size(0), 256 * 1024);
+        assert_eq!(header.block_uncompressed_size(2), 256 * 1024);
+        // Last block: 1_000_000 - 3*262144 = 213568.
+        assert_eq!(header.block_uncompressed_size(3), 1_000_000 - 3 * 256 * 1024);
+        assert_eq!(header.block_uncompressed_size(10), 0);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut w = ByteWriter::new();
+        w.write_bytes(b"NOPE");
+        let bytes = w.finish();
+        assert!(matches!(FileHeader::deserialize(&mut ByteReader::new(&bytes)), Err(FormatError::BadMagic)));
+
+        let mut w = ByteWriter::new();
+        w.write_bytes(&MAGIC);
+        w.write_u8(99);
+        let bytes = w.finish();
+        assert!(matches!(
+            FileHeader::deserialize(&mut ByteReader::new(&bytes)),
+            Err(FormatError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut h = sample_header();
+        h.block_size = 0;
+        assert!(h.validate().is_err());
+
+        let mut h = sample_header();
+        h.window_size = 1000; // not a power of two
+        assert!(h.validate().is_err());
+
+        let mut h = sample_header();
+        h.block_compressed_sizes.pop(); // wrong block count
+        assert!(h.validate().is_err());
+
+        let mut h = sample_header();
+        h.max_codeword_len = 1;
+        assert!(h.validate().is_err());
+
+        let mut h = sample_header();
+        h.mode = EncodingMode::Byte;
+        h.max_codeword_len = 0; // ignored in byte mode
+        assert!(h.validate().is_ok());
+
+        let mut h = sample_header();
+        h.sequences_per_sub_block = 0;
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn truncated_header_is_an_error() {
+        let header = sample_header();
+        let mut w = ByteWriter::new();
+        header.serialize(&mut w);
+        let bytes = w.finish();
+        for cut in [0usize, 3, 5, 10, bytes.len() - 1] {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(FileHeader::deserialize(&mut r).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn empty_file_header_is_valid() {
+        let h = FileHeader {
+            uncompressed_size: 0,
+            block_compressed_sizes: vec![],
+            ..sample_header()
+        };
+        h.validate().unwrap();
+        let mut w = ByteWriter::new();
+        h.serialize(&mut w);
+        let bytes = w.finish();
+        let back = FileHeader::deserialize(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back.block_count(), 0);
+    }
+}

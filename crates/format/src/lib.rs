@@ -1,0 +1,48 @@
+//! The Gompresso compressed file format.
+//!
+//! The paper's Figure 3 defines a self-describing container: a file header
+//! (dictionary size, maximum match length, uncompressed size, block size,
+//! tokens per sub-block, per-block sizes) followed by the compressed data
+//! blocks. Each Gompresso/Bit block carries its two canonical Huffman trees
+//! (one for literals and match lengths, one for match offsets), the list of
+//! encoded sub-block sizes — which is what lets every GPU thread seek
+//! directly to its own sub-block — and the Huffman bitstream itself.
+//! Gompresso/Byte blocks store the LZ4-style byte-level encoding instead.
+//!
+//! This crate owns:
+//!
+//! * [`header::FileHeader`] — the container header and its serialization,
+//! * [`token_code`] — the symbol mapping used by the bit-level encoding
+//!   (literal/length alphabet, offset alphabet, extra bits),
+//! * [`bit_block`] — Huffman-coded block payloads with sub-block seeking,
+//! * [`byte_block`] — the byte-level (Gompresso/Byte) block payload,
+//! * [`file`] — the top-level container tying header and payloads together.
+//!
+//! The compressor and the parallel decompressor live in `gompresso-core`;
+//! everything here is deterministic, sequential, and independent of the
+//! execution strategy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bit_block;
+pub mod byte_block;
+pub mod error;
+pub mod file;
+pub mod header;
+pub mod token_code;
+
+pub use bit_block::BitBlock;
+pub use byte_block::ByteBlock;
+pub use error::FormatError;
+pub use file::{BlockPayload, CompressedFile};
+pub use header::{EncodingMode, FileHeader};
+
+/// Result alias for format operations.
+pub type Result<T> = std::result::Result<T, FormatError>;
+
+/// Magic bytes identifying a Gompresso file ("GPSO").
+pub const MAGIC: [u8; 4] = *b"GPSO";
+
+/// Current format version.
+pub const FORMAT_VERSION: u8 = 1;

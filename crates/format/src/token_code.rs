@@ -1,0 +1,272 @@
+//! Symbol alphabets for the bit-level (Gompresso/Bit) encoding.
+//!
+//! Like DEFLATE, Gompresso/Bit entropy-codes three kinds of values with two
+//! Huffman trees (paper, Section III-A):
+//!
+//! * the **literal/length tree** covers literal bytes (symbols `0..=255`),
+//!   an end-of-sequences marker (symbol 256, used for the final literal-only
+//!   sequence of a block), and match-length codes (symbols `257..`);
+//! * the **offset tree** covers match-offset codes.
+//!
+//! Large lengths and offsets are bucketed geometrically: each code denotes a
+//! range of values and is followed by a fixed number of *extra bits* that
+//! select the exact value inside the range — the same construction DEFLATE
+//! uses, generalised so it works for any window size and match-length cap.
+
+use crate::{FormatError, Result};
+
+/// Number of literal symbols (one per byte value).
+pub const LITERAL_SYMBOLS: u16 = 256;
+
+/// Symbol marking "no back-reference follows" (final sequence of a block).
+pub const END_OF_SEQUENCES: u16 = 256;
+
+/// First match-length symbol.
+pub const FIRST_LENGTH_SYMBOL: u16 = 257;
+
+/// Number of value codes in the geometric bucketing scheme for a maximum
+/// encodable value of `max_value`.
+fn bucket_count(max_value: u32) -> u16 {
+    bucket_of(max_value).0 + 1
+}
+
+/// Maps a non-negative value to `(bucket, extra_bits, extra_value)`.
+///
+/// Values 0..=3 get their own bucket with no extra bits; larger values are
+/// split by bit length, two buckets per bit length, so bucket `b >= 4` covers
+/// `2^(k-1) + j*2^(k-2) ..` for `k = (b - 4) / 2 + 3`.
+fn bucket_of(value: u32) -> (u16, u8, u32) {
+    if value < 4 {
+        return (value as u16, 0, 0);
+    }
+    let nbits = 32 - value.leading_zeros(); // >= 3
+    let extra_bits = (nbits - 2) as u8;
+    let half = (value >> (nbits - 2)) & 1; // second-highest bit
+    let bucket = 4 + 2 * (nbits as u16 - 3) + half as u16;
+    let extra = value & ((1u32 << extra_bits) - 1);
+    (bucket, extra_bits, extra)
+}
+
+/// Reconstructs the value range base and extra-bit count of a bucket.
+fn bucket_base(bucket: u16) -> (u32, u8) {
+    if bucket < 4 {
+        return (u32::from(bucket), 0);
+    }
+    let k = (bucket - 4) / 2 + 3; // bit length of values in this bucket
+    let half = (bucket - 4) % 2;
+    let extra_bits = (k - 2) as u8;
+    let base = (1u32 << (k - 1)) + (u32::from(half) << (k - 2));
+    (base, extra_bits)
+}
+
+/// The token-coding parameters for one file: alphabet sizes derived from the
+/// configured window size, minimum and maximum match lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenCoder {
+    /// Minimum match length (lengths are coded relative to it).
+    pub min_match_len: u32,
+    /// Maximum match length.
+    pub max_match_len: u32,
+    /// Maximum match offset (the window size).
+    pub max_offset: u32,
+}
+
+impl TokenCoder {
+    /// Creates a coder; errors if the parameters are out of range.
+    pub fn new(min_match_len: u32, max_match_len: u32, max_offset: u32) -> Result<Self> {
+        if min_match_len < 1 || max_match_len < min_match_len {
+            return Err(FormatError::InvalidHeaderField {
+                field: "max_match_len",
+                value: u64::from(max_match_len),
+            });
+        }
+        if max_offset < 1 || max_offset > (1 << 30) {
+            return Err(FormatError::InvalidHeaderField { field: "window_size", value: u64::from(max_offset) });
+        }
+        Ok(Self { min_match_len, max_match_len, max_offset })
+    }
+
+    /// Size of the literal/length alphabet.
+    pub fn lit_len_alphabet(&self) -> usize {
+        usize::from(FIRST_LENGTH_SYMBOL) + usize::from(bucket_count(self.max_match_len - self.min_match_len))
+    }
+
+    /// Size of the offset alphabet.
+    pub fn offset_alphabet(&self) -> usize {
+        usize::from(bucket_count(self.max_offset - 1))
+    }
+
+    /// Encodes a match length as `(symbol, extra_bits, extra_value)`.
+    pub fn encode_length(&self, len: u32) -> Result<(u16, u8, u32)> {
+        if len < self.min_match_len || len > self.max_match_len {
+            return Err(FormatError::InvalidToken { reason: "match length out of configured range" });
+        }
+        let (bucket, bits, extra) = bucket_of(len - self.min_match_len);
+        Ok((FIRST_LENGTH_SYMBOL + bucket, bits, extra))
+    }
+
+    /// Number of extra bits that follow a length symbol.
+    pub fn length_extra_bits(&self, symbol: u16) -> Result<u8> {
+        if symbol < FIRST_LENGTH_SYMBOL || usize::from(symbol) >= self.lit_len_alphabet() {
+            return Err(FormatError::InvalidToken { reason: "not a length symbol" });
+        }
+        Ok(bucket_base(symbol - FIRST_LENGTH_SYMBOL).1)
+    }
+
+    /// Decodes a length symbol plus its extra bits back into a match length.
+    pub fn decode_length(&self, symbol: u16, extra: u32) -> Result<u32> {
+        if symbol < FIRST_LENGTH_SYMBOL || usize::from(symbol) >= self.lit_len_alphabet() {
+            return Err(FormatError::InvalidToken { reason: "not a length symbol" });
+        }
+        let (base, bits) = bucket_base(symbol - FIRST_LENGTH_SYMBOL);
+        if bits < 32 && extra >= (1u32 << bits) {
+            return Err(FormatError::InvalidToken { reason: "length extra bits out of range" });
+        }
+        let len = base + extra + self.min_match_len;
+        if len > self.max_match_len {
+            return Err(FormatError::InvalidToken { reason: "decoded match length exceeds maximum" });
+        }
+        Ok(len)
+    }
+
+    /// Encodes a match offset (distance ≥ 1) as `(symbol, extra_bits, extra)`.
+    pub fn encode_offset(&self, offset: u32) -> Result<(u16, u8, u32)> {
+        if offset < 1 || offset > self.max_offset {
+            return Err(FormatError::InvalidToken { reason: "match offset out of configured range" });
+        }
+        let (bucket, bits, extra) = bucket_of(offset - 1);
+        Ok((bucket, bits, extra))
+    }
+
+    /// Number of extra bits that follow an offset symbol.
+    pub fn offset_extra_bits(&self, symbol: u16) -> Result<u8> {
+        if usize::from(symbol) >= self.offset_alphabet() {
+            return Err(FormatError::InvalidToken { reason: "not an offset symbol" });
+        }
+        Ok(bucket_base(symbol).1)
+    }
+
+    /// Decodes an offset symbol plus extra bits back into a distance.
+    pub fn decode_offset(&self, symbol: u16, extra: u32) -> Result<u32> {
+        if usize::from(symbol) >= self.offset_alphabet() {
+            return Err(FormatError::InvalidToken { reason: "not an offset symbol" });
+        }
+        let (base, bits) = bucket_base(symbol);
+        if bits < 32 && extra >= (1u32 << bits) {
+            return Err(FormatError::InvalidToken { reason: "offset extra bits out of range" });
+        }
+        let offset = base + extra + 1;
+        if offset > self.max_offset {
+            return Err(FormatError::InvalidToken { reason: "decoded offset exceeds window" });
+        }
+        Ok(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coder() -> TokenCoder {
+        TokenCoder::new(3, 258, 32 * 1024).unwrap()
+    }
+
+    #[test]
+    fn bucket_mapping_is_invertible_for_all_small_values() {
+        for v in 0u32..100_000 {
+            let (bucket, bits, extra) = bucket_of(v);
+            let (base, bits2) = bucket_base(bucket);
+            assert_eq!(bits, bits2, "extra-bit mismatch for {v}");
+            assert_eq!(base + extra, v, "value mismatch for {v}");
+            if bits < 32 {
+                assert!(extra < (1u32 << bits));
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotonic_in_value() {
+        let mut last = 0u16;
+        for v in 0u32..10_000 {
+            let (bucket, _, _) = bucket_of(v);
+            assert!(bucket >= last);
+            last = bucket;
+        }
+    }
+
+    #[test]
+    fn length_roundtrip_over_full_range() {
+        let c = coder();
+        for len in 3u32..=258 {
+            let (sym, bits, extra) = c.encode_length(len).unwrap();
+            assert_eq!(c.length_extra_bits(sym).unwrap(), bits);
+            assert_eq!(c.decode_length(sym, extra).unwrap(), len);
+            assert!(usize::from(sym) < c.lit_len_alphabet());
+            assert!(sym >= FIRST_LENGTH_SYMBOL);
+        }
+    }
+
+    #[test]
+    fn offset_roundtrip_over_full_range() {
+        let c = coder();
+        for offset in (1u32..=32 * 1024).step_by(7) {
+            let (sym, bits, extra) = c.encode_offset(offset).unwrap();
+            assert_eq!(c.offset_extra_bits(sym).unwrap(), bits);
+            assert_eq!(c.decode_offset(sym, extra).unwrap(), offset);
+            assert!(usize::from(sym) < c.offset_alphabet());
+        }
+        // Boundary values explicitly.
+        for offset in [1u32, 2, 3, 4, 5, 8, 9, 16, 1024, 32 * 1024] {
+            let (sym, _, extra) = c.encode_offset(offset).unwrap();
+            assert_eq!(c.decode_offset(sym, extra).unwrap(), offset);
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        let c = coder();
+        assert!(c.encode_length(2).is_err());
+        assert!(c.encode_length(259).is_err());
+        assert!(c.encode_offset(0).is_err());
+        assert!(c.encode_offset(32 * 1024 + 1).is_err());
+        assert!(c.decode_length(100, 0).is_err()); // literal symbol, not length
+        assert!(c.decode_offset(1000, 0).is_err());
+        // Excessive extra bits are rejected.
+        let (sym, bits, _) = c.encode_length(100).unwrap();
+        assert!(bits > 0);
+        assert!(c.decode_length(sym, 1 << bits).is_err());
+    }
+
+    #[test]
+    fn alphabets_are_compact() {
+        let c = coder();
+        // 256 literals + end marker + length codes; lengths 3..=258 span
+        // values 0..=255 (8 bits) → at most 4 + 2*6 = 16 buckets.
+        assert!(c.lit_len_alphabet() <= 257 + 16);
+        assert!(c.lit_len_alphabet() > 257);
+        // Offsets up to 32 K → values up to 15 bits → at most 4 + 2*13 = 30.
+        assert!(c.offset_alphabet() <= 30);
+        assert!(c.offset_alphabet() >= 20);
+    }
+
+    #[test]
+    fn small_window_coder_works() {
+        let c = TokenCoder::new(4, 16, 4096).unwrap();
+        for len in 4u32..=16 {
+            let (sym, _, extra) = c.encode_length(len).unwrap();
+            assert_eq!(c.decode_length(sym, extra).unwrap(), len);
+        }
+        for offset in 1u32..=4096 {
+            let (sym, _, extra) = c.encode_offset(offset).unwrap();
+            assert_eq!(c.decode_offset(sym, extra).unwrap(), offset);
+        }
+    }
+
+    #[test]
+    fn invalid_construction_is_rejected() {
+        assert!(TokenCoder::new(0, 10, 100).is_err());
+        assert!(TokenCoder::new(4, 3, 100).is_err());
+        assert!(TokenCoder::new(3, 10, 0).is_err());
+        assert!(TokenCoder::new(3, 10, 1 << 31).is_err());
+    }
+}

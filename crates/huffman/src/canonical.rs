@@ -1,0 +1,294 @@
+//! Canonical code assignment and the on-disk code-length representation.
+//!
+//! A *canonical* Huffman code is fully determined by the code length of each
+//! symbol: symbols are ordered by (length, symbol id) and codes are assigned
+//! in counting order. Gompresso stores only the lengths in each block header
+//! ("the Huffman trees are written in a canonical representation", paper
+//! Section III-A); both sides rebuild identical codes from them.
+
+use crate::lengths::{limited_code_lengths, validate_code_lengths};
+use crate::{Histogram, HuffmanError, Result};
+use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
+
+/// One symbol's code: the canonical (MSB-first) code value and its length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodeEntry {
+    /// Canonical code value, MSB-first, occupying the low `len` bits.
+    pub code: u32,
+    /// Code length in bits; 0 means the symbol has no code.
+    pub len: u8,
+}
+
+impl CodeEntry {
+    /// The code value with its bits reversed within `len` bits — the form
+    /// written to the LSB-first bitstream and indexed by the decode LUT.
+    pub fn reversed(&self) -> u32 {
+        reverse_bits(self.code, self.len)
+    }
+}
+
+/// Reverses the low `len` bits of `value`.
+pub(crate) fn reverse_bits(value: u32, len: u8) -> u32 {
+    if len == 0 {
+        return 0;
+    }
+    value.reverse_bits() >> (32 - u32::from(len))
+}
+
+/// A complete canonical, length-limited prefix code over a dense alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalCode {
+    entries: Vec<CodeEntry>,
+    max_len: u8,
+}
+
+impl CanonicalCode {
+    /// Builds the optimal length-limited canonical code for a histogram.
+    pub fn from_histogram(hist: &Histogram, max_len: u8) -> Result<Self> {
+        let lengths = limited_code_lengths(hist.counts(), max_len)?;
+        Self::from_lengths(&lengths, max_len)
+    }
+
+    /// Rebuilds a canonical code from a code-length table (the decoder-side
+    /// entry point). Validates that the lengths form a usable prefix code.
+    pub fn from_lengths(lengths: &[u8], max_len: u8) -> Result<Self> {
+        if max_len == 0 || max_len > 32 {
+            return Err(HuffmanError::InvalidMaxLength(max_len));
+        }
+        validate_code_lengths(lengths, max_len)?;
+
+        // Count codes of each length, then derive the first code of each
+        // length (standard DEFLATE / canonical construction).
+        let mut bl_count = vec![0u32; usize::from(max_len) + 1];
+        for &l in lengths {
+            if l > 0 {
+                bl_count[usize::from(l)] += 1;
+            }
+        }
+        let mut next_code = vec![0u32; usize::from(max_len) + 2];
+        let mut code = 0u32;
+        for bits in 1..=usize::from(max_len) {
+            code = (code + bl_count[bits - 1]) << 1;
+            next_code[bits] = code;
+        }
+
+        let mut entries = vec![CodeEntry::default(); lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                entries[sym] = CodeEntry { code: next_code[usize::from(l)], len: l };
+                next_code[usize::from(l)] += 1;
+            }
+        }
+        Ok(Self { entries, max_len })
+    }
+
+    /// Number of symbols in the alphabet (including uncoded ones).
+    pub fn alphabet_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Maximum codeword length this code was constructed for.
+    pub fn max_len(&self) -> u8 {
+        self.max_len
+    }
+
+    /// Longest code length actually used.
+    pub fn longest_used(&self) -> u8 {
+        self.entries.iter().map(|e| e.len).max().unwrap_or(0)
+    }
+
+    /// Per-symbol code entries.
+    pub fn entries(&self) -> &[CodeEntry] {
+        &self.entries
+    }
+
+    /// The entry for one symbol.
+    pub fn entry(&self, symbol: u16) -> Option<CodeEntry> {
+        self.entries.get(symbol as usize).copied()
+    }
+
+    /// Code lengths for every symbol (the canonical representation).
+    pub fn lengths(&self) -> Vec<u8> {
+        self.entries.iter().map(|e| e.len).collect()
+    }
+
+    /// Serializes the code as its length table: alphabet size, then a
+    /// zero-run-length-compressed list of lengths. Runs of zero lengths are
+    /// common (most byte values never occur in a block), so this keeps the
+    /// per-block header small — the paper's Figure 12 relies on header
+    /// overhead being negligible even at 32 KB blocks.
+    pub fn serialize(&self, w: &mut ByteWriter) {
+        write_varint(w, self.alphabet_size() as u64);
+        w.write_u8(self.max_len);
+        let lengths = self.lengths();
+        let mut i = 0usize;
+        while i < lengths.len() {
+            if lengths[i] == 0 {
+                let mut run = 1usize;
+                while i + run < lengths.len() && lengths[i + run] == 0 {
+                    run += 1;
+                }
+                w.write_u8(0);
+                write_varint(w, run as u64);
+                i += run;
+            } else {
+                w.write_u8(lengths[i]);
+                i += 1;
+            }
+        }
+    }
+
+    /// Deserializes a code previously written by [`Self::serialize`].
+    pub fn deserialize(r: &mut ByteReader<'_>) -> Result<Self> {
+        let alphabet = read_varint(r)? as usize;
+        if alphabet == 0 || alphabet > u16::MAX as usize + 1 {
+            return Err(HuffmanError::InvalidCodeLengths { reason: "alphabet size out of range" });
+        }
+        let max_len = r.read_u8()?;
+        let mut lengths = Vec::with_capacity(alphabet);
+        while lengths.len() < alphabet {
+            let l = r.read_u8()?;
+            if l == 0 {
+                let run = read_varint(r)? as usize;
+                if run == 0 || lengths.len() + run > alphabet {
+                    return Err(HuffmanError::InvalidCodeLengths { reason: "zero-run exceeds alphabet" });
+                }
+                lengths.resize(lengths.len() + run, 0);
+            } else {
+                lengths.push(l);
+            }
+        }
+        Self::from_lengths(&lengths, max_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_from(counts: &[u64]) -> Histogram {
+        let mut h = Histogram::new(counts.len());
+        for (i, &c) in counts.iter().enumerate() {
+            h.add_n(i as u16, c);
+        }
+        h
+    }
+
+    #[test]
+    fn reverse_bits_basics() {
+        assert_eq!(reverse_bits(0b1, 1), 0b1);
+        assert_eq!(reverse_bits(0b10, 2), 0b01);
+        assert_eq!(reverse_bits(0b110, 3), 0b011);
+        assert_eq!(reverse_bits(0, 0), 0);
+        assert_eq!(reverse_bits(0x3FF, 10), 0x3FF);
+    }
+
+    #[test]
+    fn canonical_codes_are_ordered_and_prefix_free() {
+        let hist = hist_from(&[45, 13, 12, 16, 9, 5]);
+        let code = CanonicalCode::from_histogram(&hist, 10).unwrap();
+        let entries = code.entries();
+        // Shorter codes must have numerically smaller values when left
+        // aligned; check prefix-freeness exhaustively.
+        for (i, a) in entries.iter().enumerate() {
+            for (j, b) in entries.iter().enumerate() {
+                if i == j || a.len == 0 || b.len == 0 {
+                    continue;
+                }
+                let (short, long) = if a.len <= b.len { (a, b) } else { (b, a) };
+                let prefix = long.code >> (long.len - short.len);
+                assert!(
+                    !(prefix == short.code && (a.len != b.len || a.code != b.code)),
+                    "code {i} and {j} are not prefix-free"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_assignment_is_deterministic_in_symbol_order() {
+        // Equal frequencies: canonical order must break ties by symbol id.
+        let hist = hist_from(&[10, 10, 10, 10]);
+        let code = CanonicalCode::from_histogram(&hist, 4).unwrap();
+        let e = code.entries();
+        assert!(e[0].code < e[1].code);
+        assert!(e[1].code < e[2].code);
+        assert!(e[2].code < e[3].code);
+        assert!(e.iter().all(|c| c.len == 2));
+    }
+
+    #[test]
+    fn from_lengths_matches_deflate_example() {
+        // RFC 1951 section 3.2.2 example: lengths (3,3,3,3,3,2,4,4) yield
+        // codes 010,011,100,101,110,00,1110,1111.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let code = CanonicalCode::from_lengths(&lengths, 4).unwrap();
+        let codes: Vec<u32> = code.entries().iter().map(|e| e.code).collect();
+        assert_eq!(codes, vec![0b010, 0b011, 0b100, 0b101, 0b110, 0b00, 0b1110, 0b1111]);
+    }
+
+    #[test]
+    fn serialize_roundtrip_preserves_code() {
+        let mut counts = vec![0u64; 300];
+        counts[7] = 100;
+        counts[42] = 50;
+        counts[255] = 10;
+        counts[299] = 1;
+        let code = CanonicalCode::from_histogram(&hist_from(&counts), 10).unwrap();
+        let mut w = ByteWriter::new();
+        code.serialize(&mut w);
+        let bytes = w.finish();
+        // The zero-run compression should make this much smaller than 300.
+        assert!(bytes.len() < 40, "serialized {} bytes", bytes.len());
+        let mut r = ByteReader::new(&bytes);
+        let back = CanonicalCode::deserialize(&mut r).unwrap();
+        assert_eq!(back, code);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        // Truncated input.
+        let mut r = ByteReader::new(&[5]);
+        assert!(CanonicalCode::deserialize(&mut r).is_err());
+        // Zero-run overruns the alphabet.
+        let mut w = ByteWriter::new();
+        write_varint(&mut w, 4);
+        w.write_u8(10); // max_len
+        w.write_u8(0);
+        write_varint(&mut w, 100);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert!(CanonicalCode::deserialize(&mut r).is_err());
+        // Oversubscribed lengths are rejected by validation.
+        let mut w = ByteWriter::new();
+        write_varint(&mut w, 3);
+        w.write_u8(10);
+        w.write_u8(1);
+        w.write_u8(1);
+        w.write_u8(1);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert!(CanonicalCode::deserialize(&mut r).is_err());
+    }
+
+    #[test]
+    fn longest_used_respects_limit() {
+        let mut counts = vec![0u64; 40];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = 1 << (i % 20);
+        }
+        let code = CanonicalCode::from_histogram(&hist_from(&counts), 10).unwrap();
+        assert!(code.longest_used() <= 10);
+        assert_eq!(code.max_len(), 10);
+    }
+
+    #[test]
+    fn entry_lookup_and_bounds() {
+        let code = CanonicalCode::from_histogram(&hist_from(&[5, 5]), 4).unwrap();
+        assert!(code.entry(0).is_some());
+        assert!(code.entry(1).is_some());
+        assert!(code.entry(2).is_none());
+        assert_eq!(code.alphabet_size(), 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Table-driven (single-lookup) decoder.
+//!
+//! This is the decoder design the paper uses on the GPU: a flat table with
+//! `2^CWL` entries indexed by the next `CWL` bits of the stream. One lookup
+//! yields the symbol and the true code length to consume — no tree walk, no
+//! data-dependent branching, which keeps the 32 lanes of a warp from
+//! diverging while they decode different sub-blocks (Section III-B-1).
+
+use crate::{CanonicalCode, HuffmanError, Result};
+use gompresso_bitstream::BitReader;
+
+/// A flat decode look-up table for one canonical code.
+#[derive(Debug, Clone)]
+pub struct DecodeTable {
+    /// `entries[bits]` = (symbol, code length); length 0 marks an invalid
+    /// codeword prefix (possible when the code does not exhaust the Kraft
+    /// budget).
+    entries: Vec<(u16, u8)>,
+    /// Index width in bits (the code's maximum codeword length).
+    index_bits: u8,
+}
+
+impl DecodeTable {
+    /// Builds the LUT for a canonical code.
+    pub fn new(code: &CanonicalCode) -> Result<Self> {
+        let index_bits = code.max_len();
+        if index_bits == 0 || index_bits > 24 {
+            return Err(HuffmanError::InvalidMaxLength(index_bits));
+        }
+        let size = 1usize << index_bits;
+        let mut entries = vec![(0u16, 0u8); size];
+        for (sym, entry) in code.entries().iter().enumerate() {
+            if entry.len == 0 {
+                continue;
+            }
+            // The bitstream is LSB-first, so the decoder peeks `index_bits`
+            // bits whose low `entry.len` bits are the reversed codeword; all
+            // possible values of the remaining high bits map to this symbol.
+            let rev = entry.reversed();
+            let step = 1usize << entry.len;
+            let mut idx = rev as usize;
+            while idx < size {
+                entries[idx] = (sym as u16, entry.len);
+                idx += step;
+            }
+        }
+        Ok(Self { entries, index_bits })
+    }
+
+    /// Number of bits used to index the table (CWL).
+    pub fn index_bits(&self) -> u8 {
+        self.index_bits
+    }
+
+    /// Size of the table in entries (`2^CWL`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Shared-memory footprint of this table in bytes if it were resident on
+    /// the GPU (4 bytes per entry — see the occupancy model).
+    pub fn simulated_shared_bytes(&self) -> u32 {
+        (self.entries.len() * 4) as u32
+    }
+
+    /// Decodes one symbol from the bitstream.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        let window = r.peek_bits(u32::from(self.index_bits))?;
+        let (symbol, len) = self.entries[window as usize];
+        if len == 0 {
+            return Err(HuffmanError::InvalidCodeword { bits: window });
+        }
+        r.consume_bits(u32::from(len))?;
+        Ok(symbol)
+    }
+
+    /// Decodes one symbol and reports the number of bits consumed.
+    pub fn decode_with_len(&self, r: &mut BitReader<'_>) -> Result<(u16, u8)> {
+        let window = r.peek_bits(u32::from(self.index_bits))?;
+        let (symbol, len) = self.entries[window as usize];
+        if len == 0 {
+            return Err(HuffmanError::InvalidCodeword { bits: window });
+        }
+        r.consume_bits(u32::from(len))?;
+        Ok((symbol, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EncodeTable, Histogram};
+    use gompresso_bitstream::BitWriter;
+
+    fn code_for(counts: &[u64], max_len: u8) -> CanonicalCode {
+        let mut h = Histogram::new(counts.len());
+        for (i, &c) in counts.iter().enumerate() {
+            h.add_n(i as u16, c);
+        }
+        CanonicalCode::from_histogram(&h, max_len).unwrap()
+    }
+
+    #[test]
+    fn lut_size_matches_cwl() {
+        let code = code_for(&[3, 3, 2, 1], 10);
+        let dec = DecodeTable::new(&code).unwrap();
+        assert_eq!(dec.len(), 1024);
+        assert_eq!(dec.index_bits(), 10);
+        assert_eq!(dec.simulated_shared_bytes(), 4096);
+        assert!(!dec.is_empty());
+    }
+
+    #[test]
+    fn decode_handles_final_short_codeword() {
+        // A stream whose last codeword does not fill the peek window: the
+        // reader zero-fills, and the LUT must still resolve it.
+        let code = code_for(&[10, 1], 10);
+        let enc = EncodeTable::new(&code);
+        let dec = DecodeTable::new(&code).unwrap();
+        let mut w = BitWriter::new();
+        enc.encode(&mut w, 1).unwrap();
+        enc.encode(&mut w, 0).unwrap();
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dec.decode(&mut r).unwrap(), 1);
+        assert_eq!(dec.decode(&mut r).unwrap(), 0);
+    }
+
+    #[test]
+    fn decode_with_len_reports_consumed_bits() {
+        let code = code_for(&[100, 10, 5, 1], 10);
+        let enc = EncodeTable::new(&code);
+        let dec = DecodeTable::new(&code).unwrap();
+        let mut w = BitWriter::new();
+        enc.encode(&mut w, 3).unwrap();
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let (sym, len) = dec.decode_with_len(&mut r).unwrap();
+        assert_eq!(sym, 3);
+        assert_eq!(len, enc.code_len(3).unwrap());
+    }
+
+    #[test]
+    fn invalid_prefix_is_detected_when_code_is_incomplete() {
+        // Single-symbol code: only codeword "0"; a stream starting with "1"
+        // hits an unassigned LUT slot.
+        let code = code_for(&[5], 4);
+        let dec = DecodeTable::new(&code).unwrap();
+        let bytes = [0b0000_0001u8];
+        let mut r = BitReader::new(&bytes);
+        assert!(matches!(dec.decode(&mut r), Err(HuffmanError::InvalidCodeword { .. })));
+    }
+
+    #[test]
+    fn empty_stream_yields_error_not_panic() {
+        let code = code_for(&[5, 5], 10);
+        let dec = DecodeTable::new(&code).unwrap();
+        let mut r = BitReader::new(&[]);
+        // Peek of an empty stream returns 0 zero-filled, which decodes to a
+        // symbol but then fails to consume — either way an error must
+        // surface, never a panic.
+        assert!(dec.decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn long_stream_roundtrip_with_many_symbols() {
+        let mut counts = vec![0u64; 300];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = (i as u64 % 17) + 1;
+        }
+        let code = code_for(&counts, 12);
+        let enc = EncodeTable::new(&code);
+        let dec = DecodeTable::new(&code).unwrap();
+        let symbols: Vec<u16> = (0..5000u32).map(|i| ((i * 7919) % 300) as u16).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            enc.encode(&mut w, s).unwrap();
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn oversized_index_is_rejected() {
+        // max_len of 25 would require a 32M-entry LUT; the constructor
+        // refuses, mirroring the shared-memory constraint on the GPU.
+        let lengths = vec![1u8, 1];
+        let code = CanonicalCode::from_lengths(&lengths, 25).unwrap();
+        assert!(matches!(DecodeTable::new(&code), Err(HuffmanError::InvalidMaxLength(25))));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for Huffman construction and decoding.
+
+use gompresso_bitstream::StreamError;
+use std::fmt;
+
+/// Errors surfaced by the Huffman coder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// The frequency table contains no symbols with nonzero frequency.
+    EmptyAlphabet,
+    /// The alphabet is larger than `2^max_len`, so no prefix code of the
+    /// requested maximum length can cover it.
+    AlphabetTooLarge {
+        /// Number of symbols that need codes.
+        symbols: usize,
+        /// The requested maximum code length.
+        max_len: u8,
+    },
+    /// The requested maximum codeword length is outside 1..=32.
+    InvalidMaxLength(u8),
+    /// A serialized code-length table is not a valid prefix code (its Kraft
+    /// sum exceeds 1) or contains a length above the declared maximum.
+    InvalidCodeLengths {
+        /// Description of the specific violation.
+        reason: &'static str,
+    },
+    /// A symbol outside the code's alphabet was passed to the encoder.
+    UnknownSymbol(u16),
+    /// The bitstream ended in the middle of a codeword or contained a bit
+    /// pattern that is not a valid codeword prefix.
+    Decode(StreamError),
+    /// A decoded bit pattern does not correspond to any codeword.
+    InvalidCodeword {
+        /// The offending `max_len`-bit window.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HuffmanError::EmptyAlphabet => write!(f, "cannot build a Huffman code over an empty alphabet"),
+            HuffmanError::AlphabetTooLarge { symbols, max_len } => write!(
+                f,
+                "{symbols} symbols cannot be coded with a maximum codeword length of {max_len} bits"
+            ),
+            HuffmanError::InvalidMaxLength(l) => write!(f, "invalid maximum codeword length {l}"),
+            HuffmanError::InvalidCodeLengths { reason } => write!(f, "invalid code length table: {reason}"),
+            HuffmanError::UnknownSymbol(s) => write!(f, "symbol {s} is not part of the code's alphabet"),
+            HuffmanError::Decode(e) => write!(f, "bitstream error during Huffman decode: {e}"),
+            HuffmanError::InvalidCodeword { bits } => write!(f, "bit pattern {bits:#x} is not a valid codeword"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HuffmanError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StreamError> for HuffmanError {
+    fn from(e: StreamError) -> Self {
+        HuffmanError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_values() {
+        assert!(HuffmanError::AlphabetTooLarge { symbols: 2000, max_len: 10 }.to_string().contains("2000"));
+        assert!(HuffmanError::UnknownSymbol(300).to_string().contains("300"));
+        assert!(HuffmanError::InvalidCodeword { bits: 0x3FF }.to_string().contains("0x3ff"));
+    }
+
+    #[test]
+    fn stream_errors_convert() {
+        let e: HuffmanError = StreamError::VarintOverflow.into();
+        assert!(matches!(e, HuffmanError::Decode(_)));
+    }
+}

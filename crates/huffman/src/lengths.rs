@@ -1,0 +1,297 @@
+//! Code-length assignment: optimal Huffman and length-limited
+//! (package-merge) variants.
+//!
+//! Gompresso/Bit limits codeword lengths to `CWL` bits (10 in the paper) so
+//! that the flat decode tables fit in GPU shared memory. The package-merge
+//! algorithm produces the *optimal* prefix code subject to that limit, which
+//! keeps the compression-ratio penalty of limiting at the few-percent level
+//! the paper reports (~9 % end-to-end versus zlib).
+
+use crate::{HuffmanError, Result};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Computes unrestricted Huffman code lengths for the given frequencies.
+///
+/// Symbols with zero frequency receive length 0 (no code). If only one
+/// symbol has nonzero frequency it receives length 1 (a prefix code needs at
+/// least one bit per symbol to be decodable).
+pub fn code_lengths(freqs: &[u64]) -> Result<Vec<u8>> {
+    let nonzero: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    if nonzero.is_empty() {
+        return Err(HuffmanError::EmptyAlphabet);
+    }
+    let mut lengths = vec![0u8; freqs.len()];
+    if nonzero.len() == 1 {
+        lengths[nonzero[0]] = 1;
+        return Ok(lengths);
+    }
+
+    // Standard heap-based Huffman tree construction over internal nodes.
+    // `nodes[i]` stores (parent index or usize::MAX). Leaves occupy
+    // 0..nonzero.len(), internal nodes follow.
+    let n = nonzero.len();
+    let mut parent = vec![usize::MAX; 2 * n - 1];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(n);
+    for (leaf_idx, &sym) in nonzero.iter().enumerate() {
+        heap.push(Reverse((freqs[sym], leaf_idx)));
+    }
+    let mut next_node = n;
+    while heap.len() > 1 {
+        let Reverse((w1, n1)) = heap.pop().expect("heap has >1 element");
+        let Reverse((w2, n2)) = heap.pop().expect("heap has >1 element");
+        parent[n1] = next_node;
+        parent[n2] = next_node;
+        heap.push(Reverse((w1 + w2, next_node)));
+        next_node += 1;
+    }
+
+    // Depth of each leaf = number of parent hops to the root.
+    for (leaf_idx, &sym) in nonzero.iter().enumerate() {
+        let mut depth = 0u32;
+        let mut node = leaf_idx;
+        while parent[node] != usize::MAX {
+            node = parent[node];
+            depth += 1;
+        }
+        lengths[sym] = depth.min(255) as u8;
+    }
+    Ok(lengths)
+}
+
+/// Computes optimal code lengths subject to `max_len` using package-merge.
+///
+/// Zero-frequency symbols receive length 0. Errors if the alphabet is empty,
+/// if `max_len` is 0 or greater than 32, or if more than `2^max_len` symbols
+/// need codes (no prefix code of that length can exist).
+pub fn limited_code_lengths(freqs: &[u64], max_len: u8) -> Result<Vec<u8>> {
+    if max_len == 0 || max_len > 32 {
+        return Err(HuffmanError::InvalidMaxLength(max_len));
+    }
+    let nonzero: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    if nonzero.is_empty() {
+        return Err(HuffmanError::EmptyAlphabet);
+    }
+    let n = nonzero.len();
+    if (n as u64) > 1u64 << max_len.min(63) {
+        return Err(HuffmanError::AlphabetTooLarge { symbols: n, max_len });
+    }
+    let mut lengths = vec![0u8; freqs.len()];
+    if n == 1 {
+        lengths[nonzero[0]] = 1;
+        return Ok(lengths);
+    }
+
+    // Fast path: if the unrestricted Huffman code already satisfies the
+    // limit it is optimal, so use it as-is.
+    let unrestricted = code_lengths(freqs)?;
+    if unrestricted.iter().all(|&l| l <= max_len) {
+        return Ok(unrestricted);
+    }
+
+    // Package-merge. Each list element carries the set of original leaves it
+    // contains; a leaf's final code length is the number of selected
+    // elements that contain it.
+    #[derive(Clone)]
+    struct Item {
+        weight: u64,
+        leaves: Vec<u32>,
+    }
+
+    let mut leaves: Vec<Item> = nonzero
+        .iter()
+        .map(|&sym| Item { weight: freqs[sym], leaves: vec![sym as u32] })
+        .collect();
+    leaves.sort_by_key(|it| it.weight);
+
+    // `current` is the list for the level being processed, starting at the
+    // deepest level (max_len) which contains only the original leaves.
+    let mut current: Vec<Item> = leaves.clone();
+    for _level in 1..max_len {
+        // Package adjacent pairs.
+        let mut packages: Vec<Item> = Vec::with_capacity(current.len() / 2);
+        let mut iter = current.chunks_exact(2);
+        for pair in &mut iter {
+            let mut merged = pair[0].leaves.clone();
+            merged.extend_from_slice(&pair[1].leaves);
+            packages.push(Item { weight: pair[0].weight + pair[1].weight, leaves: merged });
+        }
+        // Merge packages with a fresh copy of the leaves, keeping the list
+        // sorted by weight (stable: leaves first on ties, which matches the
+        // canonical construction used downstream).
+        let mut next: Vec<Item> = Vec::with_capacity(leaves.len() + packages.len());
+        let (mut li, mut pi) = (0usize, 0usize);
+        while li < leaves.len() || pi < packages.len() {
+            let take_leaf = match (leaves.get(li), packages.get(pi)) {
+                (Some(l), Some(p)) => l.weight <= p.weight,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!(),
+            };
+            if take_leaf {
+                next.push(leaves[li].clone());
+                li += 1;
+            } else {
+                next.push(packages[pi].clone());
+                pi += 1;
+            }
+        }
+        current = next;
+    }
+
+    // Select the first 2n - 2 elements of the final (level-1) list; each
+    // containment of a leaf adds one bit to that leaf's code length.
+    let select = 2 * n - 2;
+    let mut depth = vec![0u32; freqs.len()];
+    for item in current.iter().take(select) {
+        for &sym in &item.leaves {
+            depth[sym as usize] += 1;
+        }
+    }
+    for &sym in &nonzero {
+        debug_assert!(depth[sym] >= 1 && depth[sym] <= u32::from(max_len));
+        lengths[sym] = depth[sym] as u8;
+    }
+    Ok(lengths)
+}
+
+/// Checks that a code-length table is a valid prefix code: every nonzero
+/// length is at most `max_len` and the Kraft sum does not exceed 1.
+pub fn validate_code_lengths(lengths: &[u8], max_len: u8) -> Result<()> {
+    let mut kraft = 0u64; // in units of 2^-max_len
+    let unit = 1u64 << max_len;
+    let mut any = false;
+    for &l in lengths {
+        if l == 0 {
+            continue;
+        }
+        any = true;
+        if l > max_len {
+            return Err(HuffmanError::InvalidCodeLengths { reason: "code length exceeds declared maximum" });
+        }
+        kraft += unit >> l;
+        if kraft > unit {
+            return Err(HuffmanError::InvalidCodeLengths { reason: "Kraft sum exceeds 1 (over-subscribed code)" });
+        }
+    }
+    if !any {
+        return Err(HuffmanError::EmptyAlphabet);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_length(freqs: &[u64], lengths: &[u8]) -> u64 {
+        freqs.iter().zip(lengths).map(|(&f, &l)| f * u64::from(l)).sum()
+    }
+
+    #[test]
+    fn empty_alphabet_is_rejected() {
+        assert!(matches!(code_lengths(&[0, 0, 0]), Err(HuffmanError::EmptyAlphabet)));
+        assert!(matches!(limited_code_lengths(&[0, 0], 8), Err(HuffmanError::EmptyAlphabet)));
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lengths = code_lengths(&[0, 42, 0]).unwrap();
+        assert_eq!(lengths, vec![0, 1, 0]);
+        let lengths = limited_code_lengths(&[0, 42, 0], 10).unwrap();
+        assert_eq!(lengths, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let lengths = code_lengths(&[10, 90]).unwrap();
+        assert_eq!(lengths, vec![1, 1]);
+    }
+
+    #[test]
+    fn classic_example_matches_known_optimum() {
+        // Frequencies 5, 9, 12, 13, 16, 45 — the textbook example; expected
+        // lengths 4, 4, 3, 3, 3, 1 (total weighted length 224).
+        let freqs = [5u64, 9, 12, 13, 16, 45];
+        let lengths = code_lengths(&freqs).unwrap();
+        assert_eq!(weighted_length(&freqs, &lengths), 224);
+        assert_eq!(lengths[5], 1);
+    }
+
+    #[test]
+    fn skewed_distribution_exceeds_limit_and_gets_clamped() {
+        // Fibonacci-like frequencies force a deep Huffman tree.
+        let freqs = [1u64, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377];
+        let unrestricted = code_lengths(&freqs).unwrap();
+        assert!(unrestricted.iter().copied().max().unwrap() > 6);
+        let limited = limited_code_lengths(&freqs, 6).unwrap();
+        assert!(limited.iter().copied().max().unwrap() <= 6);
+        validate_code_lengths(&limited, 6).unwrap();
+        // The limited code cannot be shorter than the optimum...
+        assert!(weighted_length(&freqs, &limited) >= weighted_length(&freqs, &unrestricted));
+        // ...but must still beat a fixed-length (4-bit) code for this skew.
+        assert!(weighted_length(&freqs, &limited) < 4 * freqs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn limited_equals_unrestricted_when_limit_is_loose() {
+        let freqs = [7u64, 7, 7, 7, 9, 11, 13];
+        let a = code_lengths(&freqs).unwrap();
+        let b = limited_code_lengths(&freqs, 15).unwrap();
+        assert_eq!(weighted_length(&freqs, &a), weighted_length(&freqs, &b));
+    }
+
+    #[test]
+    fn package_merge_is_optimal_for_small_case() {
+        // For max_len = 3 and 5 equal-ish symbols the optimal solution is
+        // known: lengths {2,2,2,3,3} or a permutation with the same weighted
+        // total.
+        let freqs = [10u64, 10, 10, 9, 9];
+        let limited = limited_code_lengths(&freqs, 3).unwrap();
+        validate_code_lengths(&limited, 3).unwrap();
+        let total = weighted_length(&freqs, &limited);
+        // {2,2,2,3,3} → 3 symbols × freq 10 × 2 bits + 2 symbols × freq 9 × 3 bits = 114.
+        assert_eq!(total, 114);
+    }
+
+    #[test]
+    fn alphabet_too_large_for_limit() {
+        let freqs = vec![1u64; 40];
+        assert!(matches!(
+            limited_code_lengths(&freqs, 5),
+            Err(HuffmanError::AlphabetTooLarge { symbols: 40, max_len: 5 })
+        ));
+        // 32 symbols fit exactly into 5 bits.
+        let freqs = vec![1u64; 32];
+        let lengths = limited_code_lengths(&freqs, 5).unwrap();
+        assert!(lengths.iter().all(|&l| l == 5));
+    }
+
+    #[test]
+    fn invalid_max_len_is_rejected() {
+        assert!(matches!(limited_code_lengths(&[1, 1], 0), Err(HuffmanError::InvalidMaxLength(0))));
+        assert!(matches!(limited_code_lengths(&[1, 1], 33), Err(HuffmanError::InvalidMaxLength(33))));
+    }
+
+    #[test]
+    fn validation_catches_oversubscription() {
+        // Three codes of length 1 cannot coexist.
+        assert!(validate_code_lengths(&[1, 1, 1], 10).is_err());
+        // Lengths above the maximum are rejected.
+        assert!(validate_code_lengths(&[11, 1], 10).is_err());
+        // A valid table passes.
+        validate_code_lengths(&[1, 2, 2], 10).unwrap();
+        // All-zero tables are rejected.
+        assert!(validate_code_lengths(&[0, 0], 10).is_err());
+    }
+
+    #[test]
+    fn zero_frequency_symbols_get_no_code() {
+        let freqs = [0u64, 5, 0, 7, 0];
+        let lengths = limited_code_lengths(&freqs, 10).unwrap();
+        assert_eq!(lengths[0], 0);
+        assert_eq!(lengths[2], 0);
+        assert_eq!(lengths[4], 0);
+        assert!(lengths[1] > 0 && lengths[3] > 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for LZ77 (de)compression.
+
+use std::fmt;
+
+/// Errors surfaced while decompressing or validating an LZ77 sequence block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lz77Error {
+    /// A back-reference points before the start of the block's output.
+    OffsetBeforeStart {
+        /// Index of the offending sequence.
+        sequence: usize,
+        /// Output position at which the back-reference starts.
+        position: usize,
+        /// The (too large) backward offset.
+        offset: usize,
+    },
+    /// A back-reference has a zero offset but a nonzero length.
+    ZeroOffset {
+        /// Index of the offending sequence.
+        sequence: usize,
+    },
+    /// The sequence block claims more literal bytes than it carries.
+    LiteralOverrun {
+        /// Index of the offending sequence.
+        sequence: usize,
+        /// Literal bytes requested by the sequences up to this point.
+        requested: usize,
+        /// Literal bytes actually present in the block.
+        available: usize,
+    },
+    /// The declared uncompressed length does not match the reconstruction.
+    LengthMismatch {
+        /// Length declared in the block.
+        declared: usize,
+        /// Length actually produced.
+        produced: usize,
+    },
+    /// The dependency-elimination invariant is violated: a back-reference
+    /// reads data written by another back-reference of the same warp group.
+    DependencyViolation {
+        /// Index of the offending sequence.
+        sequence: usize,
+        /// First output position of the group (the warp high-water mark).
+        group_start: usize,
+        /// End (exclusive) of the range the back-reference reads.
+        read_end: usize,
+    },
+}
+
+impl fmt::Display for Lz77Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lz77Error::OffsetBeforeStart { sequence, position, offset } => write!(
+                f,
+                "sequence {sequence}: back-reference offset {offset} reaches before block start at position {position}"
+            ),
+            Lz77Error::ZeroOffset { sequence } => {
+                write!(f, "sequence {sequence}: back-reference with zero offset")
+            }
+            Lz77Error::LiteralOverrun { sequence, requested, available } => write!(
+                f,
+                "sequence {sequence}: literal run needs {requested} bytes but only {available} are stored"
+            ),
+            Lz77Error::LengthMismatch { declared, produced } => {
+                write!(f, "block declares {declared} uncompressed bytes but decodes to {produced}")
+            }
+            Lz77Error::DependencyViolation { sequence, group_start, read_end } => write!(
+                f,
+                "sequence {sequence}: reads up to {read_end}, above its warp high-water mark {group_start}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Lz77Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = Lz77Error::OffsetBeforeStart { sequence: 3, position: 10, offset: 20 };
+        assert!(e.to_string().contains("sequence 3"));
+        assert!(e.to_string().contains("20"));
+        let e = Lz77Error::DependencyViolation { sequence: 1, group_start: 64, read_end: 80 };
+        assert!(e.to_string().contains("64"));
+    }
+}

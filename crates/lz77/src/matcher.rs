@@ -1,0 +1,491 @@
+//! Greedy hash-table LZ77 matcher with optional Dependency Elimination.
+//!
+//! The matcher follows the design of the LZ4 compressor that the paper
+//! modifies for its DE experiments (Section IV-B): a hash table keyed on the
+//! first `min_match_len` bytes maps to recent positions in the sliding
+//! window; matching is greedy, examining up to `chain_depth` chained
+//! candidates and up to `max_match_len` bytes per candidate (the paper looks
+//! at the next 64 bytes within an 8 KB window by default).
+//!
+//! **Dependency Elimination.** With `dependency_elimination` enabled the
+//! matcher refuses any candidate whose source range overlaps the output of a
+//! back-reference emitted earlier in the *same group of 32 sequences* — the
+//! group that one warp will decompress together. Those are exactly the
+//! matches that would stall the warp at decompression time (nested same-warp
+//! back-references). References into literal regions, previous groups, or a
+//! sequence's own output remain legal because that data is available before
+//! back-reference resolution begins. This is the precise form of the
+//! constraint; the paper describes the more conservative "only match below
+//! the warp high-water mark" rule, which our `strict_hwm` option also
+//! provides (see `DESIGN.md` for the discussion). The accompanying
+//! "minimal staleness" hash-replacement policy keeps older candidate
+//! positions alive so that eliminating nearby candidates does not simply
+//! discard all matches.
+
+use crate::sequence::{Sequence, SequenceBlock};
+use crate::GROUP_SIZE;
+
+/// Configuration of the LZ77 matcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatcherConfig {
+    /// Sliding-window (dictionary) size in bytes; must be a power of two.
+    /// The paper's default is 8 KB.
+    pub window_size: usize,
+    /// Minimum match length worth emitting (3, as in Figure 1).
+    pub min_match_len: usize,
+    /// Maximum match length (the paper caps lookahead at 64 bytes).
+    pub max_match_len: usize,
+    /// Number of hash-chain candidates examined per position. 1 reproduces
+    /// the single-entry LZ4 table; larger values trade compression speed for
+    /// ratio (used by the zlib-like baseline).
+    pub chain_depth: usize,
+    /// log2 of the hash-table size.
+    pub hash_bits: u32,
+    /// Enable Dependency Elimination.
+    pub dependency_elimination: bool,
+    /// With DE enabled, use the paper's conservative rule (match sources
+    /// must end at or below the group's starting position) instead of the
+    /// precise no-same-group-back-reference rule.
+    pub strict_hwm: bool,
+    /// Number of sequences per warp group (32 on all CUDA hardware).
+    pub group_size: usize,
+    /// Minimal staleness in bytes for the DE hash-replacement policy: an
+    /// existing table entry is only replaced once it falls more than this
+    /// many bytes behind the cursor (the paper determined 1 K empirically).
+    pub min_staleness: usize,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            window_size: 8 * 1024,
+            min_match_len: 3,
+            max_match_len: 64,
+            chain_depth: 8,
+            hash_bits: 15,
+            dependency_elimination: false,
+            strict_hwm: false,
+            group_size: GROUP_SIZE,
+            min_staleness: 1024,
+        }
+    }
+}
+
+impl MatcherConfig {
+    /// The paper's Gompresso configuration (8 KB window, 64-byte lookahead).
+    pub fn gompresso() -> Self {
+        Self::default()
+    }
+
+    /// Gompresso with Dependency Elimination enabled.
+    pub fn gompresso_de() -> Self {
+        MatcherConfig { dependency_elimination: true, ..Self::default() }
+    }
+
+    /// A DEFLATE-like configuration (32 KB window, 258-byte matches, deeper
+    /// chains) used by the zlib-like baseline.
+    pub fn deflate_like() -> Self {
+        MatcherConfig {
+            window_size: 32 * 1024,
+            min_match_len: 3,
+            max_match_len: 258,
+            chain_depth: 32,
+            hash_bits: 15,
+            ..Self::default()
+        }
+    }
+
+    /// An LZ4-like configuration (64 KB window, single-entry hash table,
+    /// 4-byte minimum matches).
+    pub fn lz4_like() -> Self {
+        MatcherConfig {
+            window_size: 64 * 1024,
+            min_match_len: 4,
+            max_match_len: 255,
+            chain_depth: 1,
+            hash_bits: 16,
+            ..Self::default()
+        }
+    }
+}
+
+/// Output range `[start, end)` of an already-emitted back-reference in the
+/// current warp group.
+#[derive(Debug, Clone, Copy)]
+struct EmittedRef {
+    start: usize,
+    end: usize,
+}
+
+/// Greedy LZ77 matcher over a single data block.
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    config: MatcherConfig,
+}
+
+impl Matcher {
+    /// Creates a matcher; panics if the configuration is internally
+    /// inconsistent (non-power-of-two window, zero match lengths), which is
+    /// a programming error rather than a data error.
+    pub fn new(config: MatcherConfig) -> Self {
+        assert!(config.window_size.is_power_of_two(), "window size must be a power of two");
+        assert!(config.min_match_len >= 3, "minimum match length must be at least 3");
+        assert!(config.max_match_len >= config.min_match_len, "max match must be >= min match");
+        assert!(config.group_size >= 1 && config.group_size <= 1024, "group size out of range");
+        assert!(config.hash_bits >= 8 && config.hash_bits <= 24, "hash bits out of range");
+        assert!(config.chain_depth >= 1, "chain depth must be at least 1");
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MatcherConfig {
+        &self.config
+    }
+
+    fn hash(&self, input: &[u8], pos: usize) -> usize {
+        // Multiplicative hash of the first 3 or 4 bytes (trigram for
+        // min_match 3, as in the paper's modified LZ4 table).
+        let bytes = if self.config.min_match_len >= 4 && pos + 4 <= input.len() {
+            u32::from_le_bytes([input[pos], input[pos + 1], input[pos + 2], input[pos + 3]])
+        } else {
+            u32::from_le_bytes([input[pos], input[pos + 1], input[pos + 2], 0])
+        };
+        let h = bytes.wrapping_mul(2654435761);
+        (h >> (32 - self.config.hash_bits)) as usize
+    }
+
+    fn match_len(&self, input: &[u8], cand: usize, pos: usize) -> usize {
+        let limit = self.config.max_match_len.min(input.len() - pos);
+        let mut len = 0usize;
+        while len < limit && input[cand + len] == input[pos + len] {
+            len += 1;
+        }
+        len
+    }
+
+    /// Whether a candidate match source `[cand, cand + len)` is permitted
+    /// under the active dependency-elimination policy.
+    fn de_allows(
+        &self,
+        cand: usize,
+        len: usize,
+        group_start: usize,
+        emitted: &[EmittedRef],
+    ) -> bool {
+        if !self.config.dependency_elimination {
+            return true;
+        }
+        let src_end = cand + len;
+        if self.config.strict_hwm {
+            // Paper's conservative rule: the source must lie entirely below
+            // the position completed before this group started.
+            return src_end <= group_start;
+        }
+        // Precise rule: the source must not overlap the output of any
+        // back-reference already emitted in this group.
+        !emitted.iter().any(|r| cand < r.end && src_end > r.start)
+    }
+
+    /// Compresses one data block into a sequence block.
+    pub fn compress(&self, input: &[u8]) -> SequenceBlock {
+        let cfg = &self.config;
+        let n = input.len();
+        let mut block = SequenceBlock { sequences: Vec::new(), literals: Vec::new(), uncompressed_len: n };
+        if n == 0 {
+            return block;
+        }
+
+        let hash_size = 1usize << cfg.hash_bits;
+        let window_mask = cfg.window_size - 1;
+        // head[h] = most recent (per replacement policy) position with hash h.
+        let mut head: Vec<u32> = vec![u32::MAX; hash_size];
+        // prev[p & window_mask] = previous position in the chain of p.
+        let mut prev: Vec<u32> = vec![u32::MAX; cfg.window_size];
+
+        let insert = |head: &mut Vec<u32>, prev: &mut Vec<u32>, input: &[u8], pos: usize| {
+            if pos + cfg.min_match_len > n {
+                return;
+            }
+            let h = self.hash(input, pos);
+            let existing = head[h];
+            if cfg.dependency_elimination && existing != u32::MAX {
+                // Minimal-staleness policy: keep the old entry unless it has
+                // fallen far enough behind the cursor.
+                let age = pos as u64 - u64::from(existing);
+                if age <= cfg.min_staleness as u64 {
+                    return;
+                }
+            }
+            prev[pos & window_mask] = existing;
+            head[h] = pos as u32;
+        };
+
+        let mut pos = 0usize;
+        let mut literal_start = 0usize;
+        let mut seq_in_group = 0usize;
+        let mut group_start = 0usize;
+        let mut emitted: Vec<EmittedRef> = Vec::with_capacity(cfg.group_size);
+
+        while pos < n {
+            let mut best_len = 0usize;
+            let mut best_cand = 0usize;
+
+            if pos + cfg.min_match_len <= n {
+                let h = self.hash(input, pos);
+                let mut cand = head[h];
+                let mut attempts = 0usize;
+                while cand != u32::MAX && attempts < cfg.chain_depth {
+                    let cand_pos = cand as usize;
+                    // Offsets are strictly smaller than the window so they fit
+                    // the formats' offset fields (e.g. 16 bits for a 64 KiB
+                    // window in the byte-level encodings).
+                    if cand_pos >= pos || pos - cand_pos >= cfg.window_size {
+                        break;
+                    }
+                    let len = self.match_len(input, cand_pos, pos);
+                    if len >= cfg.min_match_len
+                        && len > best_len
+                        && self.de_allows(cand_pos, len, group_start, &emitted)
+                    {
+                        best_len = len;
+                        best_cand = cand_pos;
+                        if len >= cfg.max_match_len {
+                            break;
+                        }
+                    }
+                    let next = prev[cand_pos & window_mask];
+                    // The ring buffer may contain stale entries from a
+                    // position that has since wrapped; chains must strictly
+                    // decrease to be valid.
+                    if next != u32::MAX && next as usize >= cand_pos {
+                        break;
+                    }
+                    cand = next;
+                    attempts += 1;
+                }
+            }
+
+            if best_len >= cfg.min_match_len {
+                // Emit the pending literals plus this back-reference as one
+                // sequence.
+                let literal_len = pos - literal_start;
+                block.literals.extend_from_slice(&input[literal_start..pos]);
+                block.sequences.push(Sequence {
+                    literal_len: literal_len as u32,
+                    match_offset: (pos - best_cand) as u32,
+                    match_len: best_len as u32,
+                });
+                emitted.push(EmittedRef { start: pos, end: pos + best_len });
+
+                // Insert hash entries for every position covered by the
+                // match so later matches can reference into it.
+                insert(&mut head, &mut prev, input, pos);
+                for p in pos + 1..pos + best_len {
+                    insert(&mut head, &mut prev, input, p);
+                }
+
+                pos += best_len;
+                literal_start = pos;
+                seq_in_group += 1;
+                if seq_in_group == cfg.group_size {
+                    seq_in_group = 0;
+                    group_start = pos;
+                    emitted.clear();
+                }
+            } else {
+                insert(&mut head, &mut prev, input, pos);
+                pos += 1;
+            }
+        }
+
+        // Trailing literals form a final, match-less sequence.
+        if literal_start < n {
+            let literal_len = n - literal_start;
+            block.literals.extend_from_slice(&input[literal_start..]);
+            block.sequences.push(Sequence::literals_only(literal_len as u32));
+        }
+
+        block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::verify_de_invariant;
+    use crate::decompress::decompress_block;
+
+    fn roundtrip_with(input: &[u8], config: MatcherConfig) -> SequenceBlock {
+        let block = Matcher::new(config).compress(input);
+        let out = decompress_block(&block).expect("decompression failed");
+        assert_eq!(out, input, "round trip mismatch");
+        block
+    }
+
+    #[test]
+    fn empty_input_produces_empty_block() {
+        let block = Matcher::new(MatcherConfig::default()).compress(&[]);
+        assert!(block.is_empty());
+        assert_eq!(block.uncompressed_len, 0);
+    }
+
+    #[test]
+    fn incompressible_short_input_is_all_literals() {
+        let input = b"abcdefg";
+        let block = roundtrip_with(input, MatcherConfig::default());
+        assert_eq!(block.len(), 1);
+        assert!(!block.sequences[0].has_match());
+        assert_eq!(block.literals, input);
+    }
+
+    #[test]
+    fn paper_figure1_example_finds_the_aac_match() {
+        // Figure 1: "aacaacbacadd" — after emitting 'a','a','c' as literals,
+        // the next 'aac' matches at offset 3.
+        let input = b"aacaacbacadd";
+        let block = roundtrip_with(input, MatcherConfig::default());
+        assert!(block.match_count() >= 1);
+        let first_match = block.sequences.iter().find(|s| s.has_match()).unwrap();
+        assert_eq!(first_match.literal_len, 3);
+        assert_eq!(first_match.match_offset, 3);
+        assert!(first_match.match_len >= 3);
+    }
+
+    #[test]
+    fn repetitive_input_compresses_well() {
+        let input: Vec<u8> = b"the quick brown fox jumps over the lazy dog. "
+            .iter()
+            .copied()
+            .cycle()
+            .take(16 * 1024)
+            .collect();
+        let block = roundtrip_with(&input, MatcherConfig::default());
+        // Nearly everything after the first occurrence should be matches.
+        assert!(block.literal_len() < input.len() / 10, "literals: {}", block.literal_len());
+        assert!(block.byte_encoded_estimate() < input.len() / 3);
+    }
+
+    #[test]
+    fn overlapping_match_is_produced_for_runs() {
+        // A run of a single byte: after the first few literals, matches with
+        // offset smaller than their length (self-overlap) are the natural
+        // encoding.
+        let input = vec![b'x'; 1000];
+        let block = roundtrip_with(&input, MatcherConfig::default());
+        assert!(block.sequences.iter().any(|s| s.has_match() && s.match_offset < s.match_len));
+    }
+
+    #[test]
+    fn window_limit_is_respected() {
+        let cfg = MatcherConfig { window_size: 1024, ..MatcherConfig::default() };
+        // Two identical 600-byte chunks separated by 2 KiB of unique noise:
+        // the second chunk lies outside the window and must not be matched
+        // against the first.
+        let chunk: Vec<u8> = (0..600u32).map(|i| (i % 251) as u8).collect();
+        let mut input = chunk.clone();
+        for i in 0..2048u32 {
+            input.push((i.wrapping_mul(2654435761) >> 13) as u8);
+        }
+        input.extend_from_slice(&chunk);
+        let block = roundtrip_with(&input, cfg);
+        for s in &block.sequences {
+            assert!((s.match_offset as usize) < 1024, "offset {} exceeds window", s.match_offset);
+        }
+    }
+
+    #[test]
+    fn max_match_len_is_respected() {
+        let cfg = MatcherConfig { max_match_len: 16, ..MatcherConfig::default() };
+        let input = vec![b'z'; 4096];
+        let block = roundtrip_with(&input, cfg);
+        assert!(block.sequences.iter().all(|s| s.match_len <= 16));
+    }
+
+    #[test]
+    fn de_mode_eliminates_same_group_dependencies() {
+        // Build an input with heavy short-range repetition, which produces
+        // nested references without DE.
+        let mut input = Vec::new();
+        for i in 0..2000u32 {
+            input.extend_from_slice(b"abcabcabd");
+            input.push((i % 7) as u8 + b'0');
+        }
+        let plain = Matcher::new(MatcherConfig::gompresso()).compress(&input);
+        assert_eq!(decompress_block(&plain).unwrap(), input);
+        // The plain matcher is expected to create at least some same-group
+        // dependencies on this input.
+        assert!(verify_de_invariant(&plain, GROUP_SIZE).is_err());
+
+        let de = Matcher::new(MatcherConfig::gompresso_de()).compress(&input);
+        assert_eq!(decompress_block(&de).unwrap(), input);
+        verify_de_invariant(&de, GROUP_SIZE).unwrap();
+    }
+
+    #[test]
+    fn de_costs_some_compression_ratio_but_not_much() {
+        let mut input = Vec::new();
+        for i in 0..3000u32 {
+            input.extend_from_slice(b"<row id='");
+            input.extend_from_slice(i.to_string().as_bytes());
+            input.extend_from_slice(b"'><value>lorem ipsum dolor sit amet</value></row>\n");
+        }
+        let plain = Matcher::new(MatcherConfig::gompresso()).compress(&input);
+        let de = Matcher::new(MatcherConfig::gompresso_de()).compress(&input);
+        let plain_size = plain.byte_encoded_estimate();
+        let de_size = de.byte_encoded_estimate();
+        assert!(de_size >= plain_size, "DE cannot improve the ratio");
+        // The paper reports at most 19 % ratio degradation; allow 30 % for
+        // this small synthetic input.
+        assert!(
+            (de_size as f64) < (plain_size as f64) * 1.3,
+            "DE degraded the compressed size too much: {plain_size} -> {de_size}"
+        );
+        assert_eq!(decompress_block(&de).unwrap(), input);
+    }
+
+    #[test]
+    fn strict_hwm_mode_is_even_more_conservative() {
+        let mut input = Vec::new();
+        for _ in 0..500 {
+            input.extend_from_slice(b"repetitive content repeats ");
+        }
+        let precise = Matcher::new(MatcherConfig::gompresso_de()).compress(&input);
+        let strict = Matcher::new(MatcherConfig { strict_hwm: true, ..MatcherConfig::gompresso_de() })
+            .compress(&input);
+        assert_eq!(decompress_block(&strict).unwrap(), input);
+        verify_de_invariant(&strict, GROUP_SIZE).unwrap();
+        assert!(strict.byte_encoded_estimate() >= precise.byte_encoded_estimate());
+    }
+
+    #[test]
+    fn deeper_chains_do_not_hurt_ratio() {
+        let mut input = Vec::new();
+        for i in 0..1000u32 {
+            input.extend_from_slice(format!("entry {} value {} ", i % 50, (i * 7) % 90).as_bytes());
+        }
+        let shallow = Matcher::new(MatcherConfig { chain_depth: 1, ..MatcherConfig::default() }).compress(&input);
+        let deep = Matcher::new(MatcherConfig { chain_depth: 32, ..MatcherConfig::default() }).compress(&input);
+        assert!(deep.byte_encoded_estimate() <= shallow.byte_encoded_estimate());
+        assert_eq!(decompress_block(&deep).unwrap(), input);
+    }
+
+    #[test]
+    fn preset_configs_are_valid() {
+        for cfg in [
+            MatcherConfig::gompresso(),
+            MatcherConfig::gompresso_de(),
+            MatcherConfig::deflate_like(),
+            MatcherConfig::lz4_like(),
+        ] {
+            let m = Matcher::new(cfg);
+            let input = b"abcabcabcabcabc".repeat(10);
+            assert_eq!(decompress_block(&m.compress(&input)).unwrap(), input);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_window_is_rejected() {
+        let _ = Matcher::new(MatcherConfig { window_size: 1000, ..MatcherConfig::default() });
+    }
+}

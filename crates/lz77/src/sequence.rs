@@ -1,0 +1,158 @@
+//! The sequence data model.
+//!
+//! A *sequence* pairs a literal string with the back-reference that follows
+//! it (paper, Section III-B-2): "We first group consecutive literals into a
+//! single literal string. We further require that a literal string is
+//! followed by a back-reference and vice versa [...] A pair consisting of a
+//! literal string and a back-reference is called a sequence."
+//!
+//! Literal bytes are stored contiguously in [`SequenceBlock::literals`], in
+//! stream order; each sequence only records its literal *length*. The start
+//! offset of a sequence's literal string is the prefix sum of the preceding
+//! literal lengths — exactly the quantity the GPU decompressor computes with
+//! a warp-wide exclusive prefix sum.
+
+/// One literal-string + back-reference pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sequence {
+    /// Number of literal bytes preceding the back-reference (may be 0).
+    pub literal_len: u32,
+    /// Backward distance from the output position where the match begins to
+    /// the start of the referenced data. Zero if this sequence has no
+    /// back-reference (only allowed for the final sequence of a block).
+    pub match_offset: u32,
+    /// Length of the back-reference in bytes. Zero if the sequence has no
+    /// back-reference.
+    pub match_len: u32,
+}
+
+impl Sequence {
+    /// A sequence consisting only of literals (the final sequence of a block
+    /// when no match ends it).
+    pub fn literals_only(literal_len: u32) -> Self {
+        Sequence { literal_len, match_offset: 0, match_len: 0 }
+    }
+
+    /// Whether this sequence carries a back-reference.
+    pub fn has_match(&self) -> bool {
+        self.match_len > 0
+    }
+
+    /// Total number of output bytes this sequence produces.
+    pub fn output_len(&self) -> usize {
+        self.literal_len as usize + self.match_len as usize
+    }
+}
+
+/// A fully LZ77-compressed data block: its sequences plus the concatenated
+/// literal bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SequenceBlock {
+    /// The sequences, in output order.
+    pub sequences: Vec<Sequence>,
+    /// All literal bytes of the block, concatenated in sequence order.
+    pub literals: Vec<u8>,
+    /// The uncompressed size of the block (sum of all sequence output
+    /// lengths); stored for validation.
+    pub uncompressed_len: usize,
+}
+
+impl SequenceBlock {
+    /// Creates an empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Whether the block holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// Total output bytes produced by all sequences.
+    pub fn output_len(&self) -> usize {
+        self.sequences.iter().map(Sequence::output_len).sum()
+    }
+
+    /// Total number of literal bytes.
+    pub fn literal_len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Total number of back-reference (match) bytes.
+    pub fn match_len(&self) -> usize {
+        self.sequences.iter().map(|s| s.match_len as usize).sum()
+    }
+
+    /// Number of sequences carrying a back-reference.
+    pub fn match_count(&self) -> usize {
+        self.sequences.iter().filter(|s| s.has_match()).count()
+    }
+
+    /// Average match length over sequences that have a match, or 0.0.
+    pub fn mean_match_len(&self) -> f64 {
+        let count = self.match_count();
+        if count == 0 {
+            0.0
+        } else {
+            self.match_len() as f64 / count as f64
+        }
+    }
+
+    /// A crude compressed-size estimate in bytes for a byte-level encoding
+    /// (1 token byte + literals + 2-byte offset + length byte per sequence),
+    /// used by tests and by the matcher's heuristics; the real encodings
+    /// live in `gompresso-core` and `gompresso-format`.
+    pub fn byte_encoded_estimate(&self) -> usize {
+        self.sequences.len() * 4 + self.literals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_accessors() {
+        let s = Sequence { literal_len: 5, match_offset: 100, match_len: 8 };
+        assert!(s.has_match());
+        assert_eq!(s.output_len(), 13);
+        let lit = Sequence::literals_only(7);
+        assert!(!lit.has_match());
+        assert_eq!(lit.output_len(), 7);
+        assert_eq!(lit.match_offset, 0);
+    }
+
+    #[test]
+    fn block_statistics() {
+        let block = SequenceBlock {
+            sequences: vec![
+                Sequence { literal_len: 3, match_offset: 1, match_len: 4 },
+                Sequence { literal_len: 0, match_offset: 2, match_len: 6 },
+                Sequence::literals_only(2),
+            ],
+            literals: vec![b'a', b'b', b'c', b'd', b'e'],
+            uncompressed_len: 15,
+        };
+        assert_eq!(block.len(), 3);
+        assert!(!block.is_empty());
+        assert_eq!(block.output_len(), 15);
+        assert_eq!(block.literal_len(), 5);
+        assert_eq!(block.match_len(), 10);
+        assert_eq!(block.match_count(), 2);
+        assert!((block.mean_match_len() - 5.0).abs() < 1e-12);
+        assert_eq!(block.byte_encoded_estimate(), 3 * 4 + 5);
+    }
+
+    #[test]
+    fn empty_block_statistics() {
+        let block = SequenceBlock::new();
+        assert!(block.is_empty());
+        assert_eq!(block.output_len(), 0);
+        assert_eq!(block.mean_match_len(), 0.0);
+    }
+}

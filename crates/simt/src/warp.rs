@@ -1,0 +1,403 @@
+//! Deterministic warp-level primitives.
+//!
+//! A warp is 32 threads executing in lock step. GPU kernels coordinate the
+//! lanes of a warp with voting (`ballot`) and data-exchange (`shfl`)
+//! instructions; the Gompresso decompressor uses exactly these two (paper,
+//! Section II-B and Figure 5). This module models a warp as explicit
+//! 32-element lane-state arrays and provides the same primitives as pure
+//! functions plus a [`Warp`] wrapper that also charges the corresponding
+//! instruction costs to a [`WarpCounters`] record.
+//!
+//! Writing the decompression kernels against these primitives keeps them a
+//! line-by-line transliteration of the paper's warp-synchronous pseudo-code
+//! while remaining ordinary, safe, deterministic Rust.
+
+use crate::counters::{MemoryScope, WarpCounters};
+
+/// Number of lanes in a warp (fixed at 32 on all CUDA hardware to date, and
+/// assumed by the paper's use of 32-bit ballot masks).
+pub const WARP_SIZE: usize = 32;
+
+/// Result of a warp vote: one bit per lane, lane `i` at bit `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpMask(pub u32);
+
+impl WarpMask {
+    /// Mask with no lanes set.
+    pub const EMPTY: WarpMask = WarpMask(0);
+    /// Mask with all 32 lanes set.
+    pub const FULL: WarpMask = WarpMask(u32::MAX);
+
+    /// Builds a mask from per-lane predicate values.
+    pub fn from_lanes(lanes: &[bool; WARP_SIZE]) -> Self {
+        let mut bits = 0u32;
+        for (i, &b) in lanes.iter().enumerate() {
+            if b {
+                bits |= 1 << i;
+            }
+        }
+        WarpMask(bits)
+    }
+
+    /// Whether no lane is set.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of lanes set.
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether lane `lane` is set.
+    pub fn lane(&self, lane: usize) -> bool {
+        debug_assert!(lane < WARP_SIZE);
+        self.0 & (1 << lane) != 0
+    }
+
+    /// Lowest set lane, if any.
+    pub fn first_set(&self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Highest set lane, if any.
+    pub fn last_set(&self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(31 - self.0.leading_zeros() as usize)
+        }
+    }
+
+    /// Number of leading zero bits, i.e. unset lanes above the highest set
+    /// lane (this is the `count_leading_zero_bits` of the paper's Figure 5).
+    pub fn leading_zeros(&self) -> u32 {
+        self.0.leading_zeros()
+    }
+
+    /// Number of consecutive set lanes starting at lane 0.
+    ///
+    /// Used by the MRR high-water-mark update: if the "done" mask has a set
+    /// prefix of length `p`, lanes `0..p` have all written their output and
+    /// the gap-free output extends past lane `p - 1`'s write range.
+    pub fn contiguous_prefix_len(&self) -> u32 {
+        (!self.0).trailing_zeros().min(WARP_SIZE as u32)
+    }
+
+    /// Bitwise complement restricted to the 32 lanes.
+    pub fn complement(&self) -> WarpMask {
+        WarpMask(!self.0)
+    }
+}
+
+/// Pure ballot: collects one predicate bit per lane into a mask.
+pub fn ballot(lanes: &[bool; WARP_SIZE]) -> WarpMask {
+    WarpMask::from_lanes(lanes)
+}
+
+/// Pure shuffle: every lane reads the value held by `src_lane`.
+///
+/// Mirrors CUDA `__shfl_sync(mask, v, src_lane)` with a full mask. Panics if
+/// `src_lane >= 32`, which on real hardware would be an undefined lane read;
+/// the decompressor never produces such a lane index.
+pub fn shfl<T: Copy>(values: &[T; WARP_SIZE], src_lane: usize) -> T {
+    assert!(src_lane < WARP_SIZE, "shfl from out-of-range lane {src_lane}");
+    values[src_lane]
+}
+
+/// Pure shuffle-up: lane `i` reads the value of lane `i - delta`; lanes with
+/// `i < delta` keep their own value (CUDA `__shfl_up_sync` semantics).
+pub fn shfl_up<T: Copy>(values: &[T; WARP_SIZE], delta: usize) -> [T; WARP_SIZE] {
+    let mut out = *values;
+    for i in (delta..WARP_SIZE).rev() {
+        out[i] = values[i - delta];
+    }
+    out
+}
+
+/// Iterator over lane ids `0..32`, provided for readability at call sites.
+pub fn lane_id_iter() -> impl Iterator<Item = usize> {
+    0..WARP_SIZE
+}
+
+/// A warp execution context: the warp-level primitives plus cost accounting.
+///
+/// Kernels hold one `Warp` per simulated warp and call its methods instead of
+/// the free functions so that every ballot, shuffle, prefix sum and memory
+/// access is charged to the counters that the GPU cost model later consumes.
+#[derive(Debug, Default, Clone)]
+pub struct Warp {
+    counters: WarpCounters,
+}
+
+impl Warp {
+    /// Creates a warp with zeroed counters.
+    pub fn new() -> Self {
+        Self { counters: WarpCounters::new() }
+    }
+
+    /// Read-only access to the accumulated counters.
+    pub fn counters(&self) -> &WarpCounters {
+        &self.counters
+    }
+
+    /// Consumes the warp, returning its counters.
+    pub fn into_counters(self) -> WarpCounters {
+        self.counters
+    }
+
+    /// Warp vote across the lanes (charged as one `ballot` instruction).
+    pub fn ballot(&mut self, lanes: &[bool; WARP_SIZE]) -> WarpMask {
+        self.counters.charge_ballot();
+        ballot(lanes)
+    }
+
+    /// Broadcast of lane `src_lane`'s value to all lanes (one `shfl`).
+    pub fn shfl<T: Copy>(&mut self, values: &[T; WARP_SIZE], src_lane: usize) -> T {
+        self.counters.charge_shuffle();
+        shfl(values, src_lane)
+    }
+
+    /// Exclusive prefix sum across the warp using the standard
+    /// shuffle-up/Hillis–Steele scheme (5 shuffle steps for 32 lanes).
+    ///
+    /// Lane `i` of the result holds `sum(values[0..i])`; the total sum is
+    /// additionally returned, which the decompressor uses to advance its
+    /// output cursor by the bytes produced by the whole group of sequences.
+    pub fn exclusive_prefix_sum(&mut self, values: &[u64; WARP_SIZE]) -> ([u64; WARP_SIZE], u64) {
+        // log2(32) = 5 shuffle+add steps, each one warp instruction pair.
+        let mut inclusive = *values;
+        let mut delta = 1usize;
+        while delta < WARP_SIZE {
+            self.counters.charge_shuffle();
+            self.counters.charge_instructions(1);
+            let shifted = shfl_up(&inclusive, delta);
+            for i in lane_id_iter() {
+                if i >= delta {
+                    inclusive[i] += shifted[i];
+                }
+            }
+            delta <<= 1;
+        }
+        let total = inclusive[WARP_SIZE - 1];
+        let mut exclusive = [0u64; WARP_SIZE];
+        for i in 1..WARP_SIZE {
+            exclusive[i] = inclusive[i - 1];
+        }
+        (exclusive, total)
+    }
+
+    /// Records a branch whose outcome differs across lanes.
+    ///
+    /// `taken` is the mask of lanes taking the branch; divergence is charged
+    /// only if the warp is split (some but not all active lanes take it).
+    pub fn branch(&mut self, taken: WarpMask, active: WarpMask) {
+        let taken_active = taken.0 & active.0;
+        if taken_active != 0 && taken_active != active.0 {
+            self.counters.charge_divergence();
+        } else {
+            self.counters.charge_instructions(1);
+        }
+    }
+
+    /// Records the start of an iterative-resolution round with the given
+    /// number of lanes doing useful work.
+    pub fn begin_round(&mut self, active_lanes: u32) {
+        self.counters.charge_round(active_lanes);
+    }
+
+    /// Charges `n` ordinary warp instructions.
+    pub fn charge_instructions(&mut self, n: u64) {
+        self.counters.charge_instructions(n);
+    }
+
+    /// Charges a global-memory read of `bytes` bytes.
+    pub fn global_read(&mut self, bytes: u64, coalesced: bool) {
+        self.counters.charge_memory(MemoryScope::Global, bytes, false, coalesced);
+    }
+
+    /// Charges a global-memory write of `bytes` bytes.
+    pub fn global_write(&mut self, bytes: u64, coalesced: bool) {
+        self.counters.charge_memory(MemoryScope::Global, bytes, true, coalesced);
+    }
+
+    /// Charges a shared-memory read of `bytes` bytes (Huffman LUT lookups).
+    pub fn shared_read(&mut self, bytes: u64) {
+        self.counters.charge_memory(MemoryScope::Shared, bytes, false, true);
+    }
+
+    /// Charges a shared-memory write of `bytes` bytes (LUT construction).
+    pub fn shared_write(&mut self, bytes: u64) {
+        self.counters.charge_memory(MemoryScope::Shared, bytes, true, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ballot_packs_lane_bits() {
+        let mut lanes = [false; WARP_SIZE];
+        lanes[0] = true;
+        lanes[5] = true;
+        lanes[31] = true;
+        let mask = ballot(&lanes);
+        assert_eq!(mask.0, (1 << 0) | (1 << 5) | (1 << 31));
+        assert_eq!(mask.count(), 3);
+        assert!(mask.lane(5));
+        assert!(!mask.lane(6));
+        assert_eq!(mask.first_set(), Some(0));
+        assert_eq!(mask.last_set(), Some(31));
+        assert_eq!(mask.leading_zeros(), 0);
+    }
+
+    #[test]
+    fn empty_and_full_masks() {
+        assert!(WarpMask::EMPTY.is_empty());
+        assert_eq!(WarpMask::EMPTY.first_set(), None);
+        assert_eq!(WarpMask::EMPTY.last_set(), None);
+        assert_eq!(WarpMask::FULL.count(), 32);
+        assert_eq!(WarpMask::FULL.contiguous_prefix_len(), 32);
+        assert_eq!(WarpMask::EMPTY.contiguous_prefix_len(), 0);
+    }
+
+    #[test]
+    fn contiguous_prefix_stops_at_first_gap() {
+        // lanes 0,1,2 set, lane 3 clear, lane 4 set
+        let mask = WarpMask(0b10111);
+        assert_eq!(mask.contiguous_prefix_len(), 3);
+    }
+
+    #[test]
+    fn shfl_broadcasts_one_lane() {
+        let mut vals = [0u32; WARP_SIZE];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = (i as u32) * 10;
+        }
+        assert_eq!(shfl(&vals, 7), 70);
+        assert_eq!(shfl(&vals, 0), 0);
+        assert_eq!(shfl(&vals, 31), 310);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range lane")]
+    fn shfl_rejects_bad_lane() {
+        let vals = [0u32; WARP_SIZE];
+        let _ = shfl(&vals, 32);
+    }
+
+    #[test]
+    fn shfl_up_shifts_and_keeps_low_lanes() {
+        let mut vals = [0u32; WARP_SIZE];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = i as u32;
+        }
+        let out = shfl_up(&vals, 3);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[2], 2);
+        assert_eq!(out[3], 0);
+        assert_eq!(out[31], 28);
+    }
+
+    #[test]
+    fn exclusive_prefix_sum_matches_reference() {
+        let mut warp = Warp::new();
+        let mut vals = [0u64; WARP_SIZE];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = (i as u64 * 7 + 3) % 13;
+        }
+        let (prefix, total) = warp.exclusive_prefix_sum(&vals);
+        let mut expect = 0u64;
+        for i in 0..WARP_SIZE {
+            assert_eq!(prefix[i], expect, "lane {i}");
+            expect += vals[i];
+        }
+        assert_eq!(total, expect);
+        // 5 shuffle steps were charged.
+        assert_eq!(warp.counters().shuffles, 5);
+    }
+
+    #[test]
+    fn branch_divergence_only_when_warp_splits() {
+        let mut warp = Warp::new();
+        warp.branch(WarpMask::FULL, WarpMask::FULL);
+        assert_eq!(warp.counters().divergent_branches, 0);
+        warp.branch(WarpMask::EMPTY, WarpMask::FULL);
+        assert_eq!(warp.counters().divergent_branches, 0);
+        warp.branch(WarpMask(0x0000_FFFF), WarpMask::FULL);
+        assert_eq!(warp.counters().divergent_branches, 1);
+        // Inactive lanes do not count: taken == active is uniform.
+        warp.branch(WarpMask(0x0000_00FF), WarpMask(0x0000_00FF));
+        assert_eq!(warp.counters().divergent_branches, 1);
+    }
+
+    #[test]
+    fn rounds_and_memory_are_charged() {
+        let mut warp = Warp::new();
+        warp.begin_round(32);
+        warp.begin_round(4);
+        warp.global_read(128, true);
+        warp.global_write(64, false);
+        warp.shared_read(2);
+        let c = warp.counters();
+        assert_eq!(c.rounds, 2);
+        assert_eq!(c.active_lane_sum, 36);
+        assert_eq!(c.global_read_bytes, 128);
+        assert_eq!(c.global_write_bytes, 64);
+        assert_eq!(c.shared_read_bytes, 2);
+    }
+
+    proptest! {
+        /// Ballot/mask round trip: reading each lane back reproduces the
+        /// predicate array.
+        #[test]
+        fn ballot_roundtrip(bits in any::<u32>()) {
+            let mut lanes = [false; WARP_SIZE];
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                *lane = bits & (1 << i) != 0;
+            }
+            let mask = ballot(&lanes);
+            prop_assert_eq!(mask.0, bits);
+            for (i, &lane) in lanes.iter().enumerate() {
+                prop_assert_eq!(mask.lane(i), lane);
+            }
+            prop_assert_eq!(mask.count() as usize, lanes.iter().filter(|&&b| b).count());
+        }
+
+        /// The warp prefix sum equals the sequential scan for arbitrary
+        /// inputs (no overflow in the tested range).
+        #[test]
+        fn prefix_sum_matches_scan(vals in proptest::collection::vec(0u64..1_000_000, WARP_SIZE)) {
+            let mut arr = [0u64; WARP_SIZE];
+            arr.copy_from_slice(&vals);
+            let mut warp = Warp::new();
+            let (prefix, total) = warp.exclusive_prefix_sum(&arr);
+            let mut acc = 0u64;
+            for i in 0..WARP_SIZE {
+                prop_assert_eq!(prefix[i], acc);
+                acc += arr[i];
+            }
+            prop_assert_eq!(total, acc);
+        }
+
+        /// contiguous_prefix_len is the length of the maximal all-ones
+        /// prefix.
+        #[test]
+        fn prefix_len_definition(bits in any::<u32>()) {
+            let mask = WarpMask(bits);
+            let len = mask.contiguous_prefix_len() as usize;
+            for i in 0..len {
+                prop_assert!(mask.lane(i));
+            }
+            if len < WARP_SIZE {
+                prop_assert!(!mask.lane(len));
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Strategy and parameter tuning walk-through: shows how nesting depth,
+//! Dependency Elimination and block size interact — the knobs Sections IV
+//! and V of the paper explore.
+//!
+//! Run with: `cargo run --release --example strategy_tuning`
+
+use gompresso::datasets::{DatasetGenerator, NestingGenerator, WikipediaGenerator};
+use gompresso::{
+    compress, decompress_with, CompressorConfig, DecompressorConfig, ResolutionStrategy,
+};
+
+const SIZE: usize = 4 * 1024 * 1024;
+
+fn main() {
+    println!("1) MRR rounds versus artificial nesting depth (paper Fig. 9c)\n");
+    println!("   depth   mean MRR rounds   est. GPU time");
+    for depth in [1u32, 2, 4, 8, 16, 32] {
+        let data = NestingGenerator::new(depth).generate(SIZE);
+        let file = compress(&data, &CompressorConfig::byte()).expect("compress");
+        let config = DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..Default::default() };
+        let (out, report) = decompress_with(&file.file, &config).expect("decompress");
+        assert_eq!(out, data);
+        println!(
+            "   {depth:>5}   {:>15.2}   {:>10.2} ms",
+            report.mrr.mean_rounds(),
+            report.gpu.device_only_s() * 1e3
+        );
+    }
+
+    println!("\n2) What Dependency Elimination buys at decompression time (paper Fig. 9a/11)\n");
+    let data = WikipediaGenerator::new(3).generate(SIZE);
+    let plain = compress(&data, &CompressorConfig::byte()).expect("compress");
+    let de = compress(&data, &CompressorConfig::byte_de()).expect("compress");
+    println!(
+        "   ratio without DE: {:.3}   with DE: {:.3}   (degradation {:.1} %)",
+        plain.stats.ratio(),
+        de.stats.ratio(),
+        (1.0 - de.stats.ratio() / plain.stats.ratio()) * 100.0
+    );
+    for (label, file, strategy) in [
+        ("SC  on plain file", &plain.file, ResolutionStrategy::SequentialCopy),
+        ("MRR on plain file", &plain.file, ResolutionStrategy::MultiRound),
+        ("DE  on DE file   ", &de.file, ResolutionStrategy::DependencyEliminated),
+    ] {
+        let config = DecompressorConfig { strategy, ..Default::default() };
+        let (out, report) = decompress_with(file, &config).expect("decompress");
+        assert_eq!(out, data);
+        println!(
+            "   {label}: est. GPU {:.2} GB/s (device only), warp utilization {:.0} %",
+            report.gpu_bandwidth_no_pcie() / 1e9,
+            report.lz77_counters.totals.warp_utilization() * 100.0
+        );
+    }
+
+    println!("\n3) Block-size trade-off for Gompresso/Bit (paper Fig. 12)\n");
+    println!("   block    ratio    est. GPU GB/s (In/Out)");
+    for block_kb in [32usize, 64, 128, 256] {
+        let config = CompressorConfig { block_size: block_kb * 1024, ..CompressorConfig::bit_de() };
+        let out = compress(&data, &config).expect("compress");
+        let (restored, report) = decompress_with(&out.file, &DecompressorConfig::default()).expect("decompress");
+        assert_eq!(restored, data);
+        println!(
+            "   {block_kb:>4} KB  {:>6.3}   {:>8.2}",
+            out.stats.ratio(),
+            report.gpu_bandwidth_in_out() / 1e9
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Gompresso — massively-parallel lossless data decompression.
+//!
+//! This is the facade crate of the workspace: it re-exports the public API
+//! of the individual crates so applications can depend on a single package.
+//! See `README.md` for the architecture overview and `DESIGN.md` for how the
+//! reproduction maps onto the ICPP 2016 paper.
+//!
+//! ```
+//! use gompresso::{compress, decompress, CompressorConfig};
+//!
+//! let data = b"compress me, decompress me, massively in parallel ".repeat(64);
+//! let out = compress(&data, &CompressorConfig::bit_de()).unwrap();
+//! let (restored, report) = decompress(&out.file).unwrap();
+//! assert_eq!(restored, data);
+//! println!("ratio {:.2}, est. GPU speed {:.1} GB/s",
+//!          out.stats.ratio(), report.gpu_bandwidth_no_pcie() / 1e9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gompresso_core::{
+    compress, decompress, decompress_with, CompressedFile, CompressedOutput, CompressionStats,
+    Compressor, CompressorConfig, CostModel, DecompressionReport, Decompressor, DecompressorConfig,
+    EncodingMode, GompressoError, GpuDeviceModel, GpuEstimate, MrrStats, PcieLink, ResolutionStrategy,
+};
+
+/// Low-level building blocks re-exported for advanced users (custom codecs,
+/// experiment harnesses, simulators).
+pub mod substrate {
+    pub use gompresso_bitstream as bitstream;
+    pub use gompresso_format as format;
+    pub use gompresso_huffman as huffman;
+    pub use gompresso_lz77 as lz77;
+    pub use gompresso_simt as simt;
+}
+
+/// CPU baseline codecs (zlib-like, LZ4-like, Snappy-like, Zstd-like) and the
+/// block-parallel driver used in the paper's comparison figures.
+pub mod baselines {
+    pub use gompresso_baselines::*;
+}
+
+/// Synthetic dataset generators standing in for the paper's corpora.
+pub mod datasets {
+    pub use gompresso_datasets::*;
+}
+
+/// Wall-power / energy model used for the Figure 14 comparison.
+pub mod energy {
+    pub use gompresso_energy::*;
+}

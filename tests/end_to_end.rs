@@ -1,0 +1,146 @@
+//! Cross-crate integration tests: datasets → compressor → file format →
+//! parallel decompressor, for every mode and strategy.
+
+use gompresso::datasets::{DatasetGenerator, MatrixMarketGenerator, NestingGenerator, WikipediaGenerator};
+use gompresso::{
+    compress, decompress, decompress_with, CompressedFile, CompressorConfig, DecompressorConfig,
+    EncodingMode, ResolutionStrategy,
+};
+
+const SIZE: usize = 2 * 1024 * 1024;
+
+fn all_datasets() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("wikipedia", WikipediaGenerator::new(1).generate(SIZE)),
+        ("matrix", MatrixMarketGenerator::new(1).generate(SIZE)),
+        ("nesting-8", NestingGenerator::new(8).generate(SIZE / 4)),
+    ]
+}
+
+#[test]
+fn every_mode_and_strategy_roundtrips_on_every_dataset() {
+    for (name, data) in all_datasets() {
+        for config in [
+            CompressorConfig::bit(),
+            CompressorConfig::byte(),
+            CompressorConfig::bit_de(),
+            CompressorConfig::byte_de(),
+        ] {
+            let out = compress(&data, &config).expect("compression failed");
+            assert!(out.stats.ratio() > 1.0, "{name}: ratio {} should exceed 1", out.stats.ratio());
+            for strategy in ResolutionStrategy::ALL {
+                let dconf = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+                let (restored, report) = decompress_with(&out.file, &dconf).expect("decompression failed");
+                assert_eq!(restored, data, "{name} {:?} {strategy}", config.mode);
+                assert_eq!(report.uncompressed_size, data.len() as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn serialized_files_roundtrip_through_disk_representation() {
+    let data = WikipediaGenerator::new(9).generate(SIZE);
+    let out = compress(&data, &CompressorConfig::bit_de()).unwrap();
+    let bytes = out.file.serialize();
+    let parsed = CompressedFile::deserialize(&bytes).expect("file should parse");
+    assert_eq!(parsed.header.mode, EncodingMode::Bit);
+    assert_eq!(parsed.header.uncompressed_size, data.len() as u64);
+    let (restored, _) = decompress(&parsed).unwrap();
+    assert_eq!(restored, data);
+}
+
+#[test]
+fn compression_ratios_match_paper_expectations_in_shape() {
+    // The paper: gzip ratio ~3.1 on Wikipedia, ~5.0 on the matrix, and the
+    // matrix compresses better than the text. Our synthetic corpora are
+    // tuned to the same ordering.
+    let wiki = WikipediaGenerator::new(5).generate(SIZE);
+    let matrix = MatrixMarketGenerator::new(5).generate(SIZE);
+    let wiki_out = compress(&wiki, &CompressorConfig::bit()).unwrap();
+    let matrix_out = compress(&matrix, &CompressorConfig::bit()).unwrap();
+    assert!(wiki_out.stats.ratio() > 1.8, "wikipedia ratio {}", wiki_out.stats.ratio());
+    assert!(matrix_out.stats.ratio() > wiki_out.stats.ratio(), "matrix should compress better than text");
+}
+
+#[test]
+fn de_strategy_on_de_file_is_validated_and_single_round() {
+    let data = MatrixMarketGenerator::new(3).generate(SIZE);
+    let out = compress(&data, &CompressorConfig::byte_de()).unwrap();
+    let config = DecompressorConfig {
+        strategy: ResolutionStrategy::DependencyEliminated,
+        validate_de: true,
+        ..DecompressorConfig::default()
+    };
+    let (restored, report) = decompress_with(&out.file, &config).unwrap();
+    assert_eq!(restored, data);
+    // One resolution round per warp group at most (each block rounds its
+    // final partial group up, hence the per-block slack).
+    let rounds: u64 = report.lz77_counters.totals.rounds;
+    let max_groups = out.stats.sequences.div_ceil(32) + out.file.blocks.len() as u64;
+    assert!(rounds <= max_groups, "rounds {rounds} exceed group count {max_groups}");
+}
+
+#[test]
+fn gpu_estimates_rank_strategies_like_the_paper() {
+    let data = WikipediaGenerator::new(21).generate(SIZE);
+    let plain = compress(&data, &CompressorConfig::byte()).unwrap();
+    let de = compress(&data, &CompressorConfig::byte_de()).unwrap();
+    let time = |file, strategy| {
+        let config = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+        let (_, report) = decompress_with(file, &config).unwrap();
+        report.gpu.device_only_s()
+    };
+    let sc = time(&plain.file, ResolutionStrategy::SequentialCopy);
+    let mrr = time(&plain.file, ResolutionStrategy::MultiRound);
+    let de_t = time(&de.file, ResolutionStrategy::DependencyEliminated);
+    assert!(de_t < mrr, "DE ({de_t}) must beat MRR ({mrr})");
+    assert!(mrr < sc, "MRR ({mrr}) must beat SC ({sc})");
+    assert!(sc / de_t >= 3.0, "DE should be several times faster than SC (sc={sc}, de={de_t})");
+}
+
+#[test]
+fn deeper_nesting_costs_more_mrr_rounds() {
+    let shallow = NestingGenerator::new(1).generate(SIZE / 4);
+    let deep = NestingGenerator::new(32).generate(SIZE / 4);
+    let rounds = |data: &[u8]| {
+        let out = compress(data, &CompressorConfig::byte()).unwrap();
+        let config = DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
+        let (restored, report) = decompress_with(&out.file, &config).unwrap();
+        assert_eq!(restored, data);
+        report.mrr.mean_rounds()
+    };
+    let shallow_rounds = rounds(&shallow);
+    let deep_rounds = rounds(&deep);
+    assert!(
+        deep_rounds > shallow_rounds + 4.0,
+        "expected a clear gap: shallow {shallow_rounds:.2} vs deep {deep_rounds:.2}"
+    );
+}
+
+#[test]
+fn corrupt_and_truncated_files_never_panic() {
+    let data = WikipediaGenerator::new(13).generate(256 * 1024);
+    let out = compress(&data, &CompressorConfig::bit()).unwrap();
+    let bytes = out.file.serialize();
+
+    // Truncations at various points.
+    for cut in [0usize, 4, 16, bytes.len() / 2, bytes.len() - 1] {
+        match CompressedFile::deserialize(&bytes[..cut]) {
+            Ok(file) => {
+                let _ = decompress(&file);
+            }
+            Err(_) => {}
+        }
+    }
+    // Byte corruptions sprinkled through the file.
+    for step in [7usize, 97, 997] {
+        let mut corrupted = bytes.clone();
+        for i in (0..corrupted.len()).step_by(step) {
+            corrupted[i] ^= 0x5A;
+        }
+        if let Ok(file) = CompressedFile::deserialize(&corrupted) {
+            let _ = decompress(&file);
+        }
+    }
+}
