@@ -115,8 +115,13 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..6000u32 {
             data.extend_from_slice(
-                format!("<row id=\"{}\"><name>user{}</name><score>{}</score></row>\n", i, i % 500, (i * 37) % 1000)
-                    .as_bytes(),
+                format!(
+                    "<row id=\"{}\"><name>user{}</name><score>{}</score></row>\n",
+                    i,
+                    i % 500,
+                    (i * 37) % 1000
+                )
+                .as_bytes(),
             );
         }
         let codec = Miniflate::new();

@@ -11,8 +11,8 @@
 
 use crate::{BaselineError, Codec, Result};
 use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Default block size for the CPU baselines (the paper's 2 MB sweet spot).
 pub const DEFAULT_BLOCK_SIZE: usize = 2 * 1024 * 1024;
@@ -130,14 +130,14 @@ impl<C: Codec> BlockParallel<C> {
                         break;
                     }
                     let result = work(i);
-                    *results[i].lock() = Some(result);
+                    *results[i].lock().expect("result slot poisoned") = Some(result);
                 });
             }
         });
 
         let mut out = Vec::with_capacity(n);
         for slot in results {
-            match slot.into_inner() {
+            match slot.into_inner().expect("result slot poisoned") {
                 Some(Ok(block)) => out.push(block),
                 Some(Err(e)) => return Err(e),
                 None => return Err(BaselineError::Malformed { reason: "worker abandoned a block" }),

@@ -174,8 +174,12 @@ mod tests {
         let mut i = 0u64;
         while data.len() < len {
             data.extend_from_slice(
-                format!("timestamp={} level=INFO module=ingest msg=\"processed batch {}\"\n", 1_400_000_000 + i, i % 997)
-                    .as_bytes(),
+                format!(
+                    "timestamp={} level=INFO module=ingest msg=\"processed batch {}\"\n",
+                    1_400_000_000 + i,
+                    i % 997
+                )
+                .as_bytes(),
             );
             i += 1;
         }

@@ -12,7 +12,9 @@ fn bench_de_compression(c: &mut Criterion) {
     group.sample_size(10);
     for (name, data) in [("wikipedia", wikipedia_data(SIZE)), ("matrix", matrix_data(SIZE))] {
         group.throughput(Throughput::Bytes(data.len() as u64));
-        for (variant, config) in [("without_de", CompressorConfig::byte()), ("with_de", CompressorConfig::byte_de())] {
+        for (variant, config) in
+            [("without_de", CompressorConfig::byte()), ("with_de", CompressorConfig::byte_de())]
+        {
             group.bench_with_input(BenchmarkId::new(variant, name), &data, |b, data| {
                 b.iter(|| compress(data, &config).unwrap().stats.compressed_size);
             });

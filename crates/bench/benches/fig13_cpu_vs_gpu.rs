@@ -31,7 +31,9 @@ fn bench_cpu_vs_gpu(c: &mut Criterion) {
     cpu_case!(ZstdLike::new());
     cpu_case!(Miniflate::new());
 
-    for (label, config) in [("gomp_bit_de", CompressorConfig::bit_de()), ("gomp_byte_de", CompressorConfig::byte_de())] {
+    for (label, config) in
+        [("gomp_bit_de", CompressorConfig::bit_de()), ("gomp_byte_de", CompressorConfig::byte_de())]
+    {
         let file = compress(&data, &config).unwrap();
         group.bench_with_input(BenchmarkId::new("gompresso", label), &file.file, |b, f| {
             b.iter(|| decompress(f).unwrap().0.len());

@@ -17,15 +17,12 @@ fn bench_strategies(c: &mut Criterion) {
         let de = compress(&data, &CompressorConfig::byte_de()).unwrap();
         group.throughput(Throughput::Bytes(data.len() as u64));
         for strategy in ResolutionStrategy::ALL {
-            let file = if strategy == ResolutionStrategy::DependencyEliminated { &de.file } else { &plain.file };
+            let file =
+                if strategy == ResolutionStrategy::DependencyEliminated { &de.file } else { &plain.file };
             let config = DecompressorConfig { strategy, ..DecompressorConfig::default() };
-            group.bench_with_input(
-                BenchmarkId::new(strategy.short_name(), name),
-                file,
-                |b, file| {
-                    b.iter(|| decompress_with(file, &config).unwrap().0.len());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.short_name(), name), file, |b, file| {
+                b.iter(|| decompress_with(file, &config).unwrap().0.len());
+            });
         }
     }
     group.finish();

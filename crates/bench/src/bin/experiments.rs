@@ -13,6 +13,9 @@ use gompresso_bench::{
     fig9b_bytes_per_round, fig9c_nesting_depth, setup_dataset_ratios, Table,
 };
 
+const EXPERIMENTS: [&str; 9] =
+    ["all", "setup", "fig9a", "fig9b", "fig9c", "fig11", "fig12", "fig13", "fig14"];
+
 fn parse_args() -> (String, usize) {
     let mut exp = "all".to_string();
     let mut size_mb = 8usize;
@@ -25,7 +28,13 @@ fn parse_args() -> (String, usize) {
                 i += 2;
             }
             "--size-mb" if i + 1 < args.len() => {
-                size_mb = args[i + 1].parse().unwrap_or(8).max(1);
+                size_mb = match args[i + 1].parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("invalid --size-mb value {:?}; expected a positive integer", args[i + 1]);
+                        std::process::exit(2);
+                    }
+                };
                 i += 2;
             }
             "--help" | "-h" => {
@@ -38,6 +47,10 @@ fn parse_args() -> (String, usize) {
             }
         }
     }
+    if !EXPERIMENTS.contains(&exp.as_str()) {
+        eprintln!("unknown experiment {exp}; expected one of {}", EXPERIMENTS.join("|"));
+        std::process::exit(2);
+    }
     (exp, size_mb)
 }
 
@@ -47,10 +60,14 @@ fn main() {
     let run = |name: &str| exp == "all" || exp == name;
 
     println!("Gompresso experiment harness — dataset size {size_mb} MiB per dataset");
-    println!("GPU figures are estimates from the simulated Tesla K40 model; CPU figures are host wall clock.\n");
+    println!(
+        "GPU figures are estimates from the simulated Tesla K40 model; CPU figures are host wall clock.\n"
+    );
 
     if run("setup") {
-        println!("== Section V setup: dataset compressibility (paper: gzip 3.09:1 wikipedia, 4.99:1 matrix) ==");
+        println!(
+            "== Section V setup: dataset compressibility (paper: gzip 3.09:1 wikipedia, 4.99:1 matrix) =="
+        );
         let mut t = Table::new(&["dataset", "zlib-like ratio"]);
         for row in setup_dataset_ratios(size) {
             t.row(&[row.dataset, format!("{:.2}", row.zlib_like_ratio)]);
@@ -131,7 +148,11 @@ fn main() {
                 println!("== Figure 13: decompression speed vs compression ratio ({dataset}) ==");
                 let mut t = Table::new(&["system", "ratio", "GB/s"]);
                 for row in &rows {
-                    t.row(&[row.system.clone(), format!("{:.3}", row.ratio), format!("{:.2}", row.speed_gbps)]);
+                    t.row(&[
+                        row.system.clone(),
+                        format!("{:.3}", row.ratio),
+                        format!("{:.2}", row.speed_gbps),
+                    ]);
                 }
                 println!("{}", t.render());
             }

@@ -10,9 +10,7 @@
 use crate::datasets::{matrix_data, nesting_data, wikipedia_data};
 use crate::gbps;
 use gompresso_baselines::{BlockParallel, Codec, Lz4Like, Miniflate, SnappyLike, ZstdLike};
-use gompresso_core::{
-    compress, decompress_with, CompressorConfig, DecompressorConfig, ResolutionStrategy,
-};
+use gompresso_core::{compress, decompress_with, CompressorConfig, DecompressorConfig, ResolutionStrategy};
 use gompresso_energy::EnergyModel;
 use std::time::Instant;
 
@@ -33,7 +31,10 @@ pub fn setup_dataset_ratios(size: usize) -> Vec<SetupRow> {
         .into_iter()
         .map(|(name, data)| {
             let compressed = codec.compress(&data).expect("compression cannot fail on generated data");
-            SetupRow { dataset: name.to_string(), zlib_like_ratio: data.len() as f64 / compressed.len() as f64 }
+            SetupRow {
+                dataset: name.to_string(),
+                zlib_like_ratio: data.len() as f64 / compressed.len() as f64,
+            }
         })
         .collect()
 }
@@ -63,7 +64,8 @@ pub fn fig9a_strategy_comparison(size: usize) -> Vec<Fig9aRow> {
         let plain = compress(&data, &CompressorConfig::byte()).expect("compression failed");
         let de = compress(&data, &CompressorConfig::byte_de()).expect("compression failed");
         for strategy in ResolutionStrategy::ALL {
-            let file = if strategy == ResolutionStrategy::DependencyEliminated { &de.file } else { &plain.file };
+            let file =
+                if strategy == ResolutionStrategy::DependencyEliminated { &de.file } else { &plain.file };
             let dconf = DecompressorConfig { strategy, ..DecompressorConfig::default() };
             let start = Instant::now();
             let (restored, report) = decompress_with(file, &dconf).expect("decompression failed");
@@ -107,7 +109,8 @@ pub fn fig9b_bytes_per_round(size: usize) -> Vec<Fig9bRow> {
     let mut rows = Vec::new();
     for (name, data) in [("wikipedia", wikipedia_data(size)), ("matrix", matrix_data(size))] {
         let file = compress(&data, &CompressorConfig::byte()).expect("compression failed");
-        let dconf = DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
+        let dconf =
+            DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
         let (_, report) = decompress_with(&file.file, &dconf).expect("decompression failed");
         for round in 1..=report.mrr.max_rounds() {
             rows.push(Fig9bRow {
@@ -141,8 +144,10 @@ pub fn fig9c_nesting_depth(size: usize, depths: &[u32]) -> Vec<Fig9cRow> {
         .map(|&depth| {
             let data = nesting_data(depth, size);
             let file = compress(&data, &CompressorConfig::byte()).expect("compression failed");
-            let dconf =
-                DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
+            let dconf = DecompressorConfig {
+                strategy: ResolutionStrategy::MultiRound,
+                ..DecompressorConfig::default()
+            };
             let start = Instant::now();
             let (restored, report) = decompress_with(&file.file, &dconf).expect("decompression failed");
             let host_time_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -175,7 +180,9 @@ pub struct Fig11Row {
 pub fn fig11_de_impact(size: usize) -> Vec<Fig11Row> {
     let mut rows = Vec::new();
     for (name, data) in [("wikipedia", wikipedia_data(size)), ("matrix", matrix_data(size))] {
-        for (variant, config) in [("w/o DE", CompressorConfig::byte()), ("w/ DE", CompressorConfig::byte_de())] {
+        for (variant, config) in
+            [("w/o DE", CompressorConfig::byte()), ("w/ DE", CompressorConfig::byte_de())]
+        {
             let out = compress(&data, &config).expect("compression failed");
             rows.push(Fig11Row {
                 dataset: name.to_string(),
@@ -208,14 +215,10 @@ pub fn fig12_block_size(size: usize, block_sizes: &[usize]) -> Vec<Fig12Row> {
         .map(|&block_size| {
             let config = CompressorConfig { block_size, ..CompressorConfig::bit_de() };
             let out = compress(&data, &config).expect("compression failed");
-            let (restored, report) = decompress_with(&out.file, &DecompressorConfig::default())
-                .expect("decompression failed");
+            let (restored, report) =
+                decompress_with(&out.file, &DecompressorConfig::default()).expect("decompression failed");
             assert_eq!(restored, data, "round-trip failure in fig12");
-            Fig12Row {
-                block_size,
-                speed_gbps: gbps(report.gpu_bandwidth_in_out()),
-                ratio: out.stats.ratio(),
-            }
+            Fig12Row { block_size, speed_gbps: gbps(report.gpu_bandwidth_in_out()), ratio: out.stats.ratio() }
         })
         .collect()
 }
@@ -276,8 +279,10 @@ pub fn fig13_speed_vs_ratio(size: usize, dataset: &str) -> Vec<Fig13Row> {
     // Gompresso GPU configurations (estimated on the K40 model).
     let bit = compress(&data, &CompressorConfig::bit_de()).expect("compression failed");
     let byte = compress(&data, &CompressorConfig::byte_de()).expect("compression failed");
-    let (_, bit_report) = decompress_with(&bit.file, &DecompressorConfig::default()).expect("decompression failed");
-    let (_, byte_report) = decompress_with(&byte.file, &DecompressorConfig::default()).expect("decompression failed");
+    let (_, bit_report) =
+        decompress_with(&bit.file, &DecompressorConfig::default()).expect("decompression failed");
+    let (_, byte_report) =
+        decompress_with(&byte.file, &DecompressorConfig::default()).expect("decompression failed");
 
     rows.push(Fig13Row {
         system: "Gomp/Bit (In/Out)".to_string(),

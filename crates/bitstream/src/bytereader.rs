@@ -36,7 +36,10 @@ impl<'a> ByteReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
-            return Err(StreamError::UnexpectedEof { needed: n - self.remaining(), remaining: self.remaining() });
+            return Err(StreamError::UnexpectedEof {
+                needed: n - self.remaining(),
+                remaining: self.remaining(),
+            });
         }
         let slice = &self.data[self.pos..self.pos + n];
         self.pos += n;

@@ -36,10 +36,9 @@ pub enum StreamError {
 impl fmt::Display for StreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StreamError::UnexpectedEof { needed, remaining } => write!(
-                f,
-                "unexpected end of stream: needed {needed} more byte(s), {remaining} remaining"
-            ),
+            StreamError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of stream: needed {needed} more byte(s), {remaining} remaining")
+            }
             StreamError::InvalidBitWidth(w) => {
                 write!(f, "invalid bit width {w}: must be between 0 and 32")
             }

@@ -68,11 +68,8 @@ impl Compressor {
         let matcher = Matcher::new(cfg.matcher_config());
         let coder = self.token_coder()?;
 
-        let chunks: Vec<&[u8]> = if data.is_empty() {
-            Vec::new()
-        } else {
-            data.chunks(cfg.block_size).collect()
-        };
+        let chunks: Vec<&[u8]> =
+            if data.is_empty() { Vec::new() } else { data.chunks(cfg.block_size).collect() };
 
         // Per-block compression runs in parallel; each block is independent
         // by construction (the sliding window never crosses block borders).

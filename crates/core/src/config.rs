@@ -180,7 +180,8 @@ mod tests {
 
     #[test]
     fn matcher_config_reflects_settings() {
-        let c = CompressorConfig { dependency_elimination: true, window_size: 4096, ..CompressorConfig::bit() };
+        let c =
+            CompressorConfig { dependency_elimination: true, window_size: 4096, ..CompressorConfig::bit() };
         let m = c.matcher_config();
         assert!(m.dependency_elimination);
         assert_eq!(m.window_size, 4096);

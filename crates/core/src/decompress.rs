@@ -200,7 +200,11 @@ impl Decompressor {
 
 /// Parallel Huffman decoding of one block: each lane of the simulated warp
 /// decodes one sub-block using the block's two shared decode LUTs.
-fn decode_bit_block(bit: &BitBlock, coder: &TokenCoder, payload_bytes: usize) -> Result<(SequenceBlock, Warp)> {
+fn decode_bit_block(
+    bit: &BitBlock,
+    coder: &TokenCoder,
+    payload_bytes: usize,
+) -> Result<(SequenceBlock, Warp)> {
     let mut warp = Warp::new();
 
     // The compressed block is staged in device memory; reading it is a
@@ -227,8 +231,8 @@ fn decode_bit_block(bit: &BitBlock, coder: &TokenCoder, payload_bytes: usize) ->
         let mut group_shared_reads = 0u64;
         for sub in group_start..group_end {
             let (seqs, lits) = bit.decode_sub_block_with(sub, coder, &lit_len_dec, &offset_dec)?;
-            let symbols = lits.len() as u64
-                + seqs.iter().map(|s| if s.has_match() { 2u64 } else { 1u64 }).sum::<u64>();
+            let symbols =
+                lits.len() as u64 + seqs.iter().map(|s| if s.has_match() { 2u64 } else { 1u64 }).sum::<u64>();
             max_lane_symbols = max_lane_symbols.max(symbols);
             group_sequences += seqs.len() as u64;
             group_shared_reads += symbols * 4;
@@ -245,11 +249,7 @@ fn decode_bit_block(bit: &BitBlock, coder: &TokenCoder, payload_bytes: usize) ->
         warp.global_write(literals.len() as u64, true);
     }
 
-    let seq_block = SequenceBlock {
-        sequences,
-        literals,
-        uncompressed_len: bit.uncompressed_len as usize,
-    };
+    let seq_block = SequenceBlock { sequences, literals, uncompressed_len: bit.uncompressed_len as usize };
     Ok((seq_block, warp))
 }
 
@@ -333,7 +333,8 @@ mod tests {
         let err = decompress_with(&plain_file.file, &config);
         assert!(matches!(err, Err(GompressoError::DependencyEliminationViolated { .. })));
         // ...but decompresses fine with MRR.
-        let mrr = DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
+        let mrr =
+            DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
         let (restored, report) = decompress_with(&plain_file.file, &mrr).unwrap();
         assert_eq!(restored, data);
         assert!(report.mrr.total_groups > 0);
@@ -344,7 +345,8 @@ mod tests {
     fn mrr_round_statistics_decrease_per_round() {
         let data = wiki_like(400_000);
         let out = compress(&data, &cfg_small(CompressorConfig::bit())).unwrap();
-        let config = DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
+        let config =
+            DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
         let (_, report) = decompress_with(&out.file, &config).unwrap();
         let stats = &report.mrr;
         assert!(stats.total_groups > 0);
@@ -382,13 +384,10 @@ mod tests {
         for b in &mut bytes[start..end] {
             *b = b.wrapping_add(97);
         }
-        match CompressedFile::deserialize(&bytes) {
-            Ok(file) => {
-                // Whatever happens, it must be an error or a clean (possibly
-                // wrong-length-detected) result, never a panic.
-                let _ = decompress(&file);
-            }
-            Err(_) => {}
+        if let Ok(file) = CompressedFile::deserialize(&bytes) {
+            // Whatever happens, it must be an error or a clean (possibly
+            // wrong-length-detected) result, never a panic.
+            let _ = decompress(&file);
         }
     }
 
@@ -415,8 +414,12 @@ mod tests {
         // Figure 12: larger blocks expose more sub-block parallelism and
         // amortise per-block overhead.
         let data = wiki_like(1 << 20);
-        let small = compress(&data, &CompressorConfig { block_size: 32 * 1024, ..CompressorConfig::bit_de() }).unwrap();
-        let large = compress(&data, &CompressorConfig { block_size: 256 * 1024, ..CompressorConfig::bit_de() }).unwrap();
+        let small =
+            compress(&data, &CompressorConfig { block_size: 32 * 1024, ..CompressorConfig::bit_de() })
+                .unwrap();
+        let large =
+            compress(&data, &CompressorConfig { block_size: 256 * 1024, ..CompressorConfig::bit_de() })
+                .unwrap();
         let (_, small_report) = decompress(&small.file).unwrap();
         let (_, large_report) = decompress(&large.file).unwrap();
         assert!(

@@ -95,12 +95,8 @@ impl MrrStats {
         if self.total_groups == 0 {
             return 0.0;
         }
-        let weighted: u64 = self
-            .groups_with_rounds
-            .iter()
-            .enumerate()
-            .map(|(i, &g)| (i as u64 + 1) * g)
-            .sum();
+        let weighted: u64 =
+            self.groups_with_rounds.iter().enumerate().map(|(i, &g)| (i as u64 + 1) * g).sum();
         weighted as f64 / self.total_groups as f64
     }
 

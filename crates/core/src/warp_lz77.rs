@@ -96,14 +96,7 @@ pub fn decompress_block_warp(
     let mut literal_cursor = 0u64;
 
     for (group_idx, group) in block.sequences.chunks(WARP_SIZE).enumerate() {
-        let lanes = prepare_group(
-            &mut warp,
-            block,
-            group,
-            group_idx,
-            out_cursor,
-            literal_cursor,
-        )?;
+        let lanes = prepare_group(&mut warp, block, group, group_idx, out_cursor, literal_cursor)?;
         let active = group.len();
 
         copy_literals(&mut warp, block, &mut output, &lanes, active)?;
@@ -225,11 +218,7 @@ fn copy_literals(
     if total_bytes == 0 {
         return Ok(());
     }
-    let max_iters = lanes[..active]
-        .iter()
-        .map(|l| l.literal_len.div_ceil(COPY_GRANULE))
-        .max()
-        .unwrap_or(0);
+    let max_iters = lanes[..active].iter().map(|l| l.literal_len.div_ceil(COPY_GRANULE)).max().unwrap_or(0);
     warp.charge_instructions(max_iters * INSTR_PER_COPY_ITER);
     // Literal reads stream from the token area (reasonably coalesced);
     // writes scatter to per-lane output cursors.
@@ -371,13 +360,8 @@ fn resolve_multi_round(
 
         // Broadcast the new high-water mark from the last writer (one
         // shuffle on the GPU).
-        let lane_values: [u64; WARP_SIZE] = std::array::from_fn(|i| {
-            if i < active {
-                lanes[i].out_end()
-            } else {
-                0
-            }
-        });
+        let lane_values: [u64; WARP_SIZE] =
+            std::array::from_fn(|i| if i < active { lanes[i].out_end() } else { 0 });
         let done_prefix = first_pending(&pending, active);
         if done_prefix > 0 {
             let _ = warp.shfl(&lane_values, done_prefix - 1);
@@ -608,10 +592,7 @@ mod tests {
         // Every output byte is written exactly once.
         assert_eq!(c.global_write_bytes, input.len() as u64);
         // Token reads: 12 bytes per sequence.
-        assert_eq!(
-            c.global_read_bytes >= block.sequences.len() as u64 * SEQ_TOKEN_BYTES,
-            true
-        );
+        assert!(c.global_read_bytes >= block.sequences.len() as u64 * SEQ_TOKEN_BYTES);
         assert!(c.ballots > 0);
         assert!(c.shuffles > 0);
         assert!(c.instructions > 0);

@@ -86,7 +86,7 @@ impl DatasetGenerator for NestingGenerator {
             // after 2 × lcm(32, 29) = 1856 instances ≈ 31 KB — beyond the
             // 8 KB window, so older instances never become full matches.
             let count = instance_count[f];
-            if count % 2 == 0 {
+            if count.is_multiple_of(2) {
                 strings[f][0] = ((count / 2 + 1 + f as u64) % 32) as u8;
             } else {
                 strings[f][STRING_LEN - 1] = ((count / 2 + 1 + 7 + f as u64) % 29) as u8;
@@ -120,10 +120,7 @@ mod tests {
         let data = NestingGenerator::new(4).generate(17 * 100);
         for unit in data.chunks_exact(17) {
             assert!(unit[0] >= 0xE0, "separator byte expected, got {:#x}", unit[0]);
-            assert!(
-                unit[1..].iter().all(|&b| b < 0xE0),
-                "content bytes must stay below the separator range"
-            );
+            assert!(unit[1..].iter().all(|&b| b < 0xE0), "content bytes must stay below the separator range");
         }
     }
 
@@ -132,10 +129,10 @@ mod tests {
         let gen = NestingGenerator::new(1); // 32 families
         let data = gen.generate(17 * 64);
         let units: Vec<&[u8]> = data.chunks_exact(17).collect();
-        for f in 0..gen.families() {
+        for (f, unit) in units.iter().enumerate().take(gen.families()) {
             // Interior bytes (content positions 1..15) must come from family
             // f's own 6-byte alphabet.
-            for &b in &units[f][2..16] {
+            for &b in &unit[2..16] {
                 assert!(b >= 0x20, "interior byte {b:#x} outside content range");
                 let family_of_byte = (b - 0x20) / 6;
                 assert_eq!(family_of_byte as usize, f, "byte {b:#x} leaked into family {f}");
@@ -182,11 +179,7 @@ mod tests {
             let lag = gen.families();
             let mut near_matches = 0usize;
             for i in lag..units.len() {
-                let shared = units[i][1..]
-                    .iter()
-                    .zip(&units[i - lag][1..])
-                    .filter(|(a, b)| a == b)
-                    .count();
+                let shared = units[i][1..].iter().zip(&units[i - lag][1..]).filter(|(a, b)| a == b).count();
                 if shared >= STRING_LEN - 1 {
                     near_matches += 1;
                 }

@@ -109,7 +109,9 @@ impl DatasetGenerator for WikipediaGenerator {
     fn generate(&self, len: usize) -> Vec<u8> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut out = Vec::with_capacity(len + 4096);
-        out.extend_from_slice(b"<mediawiki xmlns=\"http://www.mediawiki.org/xml/export-0.10/\" xml:lang=\"en\">\n");
+        out.extend_from_slice(
+            b"<mediawiki xmlns=\"http://www.mediawiki.org/xml/export-0.10/\" xml:lang=\"en\">\n",
+        );
         let mut page_id = 0u64;
         while out.len() < len {
             self.page(&mut rng, page_id, &mut out);
@@ -127,10 +129,10 @@ fn build_vocabulary(rng: &mut StdRng, size: usize) -> Vec<String> {
     // Seed the vocabulary with common English function words so the text
     // has realistic high-frequency short tokens.
     for common in [
-        "the", "of", "and", "in", "to", "a", "is", "was", "for", "on", "as", "with", "by", "that",
-        "from", "at", "it", "his", "an", "were", "which", "are", "this", "also", "be", "has", "or",
-        "had", "its", "first", "one", "their", "not", "after", "new", "who", "they", "two", "her",
-        "she", "been", "other", "when", "time", "during", "into", "may", "more", "years", "over",
+        "the", "of", "and", "in", "to", "a", "is", "was", "for", "on", "as", "with", "by", "that", "from",
+        "at", "it", "his", "an", "were", "which", "are", "this", "also", "be", "has", "or", "had", "its",
+        "first", "one", "their", "not", "after", "new", "who", "they", "two", "her", "she", "been", "other",
+        "when", "time", "during", "into", "may", "more", "years", "over",
     ] {
         words.push(common.to_string());
     }

@@ -100,9 +100,10 @@ impl BitBlock {
             let is_last = i + 1 == block.sequences.len();
             if is_sub_block_end || is_last {
                 let bits = w.bit_len() - sub_block_start_bit;
-                sub_block_bits.push(u32::try_from(bits).map_err(|_| FormatError::InvalidToken {
-                    reason: "sub-block exceeds 2^32 bits",
-                })?);
+                sub_block_bits.push(
+                    u32::try_from(bits)
+                        .map_err(|_| FormatError::InvalidToken { reason: "sub-block exceeds 2^32 bits" })?,
+                );
                 sub_block_start_bit = w.bit_len();
             }
         }
@@ -362,8 +363,7 @@ mod tests {
 
     #[test]
     fn bit_encoding_beats_byte_estimate_on_text() {
-        let input = b"entropy coding pays off on skewed byte distributions like english text "
-            .repeat(300);
+        let input = b"entropy coding pays off on skewed byte distributions like english text ".repeat(300);
         let (block, bit) = encode_input(&input, 16);
         assert!(bit.compressed_len() < block.byte_encoded_estimate());
         assert!(bit.compressed_len() < input.len() / 2);
@@ -391,10 +391,7 @@ mod tests {
         let input = b"some data some data".repeat(10);
         let (_, bit) = encode_input(&input, 16);
         let n = bit.sub_block_count();
-        assert!(matches!(
-            bit.decode_sub_block(n, &coder()),
-            Err(FormatError::SubBlockOutOfRange { .. })
-        ));
+        assert!(matches!(bit.decode_sub_block(n, &coder()), Err(FormatError::SubBlockOutOfRange { .. })));
     }
 
     #[test]

@@ -39,9 +39,9 @@ fn read_extended(r: &mut ByteReader<'_>) -> Result<u32> {
     let mut total = 0u32;
     loop {
         let b = r.read_u8()?;
-        total = total.checked_add(u32::from(b)).ok_or(FormatError::InvalidToken {
-            reason: "length extension overflows",
-        })?;
+        total = total
+            .checked_add(u32::from(b))
+            .ok_or(FormatError::InvalidToken { reason: "length extension overflows" })?;
         if b != 255 {
             return Ok(total);
         }
@@ -62,7 +62,7 @@ impl ByteBlock {
             if seq.has_match() && seq.match_offset > u32::from(u16::MAX) {
                 return Err(FormatError::InvalidToken { reason: "match offset exceeds 64 KiB in byte mode" });
             }
-            let lit_nibble = u32::from(lit_len).min(NIBBLE_EXTENDED);
+            let lit_nibble = lit_len.min(NIBBLE_EXTENDED);
             let match_nibble = match_len.min(NIBBLE_EXTENDED);
             w.write_u8(((lit_nibble << 4) | match_nibble) as u8);
             if lit_nibble == NIBBLE_EXTENDED {

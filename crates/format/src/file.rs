@@ -35,8 +35,10 @@ impl CompressedFile {
         header.block_compressed_sizes = blocks
             .iter()
             .map(|b| {
-                u32::try_from(b.bytes.len())
-                    .map_err(|_| FormatError::InvalidHeaderField { field: "block_compressed_size", value: b.bytes.len() as u64 })
+                u32::try_from(b.bytes.len()).map_err(|_| FormatError::InvalidHeaderField {
+                    field: "block_compressed_size",
+                    value: b.bytes.len() as u64,
+                })
             })
             .collect::<Result<Vec<u32>>>()?;
         header.validate()?;
@@ -45,9 +47,7 @@ impl CompressedFile {
 
     /// Serializes the whole file to bytes.
     pub fn serialize(&self) -> Vec<u8> {
-        let mut w = ByteWriter::with_capacity(
-            64 + self.blocks.iter().map(|b| b.bytes.len()).sum::<usize>(),
-        );
+        let mut w = ByteWriter::with_capacity(64 + self.blocks.iter().map(|b| b.bytes.len()).sum::<usize>());
         self.header.serialize(&mut w);
         for block in &self.blocks {
             w.write_bytes(&block.bytes);
@@ -61,10 +61,8 @@ impl CompressedFile {
         let header = FileHeader::deserialize(&mut r)?;
         let mut blocks = Vec::with_capacity(header.block_count());
         for (i, &size) in header.block_compressed_sizes.iter().enumerate() {
-            let bytes = r
-                .read_bytes(size as usize)
-                .map_err(|_| FormatError::TruncatedBlock { block: i })?
-                .to_vec();
+            let bytes =
+                r.read_bytes(size as usize).map_err(|_| FormatError::TruncatedBlock { block: i })?.to_vec();
             blocks.push(BlockPayload { bytes });
         }
         Ok(Self { header, blocks })

@@ -271,11 +271,7 @@ mod tests {
 
     #[test]
     fn empty_file_header_is_valid() {
-        let h = FileHeader {
-            uncompressed_size: 0,
-            block_compressed_sizes: vec![],
-            ..sample_header()
-        };
+        let h = FileHeader { uncompressed_size: 0, block_compressed_sizes: vec![], ..sample_header() };
         h.validate().unwrap();
         let mut w = ByteWriter::new();
         h.serialize(&mut w);

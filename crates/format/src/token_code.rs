@@ -80,8 +80,11 @@ impl TokenCoder {
                 value: u64::from(max_match_len),
             });
         }
-        if max_offset < 1 || max_offset > (1 << 30) {
-            return Err(FormatError::InvalidHeaderField { field: "window_size", value: u64::from(max_offset) });
+        if !(1..=(1 << 30)).contains(&max_offset) {
+            return Err(FormatError::InvalidHeaderField {
+                field: "window_size",
+                value: u64::from(max_offset),
+            });
         }
         Ok(Self { min_match_len, max_match_len, max_offset })
     }

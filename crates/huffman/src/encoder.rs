@@ -14,11 +14,7 @@ pub struct EncodeTable {
 impl EncodeTable {
     /// Builds the encoding table for a canonical code.
     pub fn new(code: &CanonicalCode) -> Self {
-        let codes = code
-            .entries()
-            .iter()
-            .map(|e: &CodeEntry| (e.reversed(), e.len))
-            .collect();
+        let codes = code.entries().iter().map(|e: &CodeEntry| (e.reversed(), e.len)).collect();
         Self { codes }
     }
 
@@ -132,11 +128,8 @@ mod tests {
         let code = CanonicalCode::from_histogram(&h, 15).unwrap();
         let enc = EncodeTable::new(&code);
         let total: u64 = counts.iter().sum();
-        let weighted: u64 = counts
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| c * u64::from(enc.code_len(i as u16).unwrap()))
-            .sum();
+        let weighted: u64 =
+            counts.iter().enumerate().map(|(i, &c)| c * u64::from(enc.code_len(i as u16).unwrap())).sum();
         let avg = weighted as f64 / total as f64;
         let entropy = h.entropy_bits();
         assert!(avg >= entropy - 1e-9, "avg {avg} below entropy {entropy}");

@@ -48,7 +48,9 @@ impl fmt::Display for HuffmanError {
             HuffmanError::InvalidCodeLengths { reason } => write!(f, "invalid code length table: {reason}"),
             HuffmanError::UnknownSymbol(s) => write!(f, "symbol {s} is not part of the code's alphabet"),
             HuffmanError::Decode(e) => write!(f, "bitstream error during Huffman decode: {e}"),
-            HuffmanError::InvalidCodeword { bits } => write!(f, "bit pattern {bits:#x} is not a valid codeword"),
+            HuffmanError::InvalidCodeword { bits } => {
+                write!(f, "bit pattern {bits:#x} is not a valid codeword")
+            }
         }
     }
 }

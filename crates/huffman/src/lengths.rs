@@ -98,10 +98,8 @@ pub fn limited_code_lengths(freqs: &[u64], max_len: u8) -> Result<Vec<u8>> {
         leaves: Vec<u32>,
     }
 
-    let mut leaves: Vec<Item> = nonzero
-        .iter()
-        .map(|&sym| Item { weight: freqs[sym], leaves: vec![sym as u32] })
-        .collect();
+    let mut leaves: Vec<Item> =
+        nonzero.iter().map(|&sym| Item { weight: freqs[sym], leaves: vec![sym as u32] }).collect();
     leaves.sort_by_key(|it| it.weight);
 
     // `current` is the list for the level being processed, starting at the
@@ -171,7 +169,9 @@ pub fn validate_code_lengths(lengths: &[u8], max_len: u8) -> Result<()> {
         }
         kraft += unit >> l;
         if kraft > unit {
-            return Err(HuffmanError::InvalidCodeLengths { reason: "Kraft sum exceeds 1 (over-subscribed code)" });
+            return Err(HuffmanError::InvalidCodeLengths {
+                reason: "Kraft sum exceeds 1 (over-subscribed code)",
+            });
         }
     }
     if !any {

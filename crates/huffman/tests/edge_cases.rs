@@ -1,0 +1,164 @@
+//! Edge-case tests for the Huffman layer: degenerate single-symbol
+//! histograms, incompressible (uniform) data, and length-limited canonical
+//! codes near their limits.
+
+use gompresso_bitstream::{BitReader, BitWriter, ByteReader, ByteWriter};
+use gompresso_huffman::{
+    code_lengths, limited_code_lengths, CanonicalCode, DecodeTable, EncodeTable, Histogram,
+    DEFAULT_MAX_CODE_LEN,
+};
+
+fn roundtrip(code: &CanonicalCode, symbols: &[u16]) -> u64 {
+    let enc = EncodeTable::new(code);
+    let dec = DecodeTable::new(code).unwrap();
+    let mut w = BitWriter::new();
+    for &s in symbols {
+        enc.encode(&mut w, s).unwrap();
+    }
+    let bit_len = w.bit_len();
+    let bytes = w.finish();
+    let mut r = BitReader::new(&bytes);
+    for &s in symbols {
+        assert_eq!(dec.decode(&mut r).unwrap(), s);
+    }
+    bit_len
+}
+
+#[test]
+fn single_symbol_histogram_round_trips() {
+    // A block containing one distinct symbol still needs a decodable code;
+    // the convention is a single 1-bit codeword.
+    let mut hist = Histogram::new(300);
+    hist.add_n(123, 10_000);
+    let code = CanonicalCode::from_histogram(&hist, DEFAULT_MAX_CODE_LEN).unwrap();
+    assert_eq!(code.longest_used(), 1);
+    assert_eq!(code.entry(123).unwrap().len, 1);
+    assert!(code.entry(0).unwrap().len == 0, "unused symbols carry no code");
+
+    let symbols = vec![123u16; 4096];
+    let bits = roundtrip(&code, &symbols);
+    assert_eq!(bits, 4096, "degenerate stream must cost exactly 1 bit/symbol");
+
+    // The serialized code (one length + zero runs) stays tiny.
+    let mut w = ByteWriter::new();
+    code.serialize(&mut w);
+    let bytes = w.finish();
+    assert!(bytes.len() <= 12, "serialized single-symbol code took {} bytes", bytes.len());
+    let back = CanonicalCode::deserialize(&mut ByteReader::new(&bytes)).unwrap();
+    assert_eq!(back, code);
+}
+
+#[test]
+fn single_symbol_at_alphabet_edges() {
+    for sym in [0u16, 255] {
+        let mut hist = Histogram::new(256);
+        hist.add(sym);
+        let code = CanonicalCode::from_histogram(&hist, DEFAULT_MAX_CODE_LEN).unwrap();
+        roundtrip(&code, &[sym; 100]);
+    }
+}
+
+#[test]
+fn incompressible_uniform_data_costs_eight_bits_per_symbol() {
+    // A flat histogram over 256 symbols admits no compression: every
+    // codeword must come out at exactly 8 bits.
+    let symbols: Vec<u16> = (0..4096u32).map(|i| (i % 256) as u16).collect();
+    let hist = Histogram::from_symbols(256, &symbols);
+    let code = CanonicalCode::from_histogram(&hist, DEFAULT_MAX_CODE_LEN).unwrap();
+    assert!(code.entries().iter().all(|e| e.len == 8));
+
+    let bits = roundtrip(&code, &symbols);
+    assert_eq!(bits, symbols.len() as u64 * 8);
+    // ...which matches the entropy bound for the uniform distribution.
+    assert!((hist.entropy_bits() - 8.0).abs() < 1e-9);
+}
+
+#[test]
+fn near_uniform_noise_stays_within_a_bit_of_entropy() {
+    // Pseudo-random bytes (fixed multiplicative hash — no RNG dependency):
+    // the average code length may not beat entropy and must stay within
+    // one bit of it (Huffman's classic guarantee).
+    let symbols: Vec<u16> =
+        (0..20_000u32).map(|i| ((i.wrapping_mul(2654435761) >> 19) & 0xFF) as u16).collect();
+    let hist = Histogram::from_symbols(256, &symbols);
+    let code = CanonicalCode::from_histogram(&hist, 12).unwrap();
+    let bits = roundtrip(&code, &symbols);
+    let mean_len = bits as f64 / symbols.len() as f64;
+    let entropy = hist.entropy_bits();
+    assert!(mean_len >= entropy - 1e-9, "mean {mean_len} beats entropy {entropy}");
+    assert!(mean_len < entropy + 1.0, "mean {mean_len} exceeds entropy {entropy} + 1");
+}
+
+#[test]
+fn length_limit_binds_on_skewed_data_and_still_round_trips() {
+    // Geometric frequencies force the unrestricted tree past 10 bits, so
+    // the paper's CWL = 10 limit actually binds.
+    let mut freqs = vec![0u64; 32];
+    for (i, f) in freqs.iter_mut().enumerate() {
+        *f = 1u64 << (31 - i).min(40);
+    }
+    let unrestricted = code_lengths(&freqs).unwrap();
+    assert!(
+        unrestricted.iter().copied().max().unwrap() > DEFAULT_MAX_CODE_LEN,
+        "test premise: optimal tree must exceed the limit"
+    );
+
+    let mut hist = Histogram::new(freqs.len());
+    for (i, &f) in freqs.iter().enumerate() {
+        hist.add_n(i as u16, f.min(10_000)); // same shape, bounded counts
+    }
+    let code = CanonicalCode::from_histogram(&hist, DEFAULT_MAX_CODE_LEN).unwrap();
+    assert!(code.longest_used() <= DEFAULT_MAX_CODE_LEN);
+    assert_eq!(code.max_len(), DEFAULT_MAX_CODE_LEN);
+
+    // Encode a stream drawn (deterministically) from the skewed shape.
+    let mut symbols = Vec::new();
+    for (sym, &f) in freqs.iter().enumerate() {
+        for _ in 0..(f.min(50)) {
+            symbols.push(sym as u16);
+        }
+    }
+    roundtrip(&code, &symbols);
+}
+
+#[test]
+fn limited_code_is_optimal_under_its_limit_not_under_the_optimum() {
+    // Package-merge pays for the limit: weighted length under the limit is
+    // at least the unrestricted optimum, and monotonically improves as the
+    // limit loosens.
+    let freqs: Vec<u64> = vec![1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144];
+    let weighted =
+        |lengths: &[u8]| -> u64 { freqs.iter().zip(lengths).map(|(&f, &l)| f * u64::from(l)).sum() };
+    let optimum = weighted(&code_lengths(&freqs).unwrap());
+    let mut previous = u64::MAX;
+    for limit in [4u8, 5, 6, 8, 12] {
+        let lengths = limited_code_lengths(&freqs, limit).unwrap();
+        assert!(lengths.iter().all(|&l| l <= limit));
+        let total = weighted(&lengths);
+        assert!(total >= optimum, "limit {limit} beat the unrestricted optimum");
+        assert!(total <= previous, "loosening the limit to {limit} made the code worse");
+        previous = total;
+    }
+    // With a loose enough limit, the optimum is reached exactly.
+    assert_eq!(previous, optimum);
+}
+
+#[test]
+fn alphabet_exactly_filling_the_limit_is_a_complete_code() {
+    // 2^4 = 16 equi-probable symbols under a 4-bit limit: the only valid
+    // code is fixed-length 4 bits, and the decode table is exactly full.
+    let symbols: Vec<u16> = (0..16u16).cycle().take(640).collect();
+    let hist = Histogram::from_symbols(16, &symbols);
+    let code = CanonicalCode::from_histogram(&hist, 4).unwrap();
+    assert!(code.entries().iter().all(|e| e.len == 4));
+    let dec = DecodeTable::new(&code).unwrap();
+    assert_eq!(dec.index_bits(), 4);
+    roundtrip(&code, &symbols);
+}
+
+#[test]
+fn decode_table_rejects_codes_wider_than_it_can_index() {
+    // from_lengths with a declared max shorter than an actual length must
+    // be rejected up front rather than corrupting the LUT.
+    assert!(CanonicalCode::from_lengths(&[1, 2, 3, 3], 2).is_err());
+}

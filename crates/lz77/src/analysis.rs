@@ -192,8 +192,7 @@ mod tests {
             sequences.push(Sequence { literal_len: 0, match_offset: pos as u32, match_len: 4 });
             pos += 4;
         }
-        let block =
-            SequenceBlock { sequences, literals: vec![b'x'; 16], uncompressed_len: pos };
+        let block = SequenceBlock { sequences, literals: vec![b'x'; 16], uncompressed_len: pos };
         let stats = dependency_stats(&block, 32);
         assert_eq!(stats.max_depth, 0);
         assert_eq!(stats.dependent_refs, 0);

@@ -107,10 +107,7 @@ mod tests {
     #[test]
     fn length_mismatch_is_rejected() {
         let b = block(vec![Sequence::literals_only(3)], b"abc", 7);
-        assert!(matches!(
-            decompress_block(&b),
-            Err(Lz77Error::LengthMismatch { declared: 7, produced: 3 })
-        ));
+        assert!(matches!(decompress_block(&b), Err(Lz77Error::LengthMismatch { declared: 7, produced: 3 })));
     }
 
     #[test]

@@ -165,13 +165,7 @@ impl Matcher {
 
     /// Whether a candidate match source `[cand, cand + len)` is permitted
     /// under the active dependency-elimination policy.
-    fn de_allows(
-        &self,
-        cand: usize,
-        len: usize,
-        group_start: usize,
-        emitted: &[EmittedRef],
-    ) -> bool {
+    fn de_allows(&self, cand: usize, len: usize, group_start: usize, emitted: &[EmittedRef]) -> bool {
         if !self.config.dependency_elimination {
             return true;
         }
@@ -463,8 +457,10 @@ mod tests {
         for i in 0..1000u32 {
             input.extend_from_slice(format!("entry {} value {} ", i % 50, (i * 7) % 90).as_bytes());
         }
-        let shallow = Matcher::new(MatcherConfig { chain_depth: 1, ..MatcherConfig::default() }).compress(&input);
-        let deep = Matcher::new(MatcherConfig { chain_depth: 32, ..MatcherConfig::default() }).compress(&input);
+        let shallow =
+            Matcher::new(MatcherConfig { chain_depth: 1, ..MatcherConfig::default() }).compress(&input);
+        let deep =
+            Matcher::new(MatcherConfig { chain_depth: 32, ..MatcherConfig::default() }).compress(&input);
         assert!(deep.byte_encoded_estimate() <= shallow.byte_encoded_estimate());
         assert_eq!(decompress_block(&deep).unwrap(), input);
     }

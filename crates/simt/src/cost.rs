@@ -117,9 +117,9 @@ impl CostModel {
         let usable_mps = (counters.warps as f64 / f64::from(warps_per_group.max(1)))
             .min(f64::from(device.multiprocessors) * f64::from(groups_per_mp))
             / f64::from(groups_per_mp);
-        let grid_factor = (usable_mps / f64::from(device.multiprocessors)).min(1.0).max(
-            1.0 / f64::from(device.multiprocessors),
-        );
+        let grid_factor = (usable_mps / f64::from(device.multiprocessors))
+            .min(1.0)
+            .max(1.0 / f64::from(device.multiprocessors));
 
         let issue_rate = device.peak_issue_rate() * occupancy_factor * grid_factor;
         let compute_s = counters.totals.instructions as f64 / issue_rate;

@@ -133,17 +133,17 @@ impl OccupancyModel {
     /// uses `shared_bytes_per_group` bytes of shared memory and
     /// `warps_per_group` warps.
     pub fn groups_per_mp(&self, shared_bytes_per_group: u32, warps_per_group: u32) -> u32 {
-        let by_shared = if shared_bytes_per_group == 0 {
-            self.device.max_groups_per_mp
-        } else {
-            self.device.shared_memory_per_mp / shared_bytes_per_group
-        };
-        let by_warps = if warps_per_group == 0 {
-            self.device.max_groups_per_mp
-        } else {
-            self.device.max_warps_per_mp / warps_per_group
-        };
-        by_shared.min(by_warps).min(self.device.max_groups_per_mp).max(0)
+        let by_shared = self
+            .device
+            .shared_memory_per_mp
+            .checked_div(shared_bytes_per_group)
+            .unwrap_or(self.device.max_groups_per_mp);
+        let by_warps = self
+            .device
+            .max_warps_per_mp
+            .checked_div(warps_per_group)
+            .unwrap_or(self.device.max_groups_per_mp);
+        by_shared.min(by_warps).min(self.device.max_groups_per_mp)
     }
 
     /// Total number of warps concurrently resident on the whole device.

@@ -25,8 +25,8 @@ impl PcieGeneration {
     pub fn per_lane_bandwidth(self) -> f64 {
         match self {
             PcieGeneration::Gen2 => 5.0e9 / 10.0 * 8.0 / 8.0 * 0.8 / 0.8 / 2.0 * 2.0 / 2.0, // 500 MB/s
-            PcieGeneration::Gen3 => 8.0e9 * (128.0 / 130.0) / 8.0,                           // ≈ 985 MB/s
-            PcieGeneration::Gen4 => 16.0e9 * (128.0 / 130.0) / 8.0,                          // ≈ 1969 MB/s
+            PcieGeneration::Gen3 => 8.0e9 * (128.0 / 130.0) / 8.0,                          // ≈ 985 MB/s
+            PcieGeneration::Gen4 => 16.0e9 * (128.0 / 130.0) / 8.0,                         // ≈ 1969 MB/s
         }
     }
 }

@@ -185,9 +185,7 @@ impl Warp {
         }
         let total = inclusive[WARP_SIZE - 1];
         let mut exclusive = [0u64; WARP_SIZE];
-        for i in 1..WARP_SIZE {
-            exclusive[i] = inclusive[i - 1];
-        }
+        exclusive[1..].copy_from_slice(&inclusive[..WARP_SIZE - 1]);
         (exclusive, total)
     }
 

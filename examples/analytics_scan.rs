@@ -12,9 +12,7 @@
 //! Run with: `cargo run --release --example analytics_scan`
 
 use gompresso::datasets::{DatasetGenerator, MatrixMarketGenerator};
-use gompresso::{
-    compress, decompress_with, CompressorConfig, DecompressorConfig, ResolutionStrategy,
-};
+use gompresso::{compress, decompress_with, CompressorConfig, DecompressorConfig, ResolutionStrategy};
 use std::time::Instant;
 
 const SCANS: usize = 3;
@@ -37,7 +35,9 @@ fn count_hub_edges(matrix_text: &[u8]) -> usize {
 fn main() {
     let data = MatrixMarketGenerator::new(11).generate(8 * 1024 * 1024);
 
-    for (label, config) in [("Gompresso/Bit+DE", CompressorConfig::bit_de()), ("Gompresso/Byte+DE", CompressorConfig::byte_de())] {
+    for (label, config) in
+        [("Gompresso/Bit+DE", CompressorConfig::bit_de()), ("Gompresso/Byte+DE", CompressorConfig::byte_de())]
+    {
         let compressed = compress(&data, &config).expect("compression failed");
         println!(
             "{label}: stored {} MB as {:.2} MB (ratio {:.2}:1)",
@@ -51,7 +51,8 @@ fn main() {
             let start = Instant::now();
             let mut hits = 0usize;
             for _ in 0..SCANS {
-                let (scan, _report) = decompress_with(&compressed.file, &dconf).expect("decompression failed");
+                let (scan, _report) =
+                    decompress_with(&compressed.file, &dconf).expect("decompression failed");
                 hits = count_hub_edges(&scan);
             }
             let per_scan = start.elapsed().as_secs_f64() / SCANS as f64;

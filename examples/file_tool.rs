@@ -91,7 +91,10 @@ fn cmd_info(input: &str) {
     });
     let h = &file.header;
     println!("Gompresso file: {input}");
-    println!("  mode                 : {}", if h.mode == EncodingMode::Bit { "bit (Huffman)" } else { "byte (LZ4-style)" });
+    println!(
+        "  mode                 : {}",
+        if h.mode == EncodingMode::Bit { "bit (Huffman)" } else { "byte (LZ4-style)" }
+    );
     println!("  uncompressed size    : {} bytes", h.uncompressed_size);
     println!("  block size           : {} KB ({} blocks)", h.block_size / 1024, h.block_count());
     println!("  window / max match   : {} / {} bytes", h.window_size, h.max_match_len);

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use gompresso::{compress, decompress, CompressorConfig};
 use gompresso::datasets::{DatasetGenerator, WikipediaGenerator};
+use gompresso::{compress, decompress, CompressorConfig};
 
 fn main() {
     // 8 MiB of synthetic Wikipedia-style XML (the paper's first dataset).

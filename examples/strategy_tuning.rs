@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example strategy_tuning`
 
 use gompresso::datasets::{DatasetGenerator, NestingGenerator, WikipediaGenerator};
-use gompresso::{
-    compress, decompress_with, CompressorConfig, DecompressorConfig, ResolutionStrategy,
-};
+use gompresso::{compress, decompress_with, CompressorConfig, DecompressorConfig, ResolutionStrategy};
 
 const SIZE: usize = 4 * 1024 * 1024;
 
@@ -57,7 +55,8 @@ fn main() {
     for block_kb in [32usize, 64, 128, 256] {
         let config = CompressorConfig { block_size: block_kb * 1024, ..CompressorConfig::bit_de() };
         let out = compress(&data, &config).expect("compress");
-        let (restored, report) = decompress_with(&out.file, &DecompressorConfig::default()).expect("decompress");
+        let (restored, report) =
+            decompress_with(&out.file, &DecompressorConfig::default()).expect("decompress");
         assert_eq!(restored, data);
         println!(
             "   {block_kb:>4} KB  {:>6.3}   {:>8.2}",

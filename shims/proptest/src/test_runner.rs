@@ -1,0 +1,54 @@
+//! Test-runner configuration and the deterministic RNG behind it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Random source handed to strategies.
+///
+/// Seeded from the fully-qualified test name (FNV-1a), so every test sees a
+/// stable stream across runs and platforms, while distinct tests see
+/// distinct streams. Set `PROPTEST_SHIM_SEED` to mix an extra seed in and
+/// explore different streams.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// The underlying generator (crate-internal access for strategies).
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates the deterministic RNG for the named test.
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SHIM_SEED") {
+            for byte in extra.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        TestRng { rng: StdRng::seed_from_u64(hash) }
+    }
+}

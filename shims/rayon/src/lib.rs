@@ -1,0 +1,188 @@
+//! Offline subset of the `rayon` API (see `shims/README.md`).
+//!
+//! Provides `slice.par_iter()` / `vec.par_iter()` with `map`, `enumerate`
+//! and `collect`, executed on real OS threads via `std::thread::scope`.
+//! Items are split into contiguous chunks, one per available core, and the
+//! results are concatenated in input order, so `collect()` is
+//! order-preserving exactly like upstream rayon's indexed collect.
+
+#![forbid(unsafe_code)]
+
+/// Number of worker threads the shim will use (the number of available
+/// cores; upstream rayon defaults to the same).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+pub mod iter {
+    //! Parallel iterator subset.
+
+    /// Extension trait providing `par_iter()` on slices and vectors.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type yielded by reference.
+        type Item: 'data;
+        /// Returns a parallel iterator over `&Self::Item`.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Pairs each item with its index.
+        pub fn enumerate(self) -> ParEnumerate<'data, T> {
+            ParEnumerate { items: self.items }
+        }
+
+        /// Maps each item through `f` (lazily; run by `collect`).
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+        {
+            ParMap { items: self.items, f }
+        }
+    }
+
+    /// Enumerated parallel iterator.
+    pub struct ParEnumerate<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParEnumerate<'data, T> {
+        /// Maps each `(index, &item)` pair through `f`.
+        pub fn map<R, F>(self, f: F) -> ParEnumerateMap<'data, T, F>
+        where
+            F: Fn((usize, &'data T)) -> R + Sync,
+            R: Send,
+        {
+            ParEnumerateMap { items: self.items, f }
+        }
+    }
+
+    /// Mapped parallel iterator.
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T, R, F> ParMap<'data, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        /// Runs the map on a thread pool and collects results in input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let f = self.f;
+            collect_indexed(self.items, |_, item| f(item))
+        }
+    }
+
+    /// Mapped, enumerated parallel iterator.
+    pub struct ParEnumerateMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T, R, F> ParEnumerateMap<'data, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn((usize, &'data T)) -> R + Sync,
+    {
+        /// Runs the map on a thread pool and collects results in input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let f = self.f;
+            collect_indexed(self.items, |i, item| f((i, item)))
+        }
+    }
+
+    fn collect_indexed<'data, T, R, F, C>(items: &'data [T], f: F) -> C
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &'data T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let threads = crate::current_num_threads().min(items.len());
+        if threads <= 1 {
+            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let chunk_len = items.len().div_ceil(threads);
+        let mut per_chunk: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk_len)
+                .enumerate()
+                .map(|(chunk_idx, chunk)| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(j, item)| f(chunk_idx * chunk_len + j, item))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            per_chunk = handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(results) => results,
+                    // Propagate the original panic payload, as upstream
+                    // rayon does, instead of masking it with a new message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect();
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_map_collect_indices_match() {
+        let input = vec![7u32; 1000];
+        let out: Vec<usize> = input.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let input: Vec<u8> = Vec::new();
+        let out: Vec<u8> = input.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

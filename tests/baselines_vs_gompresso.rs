@@ -64,7 +64,12 @@ fn byte_level_codecs_trade_ratio_for_speed() {
     let data = WikipediaGenerator::new(16).generate(SIZE);
     let bit = compress(&data, &CompressorConfig::bit_de()).unwrap();
     let byte = compress(&data, &CompressorConfig::byte_de()).unwrap();
-    assert!(bit.stats.ratio() > byte.stats.ratio(), "bit {} vs byte {}", bit.stats.ratio(), byte.stats.ratio());
+    assert!(
+        bit.stats.ratio() > byte.stats.ratio(),
+        "bit {} vs byte {}",
+        bit.stats.ratio(),
+        byte.stats.ratio()
+    );
 
     let (_, bit_report) = gompresso::decompress(&bit.file).unwrap();
     let (_, byte_report) = gompresso::decompress(&byte.file).unwrap();

@@ -105,7 +105,8 @@ fn deeper_nesting_costs_more_mrr_rounds() {
     let deep = NestingGenerator::new(32).generate(SIZE / 4);
     let rounds = |data: &[u8]| {
         let out = compress(data, &CompressorConfig::byte()).unwrap();
-        let config = DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
+        let config =
+            DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
         let (restored, report) = decompress_with(&out.file, &config).unwrap();
         assert_eq!(restored, data);
         report.mrr.mean_rounds()
@@ -126,11 +127,8 @@ fn corrupt_and_truncated_files_never_panic() {
 
     // Truncations at various points.
     for cut in [0usize, 4, 16, bytes.len() / 2, bytes.len() - 1] {
-        match CompressedFile::deserialize(&bytes[..cut]) {
-            Ok(file) => {
-                let _ = decompress(&file);
-            }
-            Err(_) => {}
+        if let Ok(file) = CompressedFile::deserialize(&bytes[..cut]) {
+            let _ = decompress(&file);
         }
     }
     // Byte corruptions sprinkled through the file.
