@@ -54,6 +54,26 @@ pub trait Codec: Send + Sync {
 
     /// Decompresses one block previously produced by [`Codec::compress`].
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>>;
+
+    /// Decompresses one block directly into a caller-provided buffer,
+    /// returning the number of bytes written.
+    ///
+    /// `out` must be sized *exactly* to the block's decompressed length
+    /// (which the caller knows from its framing, as the block-parallel
+    /// driver does); a mismatch in either direction is an error. The driver
+    /// hands each worker the block's disjoint slice of the file-level
+    /// output buffer, so codecs that implement this natively (all the
+    /// LZ77-based ones) write every decompressed byte exactly once. The
+    /// default implementation falls back to [`Codec::decompress`] plus a
+    /// copy for codecs without an in-place path.
+    fn decompress_into(&self, input: &[u8], out: &mut [u8]) -> Result<usize> {
+        let data = self.decompress(input)?;
+        if data.len() != out.len() {
+            return Err(BaselineError::Malformed { reason: "block size disagrees with its output slot" });
+        }
+        out.copy_from_slice(&data);
+        Ok(data.len())
+    }
 }
 
 /// Every baseline codec boxed, for sweeping experiments.

@@ -8,7 +8,7 @@
 use crate::{BaselineError, Codec, Result};
 use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
 use gompresso_format::ByteBlock;
-use gompresso_lz77::{decompress_block, Matcher, MatcherConfig};
+use gompresso_lz77::{decompress_block, decompress_block_into, Matcher, MatcherConfig, SequenceBlock};
 
 /// The LZ4-like baseline codec.
 #[derive(Debug, Clone)]
@@ -26,6 +26,24 @@ impl Lz4Like {
     /// Creates the codec with LZ4-style matching parameters.
     pub fn new() -> Self {
         Self { config: MatcherConfig::lz4_like() }
+    }
+
+    /// Parses a frame back into its LZ77 sequence block.
+    fn decode_frame(input: &[u8]) -> Result<SequenceBlock> {
+        let mut r = ByteReader::new(input);
+        let expected_len = read_varint(&mut r)? as usize;
+        if expected_len > (1 << 31) {
+            return Err(BaselineError::Malformed { reason: "declared length is implausibly large" });
+        }
+        let block = ByteBlock::deserialize(&mut r)
+            .map_err(|_| BaselineError::Malformed { reason: "invalid byte-block payload" })?;
+        let sequences = block
+            .decode()
+            .map_err(|_| BaselineError::Malformed { reason: "invalid byte-block sequences" })?;
+        if sequences.uncompressed_len != expected_len {
+            return Err(BaselineError::Malformed { reason: "frame length disagrees with block" });
+        }
+        Ok(sequences)
     }
 }
 
@@ -46,17 +64,11 @@ impl Codec for Lz4Like {
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
-        let mut r = ByteReader::new(input);
-        let expected_len = read_varint(&mut r)? as usize;
-        let block = ByteBlock::deserialize(&mut r)
-            .map_err(|_| BaselineError::Malformed { reason: "invalid byte-block payload" })?;
-        let sequences = block
-            .decode()
-            .map_err(|_| BaselineError::Malformed { reason: "invalid byte-block sequences" })?;
-        if sequences.uncompressed_len != expected_len {
-            return Err(BaselineError::Malformed { reason: "frame length disagrees with block" });
-        }
-        Ok(decompress_block(&sequences)?)
+        Ok(decompress_block(&Self::decode_frame(input)?)?)
+    }
+
+    fn decompress_into(&self, input: &[u8], out: &mut [u8]) -> Result<usize> {
+        Ok(decompress_block_into(&Self::decode_frame(input)?, out)?)
     }
 }
 

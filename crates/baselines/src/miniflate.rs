@@ -11,7 +11,7 @@
 use crate::{BaselineError, Codec, Result};
 use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
 use gompresso_format::{token_code::TokenCoder, BitBlock};
-use gompresso_lz77::{decompress_block, Matcher, MatcherConfig};
+use gompresso_lz77::{decompress_block, decompress_block_into, Matcher, MatcherConfig, SequenceBlock};
 
 /// The DEFLATE-like baseline codec.
 #[derive(Debug, Clone)]
@@ -40,6 +40,25 @@ impl Miniflate {
         )
         .map_err(|_| BaselineError::Malformed { reason: "invalid token coder parameters" })
     }
+
+    /// Parses a frame back into its LZ77 sequence block.
+    fn decode_frame(&self, input: &[u8]) -> Result<SequenceBlock> {
+        let mut r = ByteReader::new(input);
+        let expected_len = read_varint(&mut r)? as usize;
+        if expected_len > (1 << 31) {
+            return Err(BaselineError::Malformed { reason: "declared length is implausibly large" });
+        }
+        let bit = BitBlock::deserialize(&mut r)
+            .map_err(|_| BaselineError::Malformed { reason: "invalid bit-block payload" })?;
+        let coder = self.coder()?;
+        let block = bit
+            .decode_all(&coder)
+            .map_err(|_| BaselineError::Malformed { reason: "invalid bit-block contents" })?;
+        if block.uncompressed_len != expected_len {
+            return Err(BaselineError::Malformed { reason: "frame length disagrees with block" });
+        }
+        Ok(block)
+    }
 }
 
 impl Codec for Miniflate {
@@ -61,18 +80,11 @@ impl Codec for Miniflate {
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
-        let mut r = ByteReader::new(input);
-        let expected_len = read_varint(&mut r)? as usize;
-        let bit = BitBlock::deserialize(&mut r)
-            .map_err(|_| BaselineError::Malformed { reason: "invalid bit-block payload" })?;
-        let coder = self.coder()?;
-        let block = bit
-            .decode_all(&coder)
-            .map_err(|_| BaselineError::Malformed { reason: "invalid bit-block contents" })?;
-        if block.uncompressed_len != expected_len {
-            return Err(BaselineError::Malformed { reason: "frame length disagrees with block" });
-        }
-        Ok(decompress_block(&block)?)
+        Ok(decompress_block(&self.decode_frame(input)?)?)
+    }
+
+    fn decompress_into(&self, input: &[u8], out: &mut [u8]) -> Result<usize> {
+        Ok(decompress_block_into(&self.decode_frame(input)?, out)?)
     }
 }
 

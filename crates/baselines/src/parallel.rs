@@ -17,6 +17,12 @@ use std::sync::Mutex;
 /// Default block size for the CPU baselines (the paper's 2 MB sweet spot).
 pub const DEFAULT_BLOCK_SIZE: usize = 2 * 1024 * 1024;
 
+/// Maximum total uncompressed size of one block-parallel frame (2 GiB).
+/// Enforced symmetrically at compress and decompress time so a corrupt
+/// frame header cannot request an output allocation far beyond anything
+/// the driver would ever have produced.
+const FRAME_TOTAL_CAP: usize = 1 << 31;
+
 /// Wraps a single-block [`Codec`] with block splitting and a work-queue
 /// parallel decompressor.
 #[derive(Debug)]
@@ -61,9 +67,16 @@ impl<C: Codec> BlockParallel<C> {
     /// Compresses `input` block by block (in parallel), producing a framed
     /// stream: block size, block count, per-block compressed sizes, then the
     /// concatenated block payloads.
+    ///
+    /// Inputs above the 2 GiB frame cap are refused, symmetrically with
+    /// [`Self::decompress`] — the driver exists for the paper's ≤ 1 GB
+    /// benchmark datasets.
     pub fn compress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        if input.len() > FRAME_TOTAL_CAP {
+            return Err(BaselineError::Malformed { reason: "input exceeds the 2 GiB frame cap" });
+        }
         let chunks: Vec<&[u8]> = input.chunks(self.block_size).collect();
-        let compressed = self.run_indexed(chunks.len(), |i| self.codec.compress(chunks[i]))?;
+        let compressed = self.run_queue(chunks, |chunk| self.codec.compress(chunk))?;
 
         let mut w = ByteWriter::with_capacity(input.len() / 2 + 64);
         write_varint(&mut w, self.block_size as u64);
@@ -80,6 +93,14 @@ impl<C: Codec> BlockParallel<C> {
 
     /// Decompresses a stream produced by [`Self::compress`] using the
     /// work-queue scheduler.
+    ///
+    /// The output buffer is allocated once and split into per-block disjoint
+    /// slices; workers decompress their claimed block straight into its
+    /// slice via [`Codec::decompress_into`], so nothing is re-copied during
+    /// reassembly. The frame geometry (block size vs. declared total, and
+    /// the same 2 GiB cap [`Self::compress`] enforces on its input) is
+    /// validated *before* the allocation so a corrupt header cannot request
+    /// an output vastly larger than its block list supports.
     pub fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
         let mut r = ByteReader::new(input);
         let block_size = read_varint(&mut r)? as usize;
@@ -87,6 +108,13 @@ impl<C: Codec> BlockParallel<C> {
         let n_blocks = read_varint(&mut r)? as usize;
         if block_size == 0 || n_blocks > (1 << 28) {
             return Err(BaselineError::Malformed { reason: "invalid block-parallel frame header" });
+        }
+        if total_len > FRAME_TOTAL_CAP {
+            return Err(BaselineError::Malformed { reason: "declared length is implausibly large" });
+        }
+        let expected_blocks = total_len.div_ceil(block_size);
+        if expected_blocks != n_blocks {
+            return Err(BaselineError::Malformed { reason: "block count disagrees with declared length" });
         }
         let mut sizes = Vec::with_capacity(n_blocks);
         for _ in 0..n_blocks {
@@ -97,29 +125,53 @@ impl<C: Codec> BlockParallel<C> {
             payloads.push(r.read_bytes(size)?);
         }
 
-        let blocks = self.run_indexed(n_blocks, |i| self.codec.decompress(payloads[i]))?;
-        let mut out = Vec::with_capacity(total_len);
-        for block in blocks {
-            out.extend_from_slice(&block);
-        }
-        if out.len() != total_len {
-            return Err(BaselineError::Malformed { reason: "reassembled size disagrees with frame header" });
-        }
+        let mut out = vec![0u8; total_len];
+        // Per-block work items: payload plus the block's disjoint output
+        // slice, moved into whichever worker claims the block.
+        let work: Vec<(&[u8], &mut [u8])> = {
+            let mut work = Vec::with_capacity(n_blocks);
+            let mut rest: &mut [u8] = &mut out;
+            for payload in &payloads {
+                let cut = block_size.min(rest.len());
+                let (dst, tail) = rest.split_at_mut(cut);
+                rest = tail;
+                work.push((*payload, dst));
+            }
+            work
+        };
+
+        self.run_queue(work, |(payload, dst)| {
+            let expected = dst.len();
+            let written = self.codec.decompress_into(payload, dst)?;
+            if written == expected {
+                Ok(())
+            } else {
+                Err(BaselineError::Malformed { reason: "block size disagrees with frame header" })
+            }
+        })?;
         Ok(out)
     }
 
-    /// Runs `work(i)` for every `i < n` across the worker threads, pulling
-    /// indices from a shared counter (the common queue), and returns the
-    /// results in index order.
-    fn run_indexed<F>(&self, n: usize, work: F) -> Result<Vec<Vec<u8>>>
+    /// Runs `work` over every item across the worker threads, pulling the
+    /// next index from a shared counter (the common queue), and returns the
+    /// results in item order.
+    ///
+    /// Items are moved into the claiming worker through per-item slots,
+    /// which is what lets decompression hand each worker exclusive `&mut`
+    /// output slices.
+    fn run_queue<T, R, F>(&self, items: Vec<T>, work: F) -> Result<Vec<R>>
     where
-        F: Fn(usize) -> Result<Vec<u8>> + Sync,
+        T: Send,
+        R: Send,
+        F: Fn(T) -> Result<R> + Sync,
     {
+        let n = items.len();
         if n == 0 {
             return Ok(Vec::new());
         }
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|item| Mutex::new(Some(item))).collect();
         let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Result<Vec<u8>>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<Result<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(n);
 
         std::thread::scope(|scope| {
@@ -129,8 +181,9 @@ impl<C: Codec> BlockParallel<C> {
                     if i >= n {
                         break;
                     }
-                    let result = work(i);
-                    *results[i].lock().expect("result slot poisoned") = Some(result);
+                    let item =
+                        slots[i].lock().expect("work slot poisoned").take().expect("slot claimed once");
+                    *results[i].lock().expect("result slot poisoned") = Some(work(item));
                 });
             }
         });
@@ -138,7 +191,7 @@ impl<C: Codec> BlockParallel<C> {
         let mut out = Vec::with_capacity(n);
         for slot in results {
             match slot.into_inner().expect("result slot poisoned") {
-                Some(Ok(block)) => out.push(block),
+                Some(Ok(r)) => out.push(r),
                 Some(Err(e)) => return Err(e),
                 None => return Err(BaselineError::Malformed { reason: "worker abandoned a block" }),
             }
@@ -207,6 +260,21 @@ mod tests {
         let one = BlockParallel::new(ZstdLike::new()).with_block_size(64 * 1024).with_threads(1);
         let many = BlockParallel::new(ZstdLike::new()).with_block_size(64 * 1024).with_threads(8);
         assert_eq!(one.compress(&data).unwrap(), many.compress(&data).unwrap());
+    }
+
+    #[test]
+    fn hostile_frame_length_is_rejected_before_allocating() {
+        // A hand-built ~16-byte frame declaring a 1 TiB output must be
+        // rejected by header validation, not die attempting the allocation.
+        let mut w = ByteWriter::new();
+        write_varint(&mut w, 1u64 << 40); // block_size
+        write_varint(&mut w, 1u64 << 40); // total_len
+        write_varint(&mut w, 1); // n_blocks
+        write_varint(&mut w, 4); // payload size
+        w.write_bytes(b"oops");
+        let frame = w.finish();
+        let driver = BlockParallel::new(Lz4Like::new());
+        assert!(matches!(driver.decompress(&frame), Err(BaselineError::Malformed { .. })));
     }
 
     #[test]

@@ -106,13 +106,24 @@ impl Codec for SnappyLike {
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let expected_len = Self::frame_len(input)?;
+        let mut out = vec![0u8; expected_len];
+        let written = self.decompress_into(input, &mut out)?;
+        debug_assert_eq!(written, expected_len);
+        Ok(out)
+    }
+
+    fn decompress_into(&self, input: &[u8], out: &mut [u8]) -> Result<usize> {
         let mut r = ByteReader::new(input);
         let expected_len = read_varint(&mut r)? as usize;
         if expected_len > (1 << 31) {
             return Err(BaselineError::Malformed { reason: "declared length is implausibly large" });
         }
-        let mut out = Vec::with_capacity(expected_len);
-        while out.len() < expected_len {
+        if expected_len != out.len() {
+            return Err(BaselineError::Malformed { reason: "block size disagrees with its output slot" });
+        }
+        let mut cursor = 0usize;
+        while cursor < expected_len {
             let tag = r.read_u8()?;
             match tag & 0b11 {
                 TAG_LITERAL => {
@@ -124,38 +135,56 @@ impl Codec for SnappyLike {
                     } else {
                         return Err(BaselineError::Malformed { reason: "unsupported literal tag form" });
                     };
-                    out.extend_from_slice(r.read_bytes(len)?);
+                    let bytes = r.read_bytes(len)?;
+                    if cursor + len > expected_len {
+                        return Err(BaselineError::Malformed { reason: "output overruns declared length" });
+                    }
+                    out[cursor..cursor + len].copy_from_slice(bytes);
+                    cursor += len;
                 }
                 TAG_COPY1 => {
                     let len = usize::from((tag >> 2) & 0b111) + 4;
                     let offset = (usize::from(tag >> 5) << 8) | usize::from(r.read_u8()?);
-                    copy_within(&mut out, offset, len)?;
+                    cursor = copy_within(out, cursor, expected_len, offset, len)?;
                 }
                 TAG_COPY2 => {
                     let len = usize::from(tag >> 2) + 1;
                     let offset = usize::from(r.read_u16_le()?);
-                    copy_within(&mut out, offset, len)?;
+                    cursor = copy_within(out, cursor, expected_len, offset, len)?;
                 }
                 _ => return Err(BaselineError::Malformed { reason: "reserved tag value" }),
             }
-            if out.len() > expected_len {
-                return Err(BaselineError::Malformed { reason: "output overruns declared length" });
-            }
         }
-        Ok(out)
+        Ok(cursor)
     }
 }
 
-fn copy_within(out: &mut Vec<u8>, offset: usize, len: usize) -> Result<()> {
-    if offset == 0 || offset > out.len() {
+impl SnappyLike {
+    /// Reads a frame's declared uncompressed length.
+    fn frame_len(input: &[u8]) -> Result<usize> {
+        let mut r = ByteReader::new(input);
+        let expected_len = read_varint(&mut r)? as usize;
+        if expected_len > (1 << 31) {
+            return Err(BaselineError::Malformed { reason: "declared length is implausibly large" });
+        }
+        Ok(expected_len)
+    }
+}
+
+/// Copies an overlapping-safe back-reference within the output cursor walk,
+/// returning the advanced cursor.
+fn copy_within(out: &mut [u8], cursor: usize, limit: usize, offset: usize, len: usize) -> Result<usize> {
+    if offset == 0 || offset > cursor {
         return Err(BaselineError::Malformed { reason: "copy offset out of range" });
     }
-    let start = out.len() - offset;
-    for i in 0..len {
-        let b = out[start + i];
-        out.push(b);
+    if cursor + len > limit {
+        return Err(BaselineError::Malformed { reason: "output overruns declared length" });
     }
-    Ok(())
+    let start = cursor - offset;
+    for i in 0..len {
+        out[cursor + i] = out[start + i];
+    }
+    Ok(cursor + len)
 }
 
 #[cfg(test)]

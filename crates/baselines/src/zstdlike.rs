@@ -14,7 +14,9 @@
 use crate::{BaselineError, Codec, Result};
 use gompresso_bitstream::{read_varint, write_varint, BitReader, BitWriter, ByteReader, ByteWriter};
 use gompresso_huffman::{CanonicalCode, DecodeTable, EncodeTable, Histogram};
-use gompresso_lz77::{decompress_block, Matcher, MatcherConfig, Sequence, SequenceBlock};
+use gompresso_lz77::{
+    decompress_block, decompress_block_into, Matcher, MatcherConfig, Sequence, SequenceBlock,
+};
 
 /// Maximum codeword length of the literal coder (keeps the decode LUT small
 /// while costing almost nothing in ratio for byte alphabets).
@@ -103,6 +105,17 @@ impl Codec for ZstdLike {
     }
 
     fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        Ok(decompress_block(&Self::decode_frame(input)?)?)
+    }
+
+    fn decompress_into(&self, input: &[u8], out: &mut [u8]) -> Result<usize> {
+        Ok(decompress_block_into(&Self::decode_frame(input)?, out)?)
+    }
+}
+
+impl ZstdLike {
+    /// Parses a frame back into its LZ77 sequence block.
+    fn decode_frame(input: &[u8]) -> Result<SequenceBlock> {
         let mut r = ByteReader::new(input);
         let expected_len = read_varint(&mut r)? as usize;
         let n_sequences = read_varint(&mut r)? as usize;
@@ -158,8 +171,7 @@ impl Codec for ZstdLike {
             });
         }
 
-        let block = SequenceBlock { sequences, literals, uncompressed_len: expected_len };
-        Ok(decompress_block(&block)?)
+        Ok(SequenceBlock { sequences, literals, uncompressed_len: expected_len })
     }
 }
 

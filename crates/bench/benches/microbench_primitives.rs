@@ -21,6 +21,64 @@ fn bench_warp_primitives(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_bitreader(c: &mut Criterion) {
+    // Word-level refill in isolation: stream 1 MiB through the reader in
+    // mixed widths. This is the microbenchmark that shows the unaligned
+    // u64-load refill win independent of the Huffman LUT.
+    let data = wikipedia_data(1 << 20);
+    let mut w = BitWriter::with_capacity(data.len());
+    for &b in &data {
+        w.write_bits(u32::from(b), 8);
+    }
+    let encoded = w.finish();
+    let total_bits = data.len() as u64 * 8;
+
+    let mut group = c.benchmark_group("micro_bitreader");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    group.bench_function("refill_read_bits_1mib", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&encoded);
+            let mut acc = 0u32;
+            let mut remaining = total_bits;
+            // 13-bit reads keep every refill misaligned.
+            while remaining >= 13 {
+                acc = acc.wrapping_add(r.read_bits(13).unwrap());
+                remaining -= 13;
+            }
+            acc
+        });
+    });
+    group.bench_function("refill_peek_consume_1mib", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&encoded);
+            let mut acc = 0u32;
+            let mut remaining = total_bits;
+            while remaining >= 13 {
+                acc = acc.wrapping_add(r.peek_bits(13).unwrap());
+                r.consume_bits(13).unwrap();
+                remaining -= 13;
+            }
+            acc
+        });
+    });
+    group.bench_function("refill_peek_window_1mib", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&encoded);
+            let mut acc = 0u32;
+            let mut remaining = total_bits;
+            while remaining >= 13 {
+                let (window, _) = r.peek_window(13);
+                acc = acc.wrapping_add(window);
+                r.consume_peeked(13);
+                remaining -= 13;
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
 fn bench_huffman(c: &mut Criterion) {
     let data = wikipedia_data(1 << 20);
     let symbols: Vec<u16> = data.iter().map(|&b| u16::from(b)).collect();
@@ -46,12 +104,28 @@ fn bench_huffman(c: &mut Criterion) {
             w.finish().len()
         });
     });
-    group.bench_function("decode_1mib", |b| {
+    group.bench_function("decode_fused_1mib", |b| {
+        // The production path: one refill + one lookup per symbol.
         b.iter(|| {
             let mut r = BitReader::new(&encoded);
             let mut n = 0usize;
             for _ in 0..symbols.len() {
                 n += usize::from(dec.decode(&mut r).unwrap() & 1);
+            }
+            n
+        });
+    });
+    group.bench_function("decode_unfused_1mib", |b| {
+        // The pre-rework sequence: checked peek, lookup, checked consume —
+        // kept as the comparison that makes the fusion win visible.
+        b.iter(|| {
+            let mut r = BitReader::new(&encoded);
+            let mut n = 0usize;
+            for _ in 0..symbols.len() {
+                let window = r.peek_bits(u32::from(dec.index_bits())).unwrap();
+                let (sym, len) = dec.lookup(window);
+                r.consume_bits(u32::from(len)).unwrap();
+                n += usize::from(sym & 1);
             }
             n
         });
@@ -77,5 +151,5 @@ fn bench_matcher(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_warp_primitives, bench_huffman, bench_matcher);
+criterion_group!(benches, bench_warp_primitives, bench_bitreader, bench_huffman, bench_matcher);
 criterion_main!(benches);

@@ -1,24 +1,40 @@
 //! Regenerates the paper's tables and figures as text tables.
 //!
 //! ```text
-//! experiments [--exp all|setup|fig9a|fig9b|fig9c|fig11|fig12|fig13|fig14] [--size-mb N]
+//! experiments [--exp all|setup|fig9a|fig9b|fig9c|fig11|fig12|fig13|fig14|perf]
+//!             [--size-mb N] [--samples N] [--json PATH]
 //! ```
 //!
 //! `--size-mb` scales the synthetic datasets (default 8 MiB, the paper used
 //! ~1 GB; larger sizes sharpen the GPU estimates but take proportionally
-//! longer on the host).
+//! longer on the host). The `perf` experiment measures host compress and
+//! decompress throughput (best of `--samples` runs, default 3) and writes
+//! the rows to `--json` (default `BENCH_host.json`).
 
 use gompresso_bench::{
     fig11_de_impact, fig12_block_size, fig13_speed_vs_ratio, fig14_energy, fig9a_strategy_comparison,
-    fig9b_bytes_per_round, fig9c_nesting_depth, setup_dataset_ratios, Table,
+    fig9b_bytes_per_round, fig9c_nesting_depth, host_throughput, render_json, setup_dataset_ratios, Table,
 };
 
-const EXPERIMENTS: [&str; 9] =
-    ["all", "setup", "fig9a", "fig9b", "fig9c", "fig11", "fig12", "fig13", "fig14"];
+const EXPERIMENTS: [&str; 10] =
+    ["all", "setup", "fig9a", "fig9b", "fig9c", "fig11", "fig12", "fig13", "fig14", "perf"];
 
-fn parse_args() -> (String, usize) {
+struct Args {
+    exp: String,
+    size_mb: usize,
+    samples: usize,
+    json_path: String,
+    /// Whether --samples / --json were given explicitly (they only affect
+    /// the perf experiment, so passing them without it earns a warning).
+    perf_flags_given: bool,
+}
+
+fn parse_args() -> Args {
     let mut exp = "all".to_string();
     let mut size_mb = 8usize;
+    let mut samples = 3usize;
+    let mut json_path = "BENCH_host.json".to_string();
+    let mut perf_flags_given = false;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -37,8 +53,27 @@ fn parse_args() -> (String, usize) {
                 };
                 i += 2;
             }
+            "--samples" if i + 1 < args.len() => {
+                perf_flags_given = true;
+                samples = match args[i + 1].parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("invalid --samples value {:?}; expected a positive integer", args[i + 1]);
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
+            "--json" if i + 1 < args.len() => {
+                perf_flags_given = true;
+                json_path = args[i + 1].clone();
+                i += 2;
+            }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--exp all|setup|fig9a|fig9b|fig9c|fig11|fig12|fig13|fig14] [--size-mb N]");
+                eprintln!(
+                    "usage: experiments [--exp {}] [--size-mb N] [--samples N] [--json PATH]",
+                    EXPERIMENTS.join("|")
+                );
                 std::process::exit(0);
             }
             other => {
@@ -51,13 +86,18 @@ fn parse_args() -> (String, usize) {
         eprintln!("unknown experiment {exp}; expected one of {}", EXPERIMENTS.join("|"));
         std::process::exit(2);
     }
-    (exp, size_mb)
+    Args { exp, size_mb, samples, json_path, perf_flags_given }
 }
 
 fn main() {
-    let (exp, size_mb) = parse_args();
+    let Args { exp, size_mb, samples, json_path, perf_flags_given } = parse_args();
     let size = size_mb * 1024 * 1024;
-    let run = |name: &str| exp == "all" || exp == name;
+    // `perf` overwrites the committed BENCH_host.json reference, so it only
+    // runs when requested explicitly — never as part of `all`.
+    let run = |name: &str| (exp == "all" && name != "perf") || exp == name;
+    if perf_flags_given && !run("perf") {
+        eprintln!("warning: --samples/--json only affect the perf experiment; pass --exp perf to run it");
+    }
 
     println!("Gompresso experiment harness — dataset size {size_mb} MiB per dataset");
     println!(
@@ -174,5 +214,30 @@ fn main() {
             ]);
         }
         println!("{}", t.render());
+    }
+
+    if run("perf") {
+        println!("== Host throughput: wall-clock compress/decompress GB/s (best of {samples}) ==");
+        let rows = host_throughput(size, samples);
+        let mut t = Table::new(&["dataset", "mode", "strategy", "ratio", "compress GB/s", "decompress GB/s"]);
+        for row in &rows {
+            t.row(&[
+                row.dataset.clone(),
+                row.mode.clone(),
+                row.strategy.clone(),
+                format!("{:.3}", row.ratio),
+                format!("{:.3}", row.compress_gbps),
+                format!("{:.3}", row.decompress_gbps),
+            ]);
+        }
+        println!("{}", t.render());
+        let json = render_json(&rows, size, samples);
+        match std::fs::write(&json_path, &json) {
+            Ok(()) => println!("wrote {json_path}"),
+            Err(e) => {
+                eprintln!("failed to write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -15,10 +15,12 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod perf;
 pub mod table;
 
 pub use datasets::{matrix_data, nesting_data, wikipedia_data};
 pub use experiments::*;
+pub use perf::{host_throughput, render_json, PerfRow};
 pub use table::Table;
 
 /// Gigabyte constant used for bandwidth formatting.

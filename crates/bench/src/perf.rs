@@ -1,0 +1,171 @@
+//! Host-throughput perf experiment (`BENCH_host.json`).
+//!
+//! Unlike the figure experiments, which reproduce the paper's *GPU
+//! estimates*, this experiment records what the repository's own hot path
+//! achieves on the machine it runs on: wall-clock compress and decompress
+//! throughput for {bit, byte} × {DE, MRR} on both synthetic datasets at a
+//! fixed size and seed. The `experiments` binary serializes the rows to
+//! `BENCH_host.json` at the repo root so successive PRs can diff their
+//! perf trajectory against the committed reference run.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p gompresso-bench --bin experiments -- --exp perf --size-mb 16
+//! ```
+
+use crate::datasets::{matrix_data, wikipedia_data};
+use crate::gbps;
+use gompresso_core::{compress, decompress_with, CompressorConfig, DecompressorConfig, ResolutionStrategy};
+use std::time::Instant;
+
+/// One measured (dataset × mode × strategy) configuration.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Dataset name ("wikipedia" or "matrix").
+    pub dataset: String,
+    /// Encoding mode ("bit" or "byte").
+    pub mode: String,
+    /// Back-reference resolution strategy ("DE" or "MRR").
+    pub strategy: String,
+    /// Compression ratio of the measured file.
+    pub ratio: f64,
+    /// Host compression throughput in GB/s (uncompressed bytes per second,
+    /// best of the timed samples).
+    pub compress_gbps: f64,
+    /// Host decompression throughput in GB/s (uncompressed bytes per
+    /// second, best of the timed samples).
+    pub decompress_gbps: f64,
+}
+
+/// The configurations measured: DE decompresses the DE-compressed file (as
+/// deployed), MRR decompresses the unconstrained file (the case MRR exists
+/// for), mirroring the Figure 9a methodology.
+fn configs() -> Vec<(&'static str, CompressorConfig, ResolutionStrategy)> {
+    vec![
+        ("bit", CompressorConfig::bit_de(), ResolutionStrategy::DependencyEliminated),
+        ("bit", CompressorConfig::bit(), ResolutionStrategy::MultiRound),
+        ("byte", CompressorConfig::byte_de(), ResolutionStrategy::DependencyEliminated),
+        ("byte", CompressorConfig::byte(), ResolutionStrategy::MultiRound),
+    ]
+}
+
+/// Measures host compress/decompress throughput for every configuration on
+/// both datasets. `samples` timed runs are taken per measurement and the
+/// best (minimum-time) run is reported, which is the standard way to damp
+/// scheduler noise without criterion's full statistics.
+pub fn host_throughput(size: usize, samples: usize) -> Vec<PerfRow> {
+    let samples = samples.max(1);
+    let mut rows = Vec::new();
+    for (dataset, data) in [("wikipedia", wikipedia_data(size)), ("matrix", matrix_data(size))] {
+        for (mode, cconf, strategy) in configs() {
+            let mut best_compress = f64::INFINITY;
+            let mut out = None;
+            for _ in 0..samples {
+                let start = Instant::now();
+                let compressed = compress(&data, &cconf).expect("perf compression failed");
+                best_compress = best_compress.min(start.elapsed().as_secs_f64());
+                out.get_or_insert(compressed);
+            }
+            let out = out.expect("at least one compression sample runs");
+
+            let dconf = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+            let mut best_decompress = f64::INFINITY;
+            for sample in 0..samples {
+                let start = Instant::now();
+                let (restored, _) = decompress_with(&out.file, &dconf).expect("perf decompression failed");
+                best_decompress = best_decompress.min(start.elapsed().as_secs_f64());
+                if sample == 0 {
+                    assert_eq!(restored, data, "round-trip failure in perf ({dataset}/{mode})");
+                }
+            }
+
+            rows.push(PerfRow {
+                dataset: dataset.to_string(),
+                mode: mode.to_string(),
+                strategy: strategy.short_name().to_string(),
+                ratio: out.stats.ratio(),
+                compress_gbps: gbps(data.len() as f64 / best_compress),
+                decompress_gbps: gbps(data.len() as f64 / best_decompress),
+            });
+        }
+    }
+    rows
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Renders the rows as the `BENCH_host.json` document. The format is plain
+/// JSON written by hand (the workspace vendors no serde); keys are stable so
+/// future PRs can diff files directly.
+pub fn render_json(rows: &[PerfRow], size: usize, samples: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"gompresso-bench-host-v1\",\n");
+    s.push_str(
+        "  \"command\": \"cargo run --release -p gompresso-bench --bin experiments -- --exp perf --size-mb <N>\",\n",
+    );
+    s.push_str(&format!("  \"size_bytes\": {size},\n"));
+    s.push_str(&format!("  \"samples\": {samples},\n"));
+    s.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
+    s.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"mode\": \"{}\", \"strategy\": \"{}\", \"ratio\": {}, \"compress_gbps\": {}, \"decompress_gbps\": {}}}{}\n",
+            row.dataset,
+            row.mode,
+            row.strategy,
+            json_f64(row.ratio),
+            json_f64(row.compress_gbps),
+            json_f64(row.decompress_gbps),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_rows_cover_all_configurations_with_positive_throughput() {
+        let rows = host_throughput(128 * 1024, 1);
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            assert!(row.ratio > 1.0, "{row:?}");
+            assert!(row.compress_gbps > 0.0, "{row:?}");
+            assert!(row.decompress_gbps > 0.0, "{row:?}");
+        }
+        // Both modes and both strategies appear for both datasets.
+        for dataset in ["wikipedia", "matrix"] {
+            for mode in ["bit", "byte"] {
+                for strategy in ["DE", "MRR"] {
+                    assert!(rows
+                        .iter()
+                        .any(|r| r.dataset == dataset && r.mode == mode && r.strategy == strategy));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let rows = host_throughput(64 * 1024, 1);
+        let json = render_json(&rows, 64 * 1024, 1);
+        assert!(json.contains("\"schema\": \"gompresso-bench-host-v1\""));
+        assert!(json.contains("\"size_bytes\": 65536"));
+        assert_eq!(json.matches("\"dataset\"").count(), rows.len());
+        // Balanced braces/brackets, no trailing comma before the closer.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+}

@@ -138,11 +138,67 @@ impl<'a> BitReader<'a> {
         }
     }
 
+    /// Refills the accumulator and returns the next `width` bits without
+    /// consuming them, together with the number of bits actually available.
+    ///
+    /// This is the fast half of the fused `peek`/`consume` pair used by the
+    /// table-driven Huffman decoder: one refill, one mask, no per-call width
+    /// validation (`width` must be 1..=32, enforced by a debug assertion).
+    /// Missing bits past the end of the stream read as zero, exactly like
+    /// [`Self::peek_bits`]. Consume the decoded length afterwards with
+    /// [`Self::consume_peeked`].
+    #[inline]
+    pub fn peek_window(&mut self, width: u32) -> (u32, u32) {
+        debug_assert!((1..=32).contains(&width));
+        if self.nbits < width {
+            self.fill();
+        }
+        let mask = if width == 32 { u64::from(u32::MAX) } else { (1u64 << width) - 1 };
+        ((self.acc & mask) as u32, self.nbits)
+    }
+
+    /// Consumes `width` bits whose availability the caller has already
+    /// verified against the count returned by [`Self::peek_window`].
+    ///
+    /// Unlike [`Self::consume_bits`] this neither refills nor re-checks the
+    /// width; consuming more bits than `peek_window` reported available is a
+    /// caller bug (caught by a debug assertion, saturated in release).
+    #[inline]
+    pub fn consume_peeked(&mut self, width: u32) {
+        debug_assert!(width <= 32 && width <= self.nbits);
+        let width = width.min(self.nbits);
+        self.acc >>= width;
+        self.nbits -= width;
+    }
+
+    /// Loads input into the accumulator until it holds at least 56 bits or
+    /// the stream is exhausted.
+    ///
+    /// The hot path loads eight bytes with one unaligned little-endian word
+    /// read and advances by however many whole bytes fit, instead of looping
+    /// byte by byte. The bytes that were loaded but not yet counted into
+    /// `nbits` occupy the accumulator's high bits with their true stream
+    /// values; re-ORing them on the next refill is idempotent, and every
+    /// consumer masks reads to the requested width, so the extra bits are
+    /// never observable. Near the end of the stream the byte loop preserves
+    /// the zero-fill-past-EOF semantics that `peek_bits` documents.
+    #[inline]
     fn fill(&mut self) {
-        while self.nbits <= 56 && self.next_byte < self.data.len() {
-            self.acc |= u64::from(self.data[self.next_byte]) << self.nbits;
-            self.next_byte += 1;
-            self.nbits += 8;
+        if self.nbits >= 56 {
+            return;
+        }
+        if let Some(chunk) = self.data.get(self.next_byte..self.next_byte + 8) {
+            let word = u64::from_le_bytes(chunk.try_into().expect("slice of length 8"));
+            self.acc |= word << self.nbits;
+            let loaded_bytes = (63 - self.nbits) >> 3;
+            self.next_byte += loaded_bytes as usize;
+            self.nbits += loaded_bytes * 8;
+        } else {
+            while self.nbits <= 56 && self.next_byte < self.data.len() {
+                self.acc |= u64::from(self.data[self.next_byte]) << self.nbits;
+                self.next_byte += 1;
+                self.nbits += 8;
+            }
         }
     }
 }
@@ -242,6 +298,62 @@ mod tests {
     fn at_bit_offset_rejects_out_of_range() {
         assert!(BitReader::at_bit_offset(&[0u8; 2], 17).is_err());
         assert!(BitReader::at_bit_offset(&[0u8; 2], 16).is_ok());
+    }
+
+    #[test]
+    fn peek_window_matches_peek_bits_and_reports_availability() {
+        let bytes = written(&[(0xABCD, 16), (0x3F, 6)]);
+        let mut r = BitReader::new(&bytes);
+        let (window, avail) = r.peek_window(16);
+        assert_eq!(window, 0xABCD);
+        assert!(avail >= 16);
+        r.consume_peeked(16);
+        assert_eq!(r.bit_position(), 16);
+        let (window, avail) = r.peek_window(6);
+        assert_eq!(window, 0x3F);
+        assert!(avail >= 6);
+        r.consume_peeked(6);
+        // Past the end: zero-filled window, availability below the width.
+        let (window, avail) = r.peek_window(8);
+        assert!(avail < 8);
+        assert_eq!(window & !((1 << avail) - 1), 0, "missing bits must read as zero");
+    }
+
+    #[test]
+    fn peek_window_interleaves_with_classic_reads() {
+        // The fused path and the checked path share the accumulator; mixing
+        // them must not skew the position.
+        let bytes = written(&[(0x5A, 8), (0x1234, 16), (0b101, 3), (0x7F, 7)]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0x5A);
+        let (window, _) = r.peek_window(16);
+        assert_eq!(window, 0x1234);
+        r.consume_peeked(16);
+        assert_eq!(r.peek_bits(3).unwrap(), 0b101);
+        r.consume_bits(3).unwrap();
+        assert_eq!(r.read_bits(7).unwrap(), 0x7F);
+        assert_eq!(r.remaining_bits(), r.total_bits() - 34);
+    }
+
+    #[test]
+    fn word_refill_agrees_with_byte_tail_across_lengths() {
+        // Exercise every data length around the 8-byte word-load boundary
+        // with every starting offset; values must match a plain bit walk.
+        for len in 0usize..=24 {
+            let bytes: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(37).wrapping_add(11)).collect();
+            for start in 0..=(len * 8) {
+                let mut r = BitReader::at_bit_offset(&bytes, start as u64).unwrap();
+                for bit in start..len * 8 {
+                    let expected = (bytes[bit / 8] >> (bit % 8)) & 1;
+                    assert_eq!(
+                        r.read_bits(1).unwrap(),
+                        u32::from(expected),
+                        "len {len} start {start} bit {bit}"
+                    );
+                }
+                assert!(r.read_bits(1).is_err());
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ use gompresso_huffman::DecodeTable;
 use gompresso_lz77::SequenceBlock;
 use gompresso_simt::{CostModel, KernelCounters, Warp, WarpCounters, WARP_SIZE};
 use rayon::prelude::*;
+use std::cell::RefCell;
 use std::time::Instant;
 
 /// Warp instructions charged per decoded Huffman symbol (table lookup,
@@ -45,6 +46,11 @@ pub struct DecompressorConfig {
     pub validate_de: bool,
     /// GPU device / PCIe model used for the time estimates.
     pub cost_model: CostModel,
+    /// Hard ceiling on the decompressed output size the decompressor will
+    /// allocate (default 4 GiB). Together with the per-block payload
+    /// plausibility bound this keeps a crafted header from requesting an
+    /// arbitrarily large allocation; raise it explicitly for larger files.
+    pub max_output_size: u64,
 }
 
 impl Default for DecompressorConfig {
@@ -53,6 +59,7 @@ impl Default for DecompressorConfig {
             strategy: ResolutionStrategy::DependencyEliminated,
             validate_de: false,
             cost_model: CostModel::tesla_k40(),
+            max_output_size: 4 << 30,
         }
     }
 }
@@ -77,12 +84,21 @@ pub fn decompress_with(
     Decompressor::new(config.clone()).decompress(file)
 }
 
-/// Per-block result produced by the parallel phase.
+/// Per-block result produced by the parallel phase. The decompressed bytes
+/// land directly in the block's slice of the shared output buffer; only the
+/// simulation by-products travel back through the result.
 struct BlockResult {
-    output: Vec<u8>,
     decode_counters: Option<WarpCounters>,
     lz77_counters: WarpCounters,
     mrr: MrrStats,
+}
+
+thread_local! {
+    /// Per-worker decode scratch. Each rayon worker decodes every block it
+    /// owns into the same `SequenceBlock`, so steady-state decompression
+    /// performs no per-block heap allocation once the scratch has grown to
+    /// the largest block handled by that worker.
+    static DECODE_SCRATCH: RefCell<SequenceBlock> = RefCell::new(SequenceBlock::new());
 }
 
 impl Decompressor {
@@ -98,38 +114,55 @@ impl Decompressor {
 
     /// Decompresses an in-memory Gompresso file, returning the original data
     /// and a full report (counters, MRR statistics, GPU time estimates).
+    ///
+    /// The output buffer is allocated exactly once; every worker writes its
+    /// blocks' bytes directly into the block's disjoint slice of that
+    /// buffer (located via the header's prefix-summed block sizes), so each
+    /// decompressed byte is written exactly once and never re-copied.
     pub fn decompress(&self, file: &CompressedFile) -> Result<(Vec<u8>, DecompressionReport)> {
         let start = Instant::now();
         let header = &file.header;
         header.validate()?;
         let coder = TokenCoder::new(header.min_match_len, header.max_match_len, header.window_size)?;
 
-        let results: Vec<Result<BlockResult>> = file
-            .blocks
-            .par_iter()
-            .enumerate()
-            .map(|(idx, payload)| self.decompress_block(header.mode, &coder, idx, &payload.bytes, header))
+        // Before allocating `uncompressed_size` bytes, bound the header's
+        // claim: the total must not exceed the configured output ceiling,
+        // every block's payload-declared size must agree with the header,
+        // and no block may claim more output than its payload bytes could
+        // plausibly expand to — so neither a corrupt nor a crafted header
+        // can trigger an enormous allocation backed by a tiny payload.
+        if header.uncompressed_size > self.config.max_output_size {
+            return Err(GompressoError::Format(gompresso_format::FormatError::InvalidHeaderField {
+                field: "uncompressed_size",
+                value: header.uncompressed_size,
+            }));
+        }
+        validate_declared_sizes(file)?;
+
+        let mut output = vec![0u8; header.uncompressed_size as usize];
+        let mut work: Vec<(usize, &[u8], &mut [u8])> = Vec::with_capacity(file.blocks.len());
+        let mut rest: &mut [u8] = &mut output;
+        for (idx, payload) in file.blocks.iter().enumerate() {
+            let (dst, tail) = rest.split_at_mut(header.block_uncompressed_size(idx) as usize);
+            rest = tail;
+            work.push((idx, payload.bytes.as_slice(), dst));
+        }
+
+        let results: Vec<Result<BlockResult>> = work
+            .into_par_iter()
+            .map(|(idx, payload, dst)| self.decompress_block(header.mode, &coder, idx, payload, dst))
             .collect();
 
-        let mut output = Vec::with_capacity(header.uncompressed_size as usize);
         let mut decode_counters = KernelCounters::new();
         let mut lz77_counters = KernelCounters::new();
         let mut mrr = MrrStats::default();
         for result in results {
             let block = result?;
-            output.extend_from_slice(&block.output);
             if let Some(decode) = &block.decode_counters {
                 decode_counters.add_warp(decode);
             }
             lz77_counters.add_warp(&block.lz77_counters);
             mrr.merge(&block.mrr);
-        }
-
-        if output.len() as u64 != header.uncompressed_size {
-            return Err(GompressoError::OutputSizeMismatch {
-                declared: header.uncompressed_size,
-                produced: output.len() as u64,
-            });
         }
 
         let compressed_size = file.compressed_size() as u64;
@@ -159,43 +192,94 @@ impl Decompressor {
         coder: &TokenCoder,
         block_index: usize,
         payload: &[u8],
-        header: &gompresso_format::FileHeader,
+        dst: &mut [u8],
     ) -> Result<BlockResult> {
-        let expected_len = header.block_uncompressed_size(block_index);
-        let (seq_block, decode_counters) = match mode {
-            EncodingMode::Bit => {
-                let mut r = ByteReader::new(payload);
-                let bit = BitBlock::deserialize(&mut r)?;
-                let (seq_block, warp) = decode_bit_block(&bit, coder, payload.len())?;
-                (seq_block, Some(warp.into_counters()))
-            }
-            EncodingMode::Byte => {
-                let mut r = ByteReader::new(payload);
-                let byte = ByteBlock::deserialize(&mut r)?;
-                (byte.decode()?, None)
-            }
-        };
+        DECODE_SCRATCH.with(|scratch| {
+            let mut seq_block = scratch.borrow_mut();
+            let decode_counters = match mode {
+                EncodingMode::Bit => {
+                    let mut r = ByteReader::new(payload);
+                    let bit = BitBlock::deserialize(&mut r)?;
+                    let warp = decode_bit_block(&bit, coder, payload.len(), &mut seq_block)?;
+                    Some(warp.into_counters())
+                }
+                EncodingMode::Byte => {
+                    let mut r = ByteReader::new(payload);
+                    let byte = ByteBlock::deserialize(&mut r)?;
+                    byte.decode_into(&mut seq_block)?;
+                    None
+                }
+            };
 
-        if seq_block.uncompressed_len as u64 != expected_len {
-            return Err(GompressoError::OutputSizeMismatch {
-                declared: expected_len,
-                produced: seq_block.uncompressed_len as u64,
-            });
-        }
+            // `dst` is this block's slice of the file output buffer, sized
+            // from the header; a block declaring a different size was
+            // rejected by `validate_declared_sizes`, so a mismatch here
+            // means the payload decoded to something else entirely.
+            if seq_block.uncompressed_len != dst.len() {
+                return Err(GompressoError::OutputSizeMismatch {
+                    declared: dst.len() as u64,
+                    produced: seq_block.uncompressed_len as u64,
+                });
+            }
 
-        let outcome = decompress_block_warp(
-            &seq_block,
-            self.config.strategy,
-            self.config.validate_de && self.config.strategy == ResolutionStrategy::DependencyEliminated,
-            block_index,
-        )?;
-        Ok(BlockResult {
-            output: outcome.output,
-            decode_counters,
-            lz77_counters: outcome.counters,
-            mrr: outcome.mrr,
+            let outcome = decompress_block_warp(
+                &seq_block,
+                self.config.strategy,
+                self.config.validate_de && self.config.strategy == ResolutionStrategy::DependencyEliminated,
+                block_index,
+                dst,
+            )?;
+            Ok(BlockResult { decode_counters, lz77_counters: outcome.counters, mrr: outcome.mrr })
         })
     }
+}
+
+/// Checks, before any output allocation, that the header's claimed
+/// `uncompressed_size` is corroborated by the blocks themselves: the
+/// header-derived per-block sizes must sum to it exactly, every block
+/// payload's *declared* uncompressed size (read with the cheap peek that
+/// skips code tables) must equal its header-derived size, and no block may
+/// declare more output than its payload length could plausibly produce.
+fn validate_declared_sizes(file: &CompressedFile) -> Result<()> {
+    let header = &file.header;
+    let mut total = 0u64;
+    for (idx, payload) in file.blocks.iter().enumerate() {
+        let expected = header.block_uncompressed_size(idx);
+        let declared = match header.mode {
+            EncodingMode::Bit => BitBlock::peek_uncompressed_len(&payload.bytes)?,
+            EncodingMode::Byte => ByteBlock::peek_uncompressed_len(&payload.bytes)?,
+        };
+        if declared != expected {
+            return Err(GompressoError::OutputSizeMismatch { declared: expected, produced: declared });
+        }
+        // Format-derived expansion ceiling: byte mode is LZ4-style (a
+        // 255-chained extension byte adds at most 255 output bytes, so
+        // < 255 output bytes per payload byte); bit mode yields at most one
+        // maximal match per coded bit. A declared size above the ceiling
+        // can only come from a crafted header.
+        let payload_len = payload.bytes.len() as u64;
+        let plausible = match header.mode {
+            EncodingMode::Byte => payload_len.saturating_mul(255).saturating_add(64),
+            EncodingMode::Bit => payload_len
+                .saturating_mul(8)
+                .saturating_mul(u64::from(header.max_match_len.max(1)))
+                .saturating_add(64),
+        };
+        if declared > plausible {
+            return Err(GompressoError::Format(gompresso_format::FormatError::InvalidHeaderField {
+                field: "uncompressed_size",
+                value: declared,
+            }));
+        }
+        total += expected;
+    }
+    if total != header.uncompressed_size {
+        return Err(GompressoError::OutputSizeMismatch {
+            declared: header.uncompressed_size,
+            produced: total,
+        });
+    }
+    Ok(())
 }
 
 /// Parallel Huffman decoding of one block: each lane of the simulated warp
@@ -204,7 +288,8 @@ fn decode_bit_block(
     bit: &BitBlock,
     coder: &TokenCoder,
     payload_bytes: usize,
-) -> Result<(SequenceBlock, Warp)> {
+    seq_block: &mut SequenceBlock,
+) -> Result<Warp> {
     let mut warp = Warp::new();
 
     // The compressed block is staged in device memory; reading it is a
@@ -220,24 +305,30 @@ fn decode_bit_block(
     warp.charge_instructions(lut_bytes / 4);
 
     let n_sub_blocks = bit.sub_block_count();
-    let mut sequences = Vec::with_capacity(bit.n_sequences as usize);
-    let mut literals = Vec::new();
+    let sequences = &mut seq_block.sequences;
+    let literals = &mut seq_block.literals;
+    sequences.clear();
+    literals.clear();
+    sequences.reserve((bit.n_sequences as usize).min(bit.bitstream.len().saturating_mul(8)));
+    literals.reserve((bit.uncompressed_len as usize).min(bit.bitstream.len().saturating_mul(8)));
+    seq_block.uncompressed_len = bit.uncompressed_len as usize;
 
-    // Lanes process sub-blocks 32 at a time in lock step.
+    // Lanes process sub-blocks 32 at a time in lock step, decoding straight
+    // into the block-level scratch buffers (no per-sub-block vectors).
     for group_start in (0..n_sub_blocks).step_by(WARP_SIZE) {
         let group_end = (group_start + WARP_SIZE).min(n_sub_blocks);
         let mut max_lane_symbols = 0u64;
         let mut group_sequences = 0u64;
         let mut group_shared_reads = 0u64;
         for sub in group_start..group_end {
-            let (seqs, lits) = bit.decode_sub_block_with(sub, coder, &lit_len_dec, &offset_dec)?;
-            let symbols =
-                lits.len() as u64 + seqs.iter().map(|s| if s.has_match() { 2u64 } else { 1u64 }).sum::<u64>();
+            let seq_start = sequences.len();
+            let lit_start = literals.len();
+            bit.decode_sub_block_into(sub, coder, &lit_len_dec, &offset_dec, sequences, literals)?;
+            let symbols = (literals.len() - lit_start) as u64
+                + sequences[seq_start..].iter().map(|s| if s.has_match() { 2u64 } else { 1u64 }).sum::<u64>();
             max_lane_symbols = max_lane_symbols.max(symbols);
-            group_sequences += seqs.len() as u64;
+            group_sequences += (sequences.len() - seq_start) as u64;
             group_shared_reads += symbols * 4;
-            sequences.extend(seqs);
-            literals.extend(lits);
         }
         // Lock-step cost: the warp runs as long as its busiest lane.
         warp.charge_instructions(max_lane_symbols * INSTR_PER_SYMBOL + SUB_BLOCK_OVERHEAD_INSTR);
@@ -249,8 +340,7 @@ fn decode_bit_block(
         warp.global_write(literals.len() as u64, true);
     }
 
-    let seq_block = SequenceBlock { sequences, literals, uncompressed_len: bit.uncompressed_len as usize };
-    Ok((seq_block, warp))
+    Ok(warp)
 }
 
 #[cfg(test)]
@@ -388,6 +478,96 @@ mod tests {
             // Whatever happens, it must be an error or a clean (possibly
             // wrong-length-detected) result, never a panic.
             let _ = decompress(&file);
+        }
+    }
+
+    #[test]
+    fn hostile_header_size_is_rejected_before_allocating() {
+        // A tiny file whose header claims a 2 GiB output: the declared
+        // per-block sizes in the payloads cannot corroborate the claim, so
+        // decompression must fail in the pre-allocation validation instead
+        // of allocating gigabytes backed by a few hundred bytes of payload.
+        let data = wiki_like(100_000);
+        for config in [cfg_small(CompressorConfig::bit()), cfg_small(CompressorConfig::byte())] {
+            let out = compress(&data, &config).unwrap();
+            let mut file = out.file.clone();
+            file.header.block_size = 1 << 30;
+            file.header.uncompressed_size = (file.blocks.len() as u64) << 30;
+            file.header.validate().expect("tampered header is self-consistent");
+            let err = decompress(&file);
+            assert!(
+                matches!(err, Err(GompressoError::OutputSizeMismatch { .. })),
+                "expected pre-allocation size mismatch, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crafted_consistent_header_is_rejected_by_plausibility_bound() {
+        // A fully self-consistent *crafted* file: tiny byte-mode payloads
+        // whose declared sizes exactly match a header claiming 1 GiB blocks.
+        // The payload-expansion ceiling must reject it before allocation.
+        use gompresso_bitstream::ByteWriter;
+        use gompresso_format::{BlockPayload, FileHeader};
+        let block_size = 1u32 << 30;
+        let n_blocks = 2usize;
+        let payloads: Vec<BlockPayload> = (0..n_blocks)
+            .map(|_| {
+                let mut w = ByteWriter::new();
+                gompresso_bitstream::write_varint(&mut w, 0); // n_sequences
+                gompresso_bitstream::write_varint(&mut w, u64::from(block_size)); // declared size
+                gompresso_bitstream::write_varint(&mut w, 0); // data length
+                BlockPayload { bytes: w.finish() }
+            })
+            .collect();
+        let header = FileHeader {
+            mode: EncodingMode::Byte,
+            window_size: 8 * 1024,
+            min_match_len: 3,
+            max_match_len: 64,
+            uncompressed_size: u64::from(block_size) * n_blocks as u64,
+            block_size,
+            sequences_per_sub_block: 16,
+            max_codeword_len: 10,
+            block_compressed_sizes: vec![],
+        };
+        let file = CompressedFile::new(header, payloads).expect("crafted file assembles");
+        file.header.validate().expect("crafted header is self-consistent");
+        let err = decompress(&file);
+        assert!(
+            matches!(err, Err(GompressoError::Format(_))),
+            "expected plausibility rejection, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn output_cap_is_enforced_and_configurable() {
+        let data = wiki_like(50_000);
+        let out = compress(&data, &cfg_small(CompressorConfig::byte())).unwrap();
+        // A cap below the file size rejects up front...
+        let tight = DecompressorConfig { max_output_size: 1024, ..DecompressorConfig::default() };
+        assert!(matches!(decompress_with(&out.file, &tight), Err(GompressoError::Format(_))));
+        // ...and raising it restores normal operation.
+        let roomy = DecompressorConfig { max_output_size: 1 << 40, ..DecompressorConfig::default() };
+        let (restored, _) = decompress_with(&out.file, &roomy).unwrap();
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn tampered_block_declared_size_is_rejected() {
+        // Growing one block's declared uncompressed size (consistently with
+        // the file header) must be caught by the cross-check against the
+        // payload-declared sizes.
+        let data = wiki_like(100_000);
+        let out = compress(&data, &cfg_small(CompressorConfig::byte())).unwrap();
+        let mut file = out.file.clone();
+        file.header.uncompressed_size += 1;
+        if file.header.validate().is_ok() {
+            let err = decompress(&file);
+            assert!(
+                matches!(err, Err(GompressoError::OutputSizeMismatch { .. })),
+                "expected declared-size mismatch, got {err:?}"
+            );
         }
     }
 

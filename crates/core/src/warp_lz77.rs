@@ -44,10 +44,11 @@ const MRR_ROUND_OVERHEAD_INSTR: u64 = 24;
 const SEQ_TOKEN_BYTES: u64 = 12;
 
 /// Result of decompressing one block on one simulated warp.
+///
+/// The decompressed bytes themselves land in the caller-provided output
+/// slice; only the simulation by-products travel back.
 #[derive(Debug, Clone)]
 pub struct WarpDecompressOutcome {
-    /// The decompressed block contents.
-    pub output: Vec<u8>,
     /// Counters accumulated by the warp.
     pub counters: WarpCounters,
     /// MRR round statistics (empty unless the MRR strategy was used).
@@ -77,7 +78,13 @@ impl LaneState {
     }
 }
 
-/// Decompresses `block` with the given strategy, simulating one warp.
+/// Decompresses `block` with the given strategy, simulating one warp,
+/// writing the decompressed bytes directly into `output`.
+///
+/// `output` must be exactly `block.uncompressed_len` bytes — in the zero-copy
+/// driver it is this block's disjoint slice of the file-level output buffer,
+/// so every decompressed byte is written exactly once, with no per-block
+/// staging vector and no merge copy.
 ///
 /// `validate_de` additionally checks (when the DE strategy is selected) that
 /// no back-reference depends on another back-reference of its group and
@@ -88,10 +95,16 @@ pub fn decompress_block_warp(
     strategy: ResolutionStrategy,
     validate_de: bool,
     block_index: usize,
+    output: &mut [u8],
 ) -> Result<WarpDecompressOutcome> {
+    if output.len() != block.uncompressed_len {
+        return Err(GompressoError::OutputSizeMismatch {
+            declared: block.uncompressed_len as u64,
+            produced: output.len() as u64,
+        });
+    }
     let mut warp = Warp::new();
     let mut mrr = MrrStats::default();
-    let mut output = vec![0u8; block.uncompressed_len];
     let mut out_cursor = 0u64;
     let mut literal_cursor = 0u64;
 
@@ -99,20 +112,20 @@ pub fn decompress_block_warp(
         let lanes = prepare_group(&mut warp, block, group, group_idx, out_cursor, literal_cursor)?;
         let active = group.len();
 
-        copy_literals(&mut warp, block, &mut output, &lanes, active)?;
+        copy_literals(&mut warp, block, output, &lanes, active)?;
 
         match strategy {
             ResolutionStrategy::SequentialCopy => {
-                resolve_sequential(&mut warp, &mut output, &lanes, active);
+                resolve_sequential(&mut warp, output, &lanes, active);
             }
             ResolutionStrategy::MultiRound => {
-                resolve_multi_round(&mut warp, &mut output, &lanes, active, &mut mrr);
+                resolve_multi_round(&mut warp, output, &lanes, active, &mut mrr);
             }
             ResolutionStrategy::DependencyEliminated => {
                 if validate_de {
                     check_de_invariant(&lanes, active, block_index)?;
                 }
-                resolve_single_round(&mut warp, &mut output, &lanes, active);
+                resolve_single_round(&mut warp, output, &lanes, active);
             }
         }
 
@@ -131,7 +144,7 @@ pub fn decompress_block_warp(
         });
     }
 
-    Ok(WarpDecompressOutcome { output, counters: warp.into_counters(), mrr })
+    Ok(WarpDecompressOutcome { counters: warp.into_counters(), mrr })
 }
 
 /// Step (a): read sequences and compute per-lane cursors with two warp
@@ -425,6 +438,19 @@ mod tests {
         decompress_block(block).expect("reference decompression failed")
     }
 
+    /// Test harness: allocates the destination buffer the zero-copy driver
+    /// would normally carve out of the file-level output.
+    fn run_warp(
+        block: &SequenceBlock,
+        strategy: ResolutionStrategy,
+        validate_de: bool,
+        block_index: usize,
+    ) -> crate::Result<(Vec<u8>, WarpDecompressOutcome)> {
+        let mut output = vec![0u8; block.uncompressed_len];
+        let outcome = decompress_block_warp(block, strategy, validate_de, block_index, &mut output)?;
+        Ok((output, outcome))
+    }
+
     fn sample_text(len: usize) -> Vec<u8> {
         let phrase = b"it was the best of times, it was the worst of times, ";
         phrase.iter().copied().cycle().take(len).collect()
@@ -438,9 +464,9 @@ mod tests {
             let block = Matcher::new(cfg).compress(&input);
             let expected = reference(&block);
             for strategy in ResolutionStrategy::ALL {
-                let out = decompress_block_warp(&block, strategy, false, 0).unwrap();
-                assert_eq!(out.output, expected, "strategy {strategy} de={de}");
-                assert_eq!(out.output, input);
+                let (output, _) = run_warp(&block, strategy, false, 0).unwrap();
+                assert_eq!(output, expected, "strategy {strategy} de={de}");
+                assert_eq!(output, input);
             }
         }
     }
@@ -451,8 +477,8 @@ mod tests {
         // must not deadlock the HWM loop.
         let input = vec![b'q'; 20_000];
         let block = Matcher::new(MatcherConfig::gompresso()).compress(&input);
-        let out = decompress_block_warp(&block, ResolutionStrategy::MultiRound, false, 0).unwrap();
-        assert_eq!(out.output, input);
+        let (output, out) = run_warp(&block, ResolutionStrategy::MultiRound, false, 0).unwrap();
+        assert_eq!(output, input);
         assert!(out.mrr.total_groups > 0);
     }
 
@@ -460,8 +486,8 @@ mod tests {
     fn de_strategy_uses_exactly_one_round_per_group_on_de_data() {
         let input = sample_text(100_000);
         let block = Matcher::new(MatcherConfig::gompresso_de()).compress(&input);
-        let out = decompress_block_warp(&block, ResolutionStrategy::DependencyEliminated, true, 7).unwrap();
-        assert_eq!(out.output, input);
+        let (output, out) = run_warp(&block, ResolutionStrategy::DependencyEliminated, true, 7).unwrap();
+        assert_eq!(output, input);
         // DE charges at most one resolution round per group.
         assert!(out.counters.rounds <= block.sequences.len().div_ceil(WARP_SIZE) as u64);
     }
@@ -475,14 +501,14 @@ mod tests {
             input.push((i % 7) as u8 + b'0');
         }
         let block = Matcher::new(MatcherConfig::gompresso()).compress(&input);
-        let err = decompress_block_warp(&block, ResolutionStrategy::DependencyEliminated, true, 3);
+        let err = run_warp(&block, ResolutionStrategy::DependencyEliminated, true, 3);
         match err {
             Err(GompressoError::DependencyEliminationViolated { block: 3 }) => {}
             other => panic!("expected DE violation for block 3, got {other:?}"),
         }
         // Without validation the host-side copy is still correct.
-        let out = decompress_block_warp(&block, ResolutionStrategy::DependencyEliminated, false, 3).unwrap();
-        assert_eq!(out.output, input);
+        let (output, _) = run_warp(&block, ResolutionStrategy::DependencyEliminated, false, 3).unwrap();
+        assert_eq!(output, input);
     }
 
     #[test]
@@ -495,10 +521,10 @@ mod tests {
         let nested = Matcher::new(MatcherConfig::gompresso()).compress(&nested_input);
         let de_block = Matcher::new(MatcherConfig::gompresso_de()).compress(&nested_input);
 
-        let nested_out = decompress_block_warp(&nested, ResolutionStrategy::MultiRound, false, 0).unwrap();
-        let de_out = decompress_block_warp(&de_block, ResolutionStrategy::MultiRound, false, 0).unwrap();
-        assert_eq!(nested_out.output, nested_input);
-        assert_eq!(de_out.output, nested_input);
+        let (nested_bytes, nested_out) = run_warp(&nested, ResolutionStrategy::MultiRound, false, 0).unwrap();
+        let (de_bytes, de_out) = run_warp(&de_block, ResolutionStrategy::MultiRound, false, 0).unwrap();
+        assert_eq!(nested_bytes, nested_input);
+        assert_eq!(de_bytes, nested_input);
         assert!(
             nested_out.mrr.mean_rounds() > de_out.mrr.mean_rounds(),
             "nested {} vs de {}",
@@ -513,9 +539,9 @@ mod tests {
     fn sc_charges_more_rounds_and_instructions_than_de() {
         let input = sample_text(80_000);
         let block = Matcher::new(MatcherConfig::gompresso_de()).compress(&input);
-        let sc = decompress_block_warp(&block, ResolutionStrategy::SequentialCopy, false, 0).unwrap();
-        let de = decompress_block_warp(&block, ResolutionStrategy::DependencyEliminated, false, 0).unwrap();
-        assert_eq!(sc.output, de.output);
+        let (sc_bytes, sc) = run_warp(&block, ResolutionStrategy::SequentialCopy, false, 0).unwrap();
+        let (de_bytes, de) = run_warp(&block, ResolutionStrategy::DependencyEliminated, false, 0).unwrap();
+        assert_eq!(sc_bytes, de_bytes);
         assert!(sc.counters.rounds > de.counters.rounds);
         assert!(sc.counters.instructions > de.counters.instructions);
         // SC's per-round utilization is one lane; DE's is near-full.
@@ -526,13 +552,13 @@ mod tests {
     fn empty_and_tiny_blocks() {
         let empty = SequenceBlock::new();
         for strategy in ResolutionStrategy::ALL {
-            let out = decompress_block_warp(&empty, strategy, true, 0).unwrap();
-            assert!(out.output.is_empty());
+            let (output, _) = run_warp(&empty, strategy, true, 0).unwrap();
+            assert!(output.is_empty());
         }
         let tiny = Matcher::new(MatcherConfig::gompresso()).compress(b"ab");
         for strategy in ResolutionStrategy::ALL {
-            let out = decompress_block_warp(&tiny, strategy, true, 0).unwrap();
-            assert_eq!(out.output, b"ab");
+            let (output, _) = run_warp(&tiny, strategy, true, 0).unwrap();
+            assert_eq!(output, b"ab");
         }
     }
 
@@ -545,7 +571,7 @@ mod tests {
             uncompressed_len: 5,
         };
         assert!(matches!(
-            decompress_block_warp(&bad, ResolutionStrategy::MultiRound, false, 0),
+            run_warp(&bad, ResolutionStrategy::MultiRound, false, 0),
             Err(GompressoError::Lz77(Lz77Error::ZeroOffset { .. }))
         ));
 
@@ -556,7 +582,7 @@ mod tests {
             uncompressed_len: 5,
         };
         assert!(matches!(
-            decompress_block_warp(&bad, ResolutionStrategy::DependencyEliminated, false, 0),
+            run_warp(&bad, ResolutionStrategy::DependencyEliminated, false, 0),
             Err(GompressoError::Lz77(Lz77Error::OffsetBeforeStart { .. }))
         ));
 
@@ -567,7 +593,7 @@ mod tests {
             uncompressed_len: 9,
         };
         assert!(matches!(
-            decompress_block_warp(&bad, ResolutionStrategy::SequentialCopy, false, 0),
+            run_warp(&bad, ResolutionStrategy::SequentialCopy, false, 0),
             Err(GompressoError::Lz77(Lz77Error::LiteralOverrun { .. }))
         ));
 
@@ -578,7 +604,7 @@ mod tests {
             uncompressed_len: 10,
         };
         assert!(matches!(
-            decompress_block_warp(&bad, ResolutionStrategy::SequentialCopy, false, 0),
+            run_warp(&bad, ResolutionStrategy::SequentialCopy, false, 0),
             Err(GompressoError::OutputSizeMismatch { .. })
         ));
     }
@@ -587,7 +613,7 @@ mod tests {
     fn counters_reflect_memory_traffic() {
         let input = sample_text(30_000);
         let block = Matcher::new(MatcherConfig::gompresso()).compress(&input);
-        let out = decompress_block_warp(&block, ResolutionStrategy::MultiRound, false, 0).unwrap();
+        let (_, out) = run_warp(&block, ResolutionStrategy::MultiRound, false, 0).unwrap();
         let c = &out.counters;
         // Every output byte is written exactly once.
         assert_eq!(c.global_write_bytes, input.len() as u64);

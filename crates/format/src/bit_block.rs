@@ -164,11 +164,34 @@ impl BitBlock {
         lit_len_dec: &DecodeTable,
         offset_dec: &DecodeTable,
     ) -> Result<(Vec<Sequence>, Vec<u8>)> {
+        let mut sequences = Vec::new();
+        let mut literals = Vec::new();
+        self.decode_sub_block_into(index, coder, lit_len_dec, offset_dec, &mut sequences, &mut literals)?;
+        Ok((sequences, literals))
+    }
+
+    /// Decodes one sub-block, *appending* its sequences and literal bytes to
+    /// caller-provided buffers.
+    ///
+    /// This is the allocation-free core of sub-block decoding: the zero-copy
+    /// driver in `gompresso-core` decodes all sub-blocks of a block straight
+    /// into one pair of reusable scratch vectors instead of collecting and
+    /// re-copying per-sub-block vectors.
+    pub fn decode_sub_block_into(
+        &self,
+        index: usize,
+        coder: &TokenCoder,
+        lit_len_dec: &DecodeTable,
+        offset_dec: &DecodeTable,
+        sequences: &mut Vec<Sequence>,
+        literals: &mut Vec<u8>,
+    ) -> Result<()> {
         let start_bit = self.sub_block_bit_offset(index)?;
         let n_seq = self.sub_block_sequences(index)? as usize;
         let mut r = BitReader::at_bit_offset(&self.bitstream, start_bit)?;
-        let mut sequences = Vec::with_capacity(n_seq);
-        let mut literals = Vec::new();
+        // Every sequence is at least one coded symbol (≥ 1 bit), so the
+        // bitstream length caps how much a corrupt count can reserve.
+        sequences.reserve(n_seq.min(self.bitstream.len().saturating_mul(8)));
 
         for _ in 0..n_seq {
             let mut literal_len = 0u32;
@@ -194,7 +217,7 @@ impl BitBlock {
             };
             sequences.push(Sequence { literal_len, match_offset, match_len });
         }
-        Ok((sequences, literals))
+        Ok(())
     }
 
     /// Decodes the whole block back into an LZ77 sequence block
@@ -202,14 +225,28 @@ impl BitBlock {
     pub fn decode_all(&self, coder: &TokenCoder) -> Result<SequenceBlock> {
         let lit_len_dec = DecodeTable::new(&self.lit_len_code)?;
         let offset_dec = DecodeTable::new(&self.offset_code)?;
-        let mut sequences = Vec::with_capacity(self.n_sequences as usize);
-        let mut literals = Vec::new();
+        let cap_bits = self.bitstream.len().saturating_mul(8);
+        let mut sequences = Vec::with_capacity((self.n_sequences as usize).min(cap_bits));
+        let mut literals = Vec::with_capacity((self.uncompressed_len as usize).min(cap_bits));
         for i in 0..self.sub_block_count() {
-            let (mut seqs, lits) = self.decode_sub_block_with(i, coder, &lit_len_dec, &offset_dec)?;
-            sequences.append(&mut seqs);
-            literals.extend_from_slice(&lits);
+            self.decode_sub_block_into(i, coder, &lit_len_dec, &offset_dec, &mut sequences, &mut literals)?;
         }
         Ok(SequenceBlock { sequences, literals, uncompressed_len: self.uncompressed_len as usize })
+    }
+
+    /// Reads the block's declared uncompressed size from a serialized
+    /// payload without building codes or copying the bitstream.
+    ///
+    /// The decompressor validates every block's declared size against the
+    /// file header *before* allocating the file-sized output buffer, so a
+    /// corrupt or hostile header cannot trigger a multi-gigabyte allocation
+    /// backed by a few bytes of payload.
+    pub fn peek_uncompressed_len(payload: &[u8]) -> Result<u64> {
+        let mut r = ByteReader::new(payload);
+        CanonicalCode::skip_serialized(&mut r)?;
+        CanonicalCode::skip_serialized(&mut r)?;
+        let _n_sequences = read_varint(&mut r)?;
+        read_varint(&mut r).map_err(Into::into)
     }
 
     /// Serializes the block payload.
@@ -359,6 +396,35 @@ mod tests {
         assert_eq!(back, bit);
         assert!(r.is_empty());
         assert_eq!(bit.compressed_len(), bytes.len());
+    }
+
+    #[test]
+    fn peek_uncompressed_len_reads_the_declared_size_cheaply() {
+        let input = b"peek at my size without decoding me ".repeat(80);
+        let (_, bit) = encode_input(&input, 16);
+        let mut w = ByteWriter::new();
+        bit.serialize(&mut w);
+        let bytes = w.finish();
+        assert_eq!(BitBlock::peek_uncompressed_len(&bytes).unwrap(), u64::from(bit.uncompressed_len));
+        // Truncations inside the code tables are rejected, not misread.
+        assert!(BitBlock::peek_uncompressed_len(&bytes[..2]).is_err());
+        assert!(BitBlock::peek_uncompressed_len(&[]).is_err());
+    }
+
+    #[test]
+    fn decode_sub_block_into_appends_across_sub_blocks() {
+        let input = b"append don't collect append don't collect ".repeat(120);
+        let (block, bit) = encode_input(&input, 8);
+        let lit_dec = DecodeTable::new(&bit.lit_len_code).unwrap();
+        let off_dec = DecodeTable::new(&bit.offset_code).unwrap();
+        let mut sequences = Vec::new();
+        let mut literals = Vec::new();
+        for i in 0..bit.sub_block_count() {
+            bit.decode_sub_block_into(i, &coder(), &lit_dec, &off_dec, &mut sequences, &mut literals)
+                .unwrap();
+        }
+        assert_eq!(sequences, block.sequences);
+        assert_eq!(literals, block.literals);
     }
 
     #[test]

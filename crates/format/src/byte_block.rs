@@ -87,9 +87,29 @@ impl ByteBlock {
 
     /// Decodes the byte stream back into an LZ77 sequence block.
     pub fn decode(&self) -> Result<SequenceBlock> {
+        let mut block = SequenceBlock::new();
+        self.decode_into(&mut block)?;
+        Ok(block)
+    }
+
+    /// Decodes the byte stream into a caller-provided sequence block,
+    /// clearing and reusing its buffers.
+    ///
+    /// Steady-state decompression hands every block of a file to the same
+    /// per-worker scratch `SequenceBlock`, so after the first few blocks the
+    /// decode loop performs no heap allocation at all.
+    pub fn decode_into(&self, out: &mut SequenceBlock) -> Result<()> {
+        out.sequences.clear();
+        out.literals.clear();
+        // Reservations are capped by what the payload can physically encode
+        // (every sequence consumes at least a token byte, every literal byte
+        // is stored verbatim), so corrupt counters cannot balloon them.
+        out.sequences.reserve((self.n_sequences as usize).min(self.data.len()));
+        out.literals.reserve((self.uncompressed_len as usize).min(self.data.len()));
+        out.uncompressed_len = self.uncompressed_len as usize;
+        let sequences = &mut out.sequences;
+        let literals = &mut out.literals;
         let mut r = ByteReader::new(&self.data);
-        let mut sequences = Vec::with_capacity(self.n_sequences as usize);
-        let mut literals = Vec::new();
         for _ in 0..self.n_sequences {
             let token = r.read_u8()?;
             let lit_nibble = u32::from(token >> 4);
@@ -116,7 +136,18 @@ impl ByteBlock {
             };
             sequences.push(Sequence { literal_len: lit_len, match_offset, match_len });
         }
-        Ok(SequenceBlock { sequences, literals, uncompressed_len: self.uncompressed_len as usize })
+        Ok(())
+    }
+
+    /// Reads the block's declared uncompressed size from a serialized
+    /// payload without decoding it.
+    ///
+    /// See [`crate::BitBlock::peek_uncompressed_len`]: this is the
+    /// pre-allocation header check for byte-mode blocks.
+    pub fn peek_uncompressed_len(payload: &[u8]) -> Result<u64> {
+        let mut r = ByteReader::new(payload);
+        let _n_sequences = read_varint(&mut r)?;
+        read_varint(&mut r).map_err(Into::into)
     }
 
     /// Serializes the block payload (sequence count, uncompressed length and
@@ -197,6 +228,35 @@ mod tests {
         let back = ByteBlock::deserialize(&mut r).unwrap();
         assert_eq!(back, encoded);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn decode_into_reuses_scratch_buffers() {
+        let inputs = [
+            b"first block first block first block ".repeat(40),
+            b"second, longer block ".repeat(90),
+            b"3rd".to_vec(),
+        ];
+        let mut scratch = SequenceBlock::new();
+        for input in &inputs {
+            let block = Matcher::new(MatcherConfig::default()).compress(input);
+            let encoded = ByteBlock::encode(&block).unwrap();
+            encoded.decode_into(&mut scratch).unwrap();
+            assert_eq!(scratch, block);
+            assert_eq!(decompress_block(&scratch).unwrap(), *input);
+        }
+    }
+
+    #[test]
+    fn peek_uncompressed_len_reads_the_declared_size() {
+        let input = b"size peek ".repeat(70);
+        let block = Matcher::new(MatcherConfig::default()).compress(&input);
+        let encoded = ByteBlock::encode(&block).unwrap();
+        let mut w = ByteWriter::new();
+        encoded.serialize(&mut w);
+        let bytes = w.finish();
+        assert_eq!(ByteBlock::peek_uncompressed_len(&bytes).unwrap(), input.len() as u64);
+        assert!(ByteBlock::peek_uncompressed_len(&[]).is_err());
     }
 
     #[test]

@@ -160,6 +160,34 @@ impl CanonicalCode {
         }
         Self::from_lengths(&lengths, max_len)
     }
+
+    /// Advances `r` past one serialized code without building it.
+    ///
+    /// Used by cheap header validation passes (e.g. checking a block's
+    /// declared uncompressed size before allocating output buffers) that
+    /// need the fields *behind* the code tables but must not pay for code
+    /// construction — or allocate anything — on untrusted input.
+    pub fn skip_serialized(r: &mut ByteReader<'_>) -> Result<()> {
+        let alphabet = read_varint(r)? as usize;
+        if alphabet == 0 || alphabet > u16::MAX as usize + 1 {
+            return Err(HuffmanError::InvalidCodeLengths { reason: "alphabet size out of range" });
+        }
+        let _max_len = r.read_u8()?;
+        let mut seen = 0usize;
+        while seen < alphabet {
+            let l = r.read_u8()?;
+            if l == 0 {
+                let run = read_varint(r)? as usize;
+                if run == 0 || seen + run > alphabet {
+                    return Err(HuffmanError::InvalidCodeLengths { reason: "zero-run exceeds alphabet" });
+                }
+                seen += run;
+            } else {
+                seen += 1;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +271,15 @@ mod tests {
         let mut r = ByteReader::new(&bytes);
         let back = CanonicalCode::deserialize(&mut r).unwrap();
         assert_eq!(back, code);
+        // Skipping must consume exactly the serialized span.
+        let mut r = ByteReader::new(&bytes);
+        CanonicalCode::skip_serialized(&mut r).unwrap();
+        assert!(r.is_empty());
+        // And reject the same truncations deserialize rejects.
+        for cut in [0usize, 1, bytes.len() / 2] {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(CanonicalCode::skip_serialized(&mut r).is_err(), "cut {cut}");
+        }
         assert!(r.is_empty());
     }
 

@@ -7,7 +7,7 @@
 //! diverging while they decode different sub-blocks (Section III-B-1).
 
 use crate::{CanonicalCode, HuffmanError, Result};
-use gompresso_bitstream::BitReader;
+use gompresso_bitstream::{BitReader, StreamError};
 
 /// A flat decode look-up table for one canonical code.
 #[derive(Debug, Clone)]
@@ -68,25 +68,64 @@ impl DecodeTable {
         (self.entries.len() * 4) as u32
     }
 
+    /// Raw table lookup: `(symbol, code length)` for a `CWL`-bit window.
+    ///
+    /// Length 0 marks a window that is not a valid codeword prefix. Exposed
+    /// so reference decoders (tests, microbenchmarks) can reproduce the
+    /// unfused peek/lookup/consume sequence against the fused
+    /// [`Self::decode`] path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window >= 2^index_bits` — callers must mask their peek to
+    /// [`Self::index_bits`] bits, as `BitReader::peek_bits` does.
+    #[inline]
+    pub fn lookup(&self, window: u32) -> (u16, u8) {
+        self.entries[window as usize]
+    }
+
     /// Decodes one symbol from the bitstream.
+    ///
+    /// Fused hot path: one accumulator refill, one table lookup, one
+    /// unchecked consume — instead of the peek/consume pair with its two
+    /// width validations. An exhausted stream reports
+    /// [`StreamError::UnexpectedEof`] directly (also when the zero-filled
+    /// window happens to hit an unassigned table slot), and a stream that
+    /// ends in the middle of a codeword reports the precise shortfall.
+    #[inline]
     pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u16> {
-        let window = r.peek_bits(u32::from(self.index_bits))?;
-        let (symbol, len) = self.entries[window as usize];
-        if len == 0 {
-            return Err(HuffmanError::InvalidCodeword { bits: window });
-        }
-        r.consume_bits(u32::from(len))?;
-        Ok(symbol)
+        Ok(self.decode_with_len(r)?.0)
     }
 
     /// Decodes one symbol and reports the number of bits consumed.
+    #[inline]
     pub fn decode_with_len(&self, r: &mut BitReader<'_>) -> Result<(u16, u8)> {
-        let window = r.peek_bits(u32::from(self.index_bits))?;
+        let (window, available) = r.peek_window(u32::from(self.index_bits));
         let (symbol, len) = self.entries[window as usize];
         if len == 0 {
-            return Err(HuffmanError::InvalidCodeword { bits: window });
+            // Canonical codes always assign the all-zeros codeword to their
+            // first symbol, so the zero-filled window of an exhausted stream
+            // hits an assigned slot and EOF surfaces through the width check
+            // below; this arm is defense in depth for tables whose zero slot
+            // could ever be unassigned.
+            return Err(if available == 0 {
+                StreamError::UnexpectedEof { needed: 1, remaining: 0 }.into()
+            } else {
+                HuffmanError::InvalidCodeword { bits: window }
+            });
         }
-        r.consume_bits(u32::from(len))?;
+        let width = u32::from(len);
+        if width > available {
+            // Truncated mid-codeword: `peek_window` already refilled, so a
+            // shortfall means the stream is exhausted. Report the byte
+            // shortfall like the checked consume would.
+            return Err(StreamError::UnexpectedEof {
+                needed: ((width - available) as usize).div_ceil(8),
+                remaining: (r.remaining_bits() / 8) as usize,
+            }
+            .into());
+        }
+        r.consume_peeked(width);
         Ok((symbol, len))
     }
 }
@@ -157,14 +196,87 @@ mod tests {
     }
 
     #[test]
-    fn empty_stream_yields_error_not_panic() {
+    fn empty_stream_yields_unexpected_eof_directly() {
         let code = code_for(&[5, 5], 10);
         let dec = DecodeTable::new(&code).unwrap();
         let mut r = BitReader::new(&[]);
-        // Peek of an empty stream returns 0 zero-filled, which decodes to a
-        // symbol but then fails to consume — either way an error must
-        // surface, never a panic.
-        assert!(dec.decode(&mut r).is_err());
+        assert!(matches!(dec.decode(&mut r), Err(HuffmanError::Decode(StreamError::UnexpectedEof { .. }))));
+    }
+
+    #[test]
+    fn zero_window_is_always_assigned_so_eof_takes_the_width_path() {
+        // Canonical construction gives the first symbol the all-zeros
+        // codeword, so LUT slot 0 is assigned for every buildable table and
+        // an exhausted stream reports EOF via the width-vs-available check
+        // (not the unassigned-slot defense branch). Pin both facts.
+        for lengths in [&[2u8, 2, 2][..], &[1, 7, 7, 6, 5, 4, 3][..], &[4, 4, 4][..]] {
+            let code = CanonicalCode::from_lengths(lengths, 10).unwrap();
+            let dec = DecodeTable::new(&code).unwrap();
+            let (zero_sym, zero_len) = dec.lookup(0);
+            assert_eq!(zero_sym, 0, "first symbol owns the zero codeword");
+            assert!(zero_len > 0, "slot 0 must be assigned");
+            let mut r = BitReader::new(&[]);
+            assert!(matches!(
+                dec.decode(&mut r),
+                Err(HuffmanError::Decode(StreamError::UnexpectedEof { .. }))
+            ));
+        }
+    }
+
+    #[test]
+    fn truncated_mid_codeword_is_unexpected_eof() {
+        // Symbol 1 has an explicit 7-bit codeword. Write it twice (14 bits)
+        // and keep only the first byte: the second codeword is cut after one
+        // bit, and the decoder must report EOF (with the byte shortfall),
+        // not InvalidCodeword.
+        let code = CanonicalCode::from_lengths(&[1u8, 7, 7, 6, 5, 4, 3], 10).unwrap();
+        let enc = EncodeTable::new(&code);
+        let dec = DecodeTable::new(&code).unwrap();
+        assert_eq!(enc.code_len(1).unwrap(), 7);
+        let mut w = BitWriter::new();
+        enc.encode(&mut w, 1).unwrap();
+        enc.encode(&mut w, 1).unwrap();
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let truncated = &bytes[..1];
+        let mut r = BitReader::new(truncated);
+        assert_eq!(dec.decode(&mut r).unwrap(), 1);
+        match dec.decode(&mut r) {
+            Err(HuffmanError::Decode(StreamError::UnexpectedEof { needed, .. })) => {
+                assert!(needed >= 1);
+            }
+            other => panic!("expected UnexpectedEof on truncated codeword, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fused_decode_matches_unfused_lookup_walk() {
+        // The fused decode must consume exactly the same bits as a manual
+        // peek/lookup/consume walk over the same stream.
+        let mut counts = vec![0u64; 64];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = (i as u64 % 11) + 1;
+        }
+        let code = code_for(&counts, 11);
+        let enc = EncodeTable::new(&code);
+        let dec = DecodeTable::new(&code).unwrap();
+        let symbols: Vec<u16> = (0..2000u32).map(|i| ((i * 131) % 64) as u16).collect();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            enc.encode(&mut w, s).unwrap();
+        }
+        let bytes = w.finish();
+        let mut fused = BitReader::new(&bytes);
+        let mut manual = BitReader::new(&bytes);
+        for &expected in &symbols {
+            let got = dec.decode(&mut fused).unwrap();
+            let window = manual.peek_bits(u32::from(dec.index_bits())).unwrap();
+            let (sym, len) = dec.lookup(window);
+            manual.consume_bits(u32::from(len)).unwrap();
+            assert_eq!(got, expected);
+            assert_eq!(sym, expected);
+            assert_eq!(fused.bit_position(), manual.bit_position());
+        }
     }
 
     #[test]

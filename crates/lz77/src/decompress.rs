@@ -10,7 +10,27 @@ use crate::{Lz77Error, Result};
 
 /// Decompresses a sequence block into its original bytes.
 pub fn decompress_block(block: &SequenceBlock) -> Result<Vec<u8>> {
-    let mut out = Vec::with_capacity(block.uncompressed_len);
+    // Capacity is bounded by the declared length; a corrupt block cannot
+    // push past it because the final length check would fail anyway, and the
+    // cursor walk below writes in bounds by construction.
+    let mut out = vec![0u8; block.uncompressed_len];
+    let written = decompress_block_into(block, &mut out)?;
+    debug_assert_eq!(written, out.len());
+    Ok(out)
+}
+
+/// Decompresses a sequence block into a caller-provided buffer, returning
+/// the number of bytes written.
+///
+/// `out` must be exactly `block.uncompressed_len` bytes. This is the
+/// zero-copy variant used by the block-parallel drivers: each worker writes
+/// its block's bytes straight into the block's slice of the file-level
+/// output buffer instead of staging them in a per-block vector.
+pub fn decompress_block_into(block: &SequenceBlock, out: &mut [u8]) -> Result<usize> {
+    if out.len() != block.uncompressed_len {
+        return Err(Lz77Error::LengthMismatch { declared: block.uncompressed_len, produced: out.len() });
+    }
+    let mut cursor = 0usize;
     let mut literal_cursor = 0usize;
 
     for (idx, seq) in block.sequences.iter().enumerate() {
@@ -23,7 +43,14 @@ pub fn decompress_block(block: &SequenceBlock) -> Result<Vec<u8>> {
                 available: block.literals.len(),
             });
         }
-        out.extend_from_slice(&block.literals[literal_cursor..lit_end]);
+        if cursor + lit_len + seq.match_len as usize > out.len() {
+            return Err(Lz77Error::LengthMismatch {
+                declared: block.uncompressed_len,
+                produced: cursor + lit_len + seq.match_len as usize,
+            });
+        }
+        out[cursor..cursor + lit_len].copy_from_slice(&block.literals[literal_cursor..lit_end]);
+        cursor += lit_len;
         literal_cursor = lit_end;
 
         let match_len = seq.match_len as usize;
@@ -32,22 +59,22 @@ pub fn decompress_block(block: &SequenceBlock) -> Result<Vec<u8>> {
             if offset == 0 {
                 return Err(Lz77Error::ZeroOffset { sequence: idx });
             }
-            if offset > out.len() {
-                return Err(Lz77Error::OffsetBeforeStart { sequence: idx, position: out.len(), offset });
+            if offset > cursor {
+                return Err(Lz77Error::OffsetBeforeStart { sequence: idx, position: cursor, offset });
             }
             // Byte-by-byte copy handles overlapping matches (offset < len).
-            let start = out.len() - offset;
+            let start = cursor - offset;
             for i in 0..match_len {
-                let b = out[start + i];
-                out.push(b);
+                out[cursor + i] = out[start + i];
             }
+            cursor += match_len;
         }
     }
 
-    if out.len() != block.uncompressed_len {
-        return Err(Lz77Error::LengthMismatch { declared: block.uncompressed_len, produced: out.len() });
+    if cursor != block.uncompressed_len {
+        return Err(Lz77Error::LengthMismatch { declared: block.uncompressed_len, produced: cursor });
     }
-    Ok(out)
+    Ok(cursor)
 }
 
 #[cfg(test)]

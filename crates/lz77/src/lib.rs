@@ -30,7 +30,7 @@ pub mod matcher;
 pub mod sequence;
 
 pub use analysis::{max_nesting_depth, verify_de_invariant, DependencyStats};
-pub use decompress::decompress_block;
+pub use decompress::{decompress_block, decompress_block_into};
 pub use error::Lz77Error;
 pub use matcher::{Matcher, MatcherConfig};
 pub use sequence::{Sequence, SequenceBlock};

@@ -142,7 +142,11 @@ impl BenchmarkGroup<'_> {
             let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
             match tp {
                 Throughput::Bytes(bytes) => {
-                    line.push_str(&format!("   thrpt: {:>10.3} MiB/s", per_sec(bytes) / (1 << 20) as f64));
+                    line.push_str(&format!(
+                        "   thrpt: {:>10.3} MiB/s ({:.4} GB/s)",
+                        per_sec(bytes) / (1 << 20) as f64,
+                        per_sec(bytes) / 1e9
+                    ));
                 }
                 Throughput::Elements(n) => {
                     line.push_str(&format!("   thrpt: {:>10.0} elem/s", per_sec(n)));

@@ -114,6 +114,96 @@ pub mod iter {
         }
     }
 
+    /// Extension trait providing `into_par_iter()` on vectors.
+    ///
+    /// Items are moved into the iterator, so the map closure receives them
+    /// by value — this is what lets callers hand each worker exclusive
+    /// resources such as disjoint `&mut [u8]` output slices obtained from
+    /// `split_at_mut`.
+    pub trait IntoParallelIterator {
+        /// Element type yielded by value.
+        type Item: Send;
+        /// Returns a by-value parallel iterator.
+        fn into_par_iter(self) -> IntoParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter { items: self }
+        }
+    }
+
+    /// Owning parallel iterator over a vector.
+    pub struct IntoParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> IntoParIter<T> {
+        /// Maps each item by value through `f` (lazily; run by `collect`).
+        pub fn map<R, F>(self, f: F) -> IntoParMap<T, F>
+        where
+            F: Fn(T) -> R + Sync,
+            R: Send,
+        {
+            IntoParMap { items: self.items, f }
+        }
+    }
+
+    /// Mapped owning parallel iterator.
+    pub struct IntoParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, R, F> IntoParMap<T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        /// Runs the map on a thread pool and collects results in input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let f = self.f;
+            let mut items = self.items;
+            let threads = crate::current_num_threads().min(items.len());
+            if threads <= 1 {
+                return items.into_iter().map(f).collect();
+            }
+            // Split into per-thread chunks by value, preserving order.
+            let chunk_len = items.len().div_ceil(threads);
+            let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+            {
+                let mut it = items.drain(..);
+                loop {
+                    let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    chunks.push(chunk);
+                }
+            }
+            let mut per_chunk: Vec<Vec<R>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        let f = &f;
+                        scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>())
+                    })
+                    .collect();
+                per_chunk = handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(results) => results,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect();
+            });
+            per_chunk.into_iter().flatten().collect()
+        }
+    }
+
     fn collect_indexed<'data, T, R, F, C>(items: &'data [T], f: F) -> C
     where
         T: Sync,
@@ -158,7 +248,7 @@ pub mod iter {
 
 pub mod prelude {
     //! Glob-import surface mirroring `rayon::prelude`.
-    pub use crate::iter::IntoParallelRefIterator;
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
 #[cfg(test)]
@@ -183,6 +273,42 @@ mod tests {
     fn empty_input_collects_empty() {
         let input: Vec<u8> = Vec::new();
         let out: Vec<u8> = input.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn into_par_iter_moves_items_and_preserves_order() {
+        let input: Vec<String> = (0..5000).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = input.into_par_iter().map(|s| s.parse::<usize>().unwrap()).collect();
+        assert_eq!(out, (0..5000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_supports_disjoint_mutable_slices() {
+        let mut buffer = vec![0u8; 1024];
+        let mut work: Vec<(u8, &mut [u8])> = Vec::new();
+        let mut rest: &mut [u8] = &mut buffer;
+        for i in 0..8u8 {
+            let (chunk, tail) = rest.split_at_mut(128);
+            rest = tail;
+            work.push((i, chunk));
+        }
+        let written: Vec<usize> = work
+            .into_par_iter()
+            .map(|(i, chunk)| {
+                chunk.fill(i + 1);
+                chunk.len()
+            })
+            .collect();
+        assert_eq!(written, vec![128; 8]);
+        for (i, chunk) in buffer.chunks(128).enumerate() {
+            assert!(chunk.iter().all(|&b| b == i as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn into_par_iter_empty_is_empty() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
     }
 }
