@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gompresso_bench::wikipedia_data;
 use gompresso_bitstream::{BitReader, BitWriter};
 use gompresso_huffman::{CanonicalCode, DecodeTable, EncodeTable, Histogram};
-use gompresso_lz77::{Matcher, MatcherConfig};
+use gompresso_lz77::{common_prefix_len, Matcher, MatcherConfig};
 use gompresso_simt::{Warp, WARP_SIZE};
 
 fn bench_warp_primitives(c: &mut Criterion) {
@@ -79,6 +79,94 @@ fn bench_bitreader(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_bitwriter(c: &mut Criterion) {
+    // The write-side counterpart of the refill benchmarks: stream 1 MiB
+    // through the writer in 13-bit chunks (every append misaligned). The
+    // byte-at-a-time case replicates the pre-rework writer, which drained
+    // the accumulator one byte per append, as the comparison that makes the
+    // u64 bulk flush win visible.
+    let data = wikipedia_data(1 << 20);
+    let values: Vec<u32> = data
+        .chunks(2)
+        .map(|c| u32::from(c[0]) | (u32::from(*c.get(1).unwrap_or(&0)) << 8) & 0x1F00)
+        .collect();
+
+    let mut group = c.benchmark_group("micro_bitwriter");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    group.bench_function("write_bits_13_word_flush_1mib", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(data.len());
+            for &v in &values {
+                w.write_bits(v, 13);
+            }
+            w.finish().len()
+        });
+    });
+    group.bench_function("write_bits_13_byte_loop_1mib", |b| {
+        b.iter(|| {
+            let mut bytes = Vec::with_capacity(data.len());
+            let (mut acc, mut nbits) = (0u64, 0u32);
+            for &v in &values {
+                acc |= u64::from(v & 0x1FFF) << nbits;
+                nbits += 13;
+                while nbits >= 8 {
+                    bytes.push((acc & 0xFF) as u8);
+                    acc >>= 8;
+                    nbits -= 8;
+                }
+            }
+            if nbits > 0 {
+                bytes.push((acc & 0xFF) as u8);
+            }
+            bytes.len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_match_len(c: &mut Criterion) {
+    // Word-wise vs byte-wise common-prefix computation over realistic
+    // match candidates: positions paired at a fixed period so prefixes of
+    // many lengths occur, capped at the matcher's 64-byte lookahead.
+    let data = wikipedia_data(1 << 20);
+    let pairs: Vec<(usize, usize)> = (0..(1usize << 16))
+        .map(|i| {
+            let b = 1024 + (i * 97) % (data.len() - 2048);
+            let a = b - 1 - (i * 31) % 997;
+            (a, b)
+        })
+        .collect();
+    let total: u64 = pairs.len() as u64 * 64;
+
+    let mut group = c.benchmark_group("micro_match_len");
+    group.throughput(Throughput::Bytes(total));
+    group.sample_size(10);
+    group.bench_function("wordwise_64k_pairs", |b| {
+        b.iter(|| {
+            let mut sum = 0usize;
+            for &(a, pos) in &pairs {
+                sum += common_prefix_len(&data, a, pos, 64);
+            }
+            sum
+        });
+    });
+    group.bench_function("bytewise_64k_pairs", |b| {
+        b.iter(|| {
+            let mut sum = 0usize;
+            for &(a, pos) in &pairs {
+                let mut len = 0usize;
+                while len < 64 && data[a + len] == data[pos + len] {
+                    len += 1;
+                }
+                sum += len;
+            }
+            sum
+        });
+    });
+    group.finish();
+}
+
 fn bench_huffman(c: &mut Criterion) {
     let data = wikipedia_data(1 << 20);
     let symbols: Vec<u16> = data.iter().map(|&b| u16::from(b)).collect();
@@ -101,6 +189,14 @@ fn bench_huffman(c: &mut Criterion) {
             for &s in &symbols {
                 enc.encode(&mut w, s).unwrap();
             }
+            w.finish().len()
+        });
+    });
+    group.bench_function("encode_slice_1mib", |b| {
+        // The fused bulk path the block encoder uses for literal runs.
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(encoded.len());
+            enc.encode_slice(&mut w, &data).unwrap();
             w.finish().len()
         });
     });
@@ -151,5 +247,13 @@ fn bench_matcher(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_warp_primitives, bench_bitreader, bench_huffman, bench_matcher);
+criterion_group!(
+    benches,
+    bench_warp_primitives,
+    bench_bitreader,
+    bench_bitwriter,
+    bench_match_len,
+    bench_huffman,
+    bench_matcher
+);
 criterion_main!(benches);

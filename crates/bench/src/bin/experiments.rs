@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! experiments [--exp all|setup|fig9a|fig9b|fig9c|fig11|fig12|fig13|fig14|perf]
-//!             [--size-mb N] [--samples N] [--json PATH]
+//!             [--size-mb N] [--samples N] [--json PATH] [--threads N]
 //! ```
 //!
 //! `--size-mb` scales the synthetic datasets (default 8 MiB, the paper used
 //! ~1 GB; larger sizes sharpen the GPU estimates but take proportionally
 //! longer on the host). The `perf` experiment measures host compress and
 //! decompress throughput (best of `--samples` runs, default 3) and writes
-//! the rows to `--json` (default `BENCH_host.json`).
+//! the rows to `--json` (default `BENCH_host.json`). `--threads` pins the
+//! worker-pool size for every experiment (default: all available cores);
+//! the thread count actually used is recorded in the JSON document.
 
 use gompresso_bench::{
     fig11_de_impact, fig12_block_size, fig13_speed_vs_ratio, fig14_energy, fig9a_strategy_comparison,
@@ -24,6 +26,8 @@ struct Args {
     size_mb: usize,
     samples: usize,
     json_path: String,
+    /// Worker threads to use (0 = all available cores).
+    threads: usize,
     /// Whether --samples / --json were given explicitly (they only affect
     /// the perf experiment, so passing them without it earns a warning).
     perf_flags_given: bool,
@@ -34,6 +38,7 @@ fn parse_args() -> Args {
     let mut size_mb = 8usize;
     let mut samples = 3usize;
     let mut json_path = "BENCH_host.json".to_string();
+    let mut threads = 0usize;
     let mut perf_flags_given = false;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -69,9 +74,19 @@ fn parse_args() -> Args {
                 json_path = args[i + 1].clone();
                 i += 2;
             }
+            "--threads" if i + 1 < args.len() => {
+                threads = match args[i + 1].parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("invalid --threads value {:?}; expected a positive integer", args[i + 1]);
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--exp {}] [--size-mb N] [--samples N] [--json PATH]",
+                    "usage: experiments [--exp {}] [--size-mb N] [--samples N] [--json PATH] [--threads N]",
                     EXPERIMENTS.join("|")
                 );
                 std::process::exit(0);
@@ -86,11 +101,17 @@ fn parse_args() -> Args {
         eprintln!("unknown experiment {exp}; expected one of {}", EXPERIMENTS.join("|"));
         std::process::exit(2);
     }
-    Args { exp, size_mb, samples, json_path, perf_flags_given }
+    Args { exp, size_mb, samples, json_path, threads, perf_flags_given }
 }
 
 fn main() {
-    let Args { exp, size_mb, samples, json_path, perf_flags_given } = parse_args();
+    let Args { exp, size_mb, samples, json_path, threads, perf_flags_given } = parse_args();
+    if threads > 0 {
+        if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(threads).build_global() {
+            eprintln!("failed to configure {threads} worker threads: {e}");
+            std::process::exit(1);
+        }
+    }
     let size = size_mb * 1024 * 1024;
     // `perf` overwrites the committed BENCH_host.json reference, so it only
     // runs when requested explicitly — never as part of `all`.
@@ -217,7 +238,10 @@ fn main() {
     }
 
     if run("perf") {
-        println!("== Host throughput: wall-clock compress/decompress GB/s (best of {samples}) ==");
+        println!(
+            "== Host throughput: wall-clock compress/decompress GB/s (best of {samples}, {} threads) ==",
+            rayon::current_num_threads()
+        );
         let rows = host_throughput(size, samples);
         let mut t = Table::new(&["dataset", "mode", "strategy", "ratio", "compress GB/s", "decompress GB/s"]);
         for row in &rows {

@@ -7,12 +7,18 @@
 /// canonical Huffman encoder are written with [`BitWriter::write_bits`] using
 /// the code's bit-reversed representation so that the decoder can peek
 /// `CWL`-bit windows directly (see the `gompresso-huffman` crate).
+///
+/// Bits are buffered in a 64-bit accumulator and flushed eight bytes at a
+/// time with a single unaligned little-endian word store, mirroring
+/// `BitReader`'s word-wise refill on the read side; only `finish` /
+/// `align_to_byte` fall back to byte-granular draining.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    /// Bit accumulator; the low `nbits` bits are pending output.
+    /// Bit accumulator; the low `nbits` bits are pending output. Bits at and
+    /// above `nbits` are always zero.
     acc: u64,
-    /// Number of valid bits in `acc` (always < 8 after `flush_bytes`).
+    /// Number of valid bits in `acc` (0..=63).
     nbits: u32,
 }
 
@@ -37,9 +43,45 @@ impl BitWriter {
             return;
         }
         let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
-        self.acc |= u64::from(value & mask) << self.nbits;
-        self.nbits += width;
-        self.flush_bytes();
+        let v = u64::from(value & mask);
+        self.acc |= v << self.nbits;
+        let total = self.nbits + width;
+        if total >= 64 {
+            // The accumulator is full: store all eight bytes with one
+            // unaligned word write and carry the bits of `v` that did not
+            // fit (`width <= 32` guarantees `64 - nbits <= 32` here, so the
+            // carry shift is always in range).
+            self.bytes.extend_from_slice(&self.acc.to_le_bytes());
+            self.acc = v >> (64 - self.nbits);
+            self.nbits = total - 64;
+        } else {
+            self.nbits = total;
+        }
+    }
+
+    /// Appends the low `width` bits of a 64-bit `value`, LSB first.
+    ///
+    /// `width` may be 0 (no-op) up to 62. This is the bulk entry point used
+    /// by the Huffman encoder to emit several pre-packed code words (or a
+    /// code word plus its extra bits) with a single accumulator visit. Bits
+    /// of `value` at and above `width` must be zero.
+    pub fn write_bits_u64(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 62, "bit width {width} out of range");
+        if width == 0 {
+            return;
+        }
+        debug_assert!(value >> width == 0, "value has bits above width");
+        self.acc |= value << self.nbits;
+        let total = self.nbits + width;
+        if total >= 64 {
+            self.bytes.extend_from_slice(&self.acc.to_le_bytes());
+            // `nbits >= 2` here because `width <= 62`, so the carry shift
+            // stays in range.
+            self.acc = value >> (64 - self.nbits);
+            self.nbits = total - 64;
+        } else {
+            self.nbits = total;
+        }
     }
 
     /// Appends a single bit.
@@ -60,7 +102,13 @@ impl BitWriter {
                 self.write_bits(0, pad);
             }
         }
-        self.flush_bytes();
+        // Drain the accumulator byte by byte; after padding, `nbits` is a
+        // multiple of 8, so this empties it completely.
+        while self.nbits >= 8 {
+            self.bytes.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
     }
 
     /// Finishes the stream, padding the final partial byte with zero bits,
@@ -76,14 +124,6 @@ impl BitWriter {
         let bit_len = self.bit_len();
         self.align_to_byte();
         (self.bytes, bit_len)
-    }
-
-    fn flush_bytes(&mut self) {
-        while self.nbits >= 8 {
-            self.bytes.push((self.acc & 0xFF) as u8);
-            self.acc >>= 8;
-            self.nbits -= 8;
-        }
     }
 }
 
@@ -161,6 +201,34 @@ mod tests {
         let (bytes, bit_len) = w.finish_with_bit_len();
         assert_eq!(bit_len, 10);
         assert_eq!(bytes.len(), 2);
+    }
+
+    #[test]
+    fn word_flush_matches_byte_at_a_time_reference() {
+        // The u64 bulk flush must be bit-identical to the old writer, which
+        // drained the accumulator byte by byte after every write. Mixed
+        // widths keep the flush misaligned in every possible phase.
+        let mut w = BitWriter::new();
+        let mut ref_bytes = Vec::new();
+        let (mut ref_acc, mut ref_nbits) = (0u64, 0u32);
+        let mut state = 0x1234_5678u32;
+        for i in 0..10_000u32 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            let width = 1 + (i % 32);
+            let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+            w.write_bits(state, width);
+            ref_acc |= u64::from(state & mask) << ref_nbits;
+            ref_nbits += width;
+            while ref_nbits >= 8 {
+                ref_bytes.push((ref_acc & 0xFF) as u8);
+                ref_acc >>= 8;
+                ref_nbits -= 8;
+            }
+        }
+        if ref_nbits > 0 {
+            ref_bytes.push((ref_acc & 0xFF) as u8);
+        }
+        assert_eq!(w.finish(), ref_bytes);
     }
 
     #[test]

@@ -56,6 +56,21 @@ impl ByteWriter {
         self.bytes.extend_from_slice(data);
     }
 
+    /// Appends the first `len` bytes of `data` (`len <= data.len()`),
+    /// optimized for short prefixes: when 16 bytes are readable, a single
+    /// fixed-size copy replaces the variable-length `memcpy` dispatch that
+    /// dominates for the few-byte literal runs the LZ4-style encoder emits.
+    pub fn write_prefix(&mut self, data: &[u8], len: usize) {
+        if len <= 16 {
+            if let Some(window) = data.get(..16) {
+                self.bytes.extend_from_slice(window);
+                self.bytes.truncate(self.bytes.len() - (16 - len));
+                return;
+            }
+        }
+        self.bytes.extend_from_slice(&data[..len]);
+    }
+
     /// Overwrites 4 bytes at `offset` with a little-endian `u32`.
     ///
     /// Used to back-patch size fields whose value is only known after the

@@ -24,6 +24,10 @@ pub struct CompressorConfig {
     pub max_match_len: usize,
     /// Number of hash-chain candidates examined per position.
     pub chain_depth: usize,
+    /// Bytes hashed per chain-table key: 0 (automatic: 4 when the minimum
+    /// match length is at least 4, else 3), 3 or 4. See
+    /// [`MatcherConfig::hash_bytes`].
+    pub hash_bytes: u32,
     /// Sequences per sub-block for parallel Huffman decoding (Bit mode).
     pub sequences_per_sub_block: u32,
     /// Maximum Huffman codeword length (CWL) — bounds the decode LUT size.
@@ -45,7 +49,8 @@ impl Default for CompressorConfig {
             window_size: 8 * 1024,
             min_match_len: 3,
             max_match_len: 64,
-            chain_depth: 8,
+            chain_depth: 1,
+            hash_bytes: 4,
             sequences_per_sub_block: 16,
             max_codeword_len: 10,
             dependency_elimination: false,
@@ -108,6 +113,9 @@ impl CompressorConfig {
         if self.chain_depth == 0 {
             return err("chain depth must be at least 1");
         }
+        if !matches!(self.hash_bytes, 0 | 3 | 4) {
+            return err("hash width must be 0 (auto), 3 or 4 bytes");
+        }
         Ok(())
     }
 
@@ -119,6 +127,7 @@ impl CompressorConfig {
             min_match_len: self.min_match_len,
             max_match_len: self.max_match_len,
             chain_depth: self.chain_depth,
+            hash_bytes: self.hash_bytes,
             dependency_elimination: self.dependency_elimination,
             strict_hwm: self.strict_hwm,
             min_staleness: self.min_staleness,

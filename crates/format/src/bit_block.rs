@@ -34,6 +34,49 @@ pub struct BitBlock {
     pub bitstream: Vec<u8>,
 }
 
+/// Reusable histogram state for [`BitBlock::encode_with_scratch`].
+///
+/// The first encoding pass builds two histograms whose alphabets depend only
+/// on the token coder, so a per-worker scratch lets every block of a file
+/// reuse the same allocations; [`BitBlock::encode`] creates a throwaway one.
+#[derive(Debug, Clone)]
+pub struct EncodeScratch {
+    lit_len_hist: Histogram,
+    offset_hist: Histogram,
+    /// Per-match token data computed by pass 1 and replayed by pass 2:
+    /// `(length symbol, offset symbol, length extra, offset extra,
+    /// length extra bits, offset extra bits)`.
+    match_tokens: Vec<(u16, u16, u32, u32, u8, u8)>,
+}
+
+impl EncodeScratch {
+    /// Creates an empty scratch; histograms are sized on first use.
+    pub fn new() -> Self {
+        Self { lit_len_hist: Histogram::new(0), offset_hist: Histogram::new(0), match_tokens: Vec::new() }
+    }
+
+    /// Clears the histograms, reallocating only if the coder's alphabets
+    /// changed since the previous block.
+    fn prepare(&mut self, lit_len_alphabet: usize, offset_alphabet: usize) {
+        if self.lit_len_hist.alphabet_size() == lit_len_alphabet {
+            self.lit_len_hist.clear();
+        } else {
+            self.lit_len_hist = Histogram::new(lit_len_alphabet);
+        }
+        if self.offset_hist.alphabet_size() == offset_alphabet {
+            self.offset_hist.clear();
+        } else {
+            self.offset_hist = Histogram::new(offset_alphabet);
+        }
+    }
+}
+
+impl Default for EncodeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl BitBlock {
     /// Entropy-codes an LZ77 sequence block.
     pub fn encode(
@@ -42,63 +85,115 @@ impl BitBlock {
         sequences_per_sub_block: u32,
         max_codeword_len: u8,
     ) -> Result<Self> {
+        Self::encode_with_scratch(
+            block,
+            coder,
+            sequences_per_sub_block,
+            max_codeword_len,
+            &mut EncodeScratch::new(),
+        )
+    }
+
+    /// Entropy-codes an LZ77 sequence block, reusing caller-provided
+    /// histogram scratch.
+    ///
+    /// The output bitstream is preallocated exactly: the pass-1 histograms
+    /// and the finished code tables predict the encoded bit count (including
+    /// extra bits), so pass 2 never reallocates.
+    pub fn encode_with_scratch(
+        block: &SequenceBlock,
+        coder: &TokenCoder,
+        sequences_per_sub_block: u32,
+        max_codeword_len: u8,
+        scratch: &mut EncodeScratch,
+    ) -> Result<Self> {
         assert!(sequences_per_sub_block >= 1, "sub-blocks must hold at least one sequence");
 
-        // Pass 1: histograms over both alphabets.
-        let mut lit_len_hist = Histogram::new(coder.lit_len_alphabet());
-        let mut offset_hist = Histogram::new(coder.offset_alphabet());
+        // Pass 1: histograms over both alphabets, plus the total number of
+        // extra (verbatim) bits that will accompany the coded symbols.
+        scratch.prepare(coder.lit_len_alphabet(), coder.offset_alphabet());
+        let EncodeScratch { lit_len_hist, offset_hist, match_tokens } = scratch;
+        match_tokens.clear();
         // Guarantee both alphabets are non-empty so code construction cannot
         // fail on blocks without matches (or without literals).
         lit_len_hist.add(END_OF_SEQUENCES);
         offset_hist.add(0);
+        let mut extra_bits = 0u64;
 
-        let mut literal_cursor = 0usize;
+        // Literal frequencies do not depend on how literals interleave with
+        // matches, so the whole literal buffer is counted with one bulk
+        // sweep; the per-sequence loop then only handles match symbols.
+        lit_len_hist.add_bytes(&block.literals);
         for seq in &block.sequences {
-            let lit_end = literal_cursor + seq.literal_len as usize;
-            for &b in &block.literals[literal_cursor..lit_end] {
-                lit_len_hist.add(u16::from(b));
-            }
-            literal_cursor = lit_end;
             if seq.has_match() {
-                let (len_sym, _, _) = coder.encode_length(seq.match_len)?;
-                let (off_sym, _, _) = coder.encode_offset(seq.match_offset)?;
+                let (len_sym, len_bits, len_extra) = coder.encode_length(seq.match_len)?;
+                let (off_sym, off_bits, off_extra) = coder.encode_offset(seq.match_offset)?;
                 lit_len_hist.add(len_sym);
                 offset_hist.add(off_sym);
+                extra_bits += u64::from(len_bits) + u64::from(off_bits);
+                match_tokens.push((len_sym, off_sym, len_extra, off_extra, len_bits, off_bits));
             } else {
                 lit_len_hist.add(END_OF_SEQUENCES);
             }
         }
 
-        let lit_len_code = CanonicalCode::from_histogram(&lit_len_hist, max_codeword_len)?;
-        let offset_code = CanonicalCode::from_histogram(&offset_hist, max_codeword_len)?;
+        let lit_len_code = CanonicalCode::from_histogram(lit_len_hist, max_codeword_len)?;
+        let offset_code = CanonicalCode::from_histogram(offset_hist, max_codeword_len)?;
         let lit_len_enc = EncodeTable::new(&lit_len_code);
         let offset_enc = EncodeTable::new(&offset_code);
 
+        // The histograms seeded one EOS and one offset-0 occurrence that the
+        // stream will not contain; subtracting their code lengths makes the
+        // size hint exact.
+        let seeded_bits = u64::from(lit_len_enc.code_len(END_OF_SEQUENCES).unwrap_or(0))
+            + u64::from(offset_enc.code_len(0).unwrap_or(0));
+        let total_bits = lit_len_enc.encoded_bits_for_histogram(lit_len_hist)?
+            + offset_enc.encoded_bits_for_histogram(offset_hist)?
+            + extra_bits
+            - seeded_bits;
+
         // Pass 2: emit the bitstream, recording sub-block boundaries.
-        let mut w = BitWriter::with_capacity(block.literals.len());
-        let mut sub_block_bits = Vec::new();
+        let mut w = BitWriter::with_capacity((total_bits as usize).div_ceil(8));
+        let n_sub_blocks = block.sequences.len().div_ceil(sequences_per_sub_block as usize);
+        let mut sub_block_bits = Vec::with_capacity(n_sub_blocks);
         let mut sub_block_start_bit = 0u64;
         let mut literal_cursor = 0usize;
+        // Countdown instead of `(i + 1) % sequences_per_sub_block`: the
+        // boundary test runs per sequence and a runtime modulo is a real
+        // division on most cores.
+        let mut seqs_left_in_sub_block = sequences_per_sub_block;
+        let mut next_match_token = 0usize;
         for (i, seq) in block.sequences.iter().enumerate() {
             let lit_end = literal_cursor + seq.literal_len as usize;
-            for &b in &block.literals[literal_cursor..lit_end] {
-                lit_len_enc.encode(&mut w, u16::from(b))?;
-            }
+            lit_len_enc.encode_slice(&mut w, &block.literals[literal_cursor..lit_end])?;
             literal_cursor = lit_end;
             if seq.has_match() {
-                let (len_sym, len_bits, len_extra) = coder.encode_length(seq.match_len)?;
-                lit_len_enc.encode(&mut w, len_sym)?;
-                w.write_bits(len_extra, u32::from(len_bits));
-                let (off_sym, off_bits, off_extra) = coder.encode_offset(seq.match_offset)?;
-                offset_enc.encode(&mut w, off_sym)?;
-                w.write_bits(off_extra, u32::from(off_bits));
+                // Replay the token data pass 1 computed, fusing the four
+                // match fields (length code + extra bits, offset code +
+                // extra bits) into two bulk appends. Their combined width
+                // is at most 16 + 16 + 16 + 13 bits, but the u64 packer is
+                // capped at 62, so emit in two halves.
+                let (len_sym, off_sym, len_extra, off_extra, len_bits, off_bits) =
+                    match_tokens[next_match_token];
+                next_match_token += 1;
+                let (len_code, len_code_bits) = lit_len_enc.code(len_sym)?;
+                w.write_bits_u64(
+                    u64::from(len_code) | u64::from(len_extra) << len_code_bits,
+                    u32::from(len_code_bits) + u32::from(len_bits),
+                );
+                let (off_code, off_code_bits) = offset_enc.code(off_sym)?;
+                w.write_bits_u64(
+                    u64::from(off_code) | u64::from(off_extra) << off_code_bits,
+                    u32::from(off_code_bits) + u32::from(off_bits),
+                );
             } else {
                 lit_len_enc.encode(&mut w, END_OF_SEQUENCES)?;
             }
 
-            let is_sub_block_end = (i + 1) % sequences_per_sub_block as usize == 0;
+            seqs_left_in_sub_block -= 1;
             let is_last = i + 1 == block.sequences.len();
-            if is_sub_block_end || is_last {
+            if seqs_left_in_sub_block == 0 || is_last {
+                seqs_left_in_sub_block = sequences_per_sub_block;
                 let bits = w.bit_len() - sub_block_start_bit;
                 sub_block_bits.push(
                     u32::try_from(bits)
@@ -108,6 +203,7 @@ impl BitBlock {
             }
         }
 
+        debug_assert_eq!(w.bit_len(), total_bits, "size hint must predict the bitstream exactly");
         Ok(BitBlock {
             lit_len_code,
             offset_code,

@@ -35,6 +35,30 @@ fn write_extended(w: &mut ByteWriter, mut remainder: u32) {
     w.write_u8(remainder as u8);
 }
 
+/// Number of bytes [`write_extended`] emits for `remainder`.
+fn extended_len(remainder: u32) -> usize {
+    (remainder / 255) as usize + 1
+}
+
+/// Exact encoded size in bytes of a sequence block (token bytes, extension
+/// chains, literals and offsets), used to preallocate the output buffer.
+fn encoded_len(block: &SequenceBlock) -> usize {
+    let mut total = block.literals.len();
+    for seq in &block.sequences {
+        total += 1;
+        if seq.literal_len >= NIBBLE_EXTENDED {
+            total += extended_len(seq.literal_len - NIBBLE_EXTENDED);
+        }
+        if seq.match_len > 0 {
+            total += 2;
+            if seq.match_len >= NIBBLE_EXTENDED {
+                total += extended_len(seq.match_len - NIBBLE_EXTENDED);
+            }
+        }
+    }
+    total
+}
+
 fn read_extended(r: &mut ByteReader<'_>) -> Result<u32> {
     let mut total = 0u32;
     loop {
@@ -54,7 +78,10 @@ impl ByteBlock {
     /// Match offsets must fit in 16 bits (the compressor's window is at most
     /// 64 KB in byte mode); larger offsets are a configuration error.
     pub fn encode(block: &SequenceBlock) -> Result<Self> {
-        let mut w = ByteWriter::with_capacity(block.literals.len() + block.sequences.len() * 4);
+        let capacity = encoded_len(block);
+        // +16 slack: the literal fast path copies a fixed 16-byte window
+        // and truncates, which may transiently overshoot the exact size.
+        let mut w = ByteWriter::with_capacity(capacity + 16);
         let mut literal_cursor = 0usize;
         for seq in &block.sequences {
             let lit_len = seq.literal_len;
@@ -69,7 +96,7 @@ impl ByteBlock {
                 write_extended(&mut w, lit_len - NIBBLE_EXTENDED);
             }
             let lit_end = literal_cursor + lit_len as usize;
-            w.write_bytes(&block.literals[literal_cursor..lit_end]);
+            w.write_prefix(&block.literals[literal_cursor..], lit_len as usize);
             literal_cursor = lit_end;
             if match_len > 0 {
                 w.write_u16_le(seq.match_offset as u16);
@@ -78,6 +105,7 @@ impl ByteBlock {
                 }
             }
         }
+        debug_assert_eq!(w.len(), capacity, "size computation must predict the payload exactly");
         Ok(ByteBlock {
             n_sequences: block.sequences.len() as u32,
             uncompressed_len: block.uncompressed_len as u32,

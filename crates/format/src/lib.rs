@@ -32,7 +32,7 @@ pub mod file;
 pub mod header;
 pub mod token_code;
 
-pub use bit_block::BitBlock;
+pub use bit_block::{BitBlock, EncodeScratch};
 pub use byte_block::ByteBlock;
 pub use error::FormatError;
 pub use file::{BlockPayload, CompressedFile};

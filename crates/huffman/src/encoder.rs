@@ -35,6 +35,56 @@ impl EncodeTable {
         }
     }
 
+    /// Appends the code words for a slice of literal bytes to the bitstream.
+    ///
+    /// This is the fused bulk path of the bit-level block encoder: the
+    /// `(code, len)` pairs are read straight out of the table with no
+    /// per-symbol `Result` plumbing and no per-symbol bounds check (the
+    /// byte-valued symbols index a fixed 256-entry prefix of the table).
+    /// Encountering an uncoded byte still fails with
+    /// [`HuffmanError::UnknownSymbol`] exactly like [`Self::encode`]; the
+    /// writer contents are unspecified after an error, which callers treat
+    /// as fatal anyway.
+    pub fn encode_slice(&self, w: &mut BitWriter, bytes: &[u8]) -> Result<()> {
+        match self.codes.get(..256) {
+            Some(codes) => {
+                // Pack code words into a local 64-bit group and hand the
+                // writer one bulk append per ~48 bits instead of one call
+                // per symbol (code lengths are capped at 16 bits, so a
+                // group never overflows).
+                let mut group = 0u64;
+                let mut group_bits = 0u32;
+                for &b in bytes {
+                    let (code, len) = codes[usize::from(b)];
+                    if len == 0 {
+                        return Err(HuffmanError::UnknownSymbol(u16::from(b)));
+                    }
+                    group |= u64::from(code) << group_bits;
+                    group_bits += u32::from(len);
+                    if group_bits > 46 {
+                        w.write_bits_u64(group, group_bits);
+                        group = 0;
+                        group_bits = 0;
+                    }
+                }
+                w.write_bits_u64(group, group_bits);
+                Ok(())
+            }
+            // Alphabets smaller than a byte (not produced by the token
+            // model, but legal for this table type) take the checked path.
+            None => bytes.iter().try_for_each(|&b| self.encode(w, u16::from(b))),
+        }
+    }
+
+    /// The `(bit-reversed code, length)` pair for `symbol`, for callers
+    /// that fuse several fields into one bulk bitstream append.
+    pub fn code(&self, symbol: u16) -> Result<(u32, u8)> {
+        match self.codes.get(symbol as usize) {
+            Some(&(code, len)) if len > 0 => Ok((code, len)),
+            _ => Err(HuffmanError::UnknownSymbol(symbol)),
+        }
+    }
+
     /// Length in bits of the code word for `symbol`, or `None` if uncoded.
     pub fn code_len(&self, symbol: u16) -> Option<u8> {
         match self.codes.get(symbol as usize) {
@@ -48,6 +98,26 @@ impl EncodeTable {
         let mut bits = 0u64;
         for &s in symbols {
             bits += u64::from(self.code_len(s).ok_or(HuffmanError::UnknownSymbol(s))?);
+        }
+        Ok(bits)
+    }
+
+    /// Total encoded size in bits of every symbol occurrence counted by
+    /// `hist` (without encoding anything).
+    ///
+    /// This is the exact size hint the block encoder uses to preallocate
+    /// its output bitstream: the histogram that built the code already
+    /// knows how often each symbol will be written. Symbols with zero
+    /// frequency are ignored; a nonzero count for an uncoded symbol is the
+    /// usual histogram/stream mismatch error.
+    pub fn encoded_bits_for_histogram(&self, hist: &crate::Histogram) -> Result<u64> {
+        let mut bits = 0u64;
+        for (sym, &count) in hist.counts().iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let len = self.code_len(sym as u16).ok_or(HuffmanError::UnknownSymbol(sym as u16))?;
+            bits += count * u64::from(len);
         }
         Ok(bits)
     }

@@ -30,6 +30,14 @@ impl Histogram {
         self.counts.len()
     }
 
+    /// Resets every count to zero, keeping the alphabet and its allocation.
+    ///
+    /// The block encoder reuses one histogram pair per worker thread across
+    /// all blocks of a file; this is the per-block reset.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+    }
+
     /// Increments the count of `symbol` by one.
     ///
     /// Panics if `symbol` is outside the alphabet; the token model guarantees
@@ -41,6 +49,18 @@ impl Histogram {
     /// Increments the count of `symbol` by `n`.
     pub fn add_n(&mut self, symbol: u16, n: u64) {
         self.counts[symbol as usize] += n;
+    }
+
+    /// Counts every byte of `bytes` as a symbol occurrence.
+    ///
+    /// Equivalent to calling [`Self::add`] per byte; the bulk path indexes a
+    /// fixed 256-entry prefix of the count table so the inner loop carries
+    /// no bounds check. Panics if the alphabet is smaller than 256 symbols.
+    pub fn add_bytes(&mut self, bytes: &[u8]) {
+        let counts = &mut self.counts[..256];
+        for &b in bytes {
+            counts[usize::from(b)] += 1;
+        }
     }
 
     /// Frequency of `symbol`.

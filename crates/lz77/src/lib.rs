@@ -32,7 +32,7 @@ pub mod sequence;
 pub use analysis::{max_nesting_depth, verify_de_invariant, DependencyStats};
 pub use decompress::{decompress_block, decompress_block_into};
 pub use error::Lz77Error;
-pub use matcher::{Matcher, MatcherConfig};
+pub use matcher::{common_prefix_len, Matcher, MatcherConfig, MatcherScratch, SKIP_TRIGGER};
 pub use sequence::{Sequence, SequenceBlock};
 
 /// Result alias for LZ77 operations.

@@ -8,10 +8,63 @@
 
 #![forbid(unsafe_code)]
 
-/// Number of worker threads the shim will use (the number of available
-/// cores; upstream rayon defaults to the same).
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global worker-count override installed by [`ThreadPoolBuilder`]; 0 means
+/// "use the number of available cores".
+static NUM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads the shim will use: the global-pool override if
+/// one was installed, otherwise the number of available cores (upstream
+/// rayon defaults to the same).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    match NUM_THREADS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build_global`] (mirrors the
+/// upstream signature; the shim's build never actually fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Subset of upstream rayon's `ThreadPoolBuilder`: configures the number of
+/// worker threads the global helpers use.
+///
+/// Upstream errors when the global pool is initialized twice; the shim has
+/// no long-lived pool (workers are scoped per `collect`), so repeated
+/// `build_global` calls simply replace the override.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = number of available cores).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Installs this configuration for the global helpers.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        NUM_THREADS_OVERRIDE.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 pub mod iter {
@@ -310,5 +363,18 @@ mod tests {
     fn into_par_iter_empty_is_empty() {
         let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_pool_builder_overrides_worker_count() {
+        crate::ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        assert_eq!(crate::current_num_threads(), 3);
+        // Parallel collect still works (and preserves order) under the
+        // override.
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..=1000).collect::<Vec<_>>());
+        // Restore the default so other tests see the core count.
+        crate::ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
     }
 }
