@@ -1,8 +1,9 @@
 //! Regenerates the paper's tables and figures as text tables.
 //!
 //! ```text
-//! experiments [--exp all|setup|fig9a|fig9b|fig9c|fig11|fig12|fig13|fig14|perf]
+//! experiments [--exp all|setup|fig9a|fig9b|fig9c|fig11|fig12|fig13|fig14|perf|stream]
 //!             [--size-mb N] [--samples N] [--json PATH] [--threads N]
+//!             [--stream] [--mem-budget-mb N]
 //! ```
 //!
 //! `--size-mb` scales the synthetic datasets (default 8 MiB, the paper used
@@ -12,14 +13,21 @@
 //! the rows to `--json` (default `BENCH_host.json`). `--threads` pins the
 //! worker-pool size for every experiment (default: all available cores);
 //! the thread count actually used is recorded in the JSON document.
+//!
+//! The `stream` experiment (`--exp stream`, or `--stream` alongside
+//! `--exp perf` to embed its rows in the JSON document) drives the
+//! bounded-memory streaming pipeline file-to-file at 1/2/4 workers with a
+//! `--mem-budget-mb` budget (default 4 MiB), verifies the roundtrip is
+//! byte-identical to the in-memory path, and records per-row peak RSS.
 
 use gompresso_bench::{
     fig11_de_impact, fig12_block_size, fig13_speed_vs_ratio, fig14_energy, fig9a_strategy_comparison,
-    fig9b_bytes_per_round, fig9c_nesting_depth, host_throughput, render_json, setup_dataset_ratios, Table,
+    fig9b_bytes_per_round, fig9c_nesting_depth, host_throughput, render_json, setup_dataset_ratios,
+    stream_throughput, Table,
 };
 
-const EXPERIMENTS: [&str; 10] =
-    ["all", "setup", "fig9a", "fig9b", "fig9c", "fig11", "fig12", "fig13", "fig14", "perf"];
+const EXPERIMENTS: [&str; 11] =
+    ["all", "setup", "fig9a", "fig9b", "fig9c", "fig11", "fig12", "fig13", "fig14", "perf", "stream"];
 
 struct Args {
     exp: String,
@@ -28,9 +36,18 @@ struct Args {
     json_path: String,
     /// Worker threads to use (0 = all available cores).
     threads: usize,
-    /// Whether --samples / --json were given explicitly (they only affect
-    /// the perf experiment, so passing them without it earns a warning).
-    perf_flags_given: bool,
+    /// Run the streaming experiment in addition to `--exp` (implied by
+    /// `--exp stream`).
+    stream: bool,
+    /// Memory budget for the streaming pipeline, in MiB.
+    mem_budget_mb: usize,
+    /// Whether --samples was given explicitly (it only affects the perf
+    /// and stream experiments, so passing it without either earns a
+    /// warning).
+    samples_given: bool,
+    /// Whether --json was given explicitly (it only affects the perf
+    /// experiment).
+    json_given: bool,
 }
 
 fn parse_args() -> Args {
@@ -39,7 +56,10 @@ fn parse_args() -> Args {
     let mut samples = 3usize;
     let mut json_path = "BENCH_host.json".to_string();
     let mut threads = 0usize;
-    let mut perf_flags_given = false;
+    let mut stream = false;
+    let mut mem_budget_mb = 4usize;
+    let mut samples_given = false;
+    let mut json_given = false;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -59,7 +79,7 @@ fn parse_args() -> Args {
                 i += 2;
             }
             "--samples" if i + 1 < args.len() => {
-                perf_flags_given = true;
+                samples_given = true;
                 samples = match args[i + 1].parse::<usize>() {
                     Ok(n) if n >= 1 => n,
                     _ => {
@@ -70,7 +90,7 @@ fn parse_args() -> Args {
                 i += 2;
             }
             "--json" if i + 1 < args.len() => {
-                perf_flags_given = true;
+                json_given = true;
                 json_path = args[i + 1].clone();
                 i += 2;
             }
@@ -84,9 +104,26 @@ fn parse_args() -> Args {
                 };
                 i += 2;
             }
+            "--stream" => {
+                stream = true;
+                i += 1;
+            }
+            "--mem-budget-mb" if i + 1 < args.len() => {
+                mem_budget_mb = match args[i + 1].parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!(
+                            "invalid --mem-budget-mb value {:?}; expected a positive integer",
+                            args[i + 1]
+                        );
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--exp {}] [--size-mb N] [--samples N] [--json PATH] [--threads N]",
+                    "usage: experiments [--exp {}] [--size-mb N] [--samples N] [--json PATH] [--threads N] [--stream] [--mem-budget-mb N]",
                     EXPERIMENTS.join("|")
                 );
                 std::process::exit(0);
@@ -101,11 +138,12 @@ fn parse_args() -> Args {
         eprintln!("unknown experiment {exp}; expected one of {}", EXPERIMENTS.join("|"));
         std::process::exit(2);
     }
-    Args { exp, size_mb, samples, json_path, threads, perf_flags_given }
+    Args { exp, size_mb, samples, json_path, threads, stream, mem_budget_mb, samples_given, json_given }
 }
 
 fn main() {
-    let Args { exp, size_mb, samples, json_path, threads, perf_flags_given } = parse_args();
+    let Args { exp, size_mb, samples, json_path, threads, stream, mem_budget_mb, samples_given, json_given } =
+        parse_args();
     if threads > 0 {
         if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(threads).build_global() {
             eprintln!("failed to configure {threads} worker threads: {e}");
@@ -113,11 +151,18 @@ fn main() {
         }
     }
     let size = size_mb * 1024 * 1024;
-    // `perf` overwrites the committed BENCH_host.json reference, so it only
-    // runs when requested explicitly — never as part of `all`.
-    let run = |name: &str| (exp == "all" && name != "perf") || exp == name;
-    if perf_flags_given && !run("perf") {
-        eprintln!("warning: --samples/--json only affect the perf experiment; pass --exp perf to run it");
+    // `perf` and `stream` overwrite / feed the committed BENCH_host.json
+    // reference, so they only run when requested explicitly — never as
+    // part of `all`.
+    let run = |name: &str| (exp == "all" && name != "perf" && name != "stream") || exp == name;
+    let run_stream = stream || exp == "stream";
+    if json_given && !run("perf") {
+        eprintln!("warning: --json only affects the perf experiment; pass --exp perf to write the document");
+    }
+    if samples_given && !run("perf") && !run_stream {
+        eprintln!(
+            "warning: --samples only affects the perf and stream experiments; pass --exp perf or --stream"
+        );
     }
 
     println!("Gompresso experiment harness — dataset size {size_mb} MiB per dataset");
@@ -237,6 +282,38 @@ fn main() {
         println!("{}", t.render());
     }
 
+    let mut stream_rows = Vec::new();
+    if run_stream {
+        println!(
+            "== Streaming pipeline: file-to-file GB/s, {mem_budget_mb} MiB budget (best of {samples}) =="
+        );
+        stream_rows = stream_throughput(size, samples, mem_budget_mb);
+        let mut t = Table::new(&[
+            "dataset",
+            "mode",
+            "threads",
+            "in-flight blocks",
+            "ratio",
+            "compress GB/s",
+            "decompress GB/s",
+            "peak RSS MiB",
+        ]);
+        for row in &stream_rows {
+            t.row(&[
+                row.dataset.clone(),
+                row.mode.clone(),
+                row.threads.to_string(),
+                row.blocks_in_flight.to_string(),
+                format!("{:.3}", row.ratio),
+                format!("{:.3}", row.compress_gbps),
+                format!("{:.3}", row.decompress_gbps),
+                format!("{:.1}", row.peak_rss_mb),
+            ]);
+        }
+        println!("{}", t.render());
+        println!("roundtrips verified byte-identical to the in-memory path\n");
+    }
+
     if run("perf") {
         println!(
             "== Host throughput: wall-clock compress/decompress GB/s (best of {samples}, {} threads) ==",
@@ -255,7 +332,7 @@ fn main() {
             ]);
         }
         println!("{}", t.render());
-        let json = render_json(&rows, size, samples);
+        let json = render_json(&rows, &stream_rows, size, samples);
         match std::fs::write(&json_path, &json) {
             Ok(()) => println!("wrote {json_path}"),
             Err(e) => {

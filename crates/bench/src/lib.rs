@@ -16,11 +16,13 @@
 pub mod datasets;
 pub mod experiments;
 pub mod perf;
+pub mod stream_bench;
 pub mod table;
 
 pub use datasets::{matrix_data, nesting_data, wikipedia_data};
 pub use experiments::*;
 pub use perf::{host_throughput, render_json, PerfRow};
+pub use stream_bench::{peak_rss_bytes, reset_peak_rss, stream_throughput, StreamRow, STREAM_THREADS};
 pub use table::Table;
 
 /// Gigabyte constant used for bandwidth formatting.

@@ -103,13 +103,21 @@ fn json_f64(v: f64) -> String {
 
 /// Renders the rows as the `BENCH_host.json` document. The format is plain
 /// JSON written by hand (the workspace vendors no serde); keys are stable so
-/// future PRs can diff files directly.
-pub fn render_json(rows: &[PerfRow], size: usize, samples: usize) -> String {
+/// future PRs can diff files directly. `stream_rows` (from
+/// [`crate::stream_bench::stream_throughput`]) may be empty, in which case
+/// the `stream_rows` array is omitted and the document stays v1-shaped
+/// apart from the schema tag.
+pub fn render_json(
+    rows: &[PerfRow],
+    stream_rows: &[crate::stream_bench::StreamRow],
+    size: usize,
+    samples: usize,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"gompresso-bench-host-v1\",\n");
+    s.push_str("  \"schema\": \"gompresso-bench-host-v2\",\n");
     s.push_str(
-        "  \"command\": \"cargo run --release -p gompresso-bench --bin experiments -- --exp perf --size-mb <N>\",\n",
+        "  \"command\": \"cargo run --release -p gompresso-bench --bin experiments -- --exp perf --stream --size-mb <N>\",\n",
     );
     s.push_str(&format!("  \"size_bytes\": {size},\n"));
     s.push_str(&format!("  \"samples\": {samples},\n"));
@@ -125,6 +133,27 @@ pub fn render_json(rows: &[PerfRow], size: usize, samples: usize) -> String {
             json_f64(row.compress_gbps),
             json_f64(row.decompress_gbps),
             if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    if stream_rows.is_empty() {
+        s.push_str("  ]\n}\n");
+        return s;
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"stream_rows\": [\n");
+    for (i, row) in stream_rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"mem_budget_mb\": {}, \"blocks_in_flight\": {}, \"ratio\": {}, \"compress_gbps\": {}, \"decompress_gbps\": {}, \"peak_rss_mb\": {}}}{}\n",
+            row.dataset,
+            row.mode,
+            row.threads,
+            row.mem_budget_mb,
+            row.blocks_in_flight,
+            json_f64(row.ratio),
+            json_f64(row.compress_gbps),
+            json_f64(row.decompress_gbps),
+            json_f64(row.peak_rss_mb),
+            if i + 1 == stream_rows.len() { "" } else { "," },
         ));
     }
     s.push_str("  ]\n}\n");
@@ -159,11 +188,35 @@ mod tests {
     #[test]
     fn json_document_is_well_formed() {
         let rows = host_throughput(64 * 1024, 1);
-        let json = render_json(&rows, 64 * 1024, 1);
-        assert!(json.contains("\"schema\": \"gompresso-bench-host-v1\""));
+        let json = render_json(&rows, &[], 64 * 1024, 1);
+        assert!(json.contains("\"schema\": \"gompresso-bench-host-v2\""));
         assert!(json.contains("\"size_bytes\": 65536"));
+        assert!(!json.contains("stream_rows"));
         assert_eq!(json.matches("\"dataset\"").count(), rows.len());
         // Balanced braces/brackets, no trailing comma before the closer.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn json_document_includes_stream_rows_when_present() {
+        let rows = host_throughput(64 * 1024, 1);
+        let stream_rows = vec![crate::stream_bench::StreamRow {
+            dataset: "wikipedia".into(),
+            mode: "bit".into(),
+            threads: 2,
+            mem_budget_mb: 4,
+            blocks_in_flight: 5,
+            ratio: 2.0,
+            compress_gbps: 0.05,
+            decompress_gbps: 0.1,
+            peak_rss_mb: 12.5,
+        }];
+        let json = render_json(&rows, &stream_rows, 64 * 1024, 1);
+        assert!(json.contains("\"stream_rows\": ["));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"peak_rss_mb\": 12.5"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n  ]"));

@@ -80,6 +80,24 @@ impl ByteWriter {
         self.bytes[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
     }
 
+    /// Overwrites 8 bytes at `offset` with a little-endian `u64`.
+    ///
+    /// The streaming file framing writes its prelude with sentinel totals
+    /// (uncompressed size, block count) and back-patches them once the last
+    /// block has been compressed. Panics if `offset + 8` exceeds the current
+    /// length — that is a programming error, not a data error.
+    pub fn patch_u64_le(&mut self, offset: usize, v: u64) {
+        self.bytes[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a placeholder little-endian `u64` and returns its offset for a
+    /// later [`ByteWriter::patch_u64_le`].
+    pub fn reserve_u64_le(&mut self) -> usize {
+        let offset = self.len();
+        self.write_u64_le(0);
+        offset
+    }
+
     /// Consumes the writer and returns the bytes.
     pub fn finish(self) -> Vec<u8> {
         self.bytes
@@ -114,6 +132,18 @@ mod tests {
         let bytes = w.finish();
         assert_eq!(&bytes[1..5], &7u32.to_le_bytes());
         assert_eq!(&bytes[5..], b"payload");
+    }
+
+    #[test]
+    fn reserve_and_patch_u64() {
+        let mut w = ByteWriter::new();
+        w.write_u8(0xAB);
+        let pos = w.reserve_u64_le();
+        w.write_bytes(b"tail");
+        w.patch_u64_le(pos, u64::MAX - 1);
+        let bytes = w.finish();
+        assert_eq!(&bytes[1..9], &(u64::MAX - 1).to_le_bytes());
+        assert_eq!(&bytes[9..], b"tail");
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub use bitwriter::BitWriter;
 pub use bytereader::ByteReader;
 pub use bytewriter::ByteWriter;
 pub use error::StreamError;
-pub use varint::{read_varint, varint_len, write_varint};
+pub use varint::{read_varint, varint_len, write_varint, MAX_VARINT_LEN};
 
 /// Result alias used throughout the stream primitives.
 pub type Result<T> = std::result::Result<T, StreamError>;

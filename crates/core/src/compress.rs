@@ -43,18 +43,57 @@ pub struct Compressor {
 /// every block it owns with the same buffers, so steady-state compression
 /// performs no per-block heap allocation in the matching and histogram
 /// passes.
-struct CompressScratch {
+pub(crate) struct CompressScratch {
     seq_block: SequenceBlock,
     matcher: MatcherScratch,
     encode: EncodeScratch,
 }
 
 thread_local! {
-    static COMPRESS_SCRATCH: RefCell<CompressScratch> = RefCell::new(CompressScratch {
+    pub(crate) static COMPRESS_SCRATCH: RefCell<CompressScratch> = RefCell::new(CompressScratch {
         seq_block: SequenceBlock::new(),
         matcher: MatcherScratch::new(),
         encode: EncodeScratch::new(),
     });
+}
+
+/// Compresses one data block into its serialized payload, reusing the
+/// per-worker `scratch`. Shared by the in-memory [`Compressor`] and the
+/// bounded-memory streaming pipeline in [`crate::stream`], so both paths
+/// produce byte-identical block payloads.
+pub(crate) fn compress_block_with_scratch(
+    chunk: &[u8],
+    cfg: &CompressorConfig,
+    matcher: &Matcher,
+    coder: &TokenCoder,
+    scratch: &mut CompressScratch,
+) -> Result<(BlockPayload, BlockSummary)> {
+    matcher.compress_into(chunk, &mut scratch.seq_block, &mut scratch.matcher);
+    let seq_block = &scratch.seq_block;
+    let summary = BlockSummary::from(seq_block);
+    let w = match cfg.mode {
+        EncodingMode::Bit => {
+            let bit = BitBlock::encode_with_scratch(
+                seq_block,
+                coder,
+                cfg.sequences_per_sub_block,
+                cfg.max_codeword_len,
+                &mut scratch.encode,
+            )?;
+            // Bitstream plus sub-block size list plus two serialized code
+            // tables (bounded by their alphabets) and a few varint counters.
+            let mut w = ByteWriter::with_capacity(bit.bitstream.len() + 5 * bit.sub_block_bits.len() + 1024);
+            bit.serialize(&mut w);
+            w
+        }
+        EncodingMode::Byte => {
+            let byte = ByteBlock::encode(seq_block)?;
+            let mut w = ByteWriter::with_capacity(byte.data.len() + 16);
+            byte.serialize(&mut w);
+            w
+        }
+    };
+    Ok((BlockPayload { bytes: w.finish() }, summary))
 }
 
 /// Convenience wrapper: compress `data` with `config`.
@@ -99,36 +138,7 @@ impl Compressor {
             .par_iter()
             .map(|chunk| {
                 COMPRESS_SCRATCH.with(|scratch| {
-                    let scratch = &mut *scratch.borrow_mut();
-                    matcher.compress_into(chunk, &mut scratch.seq_block, &mut scratch.matcher);
-                    let seq_block = &scratch.seq_block;
-                    let summary = BlockSummary::from(seq_block);
-                    let w = match cfg.mode {
-                        EncodingMode::Bit => {
-                            let bit = BitBlock::encode_with_scratch(
-                                seq_block,
-                                &coder,
-                                cfg.sequences_per_sub_block,
-                                cfg.max_codeword_len,
-                                &mut scratch.encode,
-                            )?;
-                            // Bitstream plus sub-block size list plus two
-                            // serialized code tables (bounded by their
-                            // alphabets) and a few varint counters.
-                            let mut w = ByteWriter::with_capacity(
-                                bit.bitstream.len() + 5 * bit.sub_block_bits.len() + 1024,
-                            );
-                            bit.serialize(&mut w);
-                            w
-                        }
-                        EncodingMode::Byte => {
-                            let byte = ByteBlock::encode(seq_block)?;
-                            let mut w = ByteWriter::with_capacity(byte.data.len() + 16);
-                            byte.serialize(&mut w);
-                            w
-                        }
-                    };
-                    Ok((BlockPayload { bytes: w.finish() }, summary))
+                    compress_block_with_scratch(chunk, cfg, &matcher, &coder, &mut scratch.borrow_mut())
                 })
             })
             .collect();
@@ -175,7 +185,7 @@ impl Compressor {
 
 /// Aggregatable per-block statistics.
 #[derive(Debug, Default, Clone, Copy)]
-struct BlockSummary {
+pub(crate) struct BlockSummary {
     sequences: u64,
     matches: u64,
     literal_bytes: u64,
@@ -183,7 +193,7 @@ struct BlockSummary {
 }
 
 impl BlockSummary {
-    fn merge(&mut self, other: &BlockSummary) {
+    pub(crate) fn merge(&mut self, other: &BlockSummary) {
         self.sequences += other.sequences;
         self.matches += other.matches;
         self.literal_bytes += other.literal_bytes;

@@ -87,7 +87,7 @@ pub fn decompress_with(
 /// Per-block result produced by the parallel phase. The decompressed bytes
 /// land directly in the block's slice of the shared output buffer; only the
 /// simulation by-products travel back through the result.
-struct BlockResult {
+pub(crate) struct BlockResult {
     decode_counters: Option<WarpCounters>,
     lz77_counters: WarpCounters,
     mrr: MrrStats,
@@ -194,43 +194,73 @@ impl Decompressor {
         payload: &[u8],
         dst: &mut [u8],
     ) -> Result<BlockResult> {
-        DECODE_SCRATCH.with(|scratch| {
-            let mut seq_block = scratch.borrow_mut();
-            let decode_counters = match mode {
-                EncodingMode::Bit => {
-                    let mut r = ByteReader::new(payload);
-                    let bit = BitBlock::deserialize(&mut r)?;
-                    let warp = decode_bit_block(&bit, coder, payload.len(), &mut seq_block)?;
-                    Some(warp.into_counters())
-                }
-                EncodingMode::Byte => {
-                    let mut r = ByteReader::new(payload);
-                    let byte = ByteBlock::deserialize(&mut r)?;
-                    byte.decode_into(&mut seq_block)?;
-                    None
-                }
-            };
+        decompress_block_into(&self.config, mode, coder, block_index, payload, dst)
+    }
+}
 
-            // `dst` is this block's slice of the file output buffer, sized
-            // from the header; a block declaring a different size was
-            // rejected by `validate_declared_sizes`, so a mismatch here
-            // means the payload decoded to something else entirely.
-            if seq_block.uncompressed_len != dst.len() {
-                return Err(GompressoError::OutputSizeMismatch {
-                    declared: dst.len() as u64,
-                    produced: seq_block.uncompressed_len as u64,
-                });
+/// Decodes one block payload into `dst`, reusing the per-worker decode
+/// scratch. Shared by the in-memory [`Decompressor`] and the streaming
+/// pipeline in [`crate::stream`], so both paths apply identical resolution
+/// strategies and size validation.
+pub(crate) fn decompress_block_into(
+    config: &DecompressorConfig,
+    mode: EncodingMode,
+    coder: &TokenCoder,
+    block_index: usize,
+    payload: &[u8],
+    dst: &mut [u8],
+) -> Result<BlockResult> {
+    DECODE_SCRATCH.with(|scratch| {
+        let mut seq_block = scratch.borrow_mut();
+        let decode_counters = match mode {
+            EncodingMode::Bit => {
+                let mut r = ByteReader::new(payload);
+                let bit = BitBlock::deserialize(&mut r)?;
+                let warp = decode_bit_block(&bit, coder, payload.len(), &mut seq_block)?;
+                Some(warp.into_counters())
             }
+            EncodingMode::Byte => {
+                let mut r = ByteReader::new(payload);
+                let byte = ByteBlock::deserialize(&mut r)?;
+                byte.decode_into(&mut seq_block)?;
+                None
+            }
+        };
 
-            let outcome = decompress_block_warp(
-                &seq_block,
-                self.config.strategy,
-                self.config.validate_de && self.config.strategy == ResolutionStrategy::DependencyEliminated,
-                block_index,
-                dst,
-            )?;
-            Ok(BlockResult { decode_counters, lz77_counters: outcome.counters, mrr: outcome.mrr })
-        })
+        // `dst` is sized from the block's *declared* uncompressed size
+        // (header-derived for the in-memory path, payload-declared and
+        // bounds-checked for the streaming path), so a mismatch here means
+        // the payload decoded to something else entirely.
+        if seq_block.uncompressed_len != dst.len() {
+            return Err(GompressoError::OutputSizeMismatch {
+                declared: dst.len() as u64,
+                produced: seq_block.uncompressed_len as u64,
+            });
+        }
+
+        let outcome = decompress_block_warp(
+            &seq_block,
+            config.strategy,
+            config.validate_de && config.strategy == ResolutionStrategy::DependencyEliminated,
+            block_index,
+            dst,
+        )?;
+        Ok(BlockResult { decode_counters, lz77_counters: outcome.counters, mrr: outcome.mrr })
+    })
+}
+
+/// Format-derived expansion ceiling: byte mode is LZ4-style (a 255-chained
+/// extension byte adds at most 255 output bytes, so < 255 output bytes per
+/// payload byte); bit mode yields at most one maximal match per coded bit.
+/// A declared size above the ceiling can only come from a crafted header,
+/// so both the in-memory and streaming decompressors reject it *before*
+/// allocating the output buffer.
+pub(crate) fn plausible_output_ceiling(mode: EncodingMode, payload_len: u64, max_match_len: u32) -> u64 {
+    match mode {
+        EncodingMode::Byte => payload_len.saturating_mul(255).saturating_add(64),
+        EncodingMode::Bit => {
+            payload_len.saturating_mul(8).saturating_mul(u64::from(max_match_len.max(1))).saturating_add(64)
+        }
     }
 }
 
@@ -252,19 +282,8 @@ fn validate_declared_sizes(file: &CompressedFile) -> Result<()> {
         if declared != expected {
             return Err(GompressoError::OutputSizeMismatch { declared: expected, produced: declared });
         }
-        // Format-derived expansion ceiling: byte mode is LZ4-style (a
-        // 255-chained extension byte adds at most 255 output bytes, so
-        // < 255 output bytes per payload byte); bit mode yields at most one
-        // maximal match per coded bit. A declared size above the ceiling
-        // can only come from a crafted header.
-        let payload_len = payload.bytes.len() as u64;
-        let plausible = match header.mode {
-            EncodingMode::Byte => payload_len.saturating_mul(255).saturating_add(64),
-            EncodingMode::Bit => payload_len
-                .saturating_mul(8)
-                .saturating_mul(u64::from(header.max_match_len.max(1)))
-                .saturating_add(64),
-        };
+        let plausible =
+            plausible_output_ceiling(header.mode, payload.bytes.len() as u64, header.max_match_len);
         if declared > plausible {
             return Err(GompressoError::Format(gompresso_format::FormatError::InvalidHeaderField {
                 field: "uncompressed_size",
@@ -569,6 +588,49 @@ mod tests {
                 "expected declared-size mismatch, got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn shrunken_header_total_is_rejected_not_truncated() {
+        // Shrinking the header's uncompressed_size (keeping the same block
+        // count, so FileHeader::validate still passes) makes the header's
+        // per-block sizes disagree with the blocks' declared sizes for the
+        // trailing block. The decompressor must reject the file instead of
+        // trusting the header and truncating the output.
+        let data = wiki_like(100_000);
+        for config in [cfg_small(CompressorConfig::bit()), cfg_small(CompressorConfig::byte())] {
+            let out = compress(&data, &config).unwrap();
+            let mut file = out.file.clone();
+            file.header.uncompressed_size -= 1;
+            file.header.validate().expect("tampered header is still self-consistent");
+            let err = decompress(&file);
+            assert!(
+                matches!(err, Err(GompressoError::OutputSizeMismatch { .. })),
+                "expected declared-size mismatch, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_block_declared_sum_must_match_header_total() {
+        // Swap the final (short) block's payload for a copy of a full-size
+        // block: every size is still plausible in isolation, but the sum of
+        // the blocks' declared uncompressed sizes now disagrees with
+        // header.uncompressed_size — the cross-check must catch it before
+        // any output is produced.
+        let data = wiki_like(100_000); // 64 KiB blocks -> short trailing block
+        let out = compress(&data, &cfg_small(CompressorConfig::byte())).unwrap();
+        assert!(out.file.blocks.len() >= 2);
+        let mut file = out.file.clone();
+        let last = file.blocks.len() - 1;
+        file.blocks[last] = file.blocks[0].clone();
+        file.header.block_compressed_sizes[last] = file.header.block_compressed_sizes[0];
+        file.header.validate().expect("tampered header is still self-consistent");
+        let err = decompress(&file);
+        assert!(
+            matches!(err, Err(GompressoError::OutputSizeMismatch { .. })),
+            "expected sum mismatch, got {err:?}"
+        );
     }
 
     #[test]

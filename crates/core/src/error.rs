@@ -32,6 +32,15 @@ pub enum GompressoError {
         /// Index of the offending block.
         block: usize,
     },
+    /// An I/O error occurred in the streaming pipeline. The original
+    /// `std::io::Error` is flattened to its kind and message so this type
+    /// stays `Clone`/`PartialEq`.
+    Io {
+        /// The `std::io::ErrorKind` of the underlying error.
+        kind: std::io::ErrorKind,
+        /// The error's display message.
+        message: String,
+    },
 }
 
 impl fmt::Display for GompressoError {
@@ -48,6 +57,7 @@ impl fmt::Display for GompressoError {
                 f,
                 "block {block} contains same-warp nested back-references; it was not compressed with DE"
             ),
+            GompressoError::Io { kind, message } => write!(f, "i/o error ({kind:?}): {message}"),
         }
     }
 }
@@ -78,6 +88,12 @@ impl From<HuffmanError> for GompressoError {
 impl From<Lz77Error> for GompressoError {
     fn from(e: Lz77Error) -> Self {
         GompressoError::Lz77(e)
+    }
+}
+
+impl From<std::io::Error> for GompressoError {
+    fn from(e: std::io::Error) -> Self {
+        GompressoError::Io { kind: e.kind(), message: e.to_string() }
     }
 }
 

@@ -48,6 +48,7 @@ pub mod decompress;
 pub mod error;
 pub mod stats;
 pub mod strategy;
+pub mod stream;
 pub mod warp_lz77;
 
 pub use compress::{compress, CompressedOutput, Compressor};
@@ -56,6 +57,7 @@ pub use decompress::{decompress, decompress_with, Decompressor, DecompressorConf
 pub use error::GompressoError;
 pub use stats::{CompressionStats, DecompressionReport, GpuEstimate, MrrStats};
 pub use strategy::ResolutionStrategy;
+pub use stream::{compress_file, decompress_file, StreamCompressor, StreamDecompressor, StreamStats};
 
 // Re-export the pieces of the public API that callers routinely need.
 pub use gompresso_format::{CompressedFile, EncodingMode};

@@ -1,0 +1,1108 @@
+//! Bounded-memory streaming compression and decompression.
+//!
+//! The in-memory [`crate::compress`]/[`crate::decompress`] APIs require the
+//! whole input *and* output resident at once. The paper's file layout
+//! (Figure 3: self-describing header, back-to-back independent blocks)
+//! exists precisely so blocks can be processed without buffering the whole
+//! file — this module exploits that with a three-stage pipeline over
+//! `std::io::Read`/`std::io::Write`:
+//!
+//! * a **reader** stage fills fixed-size block buffers taken from a
+//!   recycling pool (the pool size is derived from the memory budget, so
+//!   the reader stalls instead of racing ahead of the budget);
+//! * **worker** threads compress or decompress blocks independently,
+//!   reusing the same per-worker scratch thread-locals
+//!   (`SequenceBlock` + `MatcherScratch` + `EncodeScratch` on the way in,
+//!   the decode `SequenceBlock` on the way out) as the in-memory hot paths
+//!   — both paths therefore produce byte-identical block payloads;
+//! * a **writer** stage (the calling thread) re-orders finished blocks and
+//!   emits them in block order. Buffers return to the pool only once their
+//!   block has been written, which is what makes the bound hold even when
+//!   one slow block stalls the in-order frontier.
+//!
+//! Files are framed with the incremental v2 container
+//! ([`gompresso_format::stream_frame`]): a fixed prelude whose totals are
+//! back-patched when the sink can seek, length-prefixed block frames, and a
+//! trailer that repeats the block-size table for random-access readers.
+//!
+//! Memory budget math (see `DESIGN.md` §4): a block in flight costs at most
+//! one input buffer (`block_size`) plus one output buffer (≤ `block_size`
+//! for decompression, ≤ `block_size` + framing slack for compression) plus
+//! re-order slack — budgeted as `3 × block_size` per block. The pipeline
+//! keeps `max(2, mem_budget / (3 × block_size))` blocks in flight (capped
+//! at `2 × workers + 2`, beyond which extra buffers add nothing).
+
+use crate::compress::{compress_block_with_scratch, COMPRESS_SCRATCH};
+use crate::config::CompressorConfig;
+use crate::decompress::{decompress_block_into, plausible_output_ceiling, DecompressorConfig};
+use crate::{GompressoError, Result};
+use gompresso_format::stream_frame::{StreamPrelude, StreamTrailer, PRELUDE_LEN, UNCOMPRESSED_SIZE_OFFSET};
+use gompresso_format::{
+    token_code::TokenCoder, BitBlock, ByteBlock, EncodingMode, FormatError, MAX_BLOCK_COUNT,
+};
+use gompresso_lz77::Matcher;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+/// Default streaming memory budget when none is configured: 64 MiB.
+pub const DEFAULT_MEM_BUDGET: usize = 64 << 20;
+
+/// Statistics of one streaming run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamStats {
+    /// Total uncompressed bytes that crossed the pipeline.
+    pub uncompressed_size: u64,
+    /// Total container bytes (prelude + frames + terminator + trailer).
+    pub compressed_size: u64,
+    /// Number of data blocks processed.
+    pub blocks: u64,
+    /// Worker threads used by the transform stage.
+    pub workers: usize,
+    /// Block buffers circulating through the pipeline (the memory bound).
+    pub blocks_in_flight: usize,
+    /// Wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+}
+
+impl StreamStats {
+    /// Compression ratio (uncompressed / compressed).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_size == 0 {
+            return 0.0;
+        }
+        self.uncompressed_size as f64 / self.compressed_size as f64
+    }
+}
+
+/// Streaming Gompresso compressor with bounded memory.
+#[derive(Debug, Clone)]
+pub struct StreamCompressor {
+    config: CompressorConfig,
+    workers: usize,
+    mem_budget: usize,
+}
+
+/// Streaming Gompresso decompressor with bounded memory.
+#[derive(Debug, Clone)]
+pub struct StreamDecompressor {
+    config: DecompressorConfig,
+    workers: usize,
+    mem_budget: usize,
+}
+
+/// Number of worker threads to use: an explicit override, or the rayon
+/// pool size (which `experiments --threads N` pins).
+fn effective_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        rayon::current_num_threads().max(1)
+    }
+}
+
+/// See the module docs for the budget math.
+fn blocks_in_flight(mem_budget: usize, block_size: usize, workers: usize) -> usize {
+    let per_block = 3usize.saturating_mul(block_size.max(1));
+    let by_budget = (mem_budget / per_block).max(2);
+    by_budget.min(2 * workers + 2)
+}
+
+/// Reads until `buf` is full or the source reports EOF; returns the number
+/// of bytes read (a short count means EOF was reached). Public because it
+/// is the canonical read-until-full loop other harness code (the bench
+/// crate's file comparison) reuses.
+pub fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Writes `value` as a LEB128 varint via the canonical
+/// [`gompresso_bitstream::write_varint`] encoder; returns the encoded
+/// length.
+fn write_varint_io<W: Write>(w: &mut W, value: u64) -> std::io::Result<u64> {
+    let mut buf = gompresso_bitstream::ByteWriter::with_capacity(gompresso_bitstream::MAX_VARINT_LEN);
+    gompresso_bitstream::write_varint(&mut buf, value);
+    w.write_all(buf.as_slice())?;
+    Ok(buf.len() as u64)
+}
+
+/// Reads a LEB128 varint from an `io::Read`; mirrors
+/// [`gompresso_bitstream::read_varint`] including the overflow rules.
+fn read_varint_io<R: Read>(r: &mut R) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for _ in 0..gompresso_bitstream::MAX_VARINT_LEN {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let payload = u64::from(byte[0] & 0x7F);
+        if shift == 63 && payload > 1 {
+            return Err(varint_overflow());
+        }
+        value |= payload << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(varint_overflow())
+}
+
+fn varint_overflow() -> GompressoError {
+    GompressoError::Format(FormatError::Stream(gompresso_bitstream::StreamError::VarintOverflow))
+}
+
+fn invalid_field(field: &'static str, value: u64) -> GompressoError {
+    GompressoError::Format(FormatError::InvalidHeaderField { field, value })
+}
+
+/// Granularity of the streaming decompressor's frame reads: the buffer for
+/// a declared frame length grows one step at a time as bytes actually
+/// arrive, so a crafted length can cost at most one step of allocation
+/// beyond the bytes the stream really contains.
+const FRAME_READ_STEP: usize = 1 << 20;
+
+/// Fills `buf` with exactly `len` bytes from `r`, growing the buffer in
+/// [`FRAME_READ_STEP`] increments. EOF surfaces as a truncated `block`.
+fn read_frame_growing<R: Read>(r: &mut R, buf: &mut Vec<u8>, len: usize, block: u64) -> Result<()> {
+    buf.clear();
+    while buf.len() < len {
+        let start = buf.len();
+        let step = (len - start).min(FRAME_READ_STEP);
+        buf.resize(start + step, 0);
+        r.read_exact(&mut buf[start..]).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                GompressoError::Format(FormatError::TruncatedBlock { block: block as usize })
+            } else {
+                e.into()
+            }
+        })?;
+    }
+    Ok(())
+}
+
+/// Records `e` (for the lowest-failing block index) as the pipeline's
+/// error, flips the abort flag, and frees every buffer captive in the
+/// re-order map so the reader stage cannot starve on an empty pool.
+fn fail_writer(
+    idx: u64,
+    e: GompressoError,
+    abort: &AtomicBool,
+    pool_tx: &mpsc::Sender<Vec<u8>>,
+    pending: &mut BTreeMap<u64, (Vec<u8>, Vec<u8>)>,
+    first_error: &mut Option<GompressoError>,
+    first_error_idx: &mut u64,
+) {
+    abort.store(true, Ordering::Relaxed);
+    if idx < *first_error_idx {
+        *first_error_idx = idx;
+        *first_error = Some(e);
+    }
+    for (_, (buf, _)) in std::mem::take(pending) {
+        let _ = pool_tx.send(buf);
+    }
+}
+
+/// One finished block travelling from a worker to the writer stage: the
+/// block index, the recycled input buffer, and the block's outcome.
+type DoneItem = (u64, Vec<u8>, BlockOutcome);
+
+/// What a worker did with one block.
+enum BlockOutcome {
+    /// The block was transformed; these are its produced bytes.
+    Produced(Vec<u8>),
+    /// The pipeline was already aborting, so the worker only returned the
+    /// input buffer. Distinct from an empty production: a skipped block
+    /// must never be emitted as output (the compressor would write a
+    /// spurious zero-length frame — the stream terminator — and the
+    /// decompressor a bogus short block that masks the real error).
+    Skipped,
+    /// The block failed with this error.
+    Failed(GompressoError),
+}
+
+/// Writer stage shared by both pipelines (runs on the calling thread):
+/// drains the done channel, restores block order with a re-order map
+/// bounded by the buffer pool, applies `emit` to each block's produced
+/// bytes in order, and recycles a buffer only once its block has been
+/// emitted — which is what makes the in-flight count a true memory bound.
+/// Emitted production buffers are returned through `scrap_tx` (when given)
+/// so workers can reuse them. Returns the error of the lowest-indexed
+/// failing block, if any.
+fn writer_stage(
+    done_rx: &mpsc::Receiver<DoneItem>,
+    pool_tx: &mpsc::Sender<Vec<u8>>,
+    scrap_tx: Option<&mpsc::Sender<Vec<u8>>>,
+    abort: &AtomicBool,
+    mut emit: impl FnMut(u64, &[u8]) -> Result<()>,
+) -> Option<GompressoError> {
+    let mut pending: BTreeMap<u64, (Vec<u8>, Vec<u8>)> = BTreeMap::new();
+    let mut next = 0u64;
+    let mut first_error: Option<GompressoError> = None;
+    let mut first_error_idx = u64::MAX;
+    while let Ok((idx, buf, outcome)) = done_rx.recv() {
+        match outcome {
+            BlockOutcome::Produced(produced) if first_error.is_none() => {
+                pending.insert(idx, (buf, produced));
+            }
+            BlockOutcome::Produced(_) | BlockOutcome::Skipped => {
+                let _ = pool_tx.send(buf);
+            }
+            BlockOutcome::Failed(e) => {
+                let _ = pool_tx.send(buf);
+                fail_writer(idx, e, abort, pool_tx, &mut pending, &mut first_error, &mut first_error_idx);
+            }
+        }
+        while first_error.is_none() {
+            let Some((buf, produced)) = pending.remove(&next) else { break };
+            let emitted = emit(next, &produced);
+            let _ = pool_tx.send(buf);
+            if let Some(tx) = scrap_tx {
+                let _ = tx.send(produced);
+            }
+            match emitted {
+                Ok(()) => next += 1,
+                Err(e) => {
+                    fail_writer(next, e, abort, pool_tx, &mut pending, &mut first_error, &mut first_error_idx)
+                }
+            }
+        }
+    }
+    first_error
+}
+
+/// `io::Read` adapter counting every byte that passes through it.
+struct CountingReader<R> {
+    inner: R,
+    count: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+}
+
+impl StreamCompressor {
+    /// Creates a streaming compressor after validating the configuration.
+    pub fn new(config: CompressorConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config, workers: 0, mem_budget: DEFAULT_MEM_BUDGET })
+    }
+
+    /// Sets the number of worker threads (0 = size of the rayon pool).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the memory budget in bytes (0 = [`DEFAULT_MEM_BUDGET`]). The
+    /// pipeline never holds more than `max(2, budget / (3 × block_size))`
+    /// blocks in flight; two blocks is the floor below which the pipeline
+    /// cannot overlap stages.
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget = if bytes == 0 { DEFAULT_MEM_BUDGET } else { bytes };
+        self
+    }
+
+    /// The compressor configuration in use.
+    pub fn config(&self) -> &CompressorConfig {
+        &self.config
+    }
+
+    /// Compresses `reader` into `writer` using the v2 streaming framing.
+    /// The sink need not seek: the prelude totals stay at their sentinel
+    /// and readers learn them from the trailer.
+    pub fn compress<R: Read + Send, W: Write>(&self, reader: R, mut writer: W) -> Result<StreamStats> {
+        self.run(reader, &mut writer)
+    }
+
+    /// Like [`StreamCompressor::compress`], but additionally back-patches
+    /// the prelude's uncompressed-size and block-count fields once the run
+    /// completes, so the resulting file is self-describing from the front.
+    pub fn compress_seekable<R: Read + Send, W: Write + Seek>(
+        &self,
+        reader: R,
+        mut writer: W,
+    ) -> Result<StreamStats> {
+        let prelude_start = writer.stream_position()?;
+        let stats = self.run(reader, &mut writer)?;
+        let end = writer.stream_position()?;
+        writer.seek(SeekFrom::Start(prelude_start + UNCOMPRESSED_SIZE_OFFSET as u64))?;
+        // uncompressed_size and block_count are contiguous in the prelude.
+        let mut totals = [0u8; 16];
+        totals[..8].copy_from_slice(&stats.uncompressed_size.to_le_bytes());
+        totals[8..].copy_from_slice(&stats.blocks.to_le_bytes());
+        writer.write_all(&totals)?;
+        writer.seek(SeekFrom::Start(end))?;
+        writer.flush()?;
+        Ok(stats)
+    }
+
+    fn prelude(&self) -> StreamPrelude {
+        let cfg = &self.config;
+        StreamPrelude {
+            mode: cfg.mode,
+            window_size: cfg.window_size as u32,
+            min_match_len: cfg.min_match_len as u32,
+            max_match_len: cfg.max_match_len as u32,
+            block_size: cfg.block_size as u32,
+            sequences_per_sub_block: cfg.sequences_per_sub_block,
+            max_codeword_len: cfg.max_codeword_len,
+            uncompressed_size: None,
+            block_count: None,
+        }
+    }
+
+    fn run<R: Read + Send, W: Write>(&self, reader: R, writer: &mut W) -> Result<StreamStats> {
+        let start = Instant::now();
+        let cfg = &self.config;
+        let block_size = cfg.block_size;
+        let matcher = Matcher::new(cfg.matcher_config());
+        let coder =
+            TokenCoder::new(cfg.min_match_len as u32, cfg.max_match_len as u32, cfg.window_size as u32)?;
+        let workers = effective_workers(self.workers);
+        let in_flight = blocks_in_flight(self.mem_budget, block_size, workers);
+
+        let prelude = self.prelude();
+        prelude.validate().map_err(GompressoError::Format)?;
+        writer.write_all(&prelude.serialize())?;
+        let mut container_bytes = PRELUDE_LEN as u64;
+
+        let mut block_sizes: Vec<u32> = Vec::new();
+        let mut total_in = 0u64;
+        let mut first_error: Option<GompressoError> = None;
+
+        // Shared pipeline state must outlive the scope's spawned threads.
+        let abort = AtomicBool::new(false);
+        let abort = &abort;
+        let (pool_tx, pool_rx) = mpsc::channel::<Vec<u8>>();
+        for _ in 0..in_flight {
+            pool_tx.send(Vec::with_capacity(block_size)).expect("receiver alive");
+        }
+        let (work_tx, work_rx) = mpsc::channel::<(u64, Vec<u8>)>();
+        let work_rx = Mutex::new(work_rx);
+        let work_rx = &work_rx;
+        let (done_tx, done_rx) = mpsc::channel::<DoneItem>();
+
+        std::thread::scope(|s| {
+            // Reader stage: fill pooled buffers with block-sized chunks.
+            let reader_handle = s.spawn(move || -> Result<u64> {
+                let mut reader = reader;
+                let mut total = 0u64;
+                let mut idx = 0u64;
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(mut buf) = pool_rx.recv() else { break };
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    buf.resize(block_size, 0);
+                    let n = match read_full(&mut reader, &mut buf) {
+                        Ok(n) => n,
+                        Err(e) => {
+                            abort.store(true, Ordering::Relaxed);
+                            return Err(e.into());
+                        }
+                    };
+                    if n == 0 {
+                        break;
+                    }
+                    buf.truncate(n);
+                    total += n as u64;
+                    idx += 1;
+                    if idx > MAX_BLOCK_COUNT {
+                        abort.store(true, Ordering::Relaxed);
+                        return Err(invalid_field("block_count", idx));
+                    }
+                    if work_tx.send((idx - 1, buf)).is_err() {
+                        break;
+                    }
+                }
+                Ok(total)
+            });
+
+            // Worker stage: compress blocks with the shared scratch
+            // thread-locals; order is restored by the writer.
+            for _ in 0..workers {
+                let done_tx = done_tx.clone();
+                let matcher = &matcher;
+                let coder = &coder;
+                s.spawn(move || loop {
+                    let msg = work_rx.lock().expect("work queue lock").recv();
+                    let Ok((idx, buf)) = msg else { break };
+                    let outcome = if abort.load(Ordering::Relaxed) {
+                        // The run is already failing: just return the buffer.
+                        BlockOutcome::Skipped
+                    } else {
+                        let result = COMPRESS_SCRATCH.with(|scratch| {
+                            compress_block_with_scratch(&buf, cfg, matcher, coder, &mut scratch.borrow_mut())
+                        });
+                        match result {
+                            Ok((payload, _summary)) => BlockOutcome::Produced(payload.bytes),
+                            Err(e) => BlockOutcome::Failed(e),
+                        }
+                    };
+                    if done_tx.send((idx, buf, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(done_tx);
+
+            // Writer stage (this thread): emit length-prefixed frames in
+            // block order.
+            first_error = writer_stage(&done_rx, &pool_tx, None, abort, |_, payload| {
+                let len = u32::try_from(payload.len())
+                    .map_err(|_| invalid_field("block_compressed_size", payload.len() as u64))?;
+                container_bytes += write_varint_io(writer, u64::from(len))?;
+                writer.write_all(payload)?;
+                container_bytes += u64::from(len);
+                block_sizes.push(len);
+                Ok(())
+            });
+
+            match reader_handle.join().expect("reader stage panicked") {
+                Ok(total) => total_in = total,
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        });
+
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+
+        container_bytes += write_varint_io(writer, 0)?;
+        let blocks = block_sizes.len() as u64;
+        let trailer = StreamTrailer { block_compressed_sizes: block_sizes, uncompressed_size: total_in };
+        let trailer_bytes = trailer.serialize();
+        writer.write_all(&trailer_bytes)?;
+        container_bytes += trailer_bytes.len() as u64;
+        writer.flush()?;
+
+        Ok(StreamStats {
+            uncompressed_size: total_in,
+            compressed_size: container_bytes,
+            blocks,
+            workers,
+            blocks_in_flight: in_flight,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+impl StreamDecompressor {
+    /// Creates a streaming decompressor.
+    pub fn new(config: DecompressorConfig) -> Self {
+        Self { config, workers: 0, mem_budget: DEFAULT_MEM_BUDGET }
+    }
+
+    /// Sets the number of worker threads (0 = size of the rayon pool).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the memory budget in bytes (0 = [`DEFAULT_MEM_BUDGET`]); see
+    /// [`StreamCompressor::with_mem_budget`].
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget = if bytes == 0 { DEFAULT_MEM_BUDGET } else { bytes };
+        self
+    }
+
+    /// The decompressor configuration in use.
+    pub fn config(&self) -> &DecompressorConfig {
+        &self.config
+    }
+
+    /// Decompresses a v2 streaming file from `reader` into `writer`,
+    /// validating the framing as it goes: every block's declared size is
+    /// bounds- and plausibility-checked before its output buffer is
+    /// allocated, only the final block may be shorter than the block size,
+    /// and the trailer's block table and totals must agree with what was
+    /// actually read and produced.
+    pub fn decompress<R: Read + Send, W: Write>(&self, reader: R, mut writer: W) -> Result<StreamStats> {
+        let start = Instant::now();
+        let mut counting = CountingReader { inner: reader, count: 0 };
+
+        let mut prelude_bytes = [0u8; PRELUDE_LEN];
+        counting.read_exact(&mut prelude_bytes)?;
+        let prelude = StreamPrelude::deserialize(&prelude_bytes).map_err(GompressoError::Format)?;
+        let coder = TokenCoder::new(prelude.min_match_len, prelude.max_match_len, prelude.window_size)?;
+        let mode = prelude.mode;
+        let block_size = prelude.block_size as usize;
+        let max_match_len = prelude.max_match_len;
+
+        let workers = effective_workers(self.workers);
+        let in_flight = blocks_in_flight(self.mem_budget, block_size, workers);
+        let dconf = &self.config;
+
+        let mut total_out = 0u64;
+        let mut blocks_written = 0u64;
+        let mut first_error: Option<GompressoError> = None;
+        let mut reader_outcome: Option<Result<(StreamTrailer, Vec<u32>, u64)>> = None;
+        // No valid payload compresses a block to more than ~1.5× its
+        // uncompressed size (incompressible data costs the byte-mode run
+        // framing or the bit-mode code tables plus sub-block list, both a
+        // few percent); a frame declaring more than twice the block size
+        // can only come from a crafted stream, and is rejected *before*
+        // the frame buffer is sized from it.
+        let max_frame = 2 * block_size as u64 + 4096;
+
+        // Shared pipeline state must outlive the scope's spawned threads.
+        let abort = AtomicBool::new(false);
+        let abort = &abort;
+        let (pool_tx, pool_rx) = mpsc::channel::<Vec<u8>>();
+        for _ in 0..in_flight {
+            pool_tx.send(Vec::new()).expect("receiver alive");
+        }
+        let (work_tx, work_rx) = mpsc::channel::<(u64, Vec<u8>)>();
+        let work_rx = Mutex::new(work_rx);
+        let work_rx = &work_rx;
+        let (done_tx, done_rx) = mpsc::channel::<DoneItem>();
+        // Emitted output buffers circle back to the workers, so the output
+        // side performs no steady-state allocation either.
+        let (scrap_tx, scrap_rx) = mpsc::channel::<Vec<u8>>();
+        let scrap_rx = Mutex::new(scrap_rx);
+        let scrap_rx = &scrap_rx;
+
+        std::thread::scope(|s| {
+            // Reader stage: split the stream into length-prefixed frames,
+            // then swallow and parse the trailer.
+            let reader_handle = s.spawn(move || -> Result<(StreamTrailer, Vec<u32>, u64)> {
+                let mut r = counting;
+                let mut observed: Vec<u32> = Vec::new();
+                let mut idx = 0u64;
+                let on_err = |e: GompressoError| {
+                    abort.store(true, Ordering::Relaxed);
+                    e
+                };
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        return Err(on_err(invalid_field("aborted", idx)));
+                    }
+                    let len = read_varint_io(&mut r).map_err(on_err)?;
+                    if len == 0 {
+                        break;
+                    }
+                    if len > max_frame || len > u64::from(u32::MAX) {
+                        return Err(on_err(invalid_field("block_compressed_size", len)));
+                    }
+                    if idx >= MAX_BLOCK_COUNT {
+                        return Err(on_err(invalid_field("block_count", idx + 1)));
+                    }
+                    let Ok(mut buf) = pool_rx.recv() else { break };
+                    if abort.load(Ordering::Relaxed) {
+                        return Err(on_err(invalid_field("aborted", idx)));
+                    }
+                    // Grow the buffer as bytes actually arrive: a frame
+                    // length lying about the remaining stream costs at most
+                    // one read step of allocation, even when the prelude
+                    // declares a huge (but validator-legal) block size.
+                    read_frame_growing(&mut r, &mut buf, len as usize, idx).map_err(on_err)?;
+                    observed.push(len as u32);
+                    if work_tx.send((idx, buf)).is_err() {
+                        break;
+                    }
+                    idx += 1;
+                }
+                drop(work_tx);
+                // The trailer is everything that remains; cap the read so a
+                // hostile stream cannot make us buffer unbounded garbage.
+                let cap = 64 + 5 * (observed.len() as u64 + 1);
+                let mut trailer_bytes = Vec::new();
+                (&mut r).take(cap + 1).read_to_end(&mut trailer_bytes).map_err(|e| on_err(e.into()))?;
+                let trailer = StreamTrailer::deserialize(&trailer_bytes)
+                    .map_err(|e| on_err(GompressoError::Format(e)))?;
+                Ok((trailer, observed, r.count))
+            });
+
+            // Worker stage: validate each block's declared size, then
+            // decode into a per-block output buffer.
+            for _ in 0..workers {
+                let done_tx = done_tx.clone();
+                let coder = &coder;
+                s.spawn(move || loop {
+                    let msg = work_rx.lock().expect("work queue lock").recv();
+                    let Ok((idx, buf)) = msg else { break };
+                    let outcome = if abort.load(Ordering::Relaxed) {
+                        BlockOutcome::Skipped
+                    } else {
+                        let mut out =
+                            scrap_rx.lock().expect("scrap queue lock").try_recv().unwrap_or_default();
+                        match decode_stream_block(
+                            dconf,
+                            mode,
+                            coder,
+                            block_size,
+                            max_match_len,
+                            idx,
+                            &buf,
+                            &mut out,
+                        ) {
+                            Ok(()) => BlockOutcome::Produced(out),
+                            Err(e) => BlockOutcome::Failed(e),
+                        }
+                    };
+                    if done_tx.send((idx, buf, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(done_tx);
+
+            // Writer stage (this thread): emit decoded blocks in order and
+            // enforce that only the final block is short.
+            let mut saw_short = false;
+            first_error = writer_stage(&done_rx, &pool_tx, Some(&scrap_tx), abort, |_, out| {
+                if saw_short {
+                    // A block shorter than block_size that is not the
+                    // file's last block breaks the layout.
+                    return Err(invalid_field("block_uncompressed_size", out.len() as u64));
+                }
+                saw_short = out.len() < block_size;
+                writer.write_all(out)?;
+                total_out += out.len() as u64;
+                blocks_written += 1;
+                Ok(())
+            });
+
+            reader_outcome = Some(reader_handle.join().expect("reader stage panicked"));
+        });
+
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let (trailer, observed, container_bytes) = reader_outcome.expect("reader outcome recorded")?;
+
+        // Framing cross-checks: what the trailer (and, if patched, the
+        // prelude) declares must agree with what was actually read and
+        // produced — a file lying about any total is rejected, not padded
+        // or truncated.
+        if trailer.block_compressed_sizes != observed {
+            return Err(invalid_field("block_compressed_sizes", trailer.block_compressed_sizes.len() as u64));
+        }
+        if trailer.uncompressed_size != total_out {
+            return Err(GompressoError::OutputSizeMismatch {
+                declared: trailer.uncompressed_size,
+                produced: total_out,
+            });
+        }
+        if let Some(declared) = prelude.uncompressed_size {
+            if declared != total_out {
+                return Err(GompressoError::OutputSizeMismatch { declared, produced: total_out });
+            }
+        }
+        if let Some(declared) = prelude.block_count {
+            if declared != blocks_written {
+                return Err(invalid_field("block_count", declared));
+            }
+        }
+        // Geometry double-check through the v1 header validation (expected
+        // block count for the declared totals, per-block size caps).
+        prelude
+            .to_file_header(trailer.uncompressed_size, trailer.block_compressed_sizes)
+            .validate()
+            .map_err(GompressoError::Format)?;
+        writer.flush()?;
+
+        Ok(StreamStats {
+            uncompressed_size: total_out,
+            compressed_size: container_bytes,
+            blocks: blocks_written,
+            workers,
+            blocks_in_flight: in_flight,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+/// Validates and decodes one streamed block payload into `out` (a recycled
+/// output buffer; the declared size is checked against the block size and
+/// the payload-expansion ceiling *before* the buffer is sized from it).
+#[allow(clippy::too_many_arguments)]
+fn decode_stream_block(
+    config: &DecompressorConfig,
+    mode: EncodingMode,
+    coder: &TokenCoder,
+    block_size: usize,
+    max_match_len: u32,
+    idx: u64,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<()> {
+    let declared = match mode {
+        EncodingMode::Bit => BitBlock::peek_uncompressed_len(payload)?,
+        EncodingMode::Byte => ByteBlock::peek_uncompressed_len(payload)?,
+    };
+    if declared == 0 || declared > block_size as u64 {
+        return Err(invalid_field("block_uncompressed_size", declared));
+    }
+    if declared > plausible_output_ceiling(mode, payload.len() as u64, max_match_len) {
+        return Err(invalid_field("uncompressed_size", declared));
+    }
+    // No full re-zero of the recycled buffer: resize only zero-fills the
+    // grown tail, and decompress_block_into succeeds only when every byte
+    // of the destination was written (stale bytes can never leak — a
+    // failing block's buffer is dropped, not emitted).
+    out.resize(declared as usize, 0);
+    decompress_block_into(config, mode, coder, idx as usize, payload, out)?;
+    Ok(())
+}
+
+/// Compresses the file at `input` into a v2 streaming container at
+/// `output` with bounded memory, back-patching the prelude totals (the
+/// output file is seekable by construction). Uses the rayon pool size for
+/// workers and the default memory budget; build a [`StreamCompressor`]
+/// directly for finer control.
+pub fn compress_file(
+    input: impl AsRef<Path>,
+    output: impl AsRef<Path>,
+    config: &CompressorConfig,
+) -> Result<StreamStats> {
+    let reader = BufReader::new(File::open(input)?);
+    let writer = BufWriter::new(File::create(output)?);
+    StreamCompressor::new(config.clone())?.compress_seekable(reader, writer)
+}
+
+/// Decompresses the v2 streaming container at `input` into `output` with
+/// bounded memory and the default decompressor configuration; build a
+/// [`StreamDecompressor`] directly for finer control.
+pub fn decompress_file(input: impl AsRef<Path>, output: impl AsRef<Path>) -> Result<StreamStats> {
+    let reader = BufReader::new(File::open(input)?);
+    let writer = BufWriter::new(File::create(output)?);
+    StreamDecompressor::new(DecompressorConfig::default()).decompress(reader, writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compress;
+    use crate::decompress::decompress;
+    use gompresso_format::CompressedFile;
+    use std::io::Cursor;
+
+    fn wiki_like(len: usize) -> Vec<u8> {
+        let mut data = Vec::with_capacity(len + 128);
+        let mut i = 0u64;
+        while data.len() < len {
+            data.extend_from_slice(
+                format!("<doc id=\"{i}\">the quick brown fox, entry {} of the stream corpus</doc>\n", i % 97)
+                    .as_bytes(),
+            );
+            i += 1;
+        }
+        data.truncate(len);
+        data
+    }
+
+    fn small(mut c: CompressorConfig) -> CompressorConfig {
+        c.block_size = 32 * 1024;
+        c
+    }
+
+    fn stream_roundtrip(data: &[u8], cfg: &CompressorConfig, workers: usize, budget: usize) -> Vec<u8> {
+        let compressor =
+            StreamCompressor::new(cfg.clone()).unwrap().with_workers(workers).with_mem_budget(budget);
+        let mut compressed = Vec::new();
+        let cstats = compressor.compress(data, &mut compressed).unwrap();
+        assert_eq!(cstats.uncompressed_size, data.len() as u64);
+        assert_eq!(cstats.compressed_size, compressed.len() as u64);
+        assert_eq!(cstats.blocks, (data.len() as u64).div_ceil(cfg.block_size as u64));
+
+        let decompressor = StreamDecompressor::new(DecompressorConfig::default())
+            .with_workers(workers)
+            .with_mem_budget(budget);
+        let mut restored = Vec::new();
+        let dstats = decompressor.decompress(compressed.as_slice(), &mut restored).unwrap();
+        assert_eq!(dstats.uncompressed_size, data.len() as u64);
+        assert_eq!(dstats.compressed_size, compressed.len() as u64);
+        assert_eq!(dstats.blocks, cstats.blocks);
+        restored
+    }
+
+    #[test]
+    fn roundtrip_all_modes_and_worker_counts() {
+        let data = wiki_like(200_000); // 7 blocks, short tail
+        for cfg in [
+            small(CompressorConfig::bit()),
+            small(CompressorConfig::byte()),
+            small(CompressorConfig::bit_de()),
+            small(CompressorConfig::byte_de()),
+        ] {
+            for workers in [1, 3] {
+                let restored = stream_roundtrip(&data, &cfg, workers, 1 << 20);
+                assert_eq!(restored, data, "mode {:?} workers {workers}", cfg.mode);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_budget_handles_input_many_times_its_size() {
+        // 4 MiB of data through a 1 MiB budget: with 32 KiB blocks the
+        // pipeline holds at most max(2, 1Mi/96Ki) = 10 blocks in flight.
+        let data = wiki_like(4 << 20);
+        let cfg = small(CompressorConfig::byte_de());
+        let compressor = StreamCompressor::new(cfg.clone()).unwrap().with_workers(2).with_mem_budget(1 << 20);
+        let mut compressed = Vec::new();
+        let cstats = compressor.compress(data.as_slice(), &mut compressed).unwrap();
+        assert!(cstats.blocks_in_flight <= 10, "in-flight {} exceeds budget", cstats.blocks_in_flight);
+        let mut restored = Vec::new();
+        StreamDecompressor::new(DecompressorConfig::default())
+            .with_workers(2)
+            .with_mem_budget(1 << 20)
+            .decompress(compressed.as_slice(), &mut restored)
+            .unwrap();
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn streamed_blocks_are_byte_identical_to_in_memory_compression() {
+        let data = wiki_like(150_000);
+        let cfg = small(CompressorConfig::bit_de());
+        let mut compressed = Vec::new();
+        StreamCompressor::new(cfg.clone()).unwrap().compress(data.as_slice(), &mut compressed).unwrap();
+        let reference = compress(&data, &cfg).unwrap();
+
+        // Walk the frames and compare each payload to the in-memory block.
+        let mut r = compressed.as_slice();
+        let mut prelude = [0u8; PRELUDE_LEN];
+        r.read_exact(&mut prelude).unwrap();
+        for (i, expected) in reference.file.blocks.iter().enumerate() {
+            let len = read_varint_io(&mut r).unwrap() as usize;
+            let mut payload = vec![0u8; len];
+            r.read_exact(&mut payload).unwrap();
+            assert_eq!(payload, expected.bytes, "block {i} differs from the in-memory path");
+        }
+        assert_eq!(read_varint_io(&mut r).unwrap(), 0, "terminator after the last block");
+    }
+
+    #[test]
+    fn seekable_sink_gets_patched_prelude_totals() {
+        let data = wiki_like(100_000);
+        let cfg = small(CompressorConfig::byte());
+        let mut sink = Cursor::new(Vec::new());
+        let stats =
+            StreamCompressor::new(cfg).unwrap().compress_seekable(data.as_slice(), &mut sink).unwrap();
+        let bytes = sink.into_inner();
+        let mut prelude_bytes = [0u8; PRELUDE_LEN];
+        prelude_bytes.copy_from_slice(&bytes[..PRELUDE_LEN]);
+        let prelude = StreamPrelude::deserialize(&prelude_bytes).unwrap();
+        assert_eq!(prelude.uncompressed_size, Some(data.len() as u64));
+        assert_eq!(prelude.block_count, Some(stats.blocks));
+        // The patched file still decompresses (totals are cross-checked).
+        let mut restored = Vec::new();
+        StreamDecompressor::new(DecompressorConfig::default())
+            .decompress(bytes.as_slice(), &mut restored)
+            .unwrap();
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn empty_input_roundtrips() {
+        let restored = stream_roundtrip(&[], &small(CompressorConfig::bit()), 2, 0);
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn file_convenience_apis_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("gompresso-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("input.bin");
+        let packed = dir.join("packed.gpso");
+        let output = dir.join("output.bin");
+        let data = wiki_like(120_000);
+        std::fs::write(&input, &data).unwrap();
+
+        let cstats = compress_file(&input, &packed, &small(CompressorConfig::bit_de())).unwrap();
+        assert_eq!(cstats.uncompressed_size, data.len() as u64);
+        assert!(cstats.ratio() > 1.0);
+        let dstats = decompress_file(&packed, &output).unwrap();
+        assert_eq!(dstats.uncompressed_size, data.len() as u64);
+        assert_eq!(std::fs::read(&output).unwrap(), data);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_container_is_rejected_with_version_error() {
+        let data = wiki_like(50_000);
+        let out = compress(&data, &small(CompressorConfig::byte())).unwrap();
+        let v1_bytes = out.file.serialize();
+        let mut restored = Vec::new();
+        let err = StreamDecompressor::new(DecompressorConfig::default())
+            .decompress(v1_bytes.as_slice(), &mut restored);
+        assert!(
+            matches!(err, Err(GompressoError::Format(FormatError::UnsupportedVersion(1)))),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_a_panic() {
+        let data = wiki_like(100_000);
+        let cfg = small(CompressorConfig::byte());
+        let mut compressed = Vec::new();
+        StreamCompressor::new(cfg).unwrap().compress(data.as_slice(), &mut compressed).unwrap();
+        for cut in [PRELUDE_LEN - 1, PRELUDE_LEN + 1, compressed.len() / 2, compressed.len() - 1] {
+            let mut restored = Vec::new();
+            let err = StreamDecompressor::new(DecompressorConfig::default())
+                .decompress(&compressed[..cut], &mut restored);
+            assert!(err.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn huge_declared_frame_length_is_rejected_before_allocating() {
+        // A ~50-byte crafted stream whose first frame claims u32::MAX bytes
+        // must be rejected by the frame-length plausibility bound, not by
+        // first allocating (and zero-filling) a 4 GiB buffer and hitting
+        // EOF. Anything above 2 × block_size + slack is impossible output
+        // of the compressor, so the cut-off loses no valid files.
+        let cfg = small(CompressorConfig::byte());
+        let mut compressed = Vec::new();
+        StreamCompressor::new(cfg.clone()).unwrap().compress(&b"some bytes"[..], &mut compressed).unwrap();
+        for hostile_len in [u64::from(u32::MAX), 2 * cfg.block_size as u64 + 4097] {
+            let mut crafted = compressed[..PRELUDE_LEN].to_vec();
+            let mut w = gompresso_bitstream::ByteWriter::new();
+            gompresso_bitstream::write_varint(&mut w, hostile_len);
+            crafted.extend_from_slice(w.as_slice());
+            let mut restored = Vec::new();
+            let err = StreamDecompressor::new(DecompressorConfig::default())
+                .decompress(crafted.as_slice(), &mut restored);
+            assert!(
+                matches!(
+                    err,
+                    Err(GompressoError::Format(FormatError::InvalidHeaderField {
+                        field: "block_compressed_size",
+                        value,
+                    })) if value == hostile_len
+                ),
+                "len {hostile_len}: got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn giant_block_size_prelude_cannot_force_giant_allocations() {
+        // A hostile prelude may declare block_size up to the validator's
+        // 1 GiB cap, which legalises frame lengths up to ~2 GiB. The frame
+        // buffer must grow only as bytes actually arrive, so this ~60-byte
+        // stream costs at most one read step (1 MiB) before the truncation
+        // is detected — not a multi-GiB zero-filled allocation.
+        let prelude = StreamPrelude {
+            mode: gompresso_format::EncodingMode::Byte,
+            window_size: 8 * 1024,
+            min_match_len: 3,
+            max_match_len: 64,
+            block_size: 1 << 30,
+            sequences_per_sub_block: 16,
+            max_codeword_len: 10,
+            uncompressed_size: None,
+            block_count: None,
+        };
+        prelude.validate().expect("hostile prelude is validator-legal");
+        let mut crafted = prelude.serialize().to_vec();
+        let mut w = gompresso_bitstream::ByteWriter::new();
+        gompresso_bitstream::write_varint(&mut w, 2 * (1u64 << 30));
+        crafted.extend_from_slice(w.as_slice());
+        let mut restored = Vec::new();
+        let err = StreamDecompressor::new(DecompressorConfig::default())
+            .decompress(crafted.as_slice(), &mut restored);
+        assert!(
+            matches!(err, Err(GompressoError::Format(FormatError::TruncatedBlock { block: 0 }))),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_trailer_total_is_rejected() {
+        let data = wiki_like(100_000);
+        let cfg = small(CompressorConfig::byte());
+        let mut compressed = Vec::new();
+        StreamCompressor::new(cfg).unwrap().compress(data.as_slice(), &mut compressed).unwrap();
+        // The trailer's uncompressed_size u64 sits 16 bytes before the end
+        // (8 size + 4 trailer_len + 4 magic).
+        let at = compressed.len() - 16;
+        let mut tampered = compressed.clone();
+        let old = u64::from_le_bytes(tampered[at..at + 8].try_into().unwrap());
+        tampered[at..at + 8].copy_from_slice(&(old + 1).to_le_bytes());
+        let mut restored = Vec::new();
+        let err = StreamDecompressor::new(DecompressorConfig::default())
+            .decompress(tampered.as_slice(), &mut restored);
+        assert!(
+            matches!(err, Err(GompressoError::OutputSizeMismatch { .. })),
+            "expected total mismatch, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_block_payload_is_an_error_not_a_panic() {
+        let data = wiki_like(100_000);
+        let cfg = small(CompressorConfig::bit());
+        let mut compressed = Vec::new();
+        StreamCompressor::new(cfg).unwrap().compress(data.as_slice(), &mut compressed).unwrap();
+        let mid = compressed.len() / 2;
+        for delta in [1u8, 97, 255] {
+            let mut tampered = compressed.clone();
+            tampered[mid] = tampered[mid].wrapping_add(delta);
+            let mut restored = Vec::new();
+            // Any outcome but a panic is acceptable; corruption in a length
+            // field or payload must surface as Err.
+            let _ = StreamDecompressor::new(DecompressorConfig::default())
+                .decompress(tampered.as_slice(), &mut restored);
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        for bad in [
+            CompressorConfig { block_size: 0, ..CompressorConfig::bit() },
+            CompressorConfig { window_size: 0, ..CompressorConfig::bit() },
+            CompressorConfig { min_match_len: 50, max_match_len: 10, ..CompressorConfig::bit() },
+        ] {
+            assert!(
+                matches!(StreamCompressor::new(bad.clone()), Err(GompressoError::InvalidConfig { .. })),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_output_matches_in_memory_decompression() {
+        let data = wiki_like(180_000);
+        let cfg = small(CompressorConfig::bit_de());
+        let reference = compress(&data, &cfg).unwrap();
+        let (in_memory, _) = decompress(&reference.file).unwrap();
+
+        let mut compressed = Vec::new();
+        StreamCompressor::new(cfg).unwrap().compress(data.as_slice(), &mut compressed).unwrap();
+        let mut streamed = Vec::new();
+        StreamDecompressor::new(DecompressorConfig::default())
+            .decompress(compressed.as_slice(), &mut streamed)
+            .unwrap();
+        assert_eq!(streamed, in_memory, "streaming and in-memory paths must agree byte-for-byte");
+        // And both equal the original, for good measure.
+        assert_eq!(streamed, data);
+        let _ = CompressedFile::deserialize(&reference.file.serialize()).unwrap();
+    }
+}

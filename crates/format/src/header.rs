@@ -54,6 +54,11 @@ pub struct FileHeader {
     pub block_compressed_sizes: Vec<u32>,
 }
 
+/// Hard cap on the number of blocks a header may declare (2^28 blocks of
+/// the minimum 1-byte block size is already far beyond any realistic file;
+/// the cap bounds what a hostile header can make the parser allocate).
+pub const MAX_BLOCK_COUNT: u64 = 1 << 28;
+
 impl FileHeader {
     /// Number of data blocks in the file.
     pub fn block_count(&self) -> usize {
@@ -95,9 +100,14 @@ impl FileHeader {
                 value: u64::from(self.max_codeword_len),
             });
         }
-        let expected_blocks = self.uncompressed_size.div_ceil(u64::from(self.block_size)) as usize;
-        let expected_blocks = if self.uncompressed_size == 0 { 0 } else { expected_blocks };
-        if expected_blocks != self.block_compressed_sizes.len() {
+        // Compare in u64 space: the div_ceil result can exceed usize::MAX on
+        // 32-bit targets, and a narrowing cast would wrap it into range.
+        let expected_blocks = if self.uncompressed_size == 0 {
+            0
+        } else {
+            self.uncompressed_size.div_ceil(u64::from(self.block_size))
+        };
+        if expected_blocks > MAX_BLOCK_COUNT || expected_blocks != self.block_compressed_sizes.len() as u64 {
             return Err(FormatError::InvalidHeaderField {
                 field: "block_compressed_sizes",
                 value: self.block_compressed_sizes.len() as u64,
@@ -142,11 +152,19 @@ impl FileHeader {
         let block_size = r.read_u32_le()?;
         let sequences_per_sub_block = r.read_u32_le()?;
         let max_codeword_len = r.read_u8()?;
-        let block_count = read_varint(r)? as usize;
-        if block_count > (1 << 28) {
-            return Err(FormatError::InvalidHeaderField { field: "block_count", value: block_count as u64 });
+        // Bound the claimed block count in u64 space *before* narrowing to
+        // usize: on a 32-bit target a value like 2^33 would otherwise
+        // truncate to a small number and silently pass validation.
+        let block_count_raw = read_varint(r)?;
+        if block_count_raw > MAX_BLOCK_COUNT {
+            return Err(FormatError::InvalidHeaderField { field: "block_count", value: block_count_raw });
         }
-        let mut block_compressed_sizes = Vec::with_capacity(block_count);
+        let block_count = usize::try_from(block_count_raw)
+            .map_err(|_| FormatError::InvalidHeaderField { field: "block_count", value: block_count_raw })?;
+        // Each size costs at least one varint byte, so a hostile header
+        // cannot make this pre-allocation exceed the bytes it actually
+        // supplied (plus it is already capped by MAX_BLOCK_COUNT above).
+        let mut block_compressed_sizes = Vec::with_capacity(block_count.min(r.remaining()));
         for _ in 0..block_count {
             let size = read_varint(r)?;
             if size > u64::from(u32::MAX) {
@@ -255,6 +273,53 @@ mod tests {
         let mut h = sample_header();
         h.sequences_per_sub_block = 0;
         assert!(h.validate().is_err());
+    }
+
+    /// Serializes everything up to (but not including) the block-count
+    /// varint of `header`.
+    fn serialize_prefix(header: &FileHeader) -> ByteWriter {
+        let mut w = ByteWriter::new();
+        w.write_bytes(&MAGIC);
+        w.write_u8(FORMAT_VERSION);
+        w.write_u8(match header.mode {
+            EncodingMode::Bit => 0,
+            EncodingMode::Byte => 1,
+        });
+        w.write_u32_le(header.window_size);
+        w.write_u32_le(header.min_match_len);
+        w.write_u32_le(header.max_match_len);
+        w.write_u64_le(header.uncompressed_size);
+        w.write_u32_le(header.block_size);
+        w.write_u32_le(header.sequences_per_sub_block);
+        w.write_u8(header.max_codeword_len);
+        w
+    }
+
+    #[test]
+    fn block_count_beyond_cap_is_rejected_without_allocating() {
+        // 2^33 truncates to a small usize on 32-bit targets; the check must
+        // run in u64 space before any narrowing (and before allocation).
+        for count in [(1u64 << 28) + 1, 1 << 33, u64::MAX] {
+            let mut w = serialize_prefix(&sample_header());
+            write_varint(&mut w, count);
+            let bytes = w.finish();
+            let err = FileHeader::deserialize(&mut ByteReader::new(&bytes));
+            assert!(
+                matches!(err, Err(FormatError::InvalidHeaderField { field: "block_count", value }) if value == count),
+                "count {count}: got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_count_within_cap_but_unbacked_by_bytes_is_eof_not_oom() {
+        // A large-but-legal block count with no size bytes behind it must
+        // fail with EOF; the pre-allocation is bounded by the remaining
+        // input, so this cannot over-allocate either.
+        let mut w = serialize_prefix(&sample_header());
+        write_varint(&mut w, 1 << 28);
+        let bytes = w.finish();
+        assert!(FileHeader::deserialize(&mut ByteReader::new(&bytes)).is_err());
     }
 
     #[test]

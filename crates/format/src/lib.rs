@@ -16,7 +16,9 @@
 //!   (literal/length alphabet, offset alphabet, extra bits),
 //! * [`bit_block`] — Huffman-coded block payloads with sub-block seeking,
 //! * [`byte_block`] — the byte-level (Gompresso/Byte) block payload,
-//! * [`file`] — the top-level container tying header and payloads together.
+//! * [`file`] — the top-level container tying header and payloads together,
+//! * [`stream_frame`] — the incremental (v2) container framing used by the
+//!   bounded-memory streaming pipeline in `gompresso-core::stream`.
 //!
 //! The compressor and the parallel decompressor live in `gompresso-core`;
 //! everything here is deterministic, sequential, and independent of the
@@ -30,13 +32,15 @@ pub mod byte_block;
 pub mod error;
 pub mod file;
 pub mod header;
+pub mod stream_frame;
 pub mod token_code;
 
 pub use bit_block::{BitBlock, EncodeScratch};
 pub use byte_block::ByteBlock;
 pub use error::FormatError;
 pub use file::{BlockPayload, CompressedFile};
-pub use header::{EncodingMode, FileHeader};
+pub use header::{EncodingMode, FileHeader, MAX_BLOCK_COUNT};
+pub use stream_frame::{StreamPrelude, StreamTrailer, STREAM_FORMAT_VERSION};
 
 /// Result alias for format operations.
 pub type Result<T> = std::result::Result<T, FormatError>;

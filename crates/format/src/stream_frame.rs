@@ -1,0 +1,391 @@
+//! Streaming (v2) file framing.
+//!
+//! The v1 container (see [`crate::file`]) needs every block's compressed
+//! size *before* the first payload byte can be written, which forces the
+//! compressor to buffer the whole file. The v2 framing keeps the paper's
+//! back-to-back block layout but makes the container incremental:
+//!
+//! ```text
+//! prelude | varint(len₀) block₀ | varint(len₁) block₁ | … | varint(0) | trailer
+//! ```
+//!
+//! * The **prelude** is a fixed 43-byte header carrying the compression
+//!   parameters. Its two totals (uncompressed size, block count) are written
+//!   as the [`UNKNOWN_TOTAL`] sentinel when the sink cannot seek and
+//!   back-patched in place (offsets [`UNCOMPRESSED_SIZE_OFFSET`] /
+//!   [`BLOCK_COUNT_OFFSET`]) when it can.
+//! * Each **block frame** is the block's serialized payload prefixed with
+//!   its length, so a sequential reader never needs the block table.
+//! * A zero-length frame terminates the block list; the **trailer** then
+//!   repeats the full block-size table (restoring the paper's "offsets
+//!   without scanning" property for readers that have the whole file), the
+//!   total uncompressed size, its own length, and a closing magic — so a
+//!   random-access reader can locate the table from the end of the file.
+//!
+//! Everything here is pure in-memory (de)serialization; the actual
+//! `std::io` plumbing lives in `gompresso-core::stream`, which is also where
+//! the framing is cross-checked against what was actually read.
+
+use crate::header::{EncodingMode, FileHeader, MAX_BLOCK_COUNT};
+use crate::{FormatError, Result, MAGIC};
+use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
+
+/// Format version byte identifying the streaming container.
+pub const STREAM_FORMAT_VERSION: u8 = 2;
+
+/// Magic bytes closing a v2 trailer ("GPST").
+pub const TRAILER_MAGIC: [u8; 4] = *b"GPST";
+
+/// Sentinel for a prelude total that is only known from the trailer.
+pub const UNKNOWN_TOTAL: u64 = u64::MAX;
+
+/// Serialized prelude size in bytes (fixed so totals can be back-patched).
+pub const PRELUDE_LEN: usize = 43;
+
+/// Byte offset of the `uncompressed_size` field inside the prelude.
+pub const UNCOMPRESSED_SIZE_OFFSET: usize = 27;
+
+/// Byte offset of the `block_count` field inside the prelude.
+pub const BLOCK_COUNT_OFFSET: usize = 35;
+
+/// The fixed-size head of a v2 streaming file: all compression parameters,
+/// plus the two totals that a non-seekable writer only learns at the end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamPrelude {
+    /// Encoding mode of all blocks in the file.
+    pub mode: EncodingMode,
+    /// Sliding-window size in bytes used during compression.
+    pub window_size: u32,
+    /// Minimum match length used during compression.
+    pub min_match_len: u32,
+    /// Maximum match length used during compression.
+    pub max_match_len: u32,
+    /// Uncompressed size of each data block (the last may be shorter).
+    pub block_size: u32,
+    /// Number of sequences per sub-block for parallel Huffman decoding.
+    pub sequences_per_sub_block: u32,
+    /// Maximum Huffman codeword length (unused in Byte mode).
+    pub max_codeword_len: u8,
+    /// Total uncompressed size; `None` when deferred to the trailer.
+    pub uncompressed_size: Option<u64>,
+    /// Number of block frames; `None` when deferred to the trailer.
+    pub block_count: Option<u64>,
+}
+
+impl StreamPrelude {
+    /// Validates the parameter fields (totals are validated against the
+    /// trailer by the stream reader once both are known).
+    pub fn validate(&self) -> Result<()> {
+        if self.block_size == 0 || u64::from(self.block_size) > (1 << 30) {
+            return Err(FormatError::InvalidHeaderField {
+                field: "block_size",
+                value: u64::from(self.block_size),
+            });
+        }
+        if self.window_size == 0 || !self.window_size.is_power_of_two() {
+            return Err(FormatError::InvalidHeaderField {
+                field: "window_size",
+                value: u64::from(self.window_size),
+            });
+        }
+        if self.min_match_len < 1 || self.max_match_len < self.min_match_len {
+            return Err(FormatError::InvalidHeaderField {
+                field: "max_match_len",
+                value: u64::from(self.max_match_len),
+            });
+        }
+        if self.sequences_per_sub_block == 0 {
+            return Err(FormatError::InvalidHeaderField { field: "sequences_per_sub_block", value: 0 });
+        }
+        if self.mode == EncodingMode::Bit && (self.max_codeword_len < 2 || self.max_codeword_len > 24) {
+            return Err(FormatError::InvalidHeaderField {
+                field: "max_codeword_len",
+                value: u64::from(self.max_codeword_len),
+            });
+        }
+        if let Some(count) = self.block_count {
+            if count > MAX_BLOCK_COUNT {
+                return Err(FormatError::InvalidHeaderField { field: "block_count", value: count });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the prelude to its fixed [`PRELUDE_LEN`]-byte form,
+    /// writing [`UNKNOWN_TOTAL`] for totals that are not yet known.
+    pub fn serialize(&self) -> [u8; PRELUDE_LEN] {
+        let mut w = ByteWriter::with_capacity(PRELUDE_LEN);
+        w.write_bytes(&MAGIC);
+        w.write_u8(STREAM_FORMAT_VERSION);
+        w.write_u8(match self.mode {
+            EncodingMode::Bit => 0,
+            EncodingMode::Byte => 1,
+        });
+        w.write_u32_le(self.window_size);
+        w.write_u32_le(self.min_match_len);
+        w.write_u32_le(self.max_match_len);
+        w.write_u32_le(self.block_size);
+        w.write_u32_le(self.sequences_per_sub_block);
+        w.write_u8(self.max_codeword_len);
+        let size_at = w.reserve_u64_le();
+        let count_at = w.reserve_u64_le();
+        debug_assert_eq!(size_at, UNCOMPRESSED_SIZE_OFFSET);
+        debug_assert_eq!(count_at, BLOCK_COUNT_OFFSET);
+        w.patch_u64_le(size_at, self.uncompressed_size.unwrap_or(UNKNOWN_TOTAL));
+        w.patch_u64_le(count_at, self.block_count.unwrap_or(UNKNOWN_TOTAL));
+        let bytes = w.finish();
+        let mut out = [0u8; PRELUDE_LEN];
+        out.copy_from_slice(&bytes);
+        out
+    }
+
+    /// Parses and validates a prelude from its fixed-size serialized form.
+    pub fn deserialize(bytes: &[u8; PRELUDE_LEN]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.read_bytes(4)?;
+        if magic != MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let version = r.read_u8()?;
+        if version != STREAM_FORMAT_VERSION {
+            return Err(FormatError::UnsupportedVersion(version));
+        }
+        let mode = match r.read_u8()? {
+            0 => EncodingMode::Bit,
+            1 => EncodingMode::Byte,
+            other => return Err(FormatError::InvalidHeaderField { field: "mode", value: u64::from(other) }),
+        };
+        let window_size = r.read_u32_le()?;
+        let min_match_len = r.read_u32_le()?;
+        let max_match_len = r.read_u32_le()?;
+        let block_size = r.read_u32_le()?;
+        let sequences_per_sub_block = r.read_u32_le()?;
+        let max_codeword_len = r.read_u8()?;
+        let uncompressed_size = match r.read_u64_le()? {
+            UNKNOWN_TOTAL => None,
+            v => Some(v),
+        };
+        let block_count = match r.read_u64_le()? {
+            UNKNOWN_TOTAL => None,
+            v => Some(v),
+        };
+        let prelude = StreamPrelude {
+            mode,
+            window_size,
+            min_match_len,
+            max_match_len,
+            block_size,
+            sequences_per_sub_block,
+            max_codeword_len,
+            uncompressed_size,
+            block_count,
+        };
+        prelude.validate()?;
+        Ok(prelude)
+    }
+
+    /// Patches the two total fields of an already-serialized prelude in
+    /// place (what a seekable writer does after the trailer is out).
+    pub fn patch_totals(buf: &mut [u8; PRELUDE_LEN], uncompressed_size: u64, block_count: u64) {
+        buf[UNCOMPRESSED_SIZE_OFFSET..UNCOMPRESSED_SIZE_OFFSET + 8]
+            .copy_from_slice(&uncompressed_size.to_le_bytes());
+        buf[BLOCK_COUNT_OFFSET..BLOCK_COUNT_OFFSET + 8].copy_from_slice(&block_count.to_le_bytes());
+    }
+
+    /// Converts the prelude plus the (now known) block table into a v1
+    /// [`FileHeader`], so the stream reader can reuse the header-level
+    /// consistency validation.
+    pub fn to_file_header(&self, uncompressed_size: u64, block_compressed_sizes: Vec<u32>) -> FileHeader {
+        FileHeader {
+            mode: self.mode,
+            window_size: self.window_size,
+            min_match_len: self.min_match_len,
+            max_match_len: self.max_match_len,
+            uncompressed_size,
+            block_size: self.block_size,
+            sequences_per_sub_block: self.sequences_per_sub_block,
+            max_codeword_len: self.max_codeword_len,
+            block_compressed_sizes,
+        }
+    }
+}
+
+/// The v2 trailer: the complete block-size table plus the uncompressed
+/// total, self-locating from the end of the file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamTrailer {
+    /// Compressed payload size of every block, in order.
+    pub block_compressed_sizes: Vec<u32>,
+    /// Total uncompressed size of the file.
+    pub uncompressed_size: u64,
+}
+
+impl StreamTrailer {
+    /// Serializes the trailer: varint block count, varint sizes, `u64`
+    /// uncompressed size, `u32` trailer length (bytes before this field),
+    /// closing magic.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(16 + 5 * self.block_compressed_sizes.len());
+        write_varint(&mut w, self.block_compressed_sizes.len() as u64);
+        for &size in &self.block_compressed_sizes {
+            write_varint(&mut w, u64::from(size));
+        }
+        w.write_u64_le(self.uncompressed_size);
+        let table_len = w.len() as u32;
+        w.write_u32_le(table_len);
+        w.write_bytes(&TRAILER_MAGIC);
+        w.finish()
+    }
+
+    /// Parses a trailer from `bytes`, which must hold exactly the trailer
+    /// (what the stream reader has left after the zero-length terminator
+    /// frame, or what a random-access reader located via the tail fields).
+    pub fn deserialize(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let count_raw = read_varint(&mut r)?;
+        if count_raw > MAX_BLOCK_COUNT {
+            return Err(FormatError::InvalidHeaderField { field: "block_count", value: count_raw });
+        }
+        let count = usize::try_from(count_raw)
+            .map_err(|_| FormatError::InvalidHeaderField { field: "block_count", value: count_raw })?;
+        let mut block_compressed_sizes = Vec::with_capacity(count.min(r.remaining()));
+        for _ in 0..count {
+            let size = read_varint(&mut r)?;
+            if size == 0 || size > u64::from(u32::MAX) {
+                return Err(FormatError::InvalidHeaderField { field: "block_compressed_size", value: size });
+            }
+            block_compressed_sizes.push(size as u32);
+        }
+        let uncompressed_size = r.read_u64_le()?;
+        let declared_table_len = r.read_u32_le()?;
+        if u64::from(declared_table_len) != (r.position() - 4) as u64 {
+            return Err(FormatError::InvalidHeaderField {
+                field: "trailer_len",
+                value: u64::from(declared_table_len),
+            });
+        }
+        if r.read_bytes(4)? != TRAILER_MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        if !r.is_empty() {
+            return Err(FormatError::InvalidHeaderField {
+                field: "trailer_trailing_bytes",
+                value: r.remaining() as u64,
+            });
+        }
+        Ok(StreamTrailer { block_compressed_sizes, uncompressed_size })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_prelude() -> StreamPrelude {
+        StreamPrelude {
+            mode: EncodingMode::Bit,
+            window_size: 8 * 1024,
+            min_match_len: 3,
+            max_match_len: 64,
+            block_size: 256 * 1024,
+            sequences_per_sub_block: 16,
+            max_codeword_len: 10,
+            uncompressed_size: None,
+            block_count: None,
+        }
+    }
+
+    #[test]
+    fn prelude_roundtrip_with_and_without_totals() {
+        let mut p = sample_prelude();
+        let bytes = p.serialize();
+        assert_eq!(bytes.len(), PRELUDE_LEN);
+        assert_eq!(StreamPrelude::deserialize(&bytes).unwrap(), p);
+
+        p.uncompressed_size = Some(1_000_000);
+        p.block_count = Some(4);
+        let bytes = p.serialize();
+        assert_eq!(StreamPrelude::deserialize(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn patch_totals_turns_sentinels_into_values() {
+        let p = sample_prelude();
+        let mut bytes = p.serialize();
+        StreamPrelude::patch_totals(&mut bytes, 123_456, 7);
+        let patched = StreamPrelude::deserialize(&bytes).unwrap();
+        assert_eq!(patched.uncompressed_size, Some(123_456));
+        assert_eq!(patched.block_count, Some(7));
+    }
+
+    #[test]
+    fn prelude_rejects_v1_and_garbage() {
+        let p = sample_prelude();
+        let mut bytes = p.serialize();
+        bytes[4] = 1; // v1 version byte in a v2 frame
+        assert!(matches!(StreamPrelude::deserialize(&bytes), Err(FormatError::UnsupportedVersion(1))));
+        let mut bytes = p.serialize();
+        bytes[0] = b'X';
+        assert!(matches!(StreamPrelude::deserialize(&bytes), Err(FormatError::BadMagic)));
+        let mut bytes = p.serialize();
+        bytes[5] = 9; // invalid mode
+        assert!(StreamPrelude::deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn prelude_validates_parameters() {
+        let bad_block = StreamPrelude { block_size: 0, ..sample_prelude() };
+        assert!(bad_block.validate().is_err());
+        let bad_window = StreamPrelude { window_size: 1000, ..sample_prelude() };
+        assert!(bad_window.validate().is_err());
+        let bad_match = StreamPrelude { min_match_len: 10, max_match_len: 3, ..sample_prelude() };
+        assert!(bad_match.validate().is_err());
+        let bad_count = StreamPrelude { block_count: Some(MAX_BLOCK_COUNT + 1), ..sample_prelude() };
+        assert!(bad_count.validate().is_err());
+    }
+
+    #[test]
+    fn trailer_roundtrip() {
+        let t = StreamTrailer { block_compressed_sizes: vec![100, 2000, 3], uncompressed_size: 777 };
+        let bytes = t.serialize();
+        assert_eq!(StreamTrailer::deserialize(&bytes).unwrap(), t);
+        let empty = StreamTrailer::default();
+        assert_eq!(StreamTrailer::deserialize(&empty.serialize()).unwrap(), empty);
+    }
+
+    #[test]
+    fn trailer_rejects_corruption() {
+        let t = StreamTrailer { block_compressed_sizes: vec![5, 6], uncompressed_size: 11 };
+        let good = t.serialize();
+        // Truncation at every cut point is an error, never a panic.
+        for cut in 0..good.len() {
+            assert!(StreamTrailer::deserialize(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Bad closing magic.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 1] = b'?';
+        assert!(StreamTrailer::deserialize(&bad).is_err());
+        // Trailing garbage after the magic.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(StreamTrailer::deserialize(&long).is_err());
+        // Hostile block count cannot over-allocate.
+        let mut w = ByteWriter::new();
+        write_varint(&mut w, u64::MAX);
+        assert!(StreamTrailer::deserialize(&w.finish()).is_err());
+        // Zero-sized blocks are impossible (frames are self-delimiting).
+        let zero = StreamTrailer { block_compressed_sizes: vec![0], uncompressed_size: 0 }.serialize();
+        assert!(StreamTrailer::deserialize(&zero).is_err());
+    }
+
+    #[test]
+    fn to_file_header_reuses_v1_validation() {
+        let p = sample_prelude();
+        let header = p.to_file_header(1_000_000, vec![100_000, 90_000, 85_000, 60_000]);
+        header.validate().unwrap();
+        // An inconsistent table is caught by the v1 validation.
+        let bad = p.to_file_header(1_000_000, vec![100_000]);
+        assert!(bad.validate().is_err());
+    }
+}

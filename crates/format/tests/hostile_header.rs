@@ -1,0 +1,215 @@
+//! Hostile-input fuzz suite for the header and container parsers.
+//!
+//! Every test feeds deliberately malformed bytes to `FileHeader` /
+//! `CompressedFile` deserialization and asserts the same contract: the
+//! parser returns `Err` (or a still-validating `Ok`) — it never panics and
+//! never sizes an allocation from an unvalidated header field.
+
+use gompresso_bitstream::{write_varint, ByteReader, ByteWriter};
+use gompresso_format::{
+    BlockPayload, CompressedFile, EncodingMode, FileHeader, FormatError, FORMAT_VERSION, MAGIC,
+    MAX_BLOCK_COUNT,
+};
+use proptest::prelude::*;
+
+fn sample_header() -> FileHeader {
+    FileHeader {
+        mode: EncodingMode::Bit,
+        window_size: 8 * 1024,
+        min_match_len: 3,
+        max_match_len: 64,
+        uncompressed_size: 1_000_000,
+        block_size: 256 * 1024,
+        sequences_per_sub_block: 16,
+        max_codeword_len: 10,
+        block_compressed_sizes: vec![100_000, 90_000, 85_000, 60_000],
+    }
+}
+
+fn serialized_header() -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    sample_header().serialize(&mut w);
+    w.finish()
+}
+
+/// A structurally valid file whose payload bytes are arbitrary (the
+/// container layer only slices payloads; their content is opaque here).
+fn serialized_file() -> Vec<u8> {
+    let header = FileHeader {
+        uncompressed_size: 2500,
+        block_size: 1000,
+        block_compressed_sizes: vec![0; 3],
+        ..sample_header()
+    };
+    let blocks = vec![
+        BlockPayload { bytes: vec![7; 40] },
+        BlockPayload { bytes: vec![9; 55] },
+        BlockPayload { bytes: vec![1; 13] },
+    ];
+    CompressedFile::new(header, blocks).expect("valid file").serialize()
+}
+
+/// Serializes every header field up to (but excluding) the block-count
+/// varint — the prefix shared by all the varint-boundary attacks below.
+fn header_prefix() -> ByteWriter {
+    let h = sample_header();
+    let mut w = ByteWriter::new();
+    w.write_bytes(&MAGIC);
+    w.write_u8(FORMAT_VERSION);
+    w.write_u8(0); // EncodingMode::Bit
+    w.write_u32_le(h.window_size);
+    w.write_u32_le(h.min_match_len);
+    w.write_u32_le(h.max_match_len);
+    w.write_u64_le(h.uncompressed_size);
+    w.write_u32_le(h.block_size);
+    w.write_u32_le(h.sequences_per_sub_block);
+    w.write_u8(h.max_codeword_len);
+    w
+}
+
+#[test]
+fn every_truncation_of_a_valid_header_errors() {
+    let bytes = serialized_header();
+    for cut in 0..bytes.len() {
+        let mut r = ByteReader::new(&bytes[..cut]);
+        assert!(FileHeader::deserialize(&mut r).is_err(), "cut at {cut} must fail");
+    }
+    // The uncut header still parses — the loop above is not vacuous.
+    assert!(FileHeader::deserialize(&mut ByteReader::new(&bytes)).is_ok());
+}
+
+#[test]
+fn varint_overflow_at_the_block_count_boundary_errors() {
+    // An unterminated / over-long varint right where block_count lives.
+    for hostile in [vec![0x80u8; 11], vec![0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]] {
+        let mut w = header_prefix();
+        w.write_bytes(&hostile);
+        let bytes = w.finish();
+        let err = FileHeader::deserialize(&mut ByteReader::new(&bytes));
+        assert!(matches!(err, Err(FormatError::Stream(_))), "got {err:?}");
+    }
+}
+
+#[test]
+fn varint_overflow_at_a_block_size_boundary_errors() {
+    let mut w = header_prefix();
+    write_varint(&mut w, 2); // two blocks claimed
+    w.write_bytes(&[0x80u8; 11]); // first size varint never terminates
+    let bytes = w.finish();
+    let err = FileHeader::deserialize(&mut ByteReader::new(&bytes));
+    assert!(matches!(err, Err(FormatError::Stream(_))), "got {err:?}");
+}
+
+#[test]
+fn block_count_extremes_are_rejected_before_allocation() {
+    // Values above the cap — including ones that would truncate to a small
+    // number through a 32-bit usize cast — are rejected in u64 space.
+    for count in [MAX_BLOCK_COUNT + 1, 1u64 << 32, (1u64 << 33) | 1, u64::MAX] {
+        let mut w = header_prefix();
+        write_varint(&mut w, count);
+        let bytes = w.finish();
+        let err = FileHeader::deserialize(&mut ByteReader::new(&bytes));
+        assert!(
+            matches!(err, Err(FormatError::InvalidHeaderField { field: "block_count", value }) if value == count),
+            "count {count}: got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn block_compressed_size_extremes_are_rejected() {
+    for size in [u64::from(u32::MAX) + 1, u64::MAX / 2] {
+        let mut w = header_prefix();
+        write_varint(&mut w, 1);
+        write_varint(&mut w, size);
+        let bytes = w.finish();
+        let err = FileHeader::deserialize(&mut ByteReader::new(&bytes));
+        assert!(
+            matches!(err, Err(FormatError::InvalidHeaderField { field: "block_compressed_size", .. })),
+            "size {size}: got {err:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes never panic the header parser.
+    #[test]
+    fn random_bytes_never_panic_the_header_parser(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let _ = FileHeader::deserialize(&mut ByteReader::new(&bytes));
+        let _ = CompressedFile::deserialize(&bytes);
+    }
+
+    /// Random byte-flips over a valid file never panic, and whatever still
+    /// parses is internally consistent.
+    #[test]
+    fn byte_flips_over_a_valid_file_never_panic(
+        flips in proptest::collection::vec((any::<usize>(), 1u8..=255u8), 1..8),
+    ) {
+        let mut bytes = serialized_file();
+        let len = bytes.len();
+        for (pos, delta) in flips {
+            bytes[pos % len] ^= delta;
+        }
+        if let Ok(file) = CompressedFile::deserialize(&bytes) {
+            // Deserialization re-validates: the surviving header must be
+            // self-consistent and every payload fully backed by bytes.
+            prop_assert!(file.header.validate().is_ok());
+            prop_assert_eq!(file.header.block_count(), file.blocks.len());
+            for (i, block) in file.blocks.iter().enumerate() {
+                prop_assert_eq!(block.bytes.len() as u64, u64::from(file.header.block_compressed_sizes[i]));
+            }
+        }
+    }
+
+    /// Every strict truncation of a valid *file* is an error.
+    #[test]
+    fn truncated_files_error(cut in any::<usize>()) {
+        let bytes = serialized_file();
+        let cut = cut % bytes.len();
+        prop_assert!(CompressedFile::deserialize(&bytes[..cut]).is_err());
+    }
+
+    /// Headers that pass validation roundtrip losslessly; ones that fail
+    /// validation are also rejected when deserialized.
+    #[test]
+    fn arbitrary_headers_roundtrip_iff_valid(
+        window_exp in 0u32..20,
+        min_match in 0u32..10,
+        max_match in 0u32..200,
+        block_size in 0u32..2_000_000,
+        uncompressed in 0u64..10_000_000,
+        seqs in 0u32..64,
+        cwl in 0u8..30,
+        byte_mode in any::<bool>(),
+    ) {
+        let mode = if byte_mode { EncodingMode::Byte } else { EncodingMode::Bit };
+        let block_count = if block_size == 0 || uncompressed == 0 {
+            0
+        } else {
+            uncompressed.div_ceil(u64::from(block_size)) as usize
+        };
+        let header = FileHeader {
+            mode,
+            window_size: 1u32 << window_exp,
+            min_match_len: min_match,
+            max_match_len: max_match,
+            uncompressed_size: uncompressed,
+            block_size,
+            sequences_per_sub_block: seqs,
+            max_codeword_len: cwl,
+            block_compressed_sizes: vec![1; block_count],
+        };
+        let mut w = ByteWriter::new();
+        header.serialize(&mut w);
+        let bytes = w.finish();
+        let parsed = FileHeader::deserialize(&mut ByteReader::new(&bytes));
+        match header.validate() {
+            Ok(()) => prop_assert_eq!(parsed.expect("valid header must parse"), header),
+            Err(_) => prop_assert!(parsed.is_err()),
+        }
+    }
+}

@@ -49,9 +49,11 @@ impl EncodeTable {
         match self.codes.get(..256) {
             Some(codes) => {
                 // Pack code words into a local 64-bit group and hand the
-                // writer one bulk append per ~48 bits instead of one call
-                // per symbol (code lengths are capped at 16 bits, so a
-                // group never overflows).
+                // writer one bulk append per ~50+ bits instead of one call
+                // per symbol. The group is flushed *before* a code that
+                // would not fit, so any legal code length (canonical codes
+                // allow up to 32 bits; the writer takes at most 62) is
+                // packed without shifting bits past the accumulator.
                 let mut group = 0u64;
                 let mut group_bits = 0u32;
                 for &b in bytes {
@@ -59,13 +61,14 @@ impl EncodeTable {
                     if len == 0 {
                         return Err(HuffmanError::UnknownSymbol(u16::from(b)));
                     }
-                    group |= u64::from(code) << group_bits;
-                    group_bits += u32::from(len);
-                    if group_bits > 46 {
+                    let len = u32::from(len);
+                    if group_bits + len > 62 {
                         w.write_bits_u64(group, group_bits);
                         group = 0;
                         group_bits = 0;
                     }
+                    group |= u64::from(code) << group_bits;
+                    group_bits += len;
                 }
                 w.write_bits_u64(group, group_bits);
                 Ok(())
@@ -152,6 +155,33 @@ mod tests {
         for &s in &symbols {
             assert_eq!(dec.decode(&mut r).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn encode_slice_handles_codes_longer_than_16_bits() {
+        // A Kraft-complete set of lengths 1,2,…,24,24 over a 256-entry
+        // alphabet: codes up to 24 bits are legal for this table type, and
+        // the group packer must flush *before* a code that would not fit
+        // its 64-bit accumulator (the old fixed 46-bit flush rule silently
+        // shifted long codes past bit 63). The packed path must agree
+        // bit-for-bit with the per-symbol reference path.
+        let mut lengths = vec![0u8; 256];
+        for (i, len) in lengths.iter_mut().take(24).enumerate() {
+            *len = (i + 1) as u8;
+        }
+        lengths[24] = 24;
+        let code = CanonicalCode::from_lengths(&lengths, 24).unwrap();
+        let enc = EncodeTable::new(&code);
+        assert_eq!(enc.code_len(23), Some(24));
+
+        let bytes: Vec<u8> = (0..200u16).map(|i| ([24u16, 23, 0, 22, 24, 1][i as usize % 6]) as u8).collect();
+        let mut packed = BitWriter::new();
+        enc.encode_slice(&mut packed, &bytes).unwrap();
+        let mut reference = BitWriter::new();
+        for &b in &bytes {
+            enc.encode(&mut reference, u16::from(b)).unwrap();
+        }
+        assert_eq!(packed.finish(), reference.finish());
     }
 
     #[test]

@@ -20,9 +20,10 @@
 #![warn(missing_docs)]
 
 pub use gompresso_core::{
-    compress, decompress, decompress_with, CompressedFile, CompressedOutput, CompressionStats, Compressor,
-    CompressorConfig, CostModel, DecompressionReport, Decompressor, DecompressorConfig, EncodingMode,
-    GompressoError, GpuDeviceModel, GpuEstimate, MrrStats, PcieLink, ResolutionStrategy,
+    compress, compress_file, decompress, decompress_file, decompress_with, CompressedFile, CompressedOutput,
+    CompressionStats, Compressor, CompressorConfig, CostModel, DecompressionReport, Decompressor,
+    DecompressorConfig, EncodingMode, GompressoError, GpuDeviceModel, GpuEstimate, MrrStats, PcieLink,
+    ResolutionStrategy, StreamCompressor, StreamDecompressor, StreamStats,
 };
 
 /// Low-level building blocks re-exported for advanced users (custom codecs,

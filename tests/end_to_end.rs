@@ -4,7 +4,7 @@
 use gompresso::datasets::{DatasetGenerator, MatrixMarketGenerator, NestingGenerator, WikipediaGenerator};
 use gompresso::{
     compress, decompress, decompress_with, CompressedFile, CompressorConfig, DecompressorConfig,
-    EncodingMode, ResolutionStrategy,
+    EncodingMode, ResolutionStrategy, StreamCompressor, StreamDecompressor,
 };
 
 const SIZE: usize = 2 * 1024 * 1024;
@@ -117,6 +117,39 @@ fn deeper_nesting_costs_more_mrr_rounds() {
         deep_rounds > shallow_rounds + 4.0,
         "expected a clear gap: shallow {shallow_rounds:.2} vs deep {deep_rounds:.2}"
     );
+}
+
+#[test]
+fn streaming_pipeline_matches_in_memory_path_under_tight_budget() {
+    // 4 MiB through a 1 MiB budget (4× larger than the window the pipeline
+    // may hold), at 1 and 2 workers: the streamed roundtrip must be
+    // byte-identical to both the input and the in-memory path.
+    let data = WikipediaGenerator::new(7).generate(4 * 1024 * 1024);
+    for config in [CompressorConfig::bit_de(), CompressorConfig::byte_de()] {
+        let reference = compress(&data, &config).unwrap();
+        let (in_memory, _) = decompress(&reference.file).unwrap();
+        for workers in [1usize, 2] {
+            let mut packed = Vec::new();
+            let cstats = StreamCompressor::new(config.clone())
+                .unwrap()
+                .with_workers(workers)
+                .with_mem_budget(1 << 20)
+                .compress(data.as_slice(), &mut packed)
+                .unwrap();
+            assert_eq!(cstats.uncompressed_size, data.len() as u64);
+            assert!(cstats.blocks_in_flight * config.block_size * 3 <= (1 << 20) + 3 * config.block_size);
+
+            let mut restored = Vec::new();
+            let dstats = StreamDecompressor::new(DecompressorConfig::default())
+                .with_workers(workers)
+                .with_mem_budget(1 << 20)
+                .decompress(packed.as_slice(), &mut restored)
+                .unwrap();
+            assert_eq!(dstats.blocks, cstats.blocks);
+            assert_eq!(restored, data, "{:?} at {workers} workers", config.mode);
+            assert_eq!(restored, in_memory);
+        }
+    }
 }
 
 #[test]
