@@ -5,8 +5,13 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gompresso_bench::wikipedia_data;
 use gompresso_bitstream::{BitReader, BitWriter};
+use gompresso_format::token_code::TokenCoder;
+use gompresso_format::{BitBlock, InterleaveScratch};
 use gompresso_huffman::{CanonicalCode, DecodeTable, EncodeTable, Histogram};
-use gompresso_lz77::{common_prefix_len, Matcher, MatcherConfig};
+use gompresso_lz77::{
+    common_prefix_len, decompress_block_into, decompress_block_reference, Matcher, MatcherConfig, Sequence,
+    SequenceBlock,
+};
 use gompresso_simt::{Warp, WARP_SIZE};
 
 fn bench_warp_primitives(c: &mut Criterion) {
@@ -229,6 +234,141 @@ fn bench_huffman(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_wild_copy(c: &mut Criterion) {
+    // Wild-copy vs byte-copy sequence execution at the offsets that select
+    // each kernel path: 1 and 4 (pattern widening), 8 (chunk threshold) and
+    // 64 (plain chunks). One block per offset: a literal seed then a long
+    // run of fixed-offset, 48-byte matches.
+    let mut group = c.benchmark_group("micro_wild_copy");
+    group.sample_size(10);
+    for offset in [1u32, 4, 8, 64] {
+        let seed = offset.max(16);
+        let matches = 20_000u32;
+        let match_len = 48u32;
+        let block = SequenceBlock {
+            sequences: std::iter::once(Sequence::literals_only(seed))
+                .chain((0..matches).map(|_| Sequence { literal_len: 0, match_offset: offset, match_len }))
+                .collect(),
+            literals: (0..seed).map(|i| (i * 37 + 11) as u8).collect(),
+            uncompressed_len: (seed + matches * match_len) as usize,
+        };
+        let mut out = vec![0u8; block.uncompressed_len];
+        group.throughput(Throughput::Bytes(block.uncompressed_len as u64));
+        group.bench_function(format!("wild_offset_{offset}"), |b| {
+            b.iter(|| decompress_block_into(&block, &mut out).unwrap());
+        });
+        group.bench_function(format!("byte_offset_{offset}"), |b| {
+            b.iter(|| decompress_block_reference(&block, &mut out).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_interleaved_decode(c: &mut Criterion) {
+    // Interleaved multi-stream sub-block decode at S = 1/2/4/8 against the
+    // sequential (batched decode_run) walk, over a realistic 1 MiB block.
+    let data = wikipedia_data(1 << 20);
+    let cfg = MatcherConfig::gompresso();
+    let coder =
+        TokenCoder::new(cfg.min_match_len as u32, cfg.max_match_len as u32, cfg.window_size as u32).unwrap();
+    let block = Matcher::new(cfg).compress(&data);
+    let bit = BitBlock::encode(&block, &coder, 16, 10).unwrap();
+    let lit_dec = DecodeTable::new(&bit.lit_len_code).unwrap();
+    let off_dec = DecodeTable::new(&bit.offset_code).unwrap();
+    let n = bit.sub_block_count();
+
+    let mut group = c.benchmark_group("micro_interleave");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    group.bench_function("sequential_sub_blocks", |b| {
+        b.iter(|| {
+            let mut sequences = Vec::new();
+            let mut literals = Vec::new();
+            for i in 0..n {
+                bit.decode_sub_block_into(i, &coder, &lit_dec, &off_dec, &mut sequences, &mut literals)
+                    .unwrap();
+            }
+            sequences.len() + literals.len()
+        });
+    });
+    macro_rules! interleave_case {
+        ($s:literal) => {
+            group.bench_function(concat!("interleaved_s", $s), |b| {
+                let mut scratch = InterleaveScratch::default();
+                b.iter(|| {
+                    let mut sequences = Vec::new();
+                    let mut literals = Vec::new();
+                    let mut stats = Vec::new();
+                    let mut bit_cursor = 0u64;
+                    for start in (0..n).step_by(32) {
+                        let count = 32.min(n - start);
+                        bit.decode_sub_blocks_interleaved::<$s>(
+                            start,
+                            count,
+                            bit_cursor,
+                            &coder,
+                            &lit_dec,
+                            &off_dec,
+                            &mut scratch,
+                            &mut sequences,
+                            &mut literals,
+                            &mut stats,
+                        )
+                        .unwrap();
+                        bit_cursor += bit.sub_block_bits[start..start + count]
+                            .iter()
+                            .map(|&b| u64::from(b))
+                            .sum::<u64>();
+                    }
+                    sequences.len() + literals.len()
+                });
+            });
+        };
+    }
+    interleave_case!(1);
+    interleave_case!(2);
+    interleave_case!(4);
+    interleave_case!(8);
+    group.finish();
+}
+
+fn bench_lut_layout(c: &mut Criterion) {
+    // Packed-u32 LUT lookup vs the former (u16, u8) tuple layout, isolated
+    // from the bitstream: chase 4M windows through each table.
+    let data = wikipedia_data(1 << 20);
+    let symbols: Vec<u16> = data.iter().map(|&b| u16::from(b)).collect();
+    let hist = Histogram::from_symbols(256, &symbols);
+    let code = CanonicalCode::from_histogram(&hist, 12).unwrap();
+    let dec = DecodeTable::new(&code).unwrap();
+    let size = dec.len() as u32;
+    let tuple_table: Vec<(u16, u8)> = (0..size).map(|w| dec.lookup(w)).collect();
+    let windows: Vec<u32> = (0..(1u32 << 22)).map(|i| i.wrapping_mul(2654435761) % size).collect();
+
+    let mut group = c.benchmark_group("micro_lut_layout");
+    group.throughput(Throughput::Elements(windows.len() as u64));
+    group.sample_size(10);
+    group.bench_function("packed_u32", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &w in &windows {
+                acc = acc.wrapping_add(dec.lookup_packed(w));
+            }
+            acc
+        });
+    });
+    group.bench_function("tuple_u16_u8", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &w in &windows {
+                let (sym, len) = tuple_table[w as usize];
+                acc = acc.wrapping_add(u32::from(sym) << 8 | u32::from(len));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
 fn bench_matcher(c: &mut Criterion) {
     let data = wikipedia_data(1 << 20);
     let mut group = c.benchmark_group("micro_lz77");
@@ -254,6 +394,9 @@ criterion_group!(
     bench_bitwriter,
     bench_match_len,
     bench_huffman,
+    bench_wild_copy,
+    bench_interleaved_decode,
+    bench_lut_layout,
     bench_matcher
 );
 criterion_main!(benches);

@@ -18,7 +18,10 @@ use crate::strategy::ResolutionStrategy;
 use crate::warp_lz77::decompress_block_warp;
 use crate::{GompressoError, Result};
 use gompresso_bitstream::ByteReader;
-use gompresso_format::{token_code::TokenCoder, BitBlock, ByteBlock, CompressedFile, EncodingMode};
+use gompresso_format::{
+    token_code::TokenCoder, BitBlock, ByteBlock, CompressedFile, EncodingMode, InterleaveScratch,
+    SubBlockStats,
+};
 use gompresso_huffman::DecodeTable;
 use gompresso_lz77::SequenceBlock;
 use gompresso_simt::{CostModel, KernelCounters, Warp, WarpCounters, WARP_SIZE};
@@ -34,6 +37,12 @@ const SUB_BLOCK_OVERHEAD_INSTR: u64 = 24;
 /// Bytes written to device memory per decoded token (the decoder's output
 /// token stream that the LZ77 kernel later consumes).
 const TOKEN_STREAM_BYTES_PER_SEQ: u64 = 12;
+
+/// Interleaved bitstream cursors a worker keeps live while Huffman-decoding
+/// a block's sub-blocks — the CPU stand-in for one-sub-block-per-lane. Four
+/// independent decode chains cover the L1 load-to-use latency of the table
+/// lookups without spilling the round-robin state out of registers.
+const INTERLEAVE_STREAMS: usize = 4;
 
 /// Decompressor configuration.
 #[derive(Debug, Clone)]
@@ -93,12 +102,21 @@ pub(crate) struct BlockResult {
     mrr: MrrStats,
 }
 
+/// Per-worker decode scratch: the block-level sequence/literal buffers, the
+/// interleaved-decode lane staging and the per-sub-block stats vector.
+#[derive(Default)]
+struct DecodeScratch {
+    seq_block: SequenceBlock,
+    interleave: InterleaveScratch,
+    stats: Vec<SubBlockStats>,
+}
+
 thread_local! {
     /// Per-worker decode scratch. Each rayon worker decodes every block it
-    /// owns into the same `SequenceBlock`, so steady-state decompression
-    /// performs no per-block heap allocation once the scratch has grown to
-    /// the largest block handled by that worker.
-    static DECODE_SCRATCH: RefCell<SequenceBlock> = RefCell::new(SequenceBlock::new());
+    /// owns into the same buffers, so steady-state decompression performs
+    /// no per-block heap allocation once the scratch has grown to the
+    /// largest block handled by that worker.
+    static DECODE_SCRATCH: RefCell<DecodeScratch> = RefCell::new(DecodeScratch::default());
 }
 
 impl Decompressor {
@@ -211,18 +229,27 @@ pub(crate) fn decompress_block_into(
     dst: &mut [u8],
 ) -> Result<BlockResult> {
     DECODE_SCRATCH.with(|scratch| {
-        let mut seq_block = scratch.borrow_mut();
+        let mut scratch = scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        let seq_block = &mut scratch.seq_block;
         let decode_counters = match mode {
             EncodingMode::Bit => {
                 let mut r = ByteReader::new(payload);
                 let bit = BitBlock::deserialize(&mut r)?;
-                let warp = decode_bit_block(&bit, coder, payload.len(), &mut seq_block)?;
+                let warp = decode_bit_block(
+                    &bit,
+                    coder,
+                    payload.len(),
+                    seq_block,
+                    &mut scratch.interleave,
+                    &mut scratch.stats,
+                )?;
                 Some(warp.into_counters())
             }
             EncodingMode::Byte => {
                 let mut r = ByteReader::new(payload);
                 let byte = ByteBlock::deserialize(&mut r)?;
-                byte.decode_into(&mut seq_block)?;
+                byte.decode_into(seq_block)?;
                 None
             }
         };
@@ -239,7 +266,7 @@ pub(crate) fn decompress_block_into(
         }
 
         let outcome = decompress_block_warp(
-            &seq_block,
+            seq_block,
             config.strategy,
             config.validate_de && config.strategy == ResolutionStrategy::DependencyEliminated,
             block_index,
@@ -303,11 +330,20 @@ fn validate_declared_sizes(file: &CompressedFile) -> Result<()> {
 
 /// Parallel Huffman decoding of one block: each lane of the simulated warp
 /// decodes one sub-block using the block's two shared decode LUTs.
+///
+/// The host decode runs [`INTERLEAVE_STREAMS`] sub-block bitstreams
+/// concurrently per worker (round-robined table lookups over independent
+/// cursors — the instruction-level-parallel analogue of one sub-block per
+/// warp lane), while the warp counters are charged per lock-step group of
+/// [`WARP_SIZE`] sub-blocks from the per-sub-block stats, exactly as the
+/// sequential walk charged them.
 fn decode_bit_block(
     bit: &BitBlock,
     coder: &TokenCoder,
     payload_bytes: usize,
     seq_block: &mut SequenceBlock,
+    interleave: &mut InterleaveScratch,
+    stats: &mut Vec<SubBlockStats>,
 ) -> Result<Warp> {
     let mut warp = Warp::new();
 
@@ -332,21 +368,36 @@ fn decode_bit_block(
     literals.reserve((bit.uncompressed_len as usize).min(bit.bitstream.len().saturating_mul(8)));
     seq_block.uncompressed_len = bit.uncompressed_len as usize;
 
-    // Lanes process sub-blocks 32 at a time in lock step, decoding straight
-    // into the block-level scratch buffers (no per-sub-block vectors).
+    // Lanes process sub-blocks 32 at a time in lock step; within a group
+    // the interleaved decoder drains them in chunks of INTERLEAVE_STREAMS,
+    // appending into the block-level scratch buffers in sub-block order.
+    // The bit cursor advances incrementally so seeking each sub-block is
+    // O(1) instead of a per-sub-block prefix sum.
+    let mut bit_cursor = 0u64;
     for group_start in (0..n_sub_blocks).step_by(WARP_SIZE) {
         let group_end = (group_start + WARP_SIZE).min(n_sub_blocks);
+        stats.clear();
+        bit.decode_sub_blocks_interleaved::<INTERLEAVE_STREAMS>(
+            group_start,
+            group_end - group_start,
+            bit_cursor,
+            coder,
+            &lit_len_dec,
+            &offset_dec,
+            interleave,
+            sequences,
+            literals,
+            stats,
+        )?;
+        bit_cursor += bit.sub_block_bits[group_start..group_end].iter().map(|&b| u64::from(b)).sum::<u64>();
+
         let mut max_lane_symbols = 0u64;
         let mut group_sequences = 0u64;
         let mut group_shared_reads = 0u64;
-        for sub in group_start..group_end {
-            let seq_start = sequences.len();
-            let lit_start = literals.len();
-            bit.decode_sub_block_into(sub, coder, &lit_len_dec, &offset_dec, sequences, literals)?;
-            let symbols = (literals.len() - lit_start) as u64
-                + sequences[seq_start..].iter().map(|s| if s.has_match() { 2u64 } else { 1u64 }).sum::<u64>();
+        for sub_stats in stats.iter() {
+            let symbols = sub_stats.symbols();
             max_lane_symbols = max_lane_symbols.max(symbols);
-            group_sequences += (sequences.len() - seq_start) as u64;
+            group_sequences += u64::from(sub_stats.sequences);
             group_shared_reads += symbols * 4;
         }
         // Lock-step cost: the warp runs as long as its busiest lane.

@@ -18,12 +18,22 @@
 //! All warp instructions, memory traffic, divergence and rounds are charged
 //! to the [`Warp`] counters so the GPU cost model can translate the run into
 //! an estimated Tesla K40 kernel time.
+//!
+//! Simulation and byte movement are decoupled: the warp walk charges
+//! counters and validates every sequence (group by group, exactly as
+//! before), but writes nothing; once the whole block has validated, a
+//! single sequential pass executes the sequences with the wide-copy kernels
+//! of `gompresso-lz77` (8/16-byte chunks, wild overshoot confined to the
+//! block's disjoint output slice). The decompressed bytes are identical —
+//! LZ77 execution is deterministic regardless of resolution order — and the
+//! counters, being pure functions of the sequence metadata, are
+//! byte-for-byte what the copying simulation charged.
 
 use crate::stats::MrrStats;
 use crate::strategy::ResolutionStrategy;
 use crate::{GompressoError, Result};
-use gompresso_lz77::{Lz77Error, Sequence, SequenceBlock};
-use gompresso_simt::{Warp, WarpCounters, WARP_SIZE};
+use gompresso_lz77::{decompress_block_into, Lz77Error, Sequence, SequenceBlock};
+use gompresso_simt::{Warp, WarpCounters, WarpMask, WARP_SIZE};
 
 /// Bytes copied per simulated copy-loop iteration. GPU decompressors copy a
 /// word at a time; 4 bytes is the conservative figure for unaligned output.
@@ -63,9 +73,6 @@ struct LaneState {
     match_offset: u64,
     /// Absolute output position where this lane starts writing.
     out_start: u64,
-    /// Absolute position in the block's literal buffer of this lane's
-    /// literal string.
-    literal_src: u64,
 }
 
 impl LaneState {
@@ -108,24 +115,27 @@ pub fn decompress_block_warp(
     let mut out_cursor = 0u64;
     let mut literal_cursor = 0u64;
 
+    // Pass 1 — simulate and validate. The group walk charges exactly the
+    // counters the copying implementation charged and performs the same
+    // structural checks in the same order, but moves no bytes.
     for (group_idx, group) in block.sequences.chunks(WARP_SIZE).enumerate() {
         let lanes = prepare_group(&mut warp, block, group, group_idx, out_cursor, literal_cursor)?;
         let active = group.len();
 
-        copy_literals(&mut warp, block, output, &lanes, active)?;
+        charge_literal_copies(&mut warp, &lanes, active);
 
         match strategy {
             ResolutionStrategy::SequentialCopy => {
-                resolve_sequential(&mut warp, output, &lanes, active);
+                resolve_sequential(&mut warp, &lanes, active);
             }
             ResolutionStrategy::MultiRound => {
-                resolve_multi_round(&mut warp, output, &lanes, active, &mut mrr);
+                resolve_multi_round(&mut warp, &lanes, active, &mut mrr);
             }
             ResolutionStrategy::DependencyEliminated => {
                 if validate_de {
                     check_de_invariant(&lanes, active, block_index)?;
                 }
-                resolve_single_round(&mut warp, output, &lanes, active);
+                resolve_single_round(&mut warp, &lanes, active);
             }
         }
 
@@ -143,6 +153,12 @@ pub fn decompress_block_warp(
             produced: out_cursor,
         });
     }
+
+    // Pass 2 — execute. The sequential wide-copy walk revalidates the same
+    // conditions pass 1 just proved (its per-sequence checks are O(1), the
+    // copies dominate), so an error here is unreachable; `?` keeps it an
+    // error rather than a panic should the two walks ever disagree.
+    decompress_block_into(block, output)?;
 
     Ok(WarpDecompressOutcome { counters: warp.into_counters(), mrr })
 }
@@ -170,8 +186,10 @@ fn prepare_group(
         output_lens[lane] = u64::from(seq.literal_len) + u64::from(seq.match_len);
     }
 
-    // Prefix sum 1: literal source offsets within the token stream.
-    let (literal_prefix, literal_total) = warp.exclusive_prefix_sum(&literal_lens);
+    // Prefix sum 1: literal source offsets within the token stream (the
+    // warp charges the sum; the host walk no longer needs the per-lane
+    // source cursors since the bytes move in the sequential pass).
+    let (_literal_prefix, literal_total) = warp.exclusive_prefix_sum(&literal_lens);
     // Prefix sum 2: output write offsets.
     let (output_prefix, _output_total) = warp.exclusive_prefix_sum(&output_lens);
 
@@ -191,7 +209,6 @@ fn prepare_group(
             match_len: u64::from(seq.match_len),
             match_offset: u64::from(seq.match_offset),
             out_start,
-            literal_src: literal_cursor + literal_prefix[lane],
         };
         // Structural validation: back-references must stay inside the block.
         if state.match_len > 0 {
@@ -219,17 +236,11 @@ fn prepare_group(
     Ok(lanes)
 }
 
-/// Step (b): copy each lane's literal string to the output buffer.
-fn copy_literals(
-    warp: &mut Warp,
-    block: &SequenceBlock,
-    output: &mut [u8],
-    lanes: &[LaneState; WARP_SIZE],
-    active: usize,
-) -> Result<()> {
+/// Step (b): charge each lane's literal copy (the bytes move in pass 2).
+fn charge_literal_copies(warp: &mut Warp, lanes: &[LaneState; WARP_SIZE], active: usize) {
     let total_bytes: u64 = lanes[..active].iter().map(|l| l.literal_len).sum();
     if total_bytes == 0 {
-        return Ok(());
+        return;
     }
     let max_iters = lanes[..active].iter().map(|l| l.literal_len.div_ceil(COPY_GRANULE)).max().unwrap_or(0);
     warp.charge_instructions(max_iters * INSTR_PER_COPY_ITER);
@@ -237,23 +248,6 @@ fn copy_literals(
     // writes scatter to per-lane output cursors.
     warp.global_read(total_bytes, true);
     warp.global_write(total_bytes, false);
-
-    for lane in &lanes[..active] {
-        let src = lane.literal_src as usize;
-        let dst = lane.out_start as usize;
-        let len = lane.literal_len as usize;
-        output[dst..dst + len].copy_from_slice(&block.literals[src..src + len]);
-    }
-    Ok(())
-}
-
-/// Copies one lane's back-reference byte by byte (handles overlap).
-fn copy_backref(output: &mut [u8], lane: &LaneState) {
-    let write_pos = lane.write_pos() as usize;
-    let read_pos = write_pos - lane.match_offset as usize;
-    for i in 0..lane.match_len as usize {
-        output[write_pos + i] = output[read_pos + i];
-    }
 }
 
 fn charge_backref_copy(warp: &mut Warp, bytes: u64, max_lane_bytes: u64) {
@@ -268,8 +262,8 @@ fn charge_backref_copy(warp: &mut Warp, bytes: u64, max_lane_bytes: u64) {
     warp.global_write(bytes, false);
 }
 
-/// Step (c), SC strategy: one lane at a time copies its back-reference.
-fn resolve_sequential(warp: &mut Warp, output: &mut [u8], lanes: &[LaneState; WARP_SIZE], active: usize) {
+/// Step (c), SC strategy: one lane at a time resolves its back-reference.
+fn resolve_sequential(warp: &mut Warp, lanes: &[LaneState; WARP_SIZE], active: usize) {
     for lane in &lanes[..active] {
         if lane.match_len == 0 {
             continue;
@@ -278,42 +272,42 @@ fn resolve_sequential(warp: &mut Warp, output: &mut [u8], lanes: &[LaneState; WA
         // lane, and the copy cost is charged for that single lane.
         warp.begin_round(1);
         charge_backref_copy(warp, lane.match_len, lane.match_len);
-        copy_backref(output, lane);
     }
 }
 
-/// Step (c), DE strategy: every lane copies in a single round.
-fn resolve_single_round(warp: &mut Warp, output: &mut [u8], lanes: &[LaneState; WARP_SIZE], active: usize) {
-    let with_match: Vec<&LaneState> = lanes[..active].iter().filter(|l| l.match_len > 0).collect();
-    if with_match.is_empty() {
+/// Step (c), DE strategy: every lane resolves in a single round.
+fn resolve_single_round(warp: &mut Warp, lanes: &[LaneState; WARP_SIZE], active: usize) {
+    let mut with_match = 0u32;
+    let mut total = 0u64;
+    let mut max_lane = 0u64;
+    for lane in &lanes[..active] {
+        if lane.match_len > 0 {
+            with_match += 1;
+            total += lane.match_len;
+            max_lane = max_lane.max(lane.match_len);
+        }
+    }
+    if with_match == 0 {
         return;
     }
-    warp.begin_round(with_match.len() as u32);
-    let total: u64 = with_match.iter().map(|l| l.match_len).sum();
-    let max_lane = with_match.iter().map(|l| l.match_len).max().unwrap_or(0);
+    warp.begin_round(with_match);
     charge_backref_copy(warp, total, max_lane);
-    // Execution order within the round does not matter for DE-compressed
-    // data; lane order keeps the host-side copy correct even for inputs that
-    // violate the invariant (they are still LZ77-consistent sequentially).
-    for lane in &with_match {
-        copy_backref(output, lane);
-    }
 }
 
 /// Step (c), MRR strategy: the Multi-Round Resolution algorithm of Figure 5.
-fn resolve_multi_round(
-    warp: &mut Warp,
-    output: &mut [u8],
-    lanes: &[LaneState; WARP_SIZE],
-    active: usize,
-    mrr: &mut MrrStats,
-) {
-    // `pending[lane]` — the lane still has a back-reference to write.
-    let mut pending = [false; WARP_SIZE];
+///
+/// Lane state lives in `u32` bitmasks (bit `i` = lane `i`), the host-side
+/// shape of what the GPU's ballot produces anyway; every charge to `warp` is
+/// identical to the former `[bool; 32]` walk.
+fn resolve_multi_round(warp: &mut Warp, lanes: &[LaneState; WARP_SIZE], active: usize, mrr: &mut MrrStats) {
+    // Bit `i` of `pending` — lane `i` still has a back-reference to write.
+    let mut pending = 0u32;
     for (i, lane) in lanes[..active].iter().enumerate() {
-        pending[i] = lane.match_len > 0;
+        if lane.match_len > 0 {
+            pending |= 1 << i;
+        }
     }
-    if !pending.iter().any(|&p| p) {
+    if pending == 0 {
         mrr.record_group(&[]);
         return;
     }
@@ -321,26 +315,32 @@ fn resolve_multi_round(
     // The high-water mark: output written so far without gaps. Literals are
     // already in place, so the gap-free region extends to the back-reference
     // slot of the first pending lane.
-    let mut hwm = high_water_mark(lanes, active, &pending);
-    let mut bytes_by_round: Vec<u64> = Vec::new();
+    let mut hwm = high_water_mark(lanes, active, pending);
+    // At least one lane resolves per round, so a group runs at most 32
+    // rounds — the per-round byte tallies fit a fixed lane-sized buffer.
+    let mut bytes_by_round = [0u64; WARP_SIZE];
+    let mut rounds = 0usize;
+    // The broadcast source values never change across rounds.
+    let lane_values: [u64; WARP_SIZE] =
+        std::array::from_fn(|i| if i < active { lanes[i].out_end() } else { 0 });
 
     loop {
         // Which lanes can resolve this round? A lane may copy once every
         // byte it reads from *other* lanes' output lies below the HWM; bytes
         // it reads from its own output (overlapping matches) are produced by
         // its own sequential copy loop.
-        let mut resolvable = [false; WARP_SIZE];
+        let mut resolvable = 0u32;
         let mut resolved_bytes = 0u64;
         let mut max_lane_bytes = 0u64;
-        for i in 0..active {
-            if !pending[i] {
-                continue;
-            }
+        let mut m = pending;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            m &= m - 1;
             let lane = &lanes[i];
             let read_start = lane.write_pos() - lane.match_offset;
             let foreign_read_end = (read_start + lane.match_len).min(lane.write_pos());
             if foreign_read_end <= hwm || lane.write_pos() <= hwm {
-                resolvable[i] = true;
+                resolvable |= 1 << i;
                 resolved_bytes += lane.match_len;
                 max_lane_bytes = max_lane_bytes.max(lane.match_len);
             }
@@ -349,50 +349,41 @@ fn resolve_multi_round(
         // The ballot over `pending` is what the GPU uses both to detect
         // termination and to find the last finished sequence (Figure 5,
         // lines 8–10).
-        let pending_mask = warp.ballot(&pending);
+        let pending_mask = warp.ballot_mask(WarpMask(pending));
         warp.charge_instructions(MRR_ROUND_OVERHEAD_INSTR);
         if pending_mask.is_empty() {
             break;
         }
 
-        debug_assert!(
-            resolvable.iter().any(|&r| r),
-            "MRR made no progress; HWM = {hwm}, pending = {pending:?}"
-        );
+        debug_assert!(resolvable != 0, "MRR made no progress; HWM = {hwm}, pending = {pending:#034b}");
 
-        warp.begin_round(resolvable.iter().filter(|&&r| r).count() as u32);
+        warp.begin_round(resolvable.count_ones());
         charge_backref_copy(warp, resolved_bytes, max_lane_bytes);
-        bytes_by_round.push(resolved_bytes);
+        bytes_by_round[rounds] = resolved_bytes;
+        rounds += 1;
 
-        for i in 0..active {
-            if resolvable[i] {
-                copy_backref(output, &lanes[i]);
-                pending[i] = false;
-            }
-        }
+        pending &= !resolvable;
 
         // Broadcast the new high-water mark from the last writer (one
         // shuffle on the GPU).
-        let lane_values: [u64; WARP_SIZE] =
-            std::array::from_fn(|i| if i < active { lanes[i].out_end() } else { 0 });
-        let done_prefix = first_pending(&pending, active);
+        let done_prefix = first_pending(pending, active);
         if done_prefix > 0 {
             let _ = warp.shfl(&lane_values, done_prefix - 1);
         }
-        hwm = high_water_mark(lanes, active, &pending);
+        hwm = high_water_mark(lanes, active, pending);
     }
 
-    mrr.record_group(&bytes_by_round);
+    mrr.record_group(&bytes_by_round[..rounds]);
 }
 
 /// Index of the first lane that is still pending, or `active` if none.
-fn first_pending(pending: &[bool; WARP_SIZE], active: usize) -> usize {
-    (0..active).find(|&i| pending[i]).unwrap_or(active)
+fn first_pending(pending: u32, active: usize) -> usize {
+    (pending.trailing_zeros() as usize).min(active)
 }
 
 /// The gap-free written position: everything before the first pending
 /// lane's back-reference slot.
-fn high_water_mark(lanes: &[LaneState; WARP_SIZE], active: usize, pending: &[bool; WARP_SIZE]) -> u64 {
+fn high_water_mark(lanes: &[LaneState; WARP_SIZE], active: usize, pending: u32) -> u64 {
     let p = first_pending(pending, active);
     if p == active {
         if active == 0 {

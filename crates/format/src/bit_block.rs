@@ -8,7 +8,7 @@
 //! sum and start decoding immediately — the single-pass parallel Huffman
 //! decoding scheme of Section III-B-1.
 
-use crate::token_code::{TokenCoder, END_OF_SEQUENCES, FIRST_LENGTH_SYMBOL};
+use crate::token_code::{TokenCoder, TokenTables, END_OF_SEQUENCES, FIRST_LENGTH_SYMBOL};
 use crate::{FormatError, Result};
 use gompresso_bitstream::{read_varint, write_varint, BitReader, BitWriter, ByteReader, ByteWriter};
 use gompresso_huffman::{CanonicalCode, DecodeTable, EncodeTable, Histogram};
@@ -290,28 +290,134 @@ impl BitBlock {
         sequences.reserve(n_seq.min(self.bitstream.len().saturating_mul(8)));
 
         for _ in 0..n_seq {
-            let mut literal_len = 0u32;
-            let (match_offset, match_len) = loop {
-                let sym = lit_len_dec.decode(&mut r)?;
-                if sym < END_OF_SEQUENCES {
-                    literals.push(sym as u8);
-                    literal_len += 1;
-                } else if sym == END_OF_SEQUENCES {
-                    break (0u32, 0u32);
-                } else {
-                    // A match-length symbol terminates the literal run.
-                    debug_assert!(sym >= FIRST_LENGTH_SYMBOL);
-                    let len_bits = coder.length_extra_bits(sym)?;
-                    let len_extra = r.read_bits(u32::from(len_bits))?;
-                    let match_len = coder.decode_length(sym, len_extra)?;
-                    let off_sym = offset_dec.decode(&mut r)?;
-                    let off_bits = coder.offset_extra_bits(off_sym)?;
-                    let off_extra = r.read_bits(u32::from(off_bits))?;
-                    let match_offset = coder.decode_offset(off_sym, off_extra)?;
-                    break (match_offset, match_len);
-                }
+            // A whole literal run decodes in one batched call that amortizes
+            // refill and EOF accounting per group of symbols; the symbol
+            // that ends the run is either EOS or a match-length symbol.
+            let (sym, literal_len) = lit_len_dec.decode_run(&mut r, END_OF_SEQUENCES, literals)?;
+            let (match_offset, match_len) = if sym == END_OF_SEQUENCES {
+                (0u32, 0u32)
+            } else {
+                debug_assert!(sym >= FIRST_LENGTH_SYMBOL);
+                let len_bits = coder.length_extra_bits(sym)?;
+                let len_extra = r.read_bits(u32::from(len_bits))?;
+                let match_len = coder.decode_length(sym, len_extra)?;
+                let off_sym = offset_dec.decode(&mut r)?;
+                let off_bits = coder.offset_extra_bits(off_sym)?;
+                let off_extra = r.read_bits(u32::from(off_bits))?;
+                let match_offset = coder.decode_offset(off_sym, off_extra)?;
+                (match_offset, match_len)
             };
             sequences.push(Sequence { literal_len, match_offset, match_len });
+        }
+        Ok(())
+    }
+
+    /// Decodes `count` consecutive sub-blocks starting at `first` with `S`
+    /// interleaved bitstream cursors, appending sequences and literals to
+    /// the caller's buffers *in sub-block order* and pushing one
+    /// [`SubBlockStats`] per sub-block.
+    ///
+    /// This is the CPU analogue of the paper's one-sub-block-per-lane
+    /// parallel Huffman decode (Section III-B-1): each sub-block owns an
+    /// independent bitstream, so a worker keeps `S` [`BitReader`] cursors
+    /// live and round-robins one symbol decode across them per iteration.
+    /// The `S` table lookups per round have no data dependencies on each
+    /// other, so the out-of-order core overlaps their load-to-use latencies
+    /// — the ILP that a one-sub-block-at-a-time walk leaves on the table.
+    /// Lanes stage into `scratch` and drain in order after each chunk of
+    /// `S` sub-blocks, so the output is byte-identical to the sequential
+    /// walk.
+    ///
+    /// `first_bit_offset` must be the absolute bit offset of sub-block
+    /// `first` (callers decode groups in order and track it incrementally,
+    /// avoiding the quadratic per-sub-block prefix sum of
+    /// [`Self::sub_block_bit_offset`]).
+    #[allow(clippy::too_many_arguments)] // mirrors decode_sub_block_into + scratch/stats sinks
+    pub fn decode_sub_blocks_interleaved<const S: usize>(
+        &self,
+        first: usize,
+        count: usize,
+        first_bit_offset: u64,
+        coder: &TokenCoder,
+        lit_len_dec: &DecodeTable,
+        offset_dec: &DecodeTable,
+        scratch: &mut InterleaveScratch,
+        sequences: &mut Vec<Sequence>,
+        literals: &mut Vec<u8>,
+        stats: &mut Vec<SubBlockStats>,
+    ) -> Result<()> {
+        assert!(S >= 1, "at least one interleaved stream");
+        if count == 0 {
+            return Ok(());
+        }
+        if first + count > self.sub_block_bits.len() {
+            return Err(FormatError::SubBlockOutOfRange {
+                index: first + count - 1,
+                available: self.sub_block_bits.len(),
+            });
+        }
+        debug_assert_eq!(
+            first_bit_offset,
+            self.sub_block_bit_offset(first)?,
+            "caller-tracked bit cursor out of sync"
+        );
+        if scratch.lanes.len() < S {
+            scratch.lanes.resize_with(S, LaneStaging::default);
+        }
+        scratch.ensure_tokens(coder);
+        let InterleaveScratch { lanes: lane_staging, tokens } = scratch;
+        let tables = &tokens.as_ref().expect("ensure_tokens populated the cache").1;
+        let cap_bits = self.bitstream.len().saturating_mul(8);
+        let mut next_bit = first_bit_offset;
+        let mut cursors: Vec<LaneCursor<'_>> = Vec::with_capacity(S);
+
+        let mut idx = first;
+        let end = first + count;
+        while idx < end {
+            let chunk = S.min(end - idx);
+            cursors.clear();
+            let mut active = 0usize;
+            for (lane, staging) in lane_staging.iter_mut().enumerate().take(chunk) {
+                let sub = idx + lane;
+                let n_seq = self.sub_block_sequences(sub)?;
+                staging.sequences.clear();
+                staging.literals.clear();
+                staging.sequences.reserve((n_seq as usize).min(cap_bits));
+                let r = BitReader::at_bit_offset(&self.bitstream, next_bit)?;
+                next_bit += u64::from(self.sub_block_bits[sub]);
+                cursors.push(LaneCursor { r, remaining: n_seq, literal_len: 0, matches: 0 });
+                if n_seq > 0 {
+                    active += 1;
+                }
+            }
+            // Round-robin: each live lane runs one *turn* per pass — one
+            // accumulator refill, then as many symbol decodes as the cached
+            // bits cover (roughly four to five codewords). Turns from
+            // different lanes have no data dependencies on each other, so
+            // their table lookups overlap in the out-of-order window, while
+            // the per-turn batching keeps the rotation overhead amortized.
+            while active > 0 {
+                for (lane, cur) in cursors.iter_mut().enumerate() {
+                    if cur.remaining == 0 {
+                        continue;
+                    }
+                    cur.run_turn(&mut lane_staging[lane], tables, lit_len_dec, offset_dec)?;
+                    if cur.remaining == 0 {
+                        active -= 1;
+                    }
+                }
+            }
+            for (lane, cur) in cursors.iter().enumerate() {
+                let staging = &lane_staging[lane];
+                sequences.extend_from_slice(&staging.sequences);
+                literals.extend_from_slice(&staging.literals);
+                stats.push(SubBlockStats {
+                    sequences: staging.sequences.len() as u32,
+                    matches: cur.matches,
+                    literals: staging.literals.len() as u32,
+                });
+            }
+            idx += chunk;
         }
         Ok(())
     }
@@ -410,6 +516,171 @@ impl BitBlock {
         let mut w = ByteWriter::new();
         self.serialize(&mut w);
         w.len()
+    }
+}
+
+/// Per-sub-block tallies reported by
+/// [`BitBlock::decode_sub_blocks_interleaved`].
+///
+/// These are exactly the quantities the simulated decode kernel charges per
+/// lane, so the driver can reproduce its lock-step counter accounting
+/// without re-walking the decoded sequences.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubBlockStats {
+    /// Sequences the sub-block decoded to.
+    pub sequences: u32,
+    /// How many of those sequences carry a back-reference.
+    pub matches: u32,
+    /// Literal bytes the sub-block decoded to.
+    pub literals: u32,
+}
+
+impl SubBlockStats {
+    /// Coded symbols the sub-block contained: one per literal byte, one
+    /// length-or-EOS symbol per sequence and one offset symbol per match.
+    pub fn symbols(&self) -> u64 {
+        u64::from(self.literals) + u64::from(self.sequences) + u64::from(self.matches)
+    }
+}
+
+/// Reusable per-lane staging buffers for
+/// [`BitBlock::decode_sub_blocks_interleaved`].
+///
+/// Interleaved lanes decode concurrently but must land in the output in
+/// sub-block order, so each lane stages into its own pair of buffers and
+/// the driver drains them in order after every chunk. A per-worker scratch
+/// keeps steady-state decoding allocation-free once the buffers have grown
+/// to the largest sub-block a worker has seen.
+#[derive(Debug, Clone, Default)]
+pub struct InterleaveScratch {
+    lanes: Vec<LaneStaging>,
+    /// Flat token tables, cached per coder so steady-state decoding rebuilds
+    /// them only when the file's coding parameters change.
+    tokens: Option<(TokenCoder, TokenTables)>,
+}
+
+impl InterleaveScratch {
+    /// Rebuilds the cached token tables if `coder` differs from the cached
+    /// parameters (or nothing is cached yet).
+    fn ensure_tokens(&mut self, coder: &TokenCoder) {
+        if self.tokens.as_ref().is_none_or(|(cached, _)| cached != coder) {
+            self.tokens = Some((*coder, TokenTables::new(coder)));
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct LaneStaging {
+    sequences: Vec<Sequence>,
+    literals: Vec<u8>,
+}
+
+/// One live decoding stream of the interleaved walk: a bit cursor plus the
+/// in-flight sequence state (literal run length so far, sequences left).
+struct LaneCursor<'a> {
+    r: BitReader<'a>,
+    remaining: u32,
+    literal_len: u32,
+    matches: u32,
+}
+
+/// Reads `bits` extra bits, preferring the already-cached accumulator bits
+/// and falling back to the checked read near the stream tail.
+#[inline]
+fn read_extra(r: &mut BitReader<'_>, bits: u8) -> Result<u32> {
+    let bits = u32::from(bits);
+    if bits == 0 {
+        return Ok(0);
+    }
+    if r.cached_bits() >= bits {
+        let v = r.peek_cached(bits);
+        r.consume_peeked(bits);
+        Ok(v)
+    } else {
+        r.read_bits(bits).map_err(Into::into)
+    }
+}
+
+impl LaneCursor<'_> {
+    /// Runs one interleaved turn: refills the accumulator once, then decodes
+    /// symbols against the cached bits until the accumulator runs low (the
+    /// next turn refills), the sub-block completes, or the stream tail is
+    /// reached (per-symbol checked decoding takes over there so EOF and
+    /// truncation surface exactly like the sequential walk).
+    #[inline]
+    fn run_turn(
+        &mut self,
+        staging: &mut LaneStaging,
+        tables: &TokenTables,
+        lit_len_dec: &DecodeTable,
+        offset_dec: &DecodeTable,
+    ) -> Result<()> {
+        let width = u32::from(lit_len_dec.index_bits());
+        self.r.refill();
+        while self.remaining > 0 {
+            if self.r.cached_bits() < width {
+                if self.r.remaining_bits() >= u64::from(width) {
+                    // Mid-stream, accumulator low: yield the turn.
+                    return Ok(());
+                }
+                // Stream tail: checked decode (zero-filled window, precise
+                // EOF reporting).
+                let sym = lit_len_dec.decode(&mut self.r)?;
+                if sym < END_OF_SEQUENCES {
+                    staging.literals.push(sym as u8);
+                    self.literal_len += 1;
+                } else {
+                    self.finish_symbol(sym, staging, tables, offset_dec)?;
+                }
+                continue;
+            }
+            let sym = lit_len_dec.decode_cached(&mut self.r)?;
+            if sym < END_OF_SEQUENCES {
+                staging.literals.push(sym as u8);
+                self.literal_len += 1;
+                continue;
+            }
+            self.finish_symbol(sym, staging, tables, offset_dec)?;
+        }
+        Ok(())
+    }
+
+    /// Completes the sequence the symbol `sym` (EOS or a match-length
+    /// symbol) terminates: for a match, decodes the tail — length extra
+    /// bits, offset codeword, offset extra bits — through the flat token
+    /// tables, refilling once so the whole tail usually comes from cached
+    /// bits.
+    #[inline]
+    fn finish_symbol(
+        &mut self,
+        sym: u16,
+        staging: &mut LaneStaging,
+        tables: &TokenTables,
+        offset_dec: &DecodeTable,
+    ) -> Result<()> {
+        let (match_offset, match_len) = if sym == END_OF_SEQUENCES {
+            (0u32, 0u32)
+        } else {
+            debug_assert!(sym >= FIRST_LENGTH_SYMBOL);
+            let (len_base, len_bits) = tables.length_entry(sym)?;
+            self.r.refill();
+            let len_extra = read_extra(&mut self.r, len_bits)?;
+            let match_len = tables.check_length(len_base + len_extra)?;
+            let off_sym = if self.r.cached_bits() >= u32::from(offset_dec.index_bits()) {
+                offset_dec.decode_cached(&mut self.r)?
+            } else {
+                offset_dec.decode(&mut self.r)?
+            };
+            let (off_base, off_bits) = tables.offset_entry(off_sym)?;
+            let off_extra = read_extra(&mut self.r, off_bits)?;
+            let match_offset = tables.check_offset(off_base + off_extra)?;
+            self.matches += 1;
+            (match_offset, match_len)
+        };
+        staging.sequences.push(Sequence { literal_len: self.literal_len, match_offset, match_len });
+        self.literal_len = 0;
+        self.remaining -= 1;
+        Ok(())
     }
 }
 

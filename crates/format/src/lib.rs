@@ -35,7 +35,7 @@ pub mod header;
 pub mod stream_frame;
 pub mod token_code;
 
-pub use bit_block::{BitBlock, EncodeScratch};
+pub use bit_block::{BitBlock, EncodeScratch, InterleaveScratch, SubBlockStats};
 pub use byte_block::ByteBlock;
 pub use error::FormatError;
 pub use file::{BlockPayload, CompressedFile};

@@ -166,12 +166,125 @@ impl TokenCoder {
     }
 }
 
+/// Flat per-symbol decode tables for the token coder.
+///
+/// [`TokenCoder::decode_length`]/[`TokenCoder::decode_offset`] re-derive the
+/// bucket base and re-validate the symbol on every call; the hot decode path
+/// instead builds these tables once per block and turns each match token
+/// into two array loads plus an add. The tables bake the `+ min_match_len` /
+/// `+ 1` rebase in, so `base + extra` *is* the decoded value; range checks
+/// against the configured maxima stay at the call site (corrupt extra bits
+/// can still push past them).
+#[derive(Debug, Clone)]
+pub struct TokenTables {
+    /// Indexed by `symbol - FIRST_LENGTH_SYMBOL`: `(bucket base +
+    /// min_match_len, extra bits)`.
+    lengths: Box<[(u32, u8)]>,
+    /// Indexed by offset symbol: `(bucket base + 1, extra bits)`.
+    offsets: Box<[(u32, u8)]>,
+    /// Largest decodable match length.
+    pub max_match_len: u32,
+    /// Largest decodable offset (the window size).
+    pub max_offset: u32,
+}
+
+impl TokenTables {
+    /// Builds the tables for a coder.
+    pub fn new(coder: &TokenCoder) -> Self {
+        let lengths = (FIRST_LENGTH_SYMBOL..coder.lit_len_alphabet() as u16)
+            .map(|sym| {
+                let (base, bits) = bucket_base(sym - FIRST_LENGTH_SYMBOL);
+                (base + coder.min_match_len, bits)
+            })
+            .collect();
+        let offsets = (0..coder.offset_alphabet() as u16)
+            .map(|sym| {
+                let (base, bits) = bucket_base(sym);
+                (base + 1, bits)
+            })
+            .collect();
+        Self { lengths, offsets, max_match_len: coder.max_match_len, max_offset: coder.max_offset }
+    }
+
+    /// `(rebased bucket base, extra bits)` for a length symbol, or an error
+    /// for symbols outside the alphabet (decodable only from corrupt code
+    /// tables).
+    #[inline]
+    pub fn length_entry(&self, symbol: u16) -> Result<(u32, u8)> {
+        debug_assert!(symbol >= FIRST_LENGTH_SYMBOL);
+        self.lengths
+            .get(usize::from(symbol - FIRST_LENGTH_SYMBOL))
+            .copied()
+            .ok_or(FormatError::InvalidToken { reason: "not a length symbol" })
+    }
+
+    /// `(rebased bucket base, extra bits)` for an offset symbol.
+    #[inline]
+    pub fn offset_entry(&self, symbol: u16) -> Result<(u32, u8)> {
+        self.offsets
+            .get(usize::from(symbol))
+            .copied()
+            .ok_or(FormatError::InvalidToken { reason: "not an offset symbol" })
+    }
+
+    /// Validates a reassembled match length against the configured maximum.
+    #[inline]
+    pub fn check_length(&self, len: u32) -> Result<u32> {
+        if len > self.max_match_len {
+            return Err(FormatError::InvalidToken { reason: "decoded match length exceeds maximum" });
+        }
+        Ok(len)
+    }
+
+    /// Validates a reassembled offset against the window size.
+    #[inline]
+    pub fn check_offset(&self, offset: u32) -> Result<u32> {
+        if offset > self.max_offset {
+            return Err(FormatError::InvalidToken { reason: "decoded offset exceeds window" });
+        }
+        Ok(offset)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn coder() -> TokenCoder {
         TokenCoder::new(3, 258, 32 * 1024).unwrap()
+    }
+
+    #[test]
+    fn token_tables_agree_with_coder_decode() {
+        let c = coder();
+        let t = TokenTables::new(&c);
+        for sym in FIRST_LENGTH_SYMBOL..c.lit_len_alphabet() as u16 {
+            let (base, bits) = t.length_entry(sym).unwrap();
+            assert_eq!(bits, c.length_extra_bits(sym).unwrap());
+            for extra in [0u32, (1u32 << bits) - 1] {
+                let direct = c.decode_length(sym, extra);
+                let via_table = t.check_length(base + extra);
+                assert_eq!(direct.is_ok(), via_table.is_ok(), "len sym {sym} extra {extra}");
+                if let (Ok(a), Ok(b)) = (direct, via_table) {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+        for sym in 0..c.offset_alphabet() as u16 {
+            let (base, bits) = t.offset_entry(sym).unwrap();
+            assert_eq!(bits, c.offset_extra_bits(sym).unwrap());
+            for extra in [0u32, (1u32 << bits) - 1] {
+                let direct = c.decode_offset(sym, extra);
+                let via_table = t.check_offset(base + extra);
+                assert_eq!(direct.is_ok(), via_table.is_ok(), "off sym {sym} extra {extra}");
+                if let (Ok(a), Ok(b)) = (direct, via_table) {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+        // Out-of-alphabet symbols error like the coder's range checks.
+        assert!(t.length_entry(c.lit_len_alphabet() as u16).is_err());
+        assert!(t.offset_entry(c.offset_alphabet() as u16).is_err());
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Interleaved multi-stream decode ≡ sequential sub-block decode.
+//!
+//! `BitBlock::decode_sub_blocks_interleaved` must append exactly the
+//! sequences and literals the one-sub-block-at-a-time walk produces, in the
+//! same order, for every stream count `S` — including chunks shorter than
+//! `S` (sub-block counts not divisible by the stream count), single-symbol
+//! sub-blocks, and the short tail sub-block — and its per-sub-block stats
+//! must agree with a re-walk of the decoded sequences.
+
+use gompresso_format::token_code::TokenCoder;
+use gompresso_format::{BitBlock, InterleaveScratch, SubBlockStats};
+use gompresso_huffman::DecodeTable;
+use gompresso_lz77::{Matcher, MatcherConfig, Sequence};
+use proptest::prelude::*;
+
+fn coder() -> TokenCoder {
+    TokenCoder::new(3, 64, 8 * 1024).unwrap()
+}
+
+/// Decodes the whole block with `S` interleaved streams, group-at-a-time
+/// like the core driver (groups of 32 sub-blocks, incremented bit cursor).
+fn interleaved_decode<const S: usize>(bit: &BitBlock) -> (Vec<Sequence>, Vec<u8>, Vec<SubBlockStats>) {
+    let lit_dec = DecodeTable::new(&bit.lit_len_code).unwrap();
+    let off_dec = DecodeTable::new(&bit.offset_code).unwrap();
+    let mut scratch = InterleaveScratch::default();
+    let mut sequences = Vec::new();
+    let mut literals = Vec::new();
+    let mut stats = Vec::new();
+    let mut bit_cursor = 0u64;
+    let n = bit.sub_block_count();
+    for group_start in (0..n).step_by(32) {
+        let count = 32.min(n - group_start);
+        bit.decode_sub_blocks_interleaved::<S>(
+            group_start,
+            count,
+            bit_cursor,
+            &coder(),
+            &lit_dec,
+            &off_dec,
+            &mut scratch,
+            &mut sequences,
+            &mut literals,
+            &mut stats,
+        )
+        .unwrap();
+        bit_cursor +=
+            bit.sub_block_bits[group_start..group_start + count].iter().map(|&b| u64::from(b)).sum::<u64>();
+    }
+    (sequences, literals, stats)
+}
+
+fn sequential_decode(bit: &BitBlock) -> (Vec<Sequence>, Vec<u8>) {
+    let lit_dec = DecodeTable::new(&bit.lit_len_code).unwrap();
+    let off_dec = DecodeTable::new(&bit.offset_code).unwrap();
+    let mut sequences = Vec::new();
+    let mut literals = Vec::new();
+    for i in 0..bit.sub_block_count() {
+        bit.decode_sub_block_into(i, &coder(), &lit_dec, &off_dec, &mut sequences, &mut literals).unwrap();
+    }
+    (sequences, literals)
+}
+
+fn check_all_stream_counts(bit: &BitBlock) {
+    let (ref_seqs, ref_lits) = sequential_decode(bit);
+    // Per-sub-block ground truth for the stats.
+    let mut expected_stats = Vec::new();
+    let mut seq_cursor = 0usize;
+    for i in 0..bit.sub_block_count() {
+        let n = bit.sub_block_sequences(i).unwrap() as usize;
+        let slice = &ref_seqs[seq_cursor..seq_cursor + n];
+        expected_stats.push(SubBlockStats {
+            sequences: n as u32,
+            matches: slice.iter().filter(|s| s.has_match()).count() as u32,
+            literals: slice.iter().map(|s| s.literal_len).sum(),
+        });
+        seq_cursor += n;
+    }
+
+    macro_rules! check {
+        ($s:literal) => {{
+            let (seqs, lits, stats) = interleaved_decode::<$s>(bit);
+            assert_eq!(seqs, ref_seqs, "S = {}", $s);
+            assert_eq!(lits, ref_lits, "S = {}", $s);
+            assert_eq!(stats, expected_stats, "S = {}", $s);
+        }};
+    }
+    check!(1);
+    check!(2);
+    check!(3);
+    check!(4);
+    check!(8);
+}
+
+fn encode(input: &[u8], per_sub_block: u32) -> BitBlock {
+    let block = Matcher::new(MatcherConfig::default()).compress(input);
+    BitBlock::encode(&block, &coder(), per_sub_block, 10).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random compressible inputs across sub-block granularities, including
+    /// granularities that leave sub-block counts not divisible by any S.
+    #[test]
+    fn interleaved_matches_sequential(
+        input in proptest::collection::vec(proptest::collection::vec(0u8..12, 1..50), 1..80)
+            .prop_map(|chunks| chunks.concat()),
+        per_sub_block in prop_oneof![Just(1u32), Just(2), Just(3), Just(5), Just(8), Just(16)],
+    ) {
+        check_all_stream_counts(&encode(&input, per_sub_block));
+    }
+
+    /// Incompressible inputs: literal-heavy single-sequence sub-blocks.
+    #[test]
+    fn interleaved_matches_sequential_on_random_data(
+        input in proptest::collection::vec(any::<u8>(), 0..2000),
+        per_sub_block in prop_oneof![Just(1u32), Just(4), Just(16)],
+    ) {
+        check_all_stream_counts(&encode(&input, per_sub_block));
+    }
+}
+
+#[test]
+fn sub_block_counts_not_divisible_by_stream_count() {
+    // Force specific sub-block counts around the chunk boundaries: 1, S-1,
+    // S, S+1, 2S+3 sub-blocks for the S values under test.
+    let input = b"the quick brown fox jumps over the lazy dog, again and again and again. ".repeat(60);
+    let block = Matcher::new(MatcherConfig::default()).compress(&input);
+    for target_sub_blocks in [1usize, 2, 3, 4, 5, 7, 9, 11] {
+        let per = (block.sequences.len().div_ceil(target_sub_blocks)).max(1) as u32;
+        let bit = BitBlock::encode(&block, &coder(), per, 10).unwrap();
+        check_all_stream_counts(&bit);
+    }
+}
+
+#[test]
+fn empty_block_and_empty_range_are_noops() {
+    let bit = encode(&[], 4);
+    assert_eq!(bit.sub_block_count(), 0);
+    let lit_dec = DecodeTable::new(&bit.lit_len_code).unwrap();
+    let off_dec = DecodeTable::new(&bit.offset_code).unwrap();
+    let mut scratch = InterleaveScratch::default();
+    let (mut seqs, mut lits, mut stats) = (Vec::new(), Vec::new(), Vec::new());
+    bit.decode_sub_blocks_interleaved::<4>(
+        0,
+        0,
+        0,
+        &coder(),
+        &lit_dec,
+        &off_dec,
+        &mut scratch,
+        &mut seqs,
+        &mut lits,
+        &mut stats,
+    )
+    .unwrap();
+    assert!(seqs.is_empty() && lits.is_empty() && stats.is_empty());
+}
+
+#[test]
+fn out_of_range_interleaved_decode_is_rejected() {
+    let bit = encode(b"range check range check range check", 4);
+    let lit_dec = DecodeTable::new(&bit.lit_len_code).unwrap();
+    let off_dec = DecodeTable::new(&bit.offset_code).unwrap();
+    let mut scratch = InterleaveScratch::default();
+    let (mut seqs, mut lits, mut stats) = (Vec::new(), Vec::new(), Vec::new());
+    let n = bit.sub_block_count();
+    let err = bit.decode_sub_blocks_interleaved::<2>(
+        0,
+        n + 1,
+        0,
+        &coder(),
+        &lit_dec,
+        &off_dec,
+        &mut scratch,
+        &mut seqs,
+        &mut lits,
+        &mut stats,
+    );
+    assert!(err.is_err());
+}
+
+#[test]
+fn corrupted_bitstream_interleaved_errors_not_panics() {
+    let mut bit = encode(&b"corrupt me corrupt me corrupt me ".repeat(40), 8);
+    let mid = bit.bitstream.len() / 2;
+    let end = (mid + 24).min(bit.bitstream.len());
+    for b in &mut bit.bitstream[mid..end] {
+        *b ^= 0xA5;
+    }
+    let lit_dec = DecodeTable::new(&bit.lit_len_code).unwrap();
+    let off_dec = DecodeTable::new(&bit.offset_code).unwrap();
+    let mut scratch = InterleaveScratch::default();
+    let (mut seqs, mut lits, mut stats) = (Vec::new(), Vec::new(), Vec::new());
+    // Either an error or a structurally different decode is fine; a panic
+    // is not.
+    let _ = bit.decode_sub_blocks_interleaved::<4>(
+        0,
+        bit.sub_block_count(),
+        0,
+        &coder(),
+        &lit_dec,
+        &off_dec,
+        &mut scratch,
+        &mut seqs,
+        &mut lits,
+        &mut stats,
+    );
+}

@@ -10,12 +10,17 @@ use crate::{CanonicalCode, HuffmanError, Result};
 use gompresso_bitstream::{BitReader, StreamError};
 
 /// A flat decode look-up table for one canonical code.
+///
+/// Entries are packed as `symbol << 8 | code_len` in a boxed `u32` slice, so
+/// each LUT slot occupies exactly the 4 bytes the GPU occupancy model charges
+/// for it ([`Self::simulated_shared_bytes`]) — half the cache footprint of
+/// the former `(u16, u8)` tuple layout, which padded to 8 bytes per entry.
 #[derive(Debug, Clone)]
 pub struct DecodeTable {
-    /// `entries[bits]` = (symbol, code length); length 0 marks an invalid
+    /// `entries[bits]` = `symbol << 8 | len`; length 0 marks an invalid
     /// codeword prefix (possible when the code does not exhaust the Kraft
     /// budget).
-    entries: Vec<(u16, u8)>,
+    entries: Box<[u32]>,
     /// Index width in bits (the code's maximum codeword length).
     index_bits: u8,
 }
@@ -28,7 +33,7 @@ impl DecodeTable {
             return Err(HuffmanError::InvalidMaxLength(index_bits));
         }
         let size = 1usize << index_bits;
-        let mut entries = vec![(0u16, 0u8); size];
+        let mut entries = vec![0u32; size].into_boxed_slice();
         for (sym, entry) in code.entries().iter().enumerate() {
             if entry.len == 0 {
                 continue;
@@ -38,9 +43,10 @@ impl DecodeTable {
             // possible values of the remaining high bits map to this symbol.
             let rev = entry.reversed();
             let step = 1usize << entry.len;
+            let packed = (sym as u32) << 8 | u32::from(entry.len);
             let mut idx = rev as usize;
             while idx < size {
-                entries[idx] = (sym as u16, entry.len);
+                entries[idx] = packed;
                 idx += step;
             }
         }
@@ -63,7 +69,8 @@ impl DecodeTable {
     }
 
     /// Shared-memory footprint of this table in bytes if it were resident on
-    /// the GPU (4 bytes per entry — see the occupancy model).
+    /// the GPU (4 bytes per entry — since the packed-`u32` layout, also the
+    /// host table's actual footprint).
     pub fn simulated_shared_bytes(&self) -> u32 {
         (self.entries.len() * 4) as u32
     }
@@ -81,6 +88,20 @@ impl DecodeTable {
     /// [`Self::index_bits`] bits, as `BitReader::peek_bits` does.
     #[inline]
     pub fn lookup(&self, window: u32) -> (u16, u8) {
+        let e = self.entries[window as usize];
+        ((e >> 8) as u16, (e & 0xFF) as u8)
+    }
+
+    /// Raw table lookup in the packed representation: `symbol << 8 | len`.
+    ///
+    /// This is the hot-path form — one 4-byte load, no tuple re-packing; the
+    /// microbenchmarks compare it against a tuple-layout table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window >= 2^index_bits`, like [`Self::lookup`].
+    #[inline]
+    pub fn lookup_packed(&self, window: u32) -> u32 {
         self.entries[window as usize]
     }
 
@@ -101,7 +122,8 @@ impl DecodeTable {
     #[inline]
     pub fn decode_with_len(&self, r: &mut BitReader<'_>) -> Result<(u16, u8)> {
         let (window, available) = r.peek_window(u32::from(self.index_bits));
-        let (symbol, len) = self.entries[window as usize];
+        let entry = self.entries[window as usize];
+        let (symbol, len) = ((entry >> 8) as u16, (entry & 0xFF) as u8);
         if len == 0 {
             // Canonical codes always assign the all-zeros codeword to their
             // first symbol, so the zero-filled window of an exhausted stream
@@ -127,6 +149,71 @@ impl DecodeTable {
         }
         r.consume_peeked(width);
         Ok((symbol, len))
+    }
+
+    /// Decodes one symbol entirely from the reader's cached bits.
+    ///
+    /// The caller must have verified `r.cached_bits() >= self.index_bits()`
+    /// (checked by a debug assertion): under that invariant the window is
+    /// backed by real stream bits, so the decoded length can neither exceed
+    /// availability nor mask EOF — no refill, no width bookkeeping, just the
+    /// packed lookup and an invalid-prefix check. This is the shared inner
+    /// step of every batched/interleaved fast path; keeping it in one place
+    /// keeps their error behaviour identical.
+    #[inline]
+    pub fn decode_cached(&self, r: &mut BitReader<'_>) -> Result<u16> {
+        debug_assert!(r.cached_bits() >= u32::from(self.index_bits));
+        let window = r.peek_cached(u32::from(self.index_bits));
+        let entry = self.entries[window as usize];
+        let len = entry & 0xFF;
+        if len == 0 {
+            return Err(HuffmanError::InvalidCodeword { bits: window });
+        }
+        r.consume_peeked(len);
+        Ok((entry >> 8) as u16)
+    }
+
+    /// Decodes a run of symbols below `boundary`, appending each (as a byte)
+    /// to `sink`, and returns the first symbol `>= boundary` together with
+    /// the number of bytes appended.
+    ///
+    /// This is the batched form of [`Self::decode`] for byte-valued runs
+    /// (literal strings in the token grammar, where `boundary` is the
+    /// end-of-sequences symbol): while the reader's accumulator holds at
+    /// least one full `CWL`-bit window of real stream bits, symbols are
+    /// decoded with no EOF bookkeeping at all — one cached peek, one packed
+    /// lookup, one unchecked consume per symbol — and the refill plus EOF
+    /// accounting are amortized over the whole group. Within `CWL` bits of
+    /// the stream tail it falls back to the per-symbol checked path, so
+    /// truncation errors are reported exactly as [`Self::decode`] would.
+    #[inline]
+    pub fn decode_run(&self, r: &mut BitReader<'_>, boundary: u16, sink: &mut Vec<u8>) -> Result<(u16, u32)> {
+        let width = u32::from(self.index_bits);
+        let mut count = 0u32;
+        loop {
+            // Fast group: every window is backed by real stream bits, so
+            // per-symbol EOF bookkeeping drops out (see `decode_cached`).
+            while r.cached_bits() >= width {
+                let symbol = self.decode_cached(r)?;
+                if symbol >= boundary {
+                    return Ok((symbol, count));
+                }
+                sink.push(symbol as u8);
+                count += 1;
+            }
+            r.refill();
+            if r.cached_bits() >= width {
+                continue;
+            }
+            // Tail: fewer bits than a full window remain; the checked path
+            // zero-fills the window and reports truncation precisely.
+            let (symbol, _) = self.decode_with_len(r)?;
+            if symbol >= boundary {
+                return Ok((symbol, count));
+            }
+            sink.push(symbol as u8);
+            count += 1;
+        }
     }
 }
 
@@ -298,6 +385,98 @@ mod tests {
         for &s in &symbols {
             assert_eq!(dec.decode(&mut r).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn packed_lookup_agrees_with_tuple_lookup() {
+        let code = code_for(&[40, 20, 10, 5, 2, 1], 11);
+        let dec = DecodeTable::new(&code).unwrap();
+        for window in 0..dec.len() as u32 {
+            let (sym, len) = dec.lookup(window);
+            let packed = dec.lookup_packed(window);
+            assert_eq!(packed, u32::from(sym) << 8 | u32::from(len));
+        }
+    }
+
+    #[test]
+    fn decode_run_matches_per_symbol_decode() {
+        // Byte-valued symbols 0..200 with a couple of "boundary" symbols
+        // above, mimicking the literal/EOS split of the token grammar.
+        let mut counts = vec![0u64; 204];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = (i as u64 % 13) + 1;
+        }
+        let code = code_for(&counts, 12);
+        let enc = EncodeTable::new(&code);
+        let dec = DecodeTable::new(&code).unwrap();
+        let boundary = 200u16;
+        // Interleave literal runs of varying lengths with boundary symbols,
+        // including empty runs (two boundary symbols back to back).
+        let mut symbols: Vec<u16> = Vec::new();
+        for i in 0..600u32 {
+            for j in 0..(i % 7) {
+                symbols.push(((i * 31 + j * 7) % 200) as u16);
+            }
+            symbols.push(boundary + (i % 4) as u16);
+        }
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            enc.encode(&mut w, s).unwrap();
+        }
+        let bytes = w.finish();
+
+        let mut batched = BitReader::new(&bytes);
+        let mut serial = BitReader::new(&bytes);
+        let mut run = Vec::new();
+        let mut expect = Vec::new();
+        loop {
+            run.clear();
+            expect.clear();
+            let batch = dec.decode_run(&mut batched, boundary, &mut run);
+            let serial_stop = loop {
+                match dec.decode(&mut serial) {
+                    Ok(sym) if sym < boundary => expect.push(sym as u8),
+                    other => break other,
+                }
+            };
+            match (batch, serial_stop) {
+                (Ok((sym, count)), Ok(stop)) => {
+                    assert_eq!(sym, stop);
+                    assert_eq!(count as usize, run.len());
+                    assert_eq!(run, expect);
+                    assert_eq!(batched.bit_position(), serial.bit_position());
+                }
+                (Err(_), Err(_)) => break,
+                (b, s) => panic!("batched {b:?} disagrees with serial {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_run_reports_tail_truncation_like_decode() {
+        // Cut the stream mid-codeword: the batched path must surface the
+        // same UnexpectedEof the per-symbol path reports.
+        let code = CanonicalCode::from_lengths(&[1u8, 7, 7, 6, 5, 4, 3], 10).unwrap();
+        let enc = EncodeTable::new(&code);
+        let dec = DecodeTable::new(&code).unwrap();
+        let mut w = BitWriter::new();
+        for _ in 0..40 {
+            enc.encode(&mut w, 1).unwrap();
+        }
+        let bytes = w.finish();
+        let truncated = &bytes[..bytes.len() - 1];
+        let mut r = BitReader::new(truncated);
+        let mut sink = Vec::new();
+        // Boundary above every symbol: the run can only end in an error.
+        let err = dec.decode_run(&mut r, 100, &mut sink).unwrap_err();
+        assert!(matches!(err, HuffmanError::Decode(StreamError::UnexpectedEof { .. })), "got {err:?}");
+        // Whatever prefix decoded cleanly must match the serial walk.
+        let mut serial = BitReader::new(truncated);
+        let mut expect = Vec::new();
+        while let Ok(sym) = dec.decode(&mut serial) {
+            expect.push(sym as u8);
+        }
+        assert_eq!(sink, expect);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Wide-copy kernels for sequence execution.
+//!
+//! The paper's GPU decompressor copies back-references a word at a time per
+//! lane; the host analogue is the LZ4-style *wild copy*: move literals and
+//! matches in 8/16-byte chunks and deliberately overshoot the logical end of
+//! each copy by up to [`WILD_COPY_MARGIN`] bytes. Overshoot is safe because
+//! sequence execution is strictly sequential within a block — every byte the
+//! overshoot clobbers belongs to a *later* sequence and is rewritten before
+//! it is ever read — and because each block writes into its own disjoint
+//! slice of the file-level output, the overshoot can never cross into
+//! another block. Only the final few sequences of a block, whose copies end
+//! within the margin of the slice end, take the exact scalar paths.
+//!
+//! Overlapping matches (offset < copy width) replicate their pattern: an
+//! offset that divides 8 is widened by byte-doubling the pattern up to a
+//! period that is a multiple of the offset and at least 8 bytes, after which
+//! plain 8-byte chunk copies against the widened period produce the same
+//! bytes a byte-at-a-time LZ77 loop would.
+
+/// Bytes a wild copy may write past the logical end of the region it was
+/// asked to fill. Callers must route copies whose end comes within this
+/// margin of the output slice end to the exact paths (the kernels below do
+/// this themselves).
+pub const WILD_COPY_MARGIN: usize = 16;
+
+/// Copies `len` literal bytes from `src[src_pos..]` to `out[dst..]`.
+///
+/// Short runs (the common case: a handful of literals between matches) are
+/// moved as one fixed 16-byte block when both buffers have the slack, so the
+/// copy is two unconditional 8-byte moves instead of a length-dispatched
+/// `memcpy`. Long runs and runs near either buffer's end use the exact
+/// `copy_from_slice`.
+///
+/// # Panics
+///
+/// Panics if `src_pos + len > src.len()` or `dst + len > out.len()` — the
+/// caller validates both (they are the literal-overrun and output-overrun
+/// checks of the sequence walk).
+#[inline]
+pub fn copy_literals(out: &mut [u8], dst: usize, src: &[u8], src_pos: usize, len: usize) {
+    if len <= WILD_COPY_MARGIN
+        && dst + WILD_COPY_MARGIN <= out.len()
+        && src_pos + WILD_COPY_MARGIN <= src.len()
+    {
+        let chunk: &[u8; WILD_COPY_MARGIN] =
+            src[src_pos..src_pos + WILD_COPY_MARGIN].try_into().expect("fixed-width literal chunk");
+        out[dst..dst + WILD_COPY_MARGIN].copy_from_slice(chunk);
+    } else {
+        out[dst..dst + len].copy_from_slice(&src[src_pos..src_pos + len]);
+    }
+}
+
+/// Executes one back-reference: copies `len` bytes inside `out` from
+/// distance `offset` behind `dst`, with LZ77 overlap semantics (bytes the
+/// copy itself produces are valid sources for its later bytes).
+///
+/// Away from the slice end the copy is wild: offsets ≥ 8 move 8-byte chunks
+/// directly; offsets 1–7 first widen the repeating pattern to a period that
+/// is a multiple of the offset and ≥ 8 bytes, then chunk against the widened
+/// period. Within [`WILD_COPY_MARGIN`] of the slice end a scalar loop takes
+/// over.
+///
+/// # Panics
+///
+/// Panics (in debug; reads the wrong bytes in release) unless
+/// `1 <= offset <= dst` and `dst + len <= out.len()` — the caller's
+/// zero-offset / offset-before-start / output-overrun checks guarantee both.
+#[inline]
+pub fn copy_match(out: &mut [u8], dst: usize, offset: usize, len: usize) {
+    debug_assert!(offset >= 1 && offset <= dst && dst + len <= out.len());
+    let end = dst + len;
+    if end + WILD_COPY_MARGIN > out.len() {
+        // Tail-safe scalar path: the last few sequences of a block.
+        for i in dst..end {
+            out[i] = out[i - offset];
+        }
+        return;
+    }
+    if offset >= 8 {
+        let mut d = dst;
+        while d < end {
+            let chunk: [u8; 8] = out[d - offset..d - offset + 8].try_into().expect("match chunk");
+            out[d..d + 8].copy_from_slice(&chunk);
+            d += 8;
+        }
+    } else {
+        // Widen the pattern: after writing `period` bytes byte-by-byte the
+        // last `period` output bytes repeat with period `offset`, and
+        // `period >= 8` makes every further 8-byte chunk's source disjoint
+        // from (and strictly before) its destination.
+        let period = offset * 8usize.div_ceil(offset);
+        for i in dst..dst + period {
+            out[i] = out[i - offset];
+        }
+        let mut d = dst + period;
+        while d < end {
+            let chunk: [u8; 8] = out[d - period..d - period + 8].try_into().expect("widened chunk");
+            out[d..d + 8].copy_from_slice(&chunk);
+            d += 8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_match(out: &mut [u8], dst: usize, offset: usize, len: usize) {
+        for i in dst..dst + len {
+            out[i] = out[i - offset];
+        }
+    }
+
+    #[test]
+    fn match_copy_matches_naive_for_all_small_offsets_and_lengths() {
+        for offset in 1usize..=20 {
+            for len in 0usize..=70 {
+                for slack in [0usize, 1, 7, 8, 15, 16, 64] {
+                    let total = offset + len + slack;
+                    let mut wild: Vec<u8> = (0..total).map(|i| (i as u8).wrapping_mul(31)).collect();
+                    let mut naive = wild.clone();
+                    copy_match(&mut wild, offset, offset, len);
+                    naive_match(&mut naive, offset, offset, len);
+                    // Only the logical region must agree; overshoot bytes are
+                    // scratch that sequential execution overwrites.
+                    assert_eq!(
+                        &wild[..offset + len],
+                        &naive[..offset + len],
+                        "offset {offset} len {len} slack {slack}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn match_copy_at_exact_slice_end_stays_in_bounds() {
+        // len ends exactly at the slice end: must take the scalar tail and
+        // neither panic nor write past the end (vec would catch with canary
+        // reallocation in miri; here the panic-free run is the assertion).
+        let mut buf: Vec<u8> = (0..40u8).collect();
+        copy_match(&mut buf, 8, 3, 32);
+        let mut naive: Vec<u8> = (0..40u8).collect();
+        naive_match(&mut naive, 8, 3, 32);
+        assert_eq!(buf, naive);
+    }
+
+    #[test]
+    fn literal_copy_short_and_long_and_tail() {
+        let src: Vec<u8> = (0..200u8).collect();
+        // Short run with slack on both sides: wild 16-byte path.
+        let mut out = vec![0u8; 64];
+        copy_literals(&mut out, 4, &src, 10, 5);
+        assert_eq!(&out[4..9], &src[10..15]);
+        // Long run: exact memcpy.
+        let mut out = vec![0u8; 128];
+        copy_literals(&mut out, 0, &src, 0, 100);
+        assert_eq!(&out[..100], &src[..100]);
+        // Run ending exactly at the output end: exact path.
+        let mut out = vec![0u8; 32];
+        copy_literals(&mut out, 27, &src, 195, 5);
+        assert_eq!(&out[27..32], &src[195..200]);
+        // Run at the very end of the source: exact path.
+        let mut out = vec![0u8; 64];
+        copy_literals(&mut out, 0, &src, 197, 3);
+        assert_eq!(&out[..3], &src[197..200]);
+    }
+
+    #[test]
+    fn zero_length_copies_are_noops() {
+        let src = vec![7u8; 32];
+        let mut out = vec![1u8; 32];
+        let before = out.clone();
+        copy_literals(&mut out, 30, &src, 30, 0);
+        copy_match(&mut out, 16, 4, 0);
+        // Wild overshoot may scribble below the margin boundary, but the
+        // exact paths here must leave everything untouched past the end.
+        assert_eq!(out[31], before[31]);
+    }
+}

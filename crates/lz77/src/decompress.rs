@@ -1,10 +1,14 @@
-//! Sequential reference decompressor.
+//! Sequential sequence execution.
 //!
-//! This is the ground truth against which every parallel strategy in
-//! `gompresso-core` is checked: a straightforward cursor walk over the
-//! sequences, copying literals and resolving back-references one byte at a
-//! time (so overlapping matches behave exactly as in LZ77/LZ4).
+//! [`decompress_block_into`] is the host hot path: it walks the sequences in
+//! order and moves literals and back-references with the wide-copy kernels
+//! of [`crate::copy`] (8/16-byte chunks, wild overshoot inside the block's
+//! disjoint output slice, pattern widening for offsets 1–7, exact scalar
+//! paths near the slice end). [`decompress_block_reference`] retains the
+//! original byte-at-a-time walk as the executable ground truth the property
+//! suites and microbenchmarks pit the wide kernels against.
 
+use crate::copy::{copy_literals, copy_match};
 use crate::sequence::SequenceBlock;
 use crate::{Lz77Error, Result};
 
@@ -25,8 +29,67 @@ pub fn decompress_block(block: &SequenceBlock) -> Result<Vec<u8>> {
 /// `out` must be exactly `block.uncompressed_len` bytes. This is the
 /// zero-copy variant used by the block-parallel drivers: each worker writes
 /// its block's bytes straight into the block's slice of the file-level
-/// output buffer instead of staging them in a per-block vector.
+/// output buffer instead of staging them in a per-block vector. Copies run
+/// through the wild kernels; because `out` is this block's disjoint slice,
+/// their overshoot (bounded by [`crate::copy::WILD_COPY_MARGIN`] and only
+/// ever into bytes of later sequences) never leaves the block.
 pub fn decompress_block_into(block: &SequenceBlock, out: &mut [u8]) -> Result<usize> {
+    if out.len() != block.uncompressed_len {
+        return Err(Lz77Error::LengthMismatch { declared: block.uncompressed_len, produced: out.len() });
+    }
+    let mut cursor = 0usize;
+    let mut literal_cursor = 0usize;
+
+    for (idx, seq) in block.sequences.iter().enumerate() {
+        let lit_len = seq.literal_len as usize;
+        let lit_end = literal_cursor + lit_len;
+        if lit_end > block.literals.len() {
+            return Err(Lz77Error::LiteralOverrun {
+                sequence: idx,
+                requested: lit_end,
+                available: block.literals.len(),
+            });
+        }
+        if cursor + lit_len + seq.match_len as usize > out.len() {
+            return Err(Lz77Error::LengthMismatch {
+                declared: block.uncompressed_len,
+                produced: cursor + lit_len + seq.match_len as usize,
+            });
+        }
+        copy_literals(out, cursor, &block.literals, literal_cursor, lit_len);
+        cursor += lit_len;
+        literal_cursor = lit_end;
+
+        let match_len = seq.match_len as usize;
+        if match_len > 0 {
+            let offset = seq.match_offset as usize;
+            if offset == 0 {
+                return Err(Lz77Error::ZeroOffset { sequence: idx });
+            }
+            if offset > cursor {
+                return Err(Lz77Error::OffsetBeforeStart { sequence: idx, position: cursor, offset });
+            }
+            copy_match(out, cursor, offset, match_len);
+            cursor += match_len;
+        }
+    }
+
+    if cursor != block.uncompressed_len {
+        return Err(Lz77Error::LengthMismatch { declared: block.uncompressed_len, produced: cursor });
+    }
+    Ok(cursor)
+}
+
+/// Byte-at-a-time reference decompressor.
+///
+/// The pre-wild-copy implementation, retained verbatim: a straightforward
+/// cursor walk copying literals with `copy_from_slice` and resolving every
+/// back-reference one byte at a time (so overlapping matches behave exactly
+/// as in LZ77/LZ4). It performs the same validation in the same order as
+/// [`decompress_block_into`] and must produce identical bytes and errors —
+/// the equivalence property suites and the copy microbenchmarks depend on
+/// it; production code should never call it.
+pub fn decompress_block_reference(block: &SequenceBlock, out: &mut [u8]) -> Result<usize> {
     if out.len() != block.uncompressed_len {
         return Err(Lz77Error::LengthMismatch { declared: block.uncompressed_len, produced: out.len() });
     }
@@ -141,5 +204,22 @@ mod tests {
     fn empty_block_decodes_to_empty_output() {
         let b = SequenceBlock::new();
         assert_eq!(decompress_block(&b).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn reference_decoder_rejects_the_same_corrupt_blocks() {
+        let cases = [
+            block(vec![Sequence { literal_len: 1, match_offset: 0, match_len: 3 }], b"a", 4),
+            block(vec![Sequence { literal_len: 2, match_offset: 5, match_len: 3 }], b"ab", 5),
+            block(vec![Sequence { literal_len: 10, match_offset: 0, match_len: 0 }], b"abc", 10),
+            block(vec![Sequence::literals_only(3)], b"abc", 7),
+        ];
+        for b in cases {
+            let mut fast_out = vec![0u8; b.uncompressed_len];
+            let mut ref_out = vec![0u8; b.uncompressed_len];
+            let fast = decompress_block_into(&b, &mut fast_out);
+            let reference = decompress_block_reference(&b, &mut ref_out);
+            assert_eq!(fast, reference);
+        }
     }
 }

@@ -124,6 +124,27 @@ pub fn lane_id_iter() -> impl Iterator<Item = usize> {
     0..WARP_SIZE
 }
 
+/// Pure lane-by-lane Hillis–Steele exclusive prefix sum (5 shuffle-up/add
+/// steps), retained as the executable reference for
+/// [`Warp::exclusive_prefix_sum`]'s linear host computation.
+pub fn exclusive_prefix_sum_reference(values: &[u64; WARP_SIZE]) -> ([u64; WARP_SIZE], u64) {
+    let mut inclusive = *values;
+    let mut delta = 1usize;
+    while delta < WARP_SIZE {
+        let shifted = shfl_up(&inclusive, delta);
+        for i in lane_id_iter() {
+            if i >= delta {
+                inclusive[i] += shifted[i];
+            }
+        }
+        delta <<= 1;
+    }
+    let total = inclusive[WARP_SIZE - 1];
+    let mut exclusive = [0u64; WARP_SIZE];
+    exclusive[1..].copy_from_slice(&inclusive[..WARP_SIZE - 1]);
+    (exclusive, total)
+}
+
 /// A warp execution context: the warp-level primitives plus cost accounting.
 ///
 /// Kernels hold one `Warp` per simulated warp and call its methods instead of
@@ -156,37 +177,48 @@ impl Warp {
         ballot(lanes)
     }
 
+    /// Warp vote whose per-lane predicates the caller already holds as a
+    /// bitmask. Charges exactly like [`Self::ballot`]; kernels that track
+    /// lane state in masks (the MRR resolver) use it to avoid materializing
+    /// a `[bool; 32]` just to vote on it.
+    pub fn ballot_mask(&mut self, mask: WarpMask) -> WarpMask {
+        self.counters.charge_ballot();
+        mask
+    }
+
     /// Broadcast of lane `src_lane`'s value to all lanes (one `shfl`).
     pub fn shfl<T: Copy>(&mut self, values: &[T; WARP_SIZE], src_lane: usize) -> T {
         self.counters.charge_shuffle();
         shfl(values, src_lane)
     }
 
-    /// Exclusive prefix sum across the warp using the standard
+    /// Exclusive prefix sum across the warp, charged as the standard
     /// shuffle-up/Hillis–Steele scheme (5 shuffle steps for 32 lanes).
     ///
     /// Lane `i` of the result holds `sum(values[0..i])`; the total sum is
     /// additionally returned, which the decompressor uses to advance its
     /// output cursor by the bytes produced by the whole group of sequences.
+    ///
+    /// The *charges* model the warp algorithm; the values themselves are
+    /// computed with a linear host pass, which is exact-identical for `u64`
+    /// addition and keeps this off the decompression hot path's flame graph
+    /// (two calls per 32-sequence group). [`exclusive_prefix_sum_reference`]
+    /// retains the lane-by-lane Hillis–Steele walk for tests.
     pub fn exclusive_prefix_sum(&mut self, values: &[u64; WARP_SIZE]) -> ([u64; WARP_SIZE], u64) {
         // log2(32) = 5 shuffle+add steps, each one warp instruction pair.
-        let mut inclusive = *values;
         let mut delta = 1usize;
         while delta < WARP_SIZE {
             self.counters.charge_shuffle();
             self.counters.charge_instructions(1);
-            let shifted = shfl_up(&inclusive, delta);
-            for i in lane_id_iter() {
-                if i >= delta {
-                    inclusive[i] += shifted[i];
-                }
-            }
             delta <<= 1;
         }
-        let total = inclusive[WARP_SIZE - 1];
         let mut exclusive = [0u64; WARP_SIZE];
-        exclusive[1..].copy_from_slice(&inclusive[..WARP_SIZE - 1]);
-        (exclusive, total)
+        let mut acc = 0u64;
+        for (out, &v) in exclusive.iter_mut().zip(values.iter()) {
+            *out = acc;
+            acc += v;
+        }
+        (exclusive, acc)
     }
 
     /// Records a branch whose outcome differs across lanes.
@@ -319,6 +351,34 @@ mod tests {
         assert_eq!(total, expect);
         // 5 shuffle steps were charged.
         assert_eq!(warp.counters().shuffles, 5);
+    }
+
+    #[test]
+    fn linear_prefix_sum_equals_hillis_steele_reference() {
+        for seed in 0u64..16 {
+            let mut vals = [0u64; WARP_SIZE];
+            for (i, v) in vals.iter_mut().enumerate() {
+                *v = (i as u64).wrapping_mul(seed * 2654435761 + 1) % 9973;
+            }
+            let mut warp = Warp::new();
+            let fast = warp.exclusive_prefix_sum(&vals);
+            let reference = exclusive_prefix_sum_reference(&vals);
+            assert_eq!(fast, reference, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ballot_mask_charges_like_ballot() {
+        let mut lanes = [false; WARP_SIZE];
+        lanes[3] = true;
+        lanes[17] = true;
+        let mut a = Warp::new();
+        let from_bools = a.ballot(&lanes);
+        let mut b = Warp::new();
+        let from_mask = b.ballot_mask(WarpMask::from_lanes(&lanes));
+        assert_eq!(from_bools, from_mask);
+        assert_eq!(a.counters().ballots, b.counters().ballots);
+        assert_eq!(a.counters().instructions, b.counters().instructions);
     }
 
     #[test]
