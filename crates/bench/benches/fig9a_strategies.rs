@@ -19,7 +19,7 @@ fn bench_strategies(c: &mut Criterion) {
         for strategy in ResolutionStrategy::ALL {
             let file =
                 if strategy == ResolutionStrategy::DependencyEliminated { &de.file } else { &plain.file };
-            let config = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+            let config = DecompressorConfig { strategy: strategy.into(), ..DecompressorConfig::default() };
             group.bench_with_input(BenchmarkId::new(strategy.short_name(), name), file, |b, file| {
                 b.iter(|| decompress_with(file, &config).unwrap().0.len());
             });

@@ -13,8 +13,10 @@ fn bench_nesting(c: &mut Criterion) {
     for depth in [1u32, 4, 16, 32] {
         let data = nesting_data(depth, SIZE);
         let file = compress(&data, &CompressorConfig::byte()).unwrap();
-        let config =
-            DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
+        let config = DecompressorConfig {
+            strategy: ResolutionStrategy::MultiRound.into(),
+            ..DecompressorConfig::default()
+        };
         group.throughput(Throughput::Bytes(data.len() as u64));
         group.bench_with_input(BenchmarkId::new("mrr_depth", depth), &file.file, |b, f| {
             b.iter(|| decompress_with(f, &config).unwrap().0.len());

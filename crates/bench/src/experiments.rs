@@ -66,7 +66,7 @@ pub fn fig9a_strategy_comparison(size: usize) -> Vec<Fig9aRow> {
         for strategy in ResolutionStrategy::ALL {
             let file =
                 if strategy == ResolutionStrategy::DependencyEliminated { &de.file } else { &plain.file };
-            let dconf = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+            let dconf = DecompressorConfig { strategy: strategy.into(), ..DecompressorConfig::default() };
             let start = Instant::now();
             let (restored, report) = decompress_with(file, &dconf).expect("decompression failed");
             let host = restored.len() as f64 / start.elapsed().as_secs_f64();
@@ -109,8 +109,10 @@ pub fn fig9b_bytes_per_round(size: usize) -> Vec<Fig9bRow> {
     let mut rows = Vec::new();
     for (name, data) in [("wikipedia", wikipedia_data(size)), ("matrix", matrix_data(size))] {
         let file = compress(&data, &CompressorConfig::byte()).expect("compression failed");
-        let dconf =
-            DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
+        let dconf = DecompressorConfig {
+            strategy: ResolutionStrategy::MultiRound.into(),
+            ..DecompressorConfig::default()
+        };
         let (_, report) = decompress_with(&file.file, &dconf).expect("decompression failed");
         for round in 1..=report.mrr.max_rounds() {
             rows.push(Fig9bRow {
@@ -145,7 +147,7 @@ pub fn fig9c_nesting_depth(size: usize, depths: &[u32]) -> Vec<Fig9cRow> {
             let data = nesting_data(depth, size);
             let file = compress(&data, &CompressorConfig::byte()).expect("compression failed");
             let dconf = DecompressorConfig {
-                strategy: ResolutionStrategy::MultiRound,
+                strategy: ResolutionStrategy::MultiRound.into(),
                 ..DecompressorConfig::default()
             };
             let start = Instant::now();

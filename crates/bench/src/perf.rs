@@ -16,7 +16,9 @@
 
 use crate::datasets::{matrix_data, wikipedia_data};
 use crate::gbps;
-use gompresso_core::{compress, decompress_with, CompressorConfig, DecompressorConfig, ResolutionStrategy};
+use gompresso_core::{
+    compress, decompress_with, CompressorConfig, DecompressorConfig, ResolutionStrategy, StrategySelection,
+};
 use std::time::Instant;
 
 /// One measured (dataset × mode × strategy) configuration.
@@ -40,13 +42,27 @@ pub struct PerfRow {
 
 /// The configurations measured: DE decompresses the DE-compressed file (as
 /// deployed), MRR decompresses the unconstrained file (the case MRR exists
-/// for), mirroring the Figure 9a methodology.
-fn configs() -> Vec<(&'static str, CompressorConfig, ResolutionStrategy)> {
+/// for), mirroring the Figure 9a methodology. The `auto` row compresses
+/// with the adaptive per-block planner and decompresses with each block's
+/// recorded plan — the v3-container mode this repository adds on top of the
+/// paper's static grid.
+fn configs() -> Vec<(&'static str, &'static str, CompressorConfig, StrategySelection)> {
     vec![
-        ("bit", CompressorConfig::bit_de(), ResolutionStrategy::DependencyEliminated),
-        ("bit", CompressorConfig::bit(), ResolutionStrategy::MultiRound),
-        ("byte", CompressorConfig::byte_de(), ResolutionStrategy::DependencyEliminated),
-        ("byte", CompressorConfig::byte(), ResolutionStrategy::MultiRound),
+        (
+            "bit",
+            "DE",
+            CompressorConfig::bit_de(),
+            StrategySelection::Force(ResolutionStrategy::DependencyEliminated),
+        ),
+        ("bit", "MRR", CompressorConfig::bit(), StrategySelection::Force(ResolutionStrategy::MultiRound)),
+        (
+            "byte",
+            "DE",
+            CompressorConfig::byte_de(),
+            StrategySelection::Force(ResolutionStrategy::DependencyEliminated),
+        ),
+        ("byte", "MRR", CompressorConfig::byte(), StrategySelection::Force(ResolutionStrategy::MultiRound)),
+        ("auto", "planned", CompressorConfig::auto(), StrategySelection::Planned),
     ]
 }
 
@@ -58,7 +74,7 @@ pub fn host_throughput(size: usize, samples: usize) -> Vec<PerfRow> {
     let samples = samples.max(1);
     let mut rows = Vec::new();
     for (dataset, data) in [("wikipedia", wikipedia_data(size)), ("matrix", matrix_data(size))] {
-        for (mode, cconf, strategy) in configs() {
+        for (mode, strategy_name, cconf, strategy) in configs() {
             let mut best_compress = f64::INFINITY;
             let mut out = None;
             for _ in 0..samples {
@@ -83,7 +99,7 @@ pub fn host_throughput(size: usize, samples: usize) -> Vec<PerfRow> {
             rows.push(PerfRow {
                 dataset: dataset.to_string(),
                 mode: mode.to_string(),
-                strategy: strategy.short_name().to_string(),
+                strategy: strategy_name.to_string(),
                 ratio: out.stats.ratio(),
                 compress_gbps: gbps(data.len() as f64 / best_compress),
                 decompress_gbps: gbps(data.len() as f64 / best_decompress),
@@ -167,13 +183,14 @@ mod tests {
     #[test]
     fn perf_rows_cover_all_configurations_with_positive_throughput() {
         let rows = host_throughput(128 * 1024, 1);
-        assert_eq!(rows.len(), 8);
+        assert_eq!(rows.len(), 10);
         for row in &rows {
             assert!(row.ratio > 1.0, "{row:?}");
             assert!(row.compress_gbps > 0.0, "{row:?}");
             assert!(row.decompress_gbps > 0.0, "{row:?}");
         }
-        // Both modes and both strategies appear for both datasets.
+        // Both modes and both strategies appear for both datasets, plus one
+        // adaptive (auto/planned) row each.
         for dataset in ["wikipedia", "matrix"] {
             for mode in ["bit", "byte"] {
                 for strategy in ["DE", "MRR"] {
@@ -182,6 +199,7 @@ mod tests {
                         .any(|r| r.dataset == dataset && r.mode == mode && r.strategy == strategy));
                 }
             }
+            assert!(rows.iter().any(|r| r.dataset == dataset && r.mode == "auto" && r.strategy == "planned"));
         }
     }
 

@@ -8,19 +8,37 @@
 //! partitioning (Gompresso/Bit). Blocks are processed in parallel with a
 //! rayon thread pool, which stands in for both the GPU compression kernels
 //! of the authors' earlier work and the paper's parallelised CPU libraries.
+//!
+//! Since the v3 container, each block carries its own codec plan. Under
+//! static planning every block shares the configured plan and compression is
+//! one flat parallel pass, exactly as before. Under adaptive planning the
+//! compressor processes blocks in fixed-size *waves*: each wave is planned
+//! sequentially in block order (so the planner sees feedback from earlier
+//! waves), compressed in parallel, and its outcomes are fed back in block
+//! order. The wave size is a constant, independent of thread count, so
+//! adaptive compression is deterministic: the same input always produces the
+//! same archive regardless of parallelism.
 
-use crate::config::CompressorConfig;
+use crate::config::{BlockPlan, CompressorConfig, FileSettings};
+use crate::planner::{planner_for, BlockFeedback, Planner};
 use crate::stats::CompressionStats;
 use crate::Result;
 use gompresso_bitstream::ByteWriter;
 use gompresso_format::{
-    token_code::TokenCoder, BitBlock, BlockPayload, ByteBlock, CompressedFile, EncodeScratch, EncodingMode,
-    FileHeader,
+    token_code::TokenCoder, BitBlock, BlockConfig, BlockPayload, ByteBlock, CompressedFile, EncodeScratch,
+    EncodingMode, FileHeader,
 };
 use gompresso_lz77::{Matcher, MatcherScratch, SequenceBlock};
 use rayon::prelude::*;
 use std::cell::RefCell;
 use std::time::Instant;
+
+/// Blocks planned (sequentially, in order) and then compressed (in
+/// parallel) per adaptive wave. A constant — never derived from the thread
+/// count — so adaptive output is identical on any machine. Small enough
+/// that feedback reaches the planner quickly, large enough to keep a
+/// typical pool busy.
+const PLAN_WAVE: usize = 8;
 
 /// The result of a compression run: the in-memory file plus statistics.
 #[derive(Debug, Clone)]
@@ -57,27 +75,30 @@ thread_local! {
     });
 }
 
-/// Compresses one data block into its serialized payload, reusing the
-/// per-worker `scratch`. Shared by the in-memory [`Compressor`] and the
-/// bounded-memory streaming pipeline in [`crate::stream`], so both paths
-/// produce byte-identical block payloads.
+/// Compresses one data block under `plan` into its serialized payload,
+/// reusing the per-worker `scratch`. Shared by the in-memory [`Compressor`]
+/// and the bounded-memory streaming pipeline in [`crate::stream`], so both
+/// paths produce byte-identical block payloads for the same plan.
 pub(crate) fn compress_block_with_scratch(
     chunk: &[u8],
-    cfg: &CompressorConfig,
-    matcher: &Matcher,
+    settings: &FileSettings,
+    plan: &BlockPlan,
     coder: &TokenCoder,
     scratch: &mut CompressScratch,
 ) -> Result<(BlockPayload, BlockSummary)> {
+    // Matcher construction is a handful of field copies; building one per
+    // block keeps per-block plans self-contained.
+    let matcher = Matcher::new(plan.matcher_config(settings));
     matcher.compress_into(chunk, &mut scratch.seq_block, &mut scratch.matcher);
     let seq_block = &scratch.seq_block;
     let summary = BlockSummary::from(seq_block);
-    let w = match cfg.mode {
+    let w = match plan.mode {
         EncodingMode::Bit => {
             let bit = BitBlock::encode_with_scratch(
                 seq_block,
                 coder,
-                cfg.sequences_per_sub_block,
-                cfg.max_codeword_len,
+                plan.sequences_per_sub_block,
+                plan.max_codeword_len,
                 &mut scratch.encode,
             )?;
             // Bitstream plus sub-block size list plus two serialized code
@@ -94,6 +115,38 @@ pub(crate) fn compress_block_with_scratch(
         }
     };
     Ok((BlockPayload { bytes: w.finish() }, summary))
+}
+
+/// One compressed block with the plan's container record and bookkeeping.
+struct CompressedBlock {
+    payload: BlockPayload,
+    config: BlockConfig,
+    summary: BlockSummary,
+    mode: EncodingMode,
+    uncompressed_len: usize,
+    seconds: f64,
+}
+
+fn compress_one(
+    index: usize,
+    chunk: &[u8],
+    settings: &FileSettings,
+    plan: &BlockPlan,
+    coder: &TokenCoder,
+) -> Result<CompressedBlock> {
+    let _ = index;
+    let start = Instant::now();
+    let (payload, summary) = COMPRESS_SCRATCH.with(|scratch| {
+        compress_block_with_scratch(chunk, settings, plan, coder, &mut scratch.borrow_mut())
+    })?;
+    Ok(CompressedBlock {
+        config: plan.block_config(),
+        summary,
+        mode: plan.mode,
+        uncompressed_len: chunk.len(),
+        seconds: start.elapsed().as_secs_f64(),
+        payload,
+    })
 }
 
 /// Convenience wrapper: compress `data` with `config`.
@@ -113,7 +166,7 @@ impl Compressor {
         &self.config
     }
 
-    /// The token coder implied by the configuration (Bit mode only).
+    /// The token coder implied by the configuration (used by Bit blocks).
     pub fn token_coder(&self) -> Result<TokenCoder> {
         Ok(TokenCoder::new(
             self.config.min_match_len as u32,
@@ -126,40 +179,44 @@ impl Compressor {
     pub fn compress(&self, data: &[u8]) -> Result<CompressedOutput> {
         let start = Instant::now();
         let cfg = &self.config;
-        let matcher = Matcher::new(cfg.matcher_config());
+        let settings = cfg.file_settings();
         let coder = self.token_coder()?;
+        let planner = planner_for(cfg);
 
         let chunks: Vec<&[u8]> =
             if data.is_empty() { Vec::new() } else { data.chunks(cfg.block_size).collect() };
 
         // Per-block compression runs in parallel; each block is independent
         // by construction (the sliding window never crosses block borders).
-        let per_block: Vec<Result<(BlockPayload, BlockSummary)>> = chunks
-            .par_iter()
-            .map(|chunk| {
-                COMPRESS_SCRATCH.with(|scratch| {
-                    compress_block_with_scratch(chunk, cfg, &matcher, &coder, &mut scratch.borrow_mut())
-                })
-            })
-            .collect();
+        let per_block: Vec<Result<CompressedBlock>> = if !planner.is_adaptive() {
+            // Static planning: one plan for every block, one flat pass.
+            let plan = planner.plan(0, &[]);
+            chunks
+                .par_iter()
+                .enumerate()
+                .map(|(i, chunk)| compress_one(i, chunk, &settings, &plan, &coder))
+                .collect()
+        } else {
+            compress_adaptive(&chunks, &settings, planner.as_ref(), &coder)
+        };
 
         let mut payloads = Vec::with_capacity(per_block.len());
+        let mut configs = Vec::with_capacity(per_block.len());
         let mut summary = BlockSummary::default();
         for item in per_block {
-            let (payload, block_summary) = item?;
-            payloads.push(payload);
-            summary.merge(&block_summary);
+            let block = item?;
+            payloads.push(block.payload);
+            configs.push(block.config);
+            summary.merge(&block.summary);
         }
 
         let header = FileHeader {
-            mode: cfg.mode,
             window_size: cfg.window_size as u32,
             min_match_len: cfg.min_match_len as u32,
             max_match_len: cfg.max_match_len as u32,
             uncompressed_size: data.len() as u64,
             block_size: cfg.block_size as u32,
-            sequences_per_sub_block: cfg.sequences_per_sub_block,
-            max_codeword_len: cfg.max_codeword_len,
+            block_configs: configs,
             block_compressed_sizes: Vec::new(), // filled by CompressedFile::new
         };
         let file = CompressedFile::new(header, payloads)?;
@@ -181,6 +238,42 @@ impl Compressor {
         };
         Ok(CompressedOutput { file, stats })
     }
+}
+
+/// Adaptive compression: plan a wave sequentially, compress it in parallel,
+/// feed outcomes back in block order, repeat. Planning and feedback order
+/// depend only on the input, so the emitted archive is deterministic.
+fn compress_adaptive(
+    chunks: &[&[u8]],
+    settings: &FileSettings,
+    planner: &dyn Planner,
+    coder: &TokenCoder,
+) -> Vec<Result<CompressedBlock>> {
+    let mut out: Vec<Result<CompressedBlock>> = Vec::with_capacity(chunks.len());
+    for (wave_index, wave) in chunks.chunks(PLAN_WAVE).enumerate() {
+        let base = wave_index * PLAN_WAVE;
+        let plans: Vec<BlockPlan> =
+            wave.iter().enumerate().map(|(i, chunk)| planner.plan((base + i) as u64, chunk)).collect();
+        let plans = &plans;
+        let mut results: Vec<Result<CompressedBlock>> = wave
+            .par_iter()
+            .enumerate()
+            .map(|(i, chunk)| compress_one(base + i, chunk, settings, &plans[i], coder))
+            .collect();
+        for (i, result) in results.iter().enumerate() {
+            if let Ok(block) = result {
+                planner.record(&BlockFeedback {
+                    block_index: (base + i) as u64,
+                    mode: block.mode,
+                    uncompressed_len: block.uncompressed_len,
+                    compressed_len: block.payload.bytes.len(),
+                    seconds: block.seconds,
+                });
+            }
+        }
+        out.append(&mut results);
+    }
+    out
 }
 
 /// Aggregatable per-block statistics.
@@ -218,6 +311,19 @@ mod tests {
 
     fn text(len: usize) -> Vec<u8> {
         b"a man a plan a canal panama ".iter().copied().cycle().take(len).collect()
+    }
+
+    fn noise(len: usize) -> Vec<u8> {
+        // xorshift64: incompressible to both the entropy and LZ77 stages.
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 24) as u8
+            })
+            .collect()
     }
 
     #[test]
@@ -315,5 +421,40 @@ mod tests {
                 out.stats.compressed_size
             );
         }
+    }
+
+    #[test]
+    fn static_blocks_share_one_config_record() {
+        let data = text(600 * 1024);
+        let out = compress(&data, &CompressorConfig::bit_de()).unwrap();
+        let uniform = out.file.header.uniform_config().expect("static plans are uniform");
+        assert_eq!(uniform.mode, EncodingMode::Bit);
+        assert!(uniform.dependency_elimination);
+    }
+
+    #[test]
+    fn adaptive_mixes_modes_on_heterogeneous_input() {
+        // Half repetitive text, half incompressible noise, 64 KiB blocks:
+        // the planner should pick Bit for the text and Byte for the noise.
+        let mut data = text(512 * 1024);
+        data.extend_from_slice(&noise(512 * 1024));
+        let config = CompressorConfig { block_size: 64 * 1024, ..CompressorConfig::auto() };
+        let out = compress(&data, &config).unwrap();
+        let modes: Vec<EncodingMode> = out.file.header.block_configs.iter().map(|c| c.mode).collect();
+        assert!(modes.contains(&EncodingMode::Bit), "text blocks should use Huffman: {modes:?}");
+        assert!(modes.contains(&EncodingMode::Byte), "noise blocks should use byte coding: {modes:?}");
+        assert!(out.file.header.uniform_config().is_none());
+    }
+
+    #[test]
+    fn adaptive_output_is_deterministic() {
+        let mut data = text(300 * 1024);
+        data.extend_from_slice(&noise(300 * 1024));
+        let config = CompressorConfig { block_size: 32 * 1024, ..CompressorConfig::auto() };
+        // Plans are made and feedback is recorded in block order regardless
+        // of worker scheduling, so repeated runs must agree byte-for-byte.
+        let a = compress(&data, &config).unwrap().file.serialize();
+        let b = compress(&data, &config).unwrap().file.serialize();
+        assert_eq!(a, b);
     }
 }

@@ -1,17 +1,133 @@
-//! Compressor configuration.
+//! Compressor configuration: file-wide settings plus per-block codec plans.
+//!
+//! Since the v3 container, the codec choice is a *per-block* decision. The
+//! user-facing [`CompressorConfig`] is still one flat struct (its fields
+//! describe the default plan), but internally it splits into
+//!
+//! * [`FileSettings`] — the immutable file-wide fields (block grid, match
+//!   geometry) that every block shares and that the container header
+//!   records once, and
+//! * [`BlockPlan`] — everything a worker needs to compress *one* block
+//!   (mode, resolution strategy, DE flag, entropy parameters, matcher
+//!   tuning), produced per block by a [`crate::planner::Planner`].
+//!
+//! [`PlanningMode::Static`] stamps the configured plan onto every block
+//! (pre-v3 behaviour); [`PlanningMode::Adaptive`] — enabled by
+//! [`CompressorConfig::auto`] — probes each block and picks the plan per
+//! block.
 
+use crate::strategy::ResolutionStrategy;
 use crate::{GompressoError, Result};
-use gompresso_format::EncodingMode;
+use gompresso_format::{BlockConfig, EncodingMode};
 use gompresso_lz77::MatcherConfig;
+
+/// How the compressor chooses each block's codec plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlanningMode {
+    /// Every block uses the plan implied by the [`CompressorConfig`] fields.
+    #[default]
+    Static,
+    /// Each block's plan is chosen by the adaptive planner from a content
+    /// probe (byte entropy, match density, dependency structure) combined
+    /// with smoothed feedback from recently finished blocks.
+    Adaptive,
+}
+
+/// Immutable file-wide compression settings: the fields that apply to every
+/// block regardless of its plan, and that the container header records once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileSettings {
+    /// Uncompressed size of each data block (the last may be shorter).
+    pub block_size: usize,
+    /// Sliding-window (dictionary) size; a power of two.
+    pub window_size: usize,
+    /// Minimum match length.
+    pub min_match_len: usize,
+    /// Maximum match length.
+    pub max_match_len: usize,
+    /// Minimal staleness (bytes) for the DE hash-replacement policy.
+    pub min_staleness: usize,
+}
+
+/// The codec plan for one block: everything a compression worker needs
+/// beyond the [`FileSettings`], and everything the v3 container records per
+/// block (via [`BlockPlan::block_config`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPlan {
+    /// Bit-level (Huffman) or byte-level encoding for this block.
+    pub mode: EncodingMode,
+    /// Enforce the Dependency Elimination invariant while matching.
+    pub dependency_elimination: bool,
+    /// Use the paper's conservative below-high-water-mark DE rule instead of
+    /// the precise no-same-group-dependency rule.
+    pub strict_hwm: bool,
+    /// Sequences per sub-block for parallel Huffman decoding (Bit mode).
+    pub sequences_per_sub_block: u32,
+    /// Maximum Huffman codeword length (CWL); unused in Byte mode.
+    pub max_codeword_len: u8,
+    /// Hash-chain candidates examined per position.
+    pub chain_depth: usize,
+    /// Bytes hashed per chain-table key (0 = automatic, 3 or 4).
+    pub hash_bytes: u32,
+}
+
+impl BlockPlan {
+    /// The resolution strategy this plan lets the compressor recommend to
+    /// decoders: single-round DE when the invariant was enforced, MRR
+    /// otherwise (always correct).
+    pub fn recommended_strategy(&self) -> ResolutionStrategy {
+        if self.dependency_elimination {
+            ResolutionStrategy::DependencyEliminated
+        } else {
+            ResolutionStrategy::MultiRound
+        }
+    }
+
+    /// The per-block record the v3 container stores for a block compressed
+    /// under this plan.
+    pub fn block_config(&self) -> BlockConfig {
+        BlockConfig {
+            mode: self.mode,
+            strategy: self.recommended_strategy(),
+            dependency_elimination: self.dependency_elimination,
+            sequences_per_sub_block: self.sequences_per_sub_block,
+            max_codeword_len: if self.mode == EncodingMode::Bit { self.max_codeword_len } else { 0 },
+        }
+    }
+
+    /// The LZ77 matcher configuration for a block compressed under this
+    /// plan within `settings`.
+    pub fn matcher_config(&self, settings: &FileSettings) -> MatcherConfig {
+        MatcherConfig {
+            window_size: settings.window_size,
+            min_match_len: settings.min_match_len,
+            max_match_len: settings.max_match_len,
+            chain_depth: self.chain_depth,
+            hash_bytes: self.hash_bytes,
+            dependency_elimination: self.dependency_elimination,
+            strict_hwm: self.strict_hwm,
+            min_staleness: settings.min_staleness,
+            ..MatcherConfig::default()
+        }
+    }
+}
 
 /// Configuration of the Gompresso compressor.
 ///
 /// The defaults mirror the paper's evaluation setup (Section V): 256 KB data
 /// blocks, an 8 KB sliding window, 64-byte match lookahead, 16 sequences per
 /// sub-block and a 10-bit maximum codeword length.
+///
+/// The `mode`, `dependency_elimination` and entropy fields describe the
+/// *default block plan*. With [`PlanningMode::Static`] (the default) that
+/// plan applies to every block, as in pre-v3 versions; with
+/// [`PlanningMode::Adaptive`] ([`CompressorConfig::auto`]) the planner may
+/// override mode and DE per block, and these fields act as the fallback and
+/// parameter source (CWL, sub-block size, matcher tuning).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompressorConfig {
-    /// Bit-level (Huffman) or byte-level encoding.
+    /// Bit-level (Huffman) or byte-level encoding (per-block under adaptive
+    /// planning; the uniform choice under static planning).
     pub mode: EncodingMode,
     /// Uncompressed size of each data block. Chosen "depending on the total
     /// data size and the number of available processing elements".
@@ -32,13 +148,16 @@ pub struct CompressorConfig {
     pub sequences_per_sub_block: u32,
     /// Maximum Huffman codeword length (CWL) — bounds the decode LUT size.
     pub max_codeword_len: u8,
-    /// Enable Dependency Elimination during matching.
+    /// Enable Dependency Elimination during matching (per-block under
+    /// adaptive planning).
     pub dependency_elimination: bool,
     /// Use the paper's conservative below-high-water-mark DE rule instead of
     /// the precise no-same-group-dependency rule.
     pub strict_hwm: bool,
     /// Minimal staleness (bytes) for the DE hash-replacement policy.
     pub min_staleness: usize,
+    /// Static (uniform) or adaptive (per-block) codec planning.
+    pub planning: PlanningMode,
 }
 
 impl Default for CompressorConfig {
@@ -56,6 +175,7 @@ impl Default for CompressorConfig {
             dependency_elimination: false,
             strict_hwm: false,
             min_staleness: 1024,
+            planning: PlanningMode::Static,
         }
     }
 }
@@ -82,6 +202,39 @@ impl CompressorConfig {
         Self { mode: EncodingMode::Byte, dependency_elimination: true, ..Self::default() }
     }
 
+    /// Adaptive per-block planning: each block's mode and strategy are
+    /// chosen from a content probe plus feedback from finished blocks, so
+    /// heterogeneous files get Huffman coding where it pays and cheap byte
+    /// coding where it does not.
+    pub fn auto() -> Self {
+        Self { planning: PlanningMode::Adaptive, ..Self::default() }
+    }
+
+    /// The immutable file-wide settings this configuration implies.
+    pub fn file_settings(&self) -> FileSettings {
+        FileSettings {
+            block_size: self.block_size,
+            window_size: self.window_size,
+            min_match_len: self.min_match_len,
+            max_match_len: self.max_match_len,
+            min_staleness: self.min_staleness,
+        }
+    }
+
+    /// The default block plan implied by the flat fields — the plan every
+    /// block gets under static planning and the adaptive planner's fallback.
+    pub fn base_plan(&self) -> BlockPlan {
+        BlockPlan {
+            mode: self.mode,
+            dependency_elimination: self.dependency_elimination,
+            strict_hwm: self.strict_hwm,
+            sequences_per_sub_block: self.sequences_per_sub_block,
+            max_codeword_len: self.max_codeword_len,
+            chain_depth: self.chain_depth,
+            hash_bytes: self.hash_bytes,
+        }
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         let err = |reason: &str| Err(GompressoError::InvalidConfig { reason: reason.to_string() });
@@ -90,10 +243,6 @@ impl CompressorConfig {
         }
         if !self.window_size.is_power_of_two() || self.window_size < 256 {
             return err("window size must be a power of two of at least 256 bytes");
-        }
-        if self.window_size > self.block_size.next_power_of_two() * 2 && self.block_size > 4096 {
-            // A window much larger than a block is wasteful but not wrong;
-            // only flag the clearly inconsistent case of a tiny block.
         }
         if self.min_match_len < 3 {
             return err("minimum match length must be at least 3");
@@ -110,6 +259,9 @@ impl CompressorConfig {
         if self.mode == EncodingMode::Bit && !(2..=16).contains(&self.max_codeword_len) {
             return err("maximum codeword length must be between 2 and 16 bits");
         }
+        if self.planning == PlanningMode::Adaptive && !(2..=16).contains(&self.max_codeword_len) {
+            return err("adaptive planning may emit Huffman blocks, so the codeword length must be 2..=16");
+        }
         if self.chain_depth == 0 {
             return err("chain depth must be at least 1");
         }
@@ -119,20 +271,11 @@ impl CompressorConfig {
         Ok(())
     }
 
-    /// The LZ77 matcher configuration corresponding to this compressor
-    /// configuration.
+    /// The LZ77 matcher configuration of the default block plan. Kept for
+    /// callers that tune the matcher directly; per-block plans derive their
+    /// own via [`BlockPlan::matcher_config`].
     pub fn matcher_config(&self) -> MatcherConfig {
-        MatcherConfig {
-            window_size: self.window_size,
-            min_match_len: self.min_match_len,
-            max_match_len: self.max_match_len,
-            chain_depth: self.chain_depth,
-            hash_bytes: self.hash_bytes,
-            dependency_elimination: self.dependency_elimination,
-            strict_hwm: self.strict_hwm,
-            min_staleness: self.min_staleness,
-            ..MatcherConfig::default()
-        }
+        self.base_plan().matcher_config(&self.file_settings())
     }
 }
 
@@ -148,6 +291,7 @@ mod tests {
         assert_eq!(c.max_match_len, 64);
         assert_eq!(c.sequences_per_sub_block, 16);
         assert_eq!(c.max_codeword_len, 10);
+        assert_eq!(c.planning, PlanningMode::Static);
         c.validate().unwrap();
     }
 
@@ -162,7 +306,11 @@ mod tests {
             config.validate().unwrap();
             assert_eq!(config.mode, mode);
             assert_eq!(config.dependency_elimination, de);
+            assert_eq!(config.planning, PlanningMode::Static);
         }
+        let auto = CompressorConfig::auto();
+        auto.validate().unwrap();
+        assert_eq!(auto.planning, PlanningMode::Adaptive);
     }
 
     #[test]
@@ -185,6 +333,13 @@ mod tests {
             c.mode = EncodingMode::Byte;
             c.window_size = 128 * 1024;
         });
+        // Adaptive planning may emit Huffman blocks, so a Byte-mode base
+        // with a CWL outside the Huffman range is invalid once adaptive.
+        bad(|c| {
+            c.mode = EncodingMode::Byte;
+            c.max_codeword_len = 0;
+            c.planning = PlanningMode::Adaptive;
+        });
     }
 
     #[test]
@@ -203,5 +358,32 @@ mod tests {
         c.max_codeword_len = 0;
         // Byte mode ignores the codeword length; validation still passes.
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn base_plan_round_trips_into_block_config() {
+        let de = CompressorConfig::bit_de();
+        let plan = de.base_plan();
+        assert_eq!(plan.recommended_strategy(), ResolutionStrategy::DependencyEliminated);
+        let config = plan.block_config();
+        config.validate().unwrap();
+        assert_eq!(config.mode, EncodingMode::Bit);
+        assert!(config.dependency_elimination);
+        assert_eq!(config.max_codeword_len, 10);
+
+        let byte = CompressorConfig::byte().base_plan();
+        assert_eq!(byte.recommended_strategy(), ResolutionStrategy::MultiRound);
+        let config = byte.block_config();
+        config.validate().unwrap();
+        assert_eq!(config.max_codeword_len, 0, "byte blocks record no CWL");
+    }
+
+    #[test]
+    fn plan_matcher_config_follows_plan_not_base() {
+        let cfg = CompressorConfig::bit();
+        let settings = cfg.file_settings();
+        let de_plan = BlockPlan { dependency_elimination: true, ..cfg.base_plan() };
+        assert!(de_plan.matcher_config(&settings).dependency_elimination);
+        assert!(!cfg.base_plan().matcher_config(&settings).dependency_elimination);
     }
 }

@@ -6,21 +6,27 @@
 //!   a rayon thread pool, standing in for the GPU grid of thread groups;
 //! * **intra-block** — within each block, a simulated 32-lane warp performs
 //!   parallel Huffman decoding (one sub-block per lane, Gompresso/Bit only)
-//!   followed by warp-level LZ77 decompression with the configured
+//!   followed by warp-level LZ77 decompression with the block's
 //!   back-reference resolution strategy.
+//!
+//! Since the v3 container every block carries its own [`BlockConfig`], so a
+//! single file may mix Huffman and byte-coded blocks and mix resolution
+//! strategies. The decompressor follows those records by default
+//! ([`StrategySelection::Planned`]) and can force one strategy file-wide for
+//! experiments ([`StrategySelection::Force`], the paper's Figure 9a sweep).
 //!
 //! The simulated kernels charge instruction, memory and round counters that
 //! the Tesla K40 cost model turns into the GPU time estimates reported in
 //! [`DecompressionReport`].
 
 use crate::stats::{DecompressionReport, MrrStats};
-use crate::strategy::ResolutionStrategy;
+use crate::strategy::{ResolutionStrategy, StrategySelection};
 use crate::warp_lz77::decompress_block_warp;
 use crate::{GompressoError, Result};
 use gompresso_bitstream::ByteReader;
 use gompresso_format::{
-    token_code::TokenCoder, BitBlock, ByteBlock, CompressedFile, EncodingMode, InterleaveScratch,
-    SubBlockStats,
+    token_code::TokenCoder, BitBlock, BlockConfig, ByteBlock, CompressedFile, EncodingMode,
+    InterleaveScratch, SubBlockStats,
 };
 use gompresso_huffman::DecodeTable;
 use gompresso_lz77::SequenceBlock;
@@ -47,11 +53,12 @@ const INTERLEAVE_STREAMS: usize = 4;
 /// Decompressor configuration.
 #[derive(Debug, Clone)]
 pub struct DecompressorConfig {
-    /// Back-reference resolution strategy.
-    pub strategy: ResolutionStrategy,
-    /// When decompressing with the DE strategy, verify the DE invariant and
-    /// fail with [`GompressoError::DependencyEliminationViolated`] if the
-    /// file was not compressed with Dependency Elimination.
+    /// How to pick each block's back-reference resolution strategy: follow
+    /// the per-block records (default) or force one strategy file-wide.
+    pub strategy: StrategySelection,
+    /// When a block resolves with the DE strategy, verify the DE invariant
+    /// and fail with [`GompressoError::DependencyEliminationViolated`] if
+    /// the block was not compressed with Dependency Elimination.
     pub validate_de: bool,
     /// GPU device / PCIe model used for the time estimates.
     pub cost_model: CostModel,
@@ -65,7 +72,7 @@ pub struct DecompressorConfig {
 impl Default for DecompressorConfig {
     fn default() -> Self {
         DecompressorConfig {
-            strategy: ResolutionStrategy::DependencyEliminated,
+            strategy: StrategySelection::Planned,
             validate_de: false,
             cost_model: CostModel::tesla_k40(),
             max_output_size: 4 << 30,
@@ -79,8 +86,8 @@ pub struct Decompressor {
     config: DecompressorConfig,
 }
 
-/// Decompresses `file` with the default configuration (DE strategy, K40
-/// cost model).
+/// Decompresses `file` with the default configuration (per-block planned
+/// strategies, K40 cost model).
 pub fn decompress(file: &CompressedFile) -> Result<(Vec<u8>, DecompressionReport)> {
     Decompressor::new(DecompressorConfig::default()).decompress(file)
 }
@@ -168,7 +175,9 @@ impl Decompressor {
 
         let results: Vec<Result<BlockResult>> = work
             .into_par_iter()
-            .map(|(idx, payload, dst)| self.decompress_block(header.mode, &coder, idx, payload, dst))
+            .map(|(idx, payload, dst)| {
+                decompress_block_into(&self.config, header.block_config(idx), &coder, idx, payload, dst)
+            })
             .collect();
 
         let mut decode_counters = KernelCounters::new();
@@ -188,7 +197,7 @@ impl Decompressor {
             &self.config.cost_model,
             &decode_counters,
             &lz77_counters,
-            header.max_codeword_len,
+            header.max_codeword_len(),
             compressed_size,
             header.uncompressed_size,
         );
@@ -203,26 +212,15 @@ impl Decompressor {
         };
         Ok((output, report))
     }
-
-    fn decompress_block(
-        &self,
-        mode: EncodingMode,
-        coder: &TokenCoder,
-        block_index: usize,
-        payload: &[u8],
-        dst: &mut [u8],
-    ) -> Result<BlockResult> {
-        decompress_block_into(&self.config, mode, coder, block_index, payload, dst)
-    }
 }
 
-/// Decodes one block payload into `dst`, reusing the per-worker decode
-/// scratch. Shared by the in-memory [`Decompressor`] and the streaming
-/// pipeline in [`crate::stream`], so both paths apply identical resolution
-/// strategies and size validation.
+/// Decodes one block payload into `dst` under the block's recorded config,
+/// reusing the per-worker decode scratch. Shared by the in-memory
+/// [`Decompressor`] and the streaming pipeline in [`crate::stream`], so both
+/// paths apply identical resolution strategies and size validation.
 pub(crate) fn decompress_block_into(
     config: &DecompressorConfig,
-    mode: EncodingMode,
+    block: &BlockConfig,
     coder: &TokenCoder,
     block_index: usize,
     payload: &[u8],
@@ -232,7 +230,7 @@ pub(crate) fn decompress_block_into(
         let mut scratch = scratch.borrow_mut();
         let scratch = &mut *scratch;
         let seq_block = &mut scratch.seq_block;
-        let decode_counters = match mode {
+        let decode_counters = match block.mode {
             EncodingMode::Bit => {
                 let mut r = ByteReader::new(payload);
                 let bit = BitBlock::deserialize(&mut r)?;
@@ -265,10 +263,11 @@ pub(crate) fn decompress_block_into(
             });
         }
 
+        let strategy = config.strategy.resolve(block);
         let outcome = decompress_block_warp(
             seq_block,
-            config.strategy,
-            config.validate_de && config.strategy == ResolutionStrategy::DependencyEliminated,
+            strategy,
+            config.validate_de && strategy == ResolutionStrategy::DependencyEliminated,
             block_index,
             dst,
         )?;
@@ -295,22 +294,23 @@ pub(crate) fn plausible_output_ceiling(mode: EncodingMode, payload_len: u64, max
 /// `uncompressed_size` is corroborated by the blocks themselves: the
 /// header-derived per-block sizes must sum to it exactly, every block
 /// payload's *declared* uncompressed size (read with the cheap peek that
-/// skips code tables) must equal its header-derived size, and no block may
-/// declare more output than its payload length could plausibly produce.
+/// skips code tables, using the block's recorded mode) must equal its
+/// header-derived size, and no block may declare more output than its
+/// payload length could plausibly produce.
 fn validate_declared_sizes(file: &CompressedFile) -> Result<()> {
     let header = &file.header;
     let mut total = 0u64;
     for (idx, payload) in file.blocks.iter().enumerate() {
         let expected = header.block_uncompressed_size(idx);
-        let declared = match header.mode {
+        let mode = header.block_config(idx).mode;
+        let declared = match mode {
             EncodingMode::Bit => BitBlock::peek_uncompressed_len(&payload.bytes)?,
             EncodingMode::Byte => ByteBlock::peek_uncompressed_len(&payload.bytes)?,
         };
         if declared != expected {
             return Err(GompressoError::OutputSizeMismatch { declared: expected, produced: declared });
         }
-        let plausible =
-            plausible_output_ceiling(header.mode, payload.bytes.len() as u64, header.max_match_len);
+        let plausible = plausible_output_ceiling(mode, payload.bytes.len() as u64, header.max_match_len);
         if declared > plausible {
             return Err(GompressoError::Format(gompresso_format::FormatError::InvalidHeaderField {
                 field: "uncompressed_size",
@@ -447,7 +447,7 @@ mod tests {
         let data = wiki_like(300_000);
         let out = compress(&data, &cfg_small(CompressorConfig::bit_de())).unwrap();
         for strategy in ResolutionStrategy::ALL {
-            let config = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+            let config = DecompressorConfig { strategy: strategy.into(), ..DecompressorConfig::default() };
             let (restored, report) = decompress_with(&out.file, &config).unwrap();
             assert_eq!(restored, data, "strategy {strategy}");
             assert_eq!(report.uncompressed_size, data.len() as u64);
@@ -475,13 +475,28 @@ mod tests {
     }
 
     #[test]
+    fn planned_selection_follows_per_block_records() {
+        // A DE file's blocks record the DE strategy; a plain file's record
+        // MRR. The default (planned) selection must resolve both correctly
+        // with DE validation enabled — proving it reads the records rather
+        // than assuming one strategy file-wide.
+        let data = wiki_like(200_000);
+        let config = DecompressorConfig { validate_de: true, ..DecompressorConfig::default() };
+        for compressor in [cfg_small(CompressorConfig::byte_de()), cfg_small(CompressorConfig::byte())] {
+            let out = compress(&data, &compressor).unwrap();
+            let (restored, _) = decompress_with(&out.file, &config).unwrap();
+            assert_eq!(restored, data);
+        }
+    }
+
+    #[test]
     fn validate_de_accepts_de_files_and_rejects_others() {
         let data = wiki_like(200_000);
         let de_file = compress(&data, &cfg_small(CompressorConfig::byte_de())).unwrap();
         let plain_file = compress(&data, &cfg_small(CompressorConfig::byte())).unwrap();
 
         let config = DecompressorConfig {
-            strategy: ResolutionStrategy::DependencyEliminated,
+            strategy: ResolutionStrategy::DependencyEliminated.into(),
             validate_de: true,
             ..DecompressorConfig::default()
         };
@@ -489,12 +504,14 @@ mod tests {
         assert_eq!(restored, data);
 
         // The non-DE file contains same-warp nesting on this input and must
-        // be rejected when validation is requested...
+        // be rejected when DE is forced with validation...
         let err = decompress_with(&plain_file.file, &config);
         assert!(matches!(err, Err(GompressoError::DependencyEliminationViolated { .. })));
         // ...but decompresses fine with MRR.
-        let mrr =
-            DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
+        let mrr = DecompressorConfig {
+            strategy: ResolutionStrategy::MultiRound.into(),
+            ..DecompressorConfig::default()
+        };
         let (restored, report) = decompress_with(&plain_file.file, &mrr).unwrap();
         assert_eq!(restored, data);
         assert!(report.mrr.total_groups > 0);
@@ -505,8 +522,10 @@ mod tests {
     fn mrr_round_statistics_decrease_per_round() {
         let data = wiki_like(400_000);
         let out = compress(&data, &cfg_small(CompressorConfig::bit())).unwrap();
-        let config =
-            DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
+        let config = DecompressorConfig {
+            strategy: ResolutionStrategy::MultiRound.into(),
+            ..DecompressorConfig::default()
+        };
         let (_, report) = decompress_with(&out.file, &config).unwrap();
         let stats = &report.mrr;
         assert!(stats.total_groups > 0);
@@ -521,7 +540,7 @@ mod tests {
         let out = compress(&data, &cfg_small(CompressorConfig::byte_de())).unwrap();
         let mut estimates = Vec::new();
         for strategy in ResolutionStrategy::ALL {
-            let config = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+            let config = DecompressorConfig { strategy: strategy.into(), ..DecompressorConfig::default() };
             let (_, report) = decompress_with(&out.file, &config).unwrap();
             estimates.push((strategy, report.gpu.device_only_s()));
         }
@@ -591,14 +610,12 @@ mod tests {
             })
             .collect();
         let header = FileHeader {
-            mode: EncodingMode::Byte,
             window_size: 8 * 1024,
             min_match_len: 3,
             max_match_len: 64,
             uncompressed_size: u64::from(block_size) * n_blocks as u64,
             block_size,
-            sequences_per_sub_block: 16,
-            max_codeword_len: 10,
+            block_configs: vec![BlockConfig::legacy_uniform(EncodingMode::Byte, 16, 0); n_blocks],
             block_compressed_sizes: vec![],
         };
         let file = CompressedFile::new(header, payloads).expect("crafted file assembles");

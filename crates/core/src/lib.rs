@@ -46,21 +46,23 @@ pub mod compress;
 pub mod config;
 pub mod decompress;
 pub mod error;
+pub mod planner;
 pub mod stats;
 pub mod strategy;
 pub mod stream;
 pub mod warp_lz77;
 
 pub use compress::{compress, CompressedOutput, Compressor};
-pub use config::CompressorConfig;
+pub use config::{BlockPlan, CompressorConfig, FileSettings, PlanningMode};
 pub use decompress::{decompress, decompress_with, Decompressor, DecompressorConfig};
 pub use error::GompressoError;
+pub use planner::{planner_for, AdaptivePlanner, BlockFeedback, Planner, StaticPlanner};
 pub use stats::{CompressionStats, DecompressionReport, GpuEstimate, MrrStats};
-pub use strategy::ResolutionStrategy;
+pub use strategy::{ResolutionStrategy, StrategySelection};
 pub use stream::{compress_file, decompress_file, StreamCompressor, StreamDecompressor, StreamStats};
 
 // Re-export the pieces of the public API that callers routinely need.
-pub use gompresso_format::{CompressedFile, EncodingMode};
+pub use gompresso_format::{BlockConfig, CompressedFile, EncodingMode};
 pub use gompresso_simt::{CostModel, GpuDeviceModel, PcieLink};
 
 /// Result alias for Gompresso operations.
@@ -106,7 +108,8 @@ mod proptests {
                     ResolutionStrategy::MultiRound,
                     ResolutionStrategy::DependencyEliminated,
                 ] {
-                    let dconf = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+                    let dconf =
+                        DecompressorConfig { strategy: strategy.into(), ..DecompressorConfig::default() };
                     let (restored, _report) = decompress_with(&out.file, &dconf).unwrap();
                     prop_assert_eq!(&restored, &data, "mode {:?} strategy {:?}", config.mode, strategy);
                 }
@@ -122,6 +125,25 @@ mod proptests {
             let parsed = CompressedFile::deserialize(&bytes).unwrap();
             let (restored, _) = decompress(&parsed).unwrap();
             prop_assert_eq!(restored, data);
+        }
+
+        /// Static and adaptive planning both produce decoder-accepted files
+        /// whose decompressed output is byte-identical to the input (and to
+        /// each other), even though their archives may differ per block.
+        #[test]
+        fn static_and_adaptive_plans_decode_identically(
+            chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..96), 0..80),
+        ) {
+            let data: Vec<u8> = chunks.concat();
+            let static_cfg = small_block_config(CompressorConfig::bit_de());
+            let adaptive_cfg = small_block_config(CompressorConfig::auto());
+            let static_out = compress(&data, &static_cfg).unwrap();
+            let adaptive_out = compress(&data, &adaptive_cfg).unwrap();
+            for out in [&static_out, &adaptive_out] {
+                let parsed = CompressedFile::deserialize(&out.file.serialize()).unwrap();
+                let (restored, _) = decompress(&parsed).unwrap();
+                prop_assert_eq!(&restored, &data);
+            }
         }
     }
 }

@@ -1,73 +1,95 @@
-//! Back-reference resolution strategies (paper, Section IV).
+//! Back-reference resolution strategies (paper, Section IV) and the
+//! decoder-side strategy selection.
+//!
+//! [`ResolutionStrategy`] itself lives in `gompresso-format` since v3: the
+//! compressor records a recommended strategy in every block's
+//! [`gompresso_format::BlockConfig`], so the enum is part of the container
+//! format. This module re-exports it and adds [`StrategySelection`], the
+//! decompressor-side choice between trusting those per-block records and
+//! forcing one strategy file-wide (what the paper's Figure 9a sweep does).
 
-use std::fmt;
+pub use gompresso_format::ResolutionStrategy;
 
-/// How a warp resolves the back-references of its 32 sequences.
+use gompresso_format::BlockConfig;
+
+/// How the decompressor picks a resolution strategy for each block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum ResolutionStrategy {
-    /// **SC** — Sequential Copying: one lane at a time copies its
-    /// back-reference, in sequence order. No intra-block parallelism for the
-    /// copy phase; the baseline of Figure 9a.
-    SequentialCopy,
-    /// **MRR** — Multi-Round Resolution (Figure 5): each round, every lane
-    /// whose referenced data lies below the warp-wide high-water mark copies
-    /// its back-reference; the high-water mark is advanced with a
-    /// `ballot` + leading-zero count + `shfl` and the loop repeats until all
-    /// lanes are done.
-    MultiRound,
-    /// **DE** — Dependency Elimination: the compressor guaranteed that no
-    /// back-reference depends on another back-reference of the same warp, so
-    /// every lane copies in a single round.
+pub enum StrategySelection {
+    /// Follow each block's recorded strategy ([`BlockConfig::strategy`]).
+    /// Blocks compressed under Dependency Elimination resolve in a single
+    /// round; everything else (including every legacy v1/v2 file, whose
+    /// synthesized configs recommend MRR) uses the strategy its compressor
+    /// recorded. This is the default.
     #[default]
-    DependencyEliminated,
+    Planned,
+    /// Ignore the per-block records and use this strategy for every block.
+    /// Forcing [`ResolutionStrategy::DependencyEliminated`] on a file whose
+    /// blocks were not compressed under the DE constraint is only caught
+    /// when DE validation is enabled (the simulated copy rounds would be
+    /// wrong, the decompressed bytes still correct).
+    Force(ResolutionStrategy),
 }
 
-impl ResolutionStrategy {
-    /// All strategies, in the order they appear in the paper's Figure 9a.
-    pub const ALL: [ResolutionStrategy; 3] = [
-        ResolutionStrategy::SequentialCopy,
-        ResolutionStrategy::MultiRound,
-        ResolutionStrategy::DependencyEliminated,
-    ];
-
-    /// The short name used in the paper's figures.
-    pub fn short_name(&self) -> &'static str {
+impl StrategySelection {
+    /// The strategy to use for a block with config `block`.
+    pub fn resolve(&self, block: &BlockConfig) -> ResolutionStrategy {
         match self {
-            ResolutionStrategy::SequentialCopy => "SC",
-            ResolutionStrategy::MultiRound => "MRR",
-            ResolutionStrategy::DependencyEliminated => "DE",
+            StrategySelection::Planned => block.strategy,
+            StrategySelection::Force(strategy) => *strategy,
+        }
+    }
+
+    /// Human-readable name (`planned` or the forced strategy's short name).
+    pub fn describe(&self) -> &'static str {
+        match self {
+            StrategySelection::Planned => "planned",
+            StrategySelection::Force(s) => s.short_name(),
         }
     }
 }
 
-impl fmt::Display for ResolutionStrategy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.short_name())
+impl From<ResolutionStrategy> for StrategySelection {
+    fn from(strategy: ResolutionStrategy) -> Self {
+        StrategySelection::Force(strategy)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gompresso_format::EncodingMode;
 
-    #[test]
-    fn names_match_paper() {
-        assert_eq!(ResolutionStrategy::SequentialCopy.to_string(), "SC");
-        assert_eq!(ResolutionStrategy::MultiRound.to_string(), "MRR");
-        assert_eq!(ResolutionStrategy::DependencyEliminated.to_string(), "DE");
+    fn config_with(strategy: ResolutionStrategy) -> BlockConfig {
+        BlockConfig {
+            mode: EncodingMode::Bit,
+            strategy,
+            dependency_elimination: strategy == ResolutionStrategy::DependencyEliminated,
+            sequences_per_sub_block: 16,
+            max_codeword_len: 10,
+        }
     }
 
     #[test]
-    fn all_lists_every_variant_once() {
-        assert_eq!(ResolutionStrategy::ALL.len(), 3);
-        let mut names: Vec<_> = ResolutionStrategy::ALL.iter().map(|s| s.short_name()).collect();
-        names.sort_unstable();
-        names.dedup();
-        assert_eq!(names.len(), 3);
+    fn planned_follows_the_block_record() {
+        for strategy in ResolutionStrategy::ALL {
+            assert_eq!(StrategySelection::Planned.resolve(&config_with(strategy)), strategy);
+        }
     }
 
     #[test]
-    fn default_is_de() {
-        assert_eq!(ResolutionStrategy::default(), ResolutionStrategy::DependencyEliminated);
+    fn force_overrides_the_block_record() {
+        for forced in ResolutionStrategy::ALL {
+            let selection = StrategySelection::from(forced);
+            for recorded in ResolutionStrategy::ALL {
+                assert_eq!(selection.resolve(&config_with(recorded)), forced);
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_planned() {
+        assert_eq!(StrategySelection::default(), StrategySelection::Planned);
+        assert_eq!(StrategySelection::default().describe(), "planned");
+        assert_eq!(StrategySelection::from(ResolutionStrategy::MultiRound).describe(), "MRR");
     }
 }

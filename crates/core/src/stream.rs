@@ -9,21 +9,35 @@
 //!
 //! * a **reader** stage fills fixed-size block buffers taken from a
 //!   recycling pool (the pool size is derived from the memory budget, so
-//!   the reader stalls instead of racing ahead of the budget);
+//!   the reader stalls instead of racing ahead of the budget). On the
+//!   compression side the reader also runs the [`crate::planner`] on each
+//!   block *in block order*, so adaptive planning sees blocks in the same
+//!   sequence as the in-memory compressor;
 //! * **worker** threads compress or decompress blocks independently,
 //!   reusing the same per-worker scratch thread-locals
 //!   (`SequenceBlock` + `MatcherScratch` + `EncodeScratch` on the way in,
 //!   the decode `SequenceBlock` on the way out) as the in-memory hot paths
-//!   — both paths therefore produce byte-identical block payloads;
+//!   — both paths therefore produce byte-identical block payloads for the
+//!   same plan;
 //! * a **writer** stage (the calling thread) re-orders finished blocks and
 //!   emits them in block order. Buffers return to the pool only once their
 //!   block has been written, which is what makes the bound hold even when
 //!   one slow block stalls the in-order frontier.
 //!
-//! Files are framed with the incremental v2 container
-//! ([`gompresso_format::stream_frame`]): a fixed prelude whose totals are
-//! back-patched when the sink can seek, length-prefixed block frames, and a
-//! trailer that repeats the block-size table for random-access readers.
+//! Files are framed with the incremental v3 container
+//! ([`gompresso_format::stream_frame`]): a fixed prelude with the file-wide
+//! match geometry (totals back-patched when the sink can seek), block frames
+//! of `varint(payload_len) | BlockConfig | payload`, and a trailer that
+//! repeats the block-size table for random-access readers. Legacy v2
+//! streams (uniform codec config in the prelude, configless frames) still
+//! decode: the reader synthesizes the per-block config from the prelude.
+//!
+//! Note on adaptive planning: with [`crate::PlanningMode::Adaptive`] the
+//! planner's ratio feedback arrives in worker-completion order here (the
+//! in-memory path feeds it back in block order), so a streamed adaptive
+//! archive may differ from — while decompressing identically to — the
+//! in-memory adaptive archive of the same input. Static configurations
+//! produce byte-identical payloads on both paths.
 //!
 //! Memory budget math (see `DESIGN.md` §4): a block in flight costs at most
 //! one input buffer (`block_size`) plus one output buffer (≤ `block_size`
@@ -33,14 +47,17 @@
 //! at `2 × workers + 2`, beyond which extra buffers add nothing).
 
 use crate::compress::{compress_block_with_scratch, COMPRESS_SCRATCH};
-use crate::config::CompressorConfig;
+use crate::config::{BlockPlan, CompressorConfig};
 use crate::decompress::{decompress_block_into, plausible_output_ceiling, DecompressorConfig};
+use crate::planner::{planner_for, BlockFeedback};
 use crate::{GompressoError, Result};
-use gompresso_format::stream_frame::{StreamPrelude, StreamTrailer, PRELUDE_LEN, UNCOMPRESSED_SIZE_OFFSET};
-use gompresso_format::{
-    token_code::TokenCoder, BitBlock, ByteBlock, EncodingMode, FormatError, MAX_BLOCK_COUNT,
+use gompresso_format::stream_frame::{
+    prelude_len, StreamPrelude, StreamTrailer, PRELUDE_HEAD_LEN, PRELUDE_LEN, UNCOMPRESSED_SIZE_OFFSET,
 };
-use gompresso_lz77::Matcher;
+use gompresso_format::{
+    token_code::TokenCoder, BitBlock, BlockConfig, ByteBlock, EncodingMode, FormatError, BLOCK_CONFIG_LEN,
+    MAGIC, MAX_BLOCK_COUNT,
+};
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -182,15 +199,19 @@ fn read_frame_growing<R: Read>(r: &mut R, buf: &mut Vec<u8>, len: usize, block: 
         let start = buf.len();
         let step = (len - start).min(FRAME_READ_STEP);
         buf.resize(start + step, 0);
-        r.read_exact(&mut buf[start..]).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                GompressoError::Format(FormatError::TruncatedBlock { block: block as usize })
-            } else {
-                e.into()
-            }
-        })?;
+        r.read_exact(&mut buf[start..]).map_err(|e| truncated_block(e, block))?;
     }
     Ok(())
+}
+
+/// Maps an EOF during a block's bytes to `TruncatedBlock`; passes other
+/// I/O errors through.
+fn truncated_block(e: std::io::Error, block: u64) -> GompressoError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        GompressoError::Format(FormatError::TruncatedBlock { block: block as usize })
+    } else {
+        e.into()
+    }
 }
 
 /// Records `e` (for the lowest-failing block index) as the pipeline's
@@ -201,7 +222,7 @@ fn fail_writer(
     e: GompressoError,
     abort: &AtomicBool,
     pool_tx: &mpsc::Sender<Vec<u8>>,
-    pending: &mut BTreeMap<u64, (Vec<u8>, Vec<u8>)>,
+    pending: &mut BTreeMap<u64, PendingBlock>,
     first_error: &mut Option<GompressoError>,
     first_error_idx: &mut u64,
 ) {
@@ -210,8 +231,8 @@ fn fail_writer(
         *first_error_idx = idx;
         *first_error = Some(e);
     }
-    for (_, (buf, _)) in std::mem::take(pending) {
-        let _ = pool_tx.send(buf);
+    for (_, pending_block) in std::mem::take(pending) {
+        let _ = pool_tx.send(pending_block.buf);
     }
 }
 
@@ -219,10 +240,19 @@ fn fail_writer(
 /// block index, the recycled input buffer, and the block's outcome.
 type DoneItem = (u64, Vec<u8>, BlockOutcome);
 
+/// A produced block parked in the writer's re-order map.
+struct PendingBlock {
+    buf: Vec<u8>,
+    produced: Vec<u8>,
+    config: Option<BlockConfig>,
+}
+
 /// What a worker did with one block.
 enum BlockOutcome {
-    /// The block was transformed; these are its produced bytes.
-    Produced(Vec<u8>),
+    /// The block was transformed; these are its produced bytes, plus (on
+    /// the compression side) the container record of the plan it was
+    /// compressed under.
+    Produced(Vec<u8>, Option<BlockConfig>),
     /// The pipeline was already aborting, so the worker only returned the
     /// input buffer. Distinct from an empty production: a skipped block
     /// must never be emitted as output (the compressor would write a
@@ -236,28 +266,28 @@ enum BlockOutcome {
 /// Writer stage shared by both pipelines (runs on the calling thread):
 /// drains the done channel, restores block order with a re-order map
 /// bounded by the buffer pool, applies `emit` to each block's produced
-/// bytes in order, and recycles a buffer only once its block has been
-/// emitted — which is what makes the in-flight count a true memory bound.
-/// Emitted production buffers are returned through `scrap_tx` (when given)
-/// so workers can reuse them. Returns the error of the lowest-indexed
-/// failing block, if any.
+/// bytes (and config, on the compression side) in order, and recycles a
+/// buffer only once its block has been emitted — which is what makes the
+/// in-flight count a true memory bound. Emitted production buffers are
+/// returned through `scrap_tx` (when given) so workers can reuse them.
+/// Returns the error of the lowest-indexed failing block, if any.
 fn writer_stage(
     done_rx: &mpsc::Receiver<DoneItem>,
     pool_tx: &mpsc::Sender<Vec<u8>>,
     scrap_tx: Option<&mpsc::Sender<Vec<u8>>>,
     abort: &AtomicBool,
-    mut emit: impl FnMut(u64, &[u8]) -> Result<()>,
+    mut emit: impl FnMut(u64, Option<&BlockConfig>, &[u8]) -> Result<()>,
 ) -> Option<GompressoError> {
-    let mut pending: BTreeMap<u64, (Vec<u8>, Vec<u8>)> = BTreeMap::new();
+    let mut pending: BTreeMap<u64, PendingBlock> = BTreeMap::new();
     let mut next = 0u64;
     let mut first_error: Option<GompressoError> = None;
     let mut first_error_idx = u64::MAX;
     while let Ok((idx, buf, outcome)) = done_rx.recv() {
         match outcome {
-            BlockOutcome::Produced(produced) if first_error.is_none() => {
-                pending.insert(idx, (buf, produced));
+            BlockOutcome::Produced(produced, config) if first_error.is_none() => {
+                pending.insert(idx, PendingBlock { buf, produced, config });
             }
-            BlockOutcome::Produced(_) | BlockOutcome::Skipped => {
+            BlockOutcome::Produced(..) | BlockOutcome::Skipped => {
                 let _ = pool_tx.send(buf);
             }
             BlockOutcome::Failed(e) => {
@@ -266,8 +296,8 @@ fn writer_stage(
             }
         }
         while first_error.is_none() {
-            let Some((buf, produced)) = pending.remove(&next) else { break };
-            let emitted = emit(next, &produced);
+            let Some(PendingBlock { buf, produced, config }) = pending.remove(&next) else { break };
+            let emitted = emit(next, config.as_ref(), &produced);
             let _ = pool_tx.send(buf);
             if let Some(tx) = scrap_tx {
                 let _ = tx.send(produced);
@@ -324,7 +354,7 @@ impl StreamCompressor {
         &self.config
     }
 
-    /// Compresses `reader` into `writer` using the v2 streaming framing.
+    /// Compresses `reader` into `writer` using the v3 streaming framing.
     /// The sink need not seek: the prelude totals stay at their sentinel
     /// and readers learn them from the trailer.
     pub fn compress<R: Read + Send, W: Write>(&self, reader: R, mut writer: W) -> Result<StreamStats> {
@@ -356,15 +386,13 @@ impl StreamCompressor {
     fn prelude(&self) -> StreamPrelude {
         let cfg = &self.config;
         StreamPrelude {
-            mode: cfg.mode,
             window_size: cfg.window_size as u32,
             min_match_len: cfg.min_match_len as u32,
             max_match_len: cfg.max_match_len as u32,
             block_size: cfg.block_size as u32,
-            sequences_per_sub_block: cfg.sequences_per_sub_block,
-            max_codeword_len: cfg.max_codeword_len,
             uncompressed_size: None,
             block_count: None,
+            legacy_uniform: None,
         }
     }
 
@@ -372,7 +400,10 @@ impl StreamCompressor {
         let start = Instant::now();
         let cfg = &self.config;
         let block_size = cfg.block_size;
-        let matcher = Matcher::new(cfg.matcher_config());
+        let settings = cfg.file_settings();
+        let settings = &settings;
+        let planner = planner_for(cfg);
+        let planner = planner.as_ref();
         let coder =
             TokenCoder::new(cfg.min_match_len as u32, cfg.max_match_len as u32, cfg.window_size as u32)?;
         let workers = effective_workers(self.workers);
@@ -394,13 +425,15 @@ impl StreamCompressor {
         for _ in 0..in_flight {
             pool_tx.send(Vec::with_capacity(block_size)).expect("receiver alive");
         }
-        let (work_tx, work_rx) = mpsc::channel::<(u64, Vec<u8>)>();
+        let (work_tx, work_rx) = mpsc::channel::<(u64, Vec<u8>, BlockPlan)>();
         let work_rx = Mutex::new(work_rx);
         let work_rx = &work_rx;
         let (done_tx, done_rx) = mpsc::channel::<DoneItem>();
 
         std::thread::scope(|s| {
-            // Reader stage: fill pooled buffers with block-sized chunks.
+            // Reader stage: fill pooled buffers with block-sized chunks and
+            // plan each block in block order (so the adaptive planner sees
+            // blocks in the same sequence as the in-memory compressor).
             let reader_handle = s.spawn(move || -> Result<u64> {
                 let mut reader = reader;
                 let mut total = 0u64;
@@ -431,7 +464,8 @@ impl StreamCompressor {
                         abort.store(true, Ordering::Relaxed);
                         return Err(invalid_field("block_count", idx));
                     }
-                    if work_tx.send((idx - 1, buf)).is_err() {
+                    let plan = planner.plan(idx - 1, &buf);
+                    if work_tx.send((idx - 1, buf, plan)).is_err() {
                         break;
                     }
                 }
@@ -442,20 +476,35 @@ impl StreamCompressor {
             // thread-locals; order is restored by the writer.
             for _ in 0..workers {
                 let done_tx = done_tx.clone();
-                let matcher = &matcher;
                 let coder = &coder;
                 s.spawn(move || loop {
                     let msg = work_rx.lock().expect("work queue lock").recv();
-                    let Ok((idx, buf)) = msg else { break };
+                    let Ok((idx, buf, plan)) = msg else { break };
                     let outcome = if abort.load(Ordering::Relaxed) {
                         // The run is already failing: just return the buffer.
                         BlockOutcome::Skipped
                     } else {
+                        let block_start = Instant::now();
                         let result = COMPRESS_SCRATCH.with(|scratch| {
-                            compress_block_with_scratch(&buf, cfg, matcher, coder, &mut scratch.borrow_mut())
+                            compress_block_with_scratch(
+                                &buf,
+                                settings,
+                                &plan,
+                                coder,
+                                &mut scratch.borrow_mut(),
+                            )
                         });
                         match result {
-                            Ok((payload, _summary)) => BlockOutcome::Produced(payload.bytes),
+                            Ok((payload, _summary)) => {
+                                planner.record(&BlockFeedback {
+                                    block_index: idx,
+                                    mode: plan.mode,
+                                    uncompressed_len: buf.len(),
+                                    compressed_len: payload.bytes.len(),
+                                    seconds: block_start.elapsed().as_secs_f64(),
+                                });
+                                BlockOutcome::Produced(payload.bytes, Some(plan.block_config()))
+                            }
                             Err(e) => BlockOutcome::Failed(e),
                         }
                     };
@@ -466,14 +515,18 @@ impl StreamCompressor {
             }
             drop(done_tx);
 
-            // Writer stage (this thread): emit length-prefixed frames in
-            // block order.
-            first_error = writer_stage(&done_rx, &pool_tx, None, abort, |_, payload| {
+            // Writer stage (this thread): emit framed blocks in order —
+            // varint payload length, the block's config record, the payload.
+            first_error = writer_stage(&done_rx, &pool_tx, None, abort, |_, config, payload| {
                 let len = u32::try_from(payload.len())
                     .map_err(|_| invalid_field("block_compressed_size", payload.len() as u64))?;
                 container_bytes += write_varint_io(writer, u64::from(len))?;
+                let config = config.expect("compressor frames always carry a config");
+                let mut cw = gompresso_bitstream::ByteWriter::with_capacity(BLOCK_CONFIG_LEN);
+                config.serialize(&mut cw);
+                writer.write_all(cw.as_slice())?;
                 writer.write_all(payload)?;
-                container_bytes += u64::from(len);
+                container_bytes += BLOCK_CONFIG_LEN as u64 + u64::from(len);
                 block_sizes.push(len);
                 Ok(())
             });
@@ -535,9 +588,9 @@ impl StreamDecompressor {
         &self.config
     }
 
-    /// Decompresses a v2 streaming file from `reader` into `writer`,
-    /// validating the framing as it goes: every block's declared size is
-    /// bounds- and plausibility-checked before its output buffer is
+    /// Decompresses a v3 (or legacy v2) streaming file from `reader` into
+    /// `writer`, validating the framing as it goes: every block's declared
+    /// size is bounds- and plausibility-checked before its output buffer is
     /// allocated, only the final block may be shorter than the block size,
     /// and the trailer's block table and totals must agree with what was
     /// actually read and produced.
@@ -545,13 +598,24 @@ impl StreamDecompressor {
         let start = Instant::now();
         let mut counting = CountingReader { inner: reader, count: 0 };
 
-        let mut prelude_bytes = [0u8; PRELUDE_LEN];
-        counting.read_exact(&mut prelude_bytes)?;
+        // The prelude's length depends on its version byte: fetch the
+        // magic + version head, then the version-sized remainder.
+        let mut head = [0u8; PRELUDE_HEAD_LEN];
+        counting.read_exact(&mut head)?;
+        if head[..4] != MAGIC {
+            return Err(GompressoError::Format(FormatError::BadMagic));
+        }
+        let full_len = prelude_len(head[4]).map_err(GompressoError::Format)?;
+        let mut prelude_bytes = vec![0u8; full_len];
+        prelude_bytes[..PRELUDE_HEAD_LEN].copy_from_slice(&head);
+        counting.read_exact(&mut prelude_bytes[PRELUDE_HEAD_LEN..])?;
         let prelude = StreamPrelude::deserialize(&prelude_bytes).map_err(GompressoError::Format)?;
         let coder = TokenCoder::new(prelude.min_match_len, prelude.max_match_len, prelude.window_size)?;
-        let mode = prelude.mode;
         let block_size = prelude.block_size as usize;
         let max_match_len = prelude.max_match_len;
+        // v2 frames carry no config; the prelude's synthesized uniform
+        // config applies to every block.
+        let legacy_uniform = prelude.legacy_uniform;
 
         let workers = effective_workers(self.workers);
         let in_flight = blocks_in_flight(self.mem_budget, block_size, workers);
@@ -560,7 +624,8 @@ impl StreamDecompressor {
         let mut total_out = 0u64;
         let mut blocks_written = 0u64;
         let mut first_error: Option<GompressoError> = None;
-        let mut reader_outcome: Option<Result<(StreamTrailer, Vec<u32>, u64)>> = None;
+        type ReaderOutcome = (StreamTrailer, Vec<u32>, Vec<BlockConfig>, u64);
+        let mut reader_outcome: Option<Result<ReaderOutcome>> = None;
         // No valid payload compresses a block to more than ~1.5× its
         // uncompressed size (incompressible data costs the byte-mode run
         // framing or the bit-mode code tables plus sub-block list, both a
@@ -576,7 +641,7 @@ impl StreamDecompressor {
         for _ in 0..in_flight {
             pool_tx.send(Vec::new()).expect("receiver alive");
         }
-        let (work_tx, work_rx) = mpsc::channel::<(u64, Vec<u8>)>();
+        let (work_tx, work_rx) = mpsc::channel::<(u64, Vec<u8>, BlockConfig)>();
         let work_rx = Mutex::new(work_rx);
         let work_rx = &work_rx;
         let (done_tx, done_rx) = mpsc::channel::<DoneItem>();
@@ -587,11 +652,13 @@ impl StreamDecompressor {
         let scrap_rx = &scrap_rx;
 
         std::thread::scope(|s| {
-            // Reader stage: split the stream into length-prefixed frames,
-            // then swallow and parse the trailer.
-            let reader_handle = s.spawn(move || -> Result<(StreamTrailer, Vec<u32>, u64)> {
+            // Reader stage: split the stream into length-prefixed frames
+            // (parsing each v3 frame's config record), then swallow and
+            // parse the trailer.
+            let reader_handle = s.spawn(move || -> Result<ReaderOutcome> {
                 let mut r = counting;
                 let mut observed: Vec<u32> = Vec::new();
+                let mut configs: Vec<BlockConfig> = Vec::new();
                 let mut idx = 0u64;
                 let on_err = |e: GompressoError| {
                     abort.store(true, Ordering::Relaxed);
@@ -611,6 +678,15 @@ impl StreamDecompressor {
                     if idx >= MAX_BLOCK_COUNT {
                         return Err(on_err(invalid_field("block_count", idx + 1)));
                     }
+                    let config = match legacy_uniform {
+                        Some(uniform) => uniform,
+                        None => {
+                            let mut config_bytes = [0u8; BLOCK_CONFIG_LEN];
+                            r.read_exact(&mut config_bytes).map_err(|e| on_err(truncated_block(e, idx)))?;
+                            BlockConfig::deserialize(&mut gompresso_bitstream::ByteReader::new(&config_bytes))
+                                .map_err(|e| on_err(GompressoError::Format(e)))?
+                        }
+                    };
                     let Ok(mut buf) = pool_rx.recv() else { break };
                     if abort.load(Ordering::Relaxed) {
                         return Err(on_err(invalid_field("aborted", idx)));
@@ -621,7 +697,8 @@ impl StreamDecompressor {
                     // declares a huge (but validator-legal) block size.
                     read_frame_growing(&mut r, &mut buf, len as usize, idx).map_err(on_err)?;
                     observed.push(len as u32);
-                    if work_tx.send((idx, buf)).is_err() {
+                    configs.push(config);
+                    if work_tx.send((idx, buf, config)).is_err() {
                         break;
                     }
                     idx += 1;
@@ -634,7 +711,7 @@ impl StreamDecompressor {
                 (&mut r).take(cap + 1).read_to_end(&mut trailer_bytes).map_err(|e| on_err(e.into()))?;
                 let trailer = StreamTrailer::deserialize(&trailer_bytes)
                     .map_err(|e| on_err(GompressoError::Format(e)))?;
-                Ok((trailer, observed, r.count))
+                Ok((trailer, observed, configs, r.count))
             });
 
             // Worker stage: validate each block's declared size, then
@@ -644,7 +721,7 @@ impl StreamDecompressor {
                 let coder = &coder;
                 s.spawn(move || loop {
                     let msg = work_rx.lock().expect("work queue lock").recv();
-                    let Ok((idx, buf)) = msg else { break };
+                    let Ok((idx, buf, config)) = msg else { break };
                     let outcome = if abort.load(Ordering::Relaxed) {
                         BlockOutcome::Skipped
                     } else {
@@ -652,7 +729,7 @@ impl StreamDecompressor {
                             scrap_rx.lock().expect("scrap queue lock").try_recv().unwrap_or_default();
                         match decode_stream_block(
                             dconf,
-                            mode,
+                            &config,
                             coder,
                             block_size,
                             max_match_len,
@@ -660,7 +737,7 @@ impl StreamDecompressor {
                             &buf,
                             &mut out,
                         ) {
-                            Ok(()) => BlockOutcome::Produced(out),
+                            Ok(()) => BlockOutcome::Produced(out, None),
                             Err(e) => BlockOutcome::Failed(e),
                         }
                     };
@@ -674,7 +751,7 @@ impl StreamDecompressor {
             // Writer stage (this thread): emit decoded blocks in order and
             // enforce that only the final block is short.
             let mut saw_short = false;
-            first_error = writer_stage(&done_rx, &pool_tx, Some(&scrap_tx), abort, |_, out| {
+            first_error = writer_stage(&done_rx, &pool_tx, Some(&scrap_tx), abort, |_, _, out| {
                 if saw_short {
                     // A block shorter than block_size that is not the
                     // file's last block breaks the layout.
@@ -693,7 +770,8 @@ impl StreamDecompressor {
         if let Some(e) = first_error {
             return Err(e);
         }
-        let (trailer, observed, container_bytes) = reader_outcome.expect("reader outcome recorded")?;
+        let (trailer, observed, configs, container_bytes) =
+            reader_outcome.expect("reader outcome recorded")?;
 
         // Framing cross-checks: what the trailer (and, if patched, the
         // prelude) declares must agree with what was actually read and
@@ -718,10 +796,11 @@ impl StreamDecompressor {
                 return Err(invalid_field("block_count", declared));
             }
         }
-        // Geometry double-check through the v1 header validation (expected
-        // block count for the declared totals, per-block size caps).
+        // Geometry double-check through the container header validation
+        // (expected block count for the declared totals, per-block caps),
+        // using the configs actually observed in the frames.
         prelude
-            .to_file_header(trailer.uncompressed_size, trailer.block_compressed_sizes)
+            .to_file_header(trailer.uncompressed_size, configs, trailer.block_compressed_sizes)
             .validate()
             .map_err(GompressoError::Format)?;
         writer.flush()?;
@@ -743,7 +822,7 @@ impl StreamDecompressor {
 #[allow(clippy::too_many_arguments)]
 fn decode_stream_block(
     config: &DecompressorConfig,
-    mode: EncodingMode,
+    block: &BlockConfig,
     coder: &TokenCoder,
     block_size: usize,
     max_match_len: u32,
@@ -751,14 +830,14 @@ fn decode_stream_block(
     payload: &[u8],
     out: &mut Vec<u8>,
 ) -> Result<()> {
-    let declared = match mode {
+    let declared = match block.mode {
         EncodingMode::Bit => BitBlock::peek_uncompressed_len(payload)?,
         EncodingMode::Byte => ByteBlock::peek_uncompressed_len(payload)?,
     };
     if declared == 0 || declared > block_size as u64 {
         return Err(invalid_field("block_uncompressed_size", declared));
     }
-    if declared > plausible_output_ceiling(mode, payload.len() as u64, max_match_len) {
+    if declared > plausible_output_ceiling(block.mode, payload.len() as u64, max_match_len) {
         return Err(invalid_field("uncompressed_size", declared));
     }
     // No full re-zero of the recycled buffer: resize only zero-fills the
@@ -766,11 +845,11 @@ fn decode_stream_block(
     // of the destination was written (stale bytes can never leak — a
     // failing block's buffer is dropped, not emitted).
     out.resize(declared as usize, 0);
-    decompress_block_into(config, mode, coder, idx as usize, payload, out)?;
+    decompress_block_into(config, block, coder, idx as usize, payload, out)?;
     Ok(())
 }
 
-/// Compresses the file at `input` into a v2 streaming container at
+/// Compresses the file at `input` into a v3 streaming container at
 /// `output` with bounded memory, back-patching the prelude totals (the
 /// output file is seekable by construction). Uses the rayon pool size for
 /// workers and the default memory budget; build a [`StreamCompressor`]
@@ -785,7 +864,7 @@ pub fn compress_file(
     StreamCompressor::new(config.clone())?.compress_seekable(reader, writer)
 }
 
-/// Decompresses the v2 streaming container at `input` into `output` with
+/// Decompresses the streaming container at `input` into `output` with
 /// bounded memory and the default decompressor configuration; build a
 /// [`StreamDecompressor`] directly for finer control.
 pub fn decompress_file(input: impl AsRef<Path>, output: impl AsRef<Path>) -> Result<StreamStats> {
@@ -799,6 +878,8 @@ mod tests {
     use super::*;
     use crate::compress::compress;
     use crate::decompress::decompress;
+    use gompresso_bitstream::ByteWriter;
+    use gompresso_format::stream_frame::{LEGACY_STREAM_FORMAT_VERSION, UNKNOWN_TOTAL};
     use gompresso_format::CompressedFile;
     use std::io::Cursor;
 
@@ -814,6 +895,19 @@ mod tests {
         }
         data.truncate(len);
         data
+    }
+
+    fn noise(len: usize) -> Vec<u8> {
+        // xorshift64: incompressible to both the entropy and LZ77 stages.
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 24) as u8
+            })
+            .collect()
     }
 
     fn small(mut c: CompressorConfig) -> CompressorConfig {
@@ -858,6 +952,19 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_stream_roundtrips_heterogeneous_data() {
+        // Text + noise through the adaptive planner: the archive mixes
+        // per-block modes and must still round-trip exactly.
+        let mut data = wiki_like(150_000);
+        data.extend_from_slice(&noise(150_000));
+        let cfg = small(CompressorConfig::auto());
+        for workers in [1, 3] {
+            let restored = stream_roundtrip(&data, &cfg, workers, 1 << 20);
+            assert_eq!(restored, data, "workers {workers}");
+        }
+    }
+
+    #[test]
     fn bounded_budget_handles_input_many_times_its_size() {
         // 4 MiB of data through a 1 MiB budget: with 32 KiB blocks the
         // pipeline holds at most max(2, 1Mi/96Ki) = 10 blocks in flight.
@@ -884,12 +991,18 @@ mod tests {
         StreamCompressor::new(cfg.clone()).unwrap().compress(data.as_slice(), &mut compressed).unwrap();
         let reference = compress(&data, &cfg).unwrap();
 
-        // Walk the frames and compare each payload to the in-memory block.
+        // Walk the frames and compare each payload (and config record) to
+        // the in-memory block.
         let mut r = compressed.as_slice();
         let mut prelude = [0u8; PRELUDE_LEN];
         r.read_exact(&mut prelude).unwrap();
         for (i, expected) in reference.file.blocks.iter().enumerate() {
             let len = read_varint_io(&mut r).unwrap() as usize;
+            let mut config_bytes = [0u8; BLOCK_CONFIG_LEN];
+            r.read_exact(&mut config_bytes).unwrap();
+            let config =
+                BlockConfig::deserialize(&mut gompresso_bitstream::ByteReader::new(&config_bytes)).unwrap();
+            assert_eq!(&config, reference.file.header.block_config(i), "config of block {i}");
             let mut payload = vec![0u8; len];
             r.read_exact(&mut payload).unwrap();
             assert_eq!(payload, expected.bytes, "block {i} differs from the in-memory path");
@@ -944,10 +1057,54 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v2_stream_decodes_with_uniform_config() {
+        // Hand-assemble a v2 stream (uniform config in the prelude,
+        // configless frames) around payloads from the in-memory compressor:
+        // block payloads are container-independent, so this is exactly the
+        // byte layout a pre-v3 writer produced.
+        let data = wiki_like(100_000);
+        let cfg = small(CompressorConfig::byte());
+        let reference = compress(&data, &cfg).unwrap();
+
+        let mut v2 = Vec::new();
+        let mut w = ByteWriter::new();
+        w.write_bytes(&MAGIC);
+        w.write_u8(LEGACY_STREAM_FORMAT_VERSION);
+        w.write_u8(1); // mode tag: Byte
+        w.write_u32_le(cfg.window_size as u32);
+        w.write_u32_le(cfg.min_match_len as u32);
+        w.write_u32_le(cfg.max_match_len as u32);
+        w.write_u32_le(cfg.block_size as u32);
+        w.write_u32_le(cfg.sequences_per_sub_block);
+        w.write_u8(cfg.max_codeword_len);
+        w.write_u64_le(UNKNOWN_TOTAL);
+        w.write_u64_le(UNKNOWN_TOTAL);
+        v2.extend_from_slice(w.as_slice());
+        let mut sizes = Vec::new();
+        for block in &reference.file.blocks {
+            write_varint_io(&mut v2, block.bytes.len() as u64).unwrap();
+            v2.extend_from_slice(&block.bytes);
+            sizes.push(block.bytes.len() as u32);
+        }
+        write_varint_io(&mut v2, 0).unwrap();
+        let trailer = StreamTrailer { block_compressed_sizes: sizes, uncompressed_size: data.len() as u64 };
+        v2.extend_from_slice(&trailer.serialize());
+
+        let mut restored = Vec::new();
+        let stats = StreamDecompressor::new(DecompressorConfig::default())
+            .decompress(v2.as_slice(), &mut restored)
+            .unwrap();
+        assert_eq!(restored, data);
+        assert_eq!(stats.blocks, reference.file.blocks.len() as u64);
+    }
+
+    #[test]
     fn v1_container_is_rejected_with_version_error() {
-        let data = wiki_like(50_000);
-        let out = compress(&data, &small(CompressorConfig::byte())).unwrap();
-        let v1_bytes = out.file.serialize();
+        // A legacy v1 *in-memory* container is not a stream: the prelude
+        // reader must reject its version byte before parsing anything else.
+        let mut v1_bytes = MAGIC.to_vec();
+        v1_bytes.push(1);
+        v1_bytes.extend_from_slice(&[0u8; 64]);
         let mut restored = Vec::new();
         let err = StreamDecompressor::new(DecompressorConfig::default())
             .decompress(v1_bytes.as_slice(), &mut restored);
@@ -958,12 +1115,28 @@ mod tests {
     }
 
     #[test]
+    fn in_memory_container_is_rejected_by_stream_decoder() {
+        // The v3 in-memory container shares the magic and version byte with
+        // the v3 stream prelude but not the layout; feeding one to the
+        // stream decoder must surface as an error, never as garbage output.
+        let data = wiki_like(50_000);
+        let out = compress(&data, &small(CompressorConfig::byte())).unwrap();
+        let container = out.file.serialize();
+        let mut restored = Vec::new();
+        let err = StreamDecompressor::new(DecompressorConfig::default())
+            .decompress(container.as_slice(), &mut restored);
+        assert!(err.is_err(), "in-memory container must not stream-decode: {err:?}");
+    }
+
+    #[test]
     fn truncated_stream_is_an_error_not_a_panic() {
         let data = wiki_like(100_000);
         let cfg = small(CompressorConfig::byte());
         let mut compressed = Vec::new();
         StreamCompressor::new(cfg).unwrap().compress(data.as_slice(), &mut compressed).unwrap();
-        for cut in [PRELUDE_LEN - 1, PRELUDE_LEN + 1, compressed.len() / 2, compressed.len() - 1] {
+        for cut in
+            [PRELUDE_LEN - 1, PRELUDE_LEN + 1, PRELUDE_LEN + 9, compressed.len() / 2, compressed.len() - 1]
+        {
             let mut restored = Vec::new();
             let err = StreamDecompressor::new(DecompressorConfig::default())
                 .decompress(&compressed[..cut], &mut restored);
@@ -983,7 +1156,7 @@ mod tests {
         StreamCompressor::new(cfg.clone()).unwrap().compress(&b"some bytes"[..], &mut compressed).unwrap();
         for hostile_len in [u64::from(u32::MAX), 2 * cfg.block_size as u64 + 4097] {
             let mut crafted = compressed[..PRELUDE_LEN].to_vec();
-            let mut w = gompresso_bitstream::ByteWriter::new();
+            let mut w = ByteWriter::new();
             gompresso_bitstream::write_varint(&mut w, hostile_len);
             crafted.extend_from_slice(w.as_slice());
             let mut restored = Vec::new();
@@ -1003,6 +1176,33 @@ mod tests {
     }
 
     #[test]
+    fn hostile_frame_config_bytes_are_rejected() {
+        // A valid stream up to the first frame's config record, then a
+        // config with a reserved flag bit / bad mode tag: the reader must
+        // reject the record before buffering the frame payload.
+        let data = wiki_like(50_000);
+        let cfg = small(CompressorConfig::byte());
+        let mut compressed = Vec::new();
+        StreamCompressor::new(cfg).unwrap().compress(data.as_slice(), &mut compressed).unwrap();
+        // The first frame: varint length (frames here are < 2^14, so up to
+        // two bytes), then the 8-byte config.
+        let mut r = &compressed[PRELUDE_LEN..];
+        let _ = read_varint_io(&mut r).unwrap();
+        let config_at = compressed.len() - r.len();
+        for (offset, bad) in [(0usize, 7u8), (1, 9), (2, 0x80)] {
+            let mut tampered = compressed.clone();
+            tampered[config_at + offset] = bad;
+            let mut restored = Vec::new();
+            let err = StreamDecompressor::new(DecompressorConfig::default())
+                .decompress(tampered.as_slice(), &mut restored);
+            assert!(
+                matches!(err, Err(GompressoError::Format(FormatError::InvalidHeaderField { .. }))),
+                "offset {offset} value {bad:#x}: got {err:?}"
+            );
+        }
+    }
+
+    #[test]
     fn giant_block_size_prelude_cannot_force_giant_allocations() {
         // A hostile prelude may declare block_size up to the validator's
         // 1 GiB cap, which legalises frame lengths up to ~2 GiB. The frame
@@ -1010,21 +1210,24 @@ mod tests {
         // stream costs at most one read step (1 MiB) before the truncation
         // is detected — not a multi-GiB zero-filled allocation.
         let prelude = StreamPrelude {
-            mode: gompresso_format::EncodingMode::Byte,
             window_size: 8 * 1024,
             min_match_len: 3,
             max_match_len: 64,
             block_size: 1 << 30,
-            sequences_per_sub_block: 16,
-            max_codeword_len: 10,
             uncompressed_size: None,
             block_count: None,
+            legacy_uniform: None,
         };
         prelude.validate().expect("hostile prelude is validator-legal");
         let mut crafted = prelude.serialize().to_vec();
-        let mut w = gompresso_bitstream::ByteWriter::new();
+        let mut w = ByteWriter::new();
         gompresso_bitstream::write_varint(&mut w, 2 * (1u64 << 30));
         crafted.extend_from_slice(w.as_slice());
+        // Follow with a full, valid config record so the truncation is hit
+        // inside the frame payload read, as in the pre-v3 scenario.
+        let mut cw = ByteWriter::new();
+        BlockConfig::legacy_uniform(EncodingMode::Byte, 16, 10).serialize(&mut cw);
+        crafted.extend_from_slice(cw.as_slice());
         let mut restored = Vec::new();
         let err = StreamDecompressor::new(DecompressorConfig::default())
             .decompress(crafted.as_slice(), &mut restored);

@@ -373,14 +373,12 @@ fn ref_compress_file(data: &[u8], cfg: &CompressorConfig) -> CompressedFile {
             .collect()
     };
     let header = FileHeader {
-        mode: cfg.mode,
         window_size: cfg.window_size as u32,
         min_match_len: cfg.min_match_len as u32,
         max_match_len: cfg.max_match_len as u32,
         uncompressed_size: data.len() as u64,
         block_size: cfg.block_size as u32,
-        sequences_per_sub_block: cfg.sequences_per_sub_block,
-        max_codeword_len: cfg.max_codeword_len,
+        block_configs: vec![cfg.base_plan().block_config(); payloads.len()],
         block_compressed_sizes: Vec::new(),
     };
     CompressedFile::new(header, payloads).expect("reference file assembles")

@@ -139,7 +139,8 @@ fn reference_decompress(
     let mut decode_counters = KernelCounters::new();
     let mut lz77_counters = KernelCounters::new();
     for (idx, payload) in file.blocks.iter().enumerate() {
-        let (seq_block, decode_warp) = match header.mode {
+        let block_config = header.block_config(idx);
+        let (seq_block, decode_warp) = match block_config.mode {
             EncodingMode::Bit => {
                 let mut r = ByteReader::new(&payload.bytes);
                 let bit = BitBlock::deserialize(&mut r).expect("bit block");
@@ -153,7 +154,8 @@ fn reference_decompress(
             }
         };
         let mut block_output = vec![0u8; seq_block.uncompressed_len];
-        let outcome = decompress_block_warp(&seq_block, config.strategy, false, idx, &mut block_output)
+        let strategy = config.strategy.resolve(block_config);
+        let outcome = decompress_block_warp(&seq_block, strategy, false, idx, &mut block_output)
             .expect("reference warp decompress");
         output.extend_from_slice(&block_output);
         if let Some(warp) = decode_warp {
@@ -166,7 +168,7 @@ fn reference_decompress(
         &config.cost_model,
         &decode_counters,
         &lz77_counters,
-        header.max_codeword_len,
+        header.max_codeword_len(),
         file.compressed_size() as u64,
         header.uncompressed_size,
     );
@@ -204,7 +206,8 @@ proptest! {
         for cconf in configs {
             let out = compress(&input, &small_blocks(cconf)).expect("compression failed");
             for strategy in ResolutionStrategy::ALL {
-                let dconf = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+                let dconf =
+                    DecompressorConfig { strategy: strategy.into(), ..DecompressorConfig::default() };
                 let (fast_bytes, report) = decompress_with(&out.file, &dconf).expect("fast decompress");
                 let (ref_bytes, ref_decode, ref_lz77, ref_gpu) = reference_decompress(&out.file, &dconf);
 

@@ -1,0 +1,284 @@
+//! Per-block codec configuration (v3 containers).
+//!
+//! Up to format v2 the encoding mode, resolution strategy and entropy-coder
+//! parameters were file-wide: one choice stamped into the header applied to
+//! every block. The paper's own evaluation (Figures 9–13) shows the winning
+//! point of the {Bit,Byte}×{SC,MRR,DE} grid differs per dataset — and real
+//! files mix regions with very different statistics. The v3 container
+//! therefore records a [`BlockConfig`] per block, making heterogeneous
+//! archives (text blocks Huffman-coded, incompressible blocks byte-coded)
+//! first-class. Legacy v1/v2 files synthesize one uniform `BlockConfig`
+//! from their file-wide fields, so every pre-v3 archive still decodes.
+
+use crate::header::EncodingMode;
+use crate::{FormatError, Result};
+use gompresso_bitstream::{ByteReader, ByteWriter};
+use std::fmt;
+
+/// How a warp resolves the back-references of its 32 sequences (paper,
+/// Section IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResolutionStrategy {
+    /// **SC** — Sequential Copying: one lane at a time copies its
+    /// back-reference, in sequence order. No intra-block parallelism for the
+    /// copy phase; the baseline of Figure 9a.
+    SequentialCopy,
+    /// **MRR** — Multi-Round Resolution (Figure 5): each round, every lane
+    /// whose referenced data lies below the warp-wide high-water mark copies
+    /// its back-reference; the high-water mark is advanced with a
+    /// `ballot` + leading-zero count + `shfl` and the loop repeats until all
+    /// lanes are done.
+    MultiRound,
+    /// **DE** — Dependency Elimination: the compressor guaranteed that no
+    /// back-reference depends on another back-reference of the same warp, so
+    /// every lane copies in a single round.
+    #[default]
+    DependencyEliminated,
+}
+
+impl ResolutionStrategy {
+    /// All strategies, in the order they appear in the paper's Figure 9a.
+    pub const ALL: [ResolutionStrategy; 3] = [
+        ResolutionStrategy::SequentialCopy,
+        ResolutionStrategy::MultiRound,
+        ResolutionStrategy::DependencyEliminated,
+    ];
+
+    /// The short name used in the paper's figures.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            ResolutionStrategy::SequentialCopy => "SC",
+            ResolutionStrategy::MultiRound => "MRR",
+            ResolutionStrategy::DependencyEliminated => "DE",
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            ResolutionStrategy::SequentialCopy => 0,
+            ResolutionStrategy::MultiRound => 1,
+            ResolutionStrategy::DependencyEliminated => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(ResolutionStrategy::SequentialCopy),
+            1 => Ok(ResolutionStrategy::MultiRound),
+            2 => Ok(ResolutionStrategy::DependencyEliminated),
+            other => Err(FormatError::InvalidHeaderField { field: "strategy", value: u64::from(other) }),
+        }
+    }
+}
+
+impl fmt::Display for ResolutionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Serialized size of a [`BlockConfig`] in bytes.
+pub const BLOCK_CONFIG_LEN: usize = 8;
+
+/// Bit 0 of the flags byte: the block was compressed under the Dependency
+/// Elimination constraint (its sequences satisfy the DE invariant).
+const FLAG_DEPENDENCY_ELIMINATION: u8 = 0b0000_0001;
+
+/// Codec choice for one block: everything a decoder needs, beyond the
+/// file-wide match geometry, to decode that block and pick a resolution
+/// strategy for it.
+///
+/// Fixed 8-byte layout (all multi-byte fields little-endian):
+///
+/// ```text
+/// offset 0: mode tag        (0 = Bit, 1 = Byte)
+/// offset 1: strategy tag    (0 = SC, 1 = MRR, 2 = DE)
+/// offset 2: flags           (bit 0 = DE invariant holds; rest must be 0)
+/// offset 3: sequences_per_sub_block (u32)
+/// offset 7: max_codeword_len
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockConfig {
+    /// Entropy-coding mode of this block.
+    pub mode: EncodingMode,
+    /// The resolution strategy the compressor recommends for this block
+    /// (the decoder may override it; `DependencyEliminated` is only valid
+    /// when [`BlockConfig::dependency_elimination`] is set).
+    pub strategy: ResolutionStrategy,
+    /// Whether the block's sequences satisfy the DE invariant (no
+    /// back-reference reads bytes written by a same-warp back-reference).
+    pub dependency_elimination: bool,
+    /// Number of sequences per sub-block for parallel Huffman decoding.
+    pub sequences_per_sub_block: u32,
+    /// Maximum Huffman codeword length (CWL); unused in Byte mode.
+    pub max_codeword_len: u8,
+}
+
+impl BlockConfig {
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.sequences_per_sub_block == 0 {
+            return Err(FormatError::InvalidHeaderField { field: "sequences_per_sub_block", value: 0 });
+        }
+        if self.mode == EncodingMode::Bit && (self.max_codeword_len < 2 || self.max_codeword_len > 24) {
+            return Err(FormatError::InvalidHeaderField {
+                field: "max_codeword_len",
+                value: u64::from(self.max_codeword_len),
+            });
+        }
+        if self.strategy == ResolutionStrategy::DependencyEliminated && !self.dependency_elimination {
+            return Err(FormatError::InvalidHeaderField {
+                field: "strategy",
+                value: u64::from(self.strategy.to_u8()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes the fixed [`BLOCK_CONFIG_LEN`]-byte record.
+    pub fn serialize(&self, w: &mut ByteWriter) {
+        w.write_u8(self.mode.to_u8());
+        w.write_u8(self.strategy.to_u8());
+        w.write_u8(if self.dependency_elimination { FLAG_DEPENDENCY_ELIMINATION } else { 0 });
+        w.write_u32_le(self.sequences_per_sub_block);
+        w.write_u8(self.max_codeword_len);
+    }
+
+    /// Deserializes and validates one record.
+    pub fn deserialize(r: &mut ByteReader<'_>) -> Result<Self> {
+        let mode = EncodingMode::from_u8(r.read_u8()?)?;
+        let strategy = ResolutionStrategy::from_u8(r.read_u8()?)?;
+        let flags = r.read_u8()?;
+        if flags & !FLAG_DEPENDENCY_ELIMINATION != 0 {
+            return Err(FormatError::InvalidHeaderField { field: "block_flags", value: u64::from(flags) });
+        }
+        let config = BlockConfig {
+            mode,
+            strategy,
+            dependency_elimination: flags & FLAG_DEPENDENCY_ELIMINATION != 0,
+            sequences_per_sub_block: r.read_u32_le()?,
+            max_codeword_len: r.read_u8()?,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// The uniform config a legacy (v1/v2) header implies: those containers
+    /// recorded mode/sub-block/CWL file-wide and never recorded whether the
+    /// compressor enforced the DE invariant, so the synthesized config
+    /// conservatively recommends MRR (correct for every file).
+    pub fn legacy_uniform(mode: EncodingMode, sequences_per_sub_block: u32, max_codeword_len: u8) -> Self {
+        BlockConfig {
+            mode,
+            strategy: ResolutionStrategy::MultiRound,
+            dependency_elimination: false,
+            sequences_per_sub_block,
+            max_codeword_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BlockConfig {
+        BlockConfig {
+            mode: EncodingMode::Bit,
+            strategy: ResolutionStrategy::DependencyEliminated,
+            dependency_elimination: true,
+            sequences_per_sub_block: 16,
+            max_codeword_len: 10,
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for mode in [EncodingMode::Bit, EncodingMode::Byte] {
+            for strategy in ResolutionStrategy::ALL {
+                let config = BlockConfig {
+                    mode,
+                    strategy,
+                    dependency_elimination: strategy == ResolutionStrategy::DependencyEliminated,
+                    sequences_per_sub_block: 32,
+                    max_codeword_len: 12,
+                };
+                let mut w = ByteWriter::new();
+                config.serialize(&mut w);
+                let bytes = w.finish();
+                assert_eq!(bytes.len(), BLOCK_CONFIG_LEN);
+                let back = BlockConfig::deserialize(&mut ByteReader::new(&bytes)).unwrap();
+                assert_eq!(back, config);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_inconsistencies() {
+        let zero_seq = BlockConfig { sequences_per_sub_block: 0, ..sample() };
+        assert!(zero_seq.validate().is_err());
+        let bad_cwl = BlockConfig { max_codeword_len: 1, ..sample() };
+        assert!(bad_cwl.validate().is_err());
+        let big_cwl = BlockConfig { max_codeword_len: 25, ..sample() };
+        assert!(big_cwl.validate().is_err());
+        // Byte mode ignores the CWL entirely.
+        let byte = BlockConfig { mode: EncodingMode::Byte, max_codeword_len: 0, ..sample() };
+        byte.validate().unwrap();
+        // A DE strategy hint without the DE invariant flag is a lie the
+        // decoder must not trust.
+        let lying = BlockConfig { dependency_elimination: false, ..sample() };
+        assert!(lying.validate().is_err());
+    }
+
+    #[test]
+    fn hostile_tags_and_flags_are_rejected() {
+        let mut w = ByteWriter::new();
+        sample().serialize(&mut w);
+        let good = w.finish();
+        for (offset, bad_values) in [(0usize, vec![2u8, 9, 255]), (1, vec![3u8, 9, 255])] {
+            for bad in bad_values {
+                let mut bytes = good.clone();
+                bytes[offset] = bad;
+                assert!(
+                    BlockConfig::deserialize(&mut ByteReader::new(&bytes)).is_err(),
+                    "offset {offset} value {bad} must fail"
+                );
+            }
+        }
+        // Reserved flag bits must be zero.
+        for flags in [0b10u8, 0b100, 0xFE, 0xFF] {
+            let mut bytes = good.clone();
+            bytes[2] = flags;
+            assert!(BlockConfig::deserialize(&mut ByteReader::new(&bytes)).is_err(), "flags {flags:#x}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let mut w = ByteWriter::new();
+        sample().serialize(&mut w);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            assert!(BlockConfig::deserialize(&mut ByteReader::new(&bytes[..cut])).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn legacy_uniform_is_valid_and_conservative() {
+        for mode in [EncodingMode::Bit, EncodingMode::Byte] {
+            let config = BlockConfig::legacy_uniform(mode, 16, 10);
+            config.validate().unwrap();
+            assert_eq!(config.strategy, ResolutionStrategy::MultiRound);
+            assert!(!config.dependency_elimination);
+        }
+    }
+
+    #[test]
+    fn strategy_names_match_paper() {
+        assert_eq!(ResolutionStrategy::SequentialCopy.to_string(), "SC");
+        assert_eq!(ResolutionStrategy::MultiRound.to_string(), "MRR");
+        assert_eq!(ResolutionStrategy::DependencyEliminated.to_string(), "DE");
+        assert_eq!(ResolutionStrategy::ALL.len(), 3);
+        assert_eq!(ResolutionStrategy::default(), ResolutionStrategy::DependencyEliminated);
+    }
+}

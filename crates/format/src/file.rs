@@ -29,8 +29,9 @@ pub struct CompressedFile {
 }
 
 impl CompressedFile {
-    /// Assembles a file from a header template (its
-    /// `block_compressed_sizes` are overwritten) and block payloads.
+    /// Assembles a file from a header (its `block_compressed_sizes` are
+    /// overwritten; its `block_configs` must already be filled, one per
+    /// payload) and block payloads.
     pub fn new(mut header: FileHeader, blocks: Vec<BlockPayload>) -> Result<Self> {
         header.block_compressed_sizes = blocks
             .iter()
@@ -88,18 +89,17 @@ impl CompressedFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block_config::BlockConfig;
     use crate::header::EncodingMode;
 
     fn header_for(uncompressed: u64, block_size: u32, n_blocks: usize) -> FileHeader {
         FileHeader {
-            mode: EncodingMode::Byte,
             window_size: 8192,
             min_match_len: 3,
             max_match_len: 64,
             uncompressed_size: uncompressed,
             block_size,
-            sequences_per_sub_block: 16,
-            max_codeword_len: 10,
+            block_configs: vec![BlockConfig::legacy_uniform(EncodingMode::Byte, 16, 10); n_blocks],
             block_compressed_sizes: vec![0; n_blocks],
         }
     }

@@ -1,9 +1,10 @@
 //! The Gompresso file header (paper, Figure 3).
 
-use crate::{FormatError, Result, FORMAT_VERSION, MAGIC};
+use crate::block_config::{BlockConfig, BLOCK_CONFIG_LEN};
+use crate::{FormatError, Result, FORMAT_VERSION, LEGACY_FORMAT_VERSION, MAGIC};
 use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
 
-/// Whether the file uses bit-level (Huffman) or byte-level encoding.
+/// Whether a block uses bit-level (Huffman) or byte-level encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EncodingMode {
     /// Gompresso/Bit: LZ77 + canonical length-limited Huffman coding.
@@ -13,14 +14,14 @@ pub enum EncodingMode {
 }
 
 impl EncodingMode {
-    fn to_u8(self) -> u8 {
+    pub(crate) fn to_u8(self) -> u8 {
         match self {
             EncodingMode::Bit => 0,
             EncodingMode::Byte => 1,
         }
     }
 
-    fn from_u8(v: u8) -> Result<Self> {
+    pub(crate) fn from_u8(v: u8) -> Result<Self> {
         match v {
             0 => Ok(EncodingMode::Bit),
             1 => Ok(EncodingMode::Byte),
@@ -29,13 +30,17 @@ impl EncodingMode {
     }
 }
 
-/// The compressed file header: global compression parameters plus the
-/// compressed size of every block, which is what allows the decompressor to
-/// locate and assign blocks to thread groups without scanning the payload.
+/// The compressed file header: file-wide match geometry, the per-block codec
+/// configs, and the compressed size of every block — which is what allows
+/// the decompressor to locate and assign blocks to thread groups without
+/// scanning the payload.
+///
+/// Since format v3 the codec choice (mode, strategy, entropy parameters) is
+/// per block; only the LZ77 match geometry and the block grid stay
+/// file-wide. Legacy v1 headers are still parsed, synthesizing one uniform
+/// [`BlockConfig`] from their file-wide fields.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileHeader {
-    /// Encoding mode of all blocks in the file.
-    pub mode: EncodingMode,
     /// Sliding-window ("dictionary") size in bytes used during compression.
     pub window_size: u32,
     /// Minimum match length used during compression.
@@ -46,10 +51,8 @@ pub struct FileHeader {
     pub uncompressed_size: u64,
     /// Uncompressed size of each data block (the last block may be shorter).
     pub block_size: u32,
-    /// Number of sequences per sub-block for parallel Huffman decoding.
-    pub sequences_per_sub_block: u32,
-    /// Maximum Huffman codeword length (CWL); unused in Byte mode.
-    pub max_codeword_len: u8,
+    /// Codec configuration of each block, in order.
+    pub block_configs: Vec<BlockConfig>,
     /// Compressed payload size in bytes of each block, in order.
     pub block_compressed_sizes: Vec<u32>,
 }
@@ -63,6 +66,34 @@ impl FileHeader {
     /// Number of data blocks in the file.
     pub fn block_count(&self) -> usize {
         self.block_compressed_sizes.len()
+    }
+
+    /// Codec configuration of block `index`.
+    ///
+    /// # Panics
+    /// If `index` is out of range (validated headers always carry one config
+    /// per block).
+    pub fn block_config(&self, index: usize) -> &BlockConfig {
+        &self.block_configs[index]
+    }
+
+    /// The single config shared by every block, if the file is uniform
+    /// (vacuously `None` for an empty file).
+    pub fn uniform_config(&self) -> Option<&BlockConfig> {
+        let first = self.block_configs.first()?;
+        self.block_configs.iter().all(|c| c == first).then_some(first)
+    }
+
+    /// Largest maximum-codeword length over all Huffman-coded blocks
+    /// (0 when no block uses Bit mode) — an upper bound used by the GPU
+    /// cost model.
+    pub fn max_codeword_len(&self) -> u8 {
+        self.block_configs
+            .iter()
+            .filter(|c| c.mode == EncodingMode::Bit)
+            .map(|c| c.max_codeword_len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Uncompressed size of block `index`, accounting for the shorter final
@@ -91,15 +122,6 @@ impl FileHeader {
                 value: u64::from(self.max_match_len),
             });
         }
-        if self.sequences_per_sub_block == 0 {
-            return Err(FormatError::InvalidHeaderField { field: "sequences_per_sub_block", value: 0 });
-        }
-        if self.mode == EncodingMode::Bit && (self.max_codeword_len < 2 || self.max_codeword_len > 24) {
-            return Err(FormatError::InvalidHeaderField {
-                field: "max_codeword_len",
-                value: u64::from(self.max_codeword_len),
-            });
-        }
         // Compare in u64 space: the div_ceil result can exceed usize::MAX on
         // 32-bit targets, and a narrowing cast would wrap it into range.
         let expected_blocks = if self.uncompressed_size == 0 {
@@ -113,37 +135,107 @@ impl FileHeader {
                 value: self.block_compressed_sizes.len() as u64,
             });
         }
+        if self.block_configs.len() != self.block_compressed_sizes.len() {
+            return Err(FormatError::InvalidHeaderField {
+                field: "block_configs",
+                value: self.block_configs.len() as u64,
+            });
+        }
+        for config in &self.block_configs {
+            config.validate()?;
+        }
         Ok(())
     }
 
     /// Serializes the header, including magic and version.
+    ///
+    /// Uniform files (every block sharing one config) store the config once
+    /// behind a flag byte, so the common case costs the same as v1.
     pub fn serialize(&self, w: &mut ByteWriter) {
         w.write_bytes(&MAGIC);
         w.write_u8(FORMAT_VERSION);
-        w.write_u8(self.mode.to_u8());
         w.write_u32_le(self.window_size);
         w.write_u32_le(self.min_match_len);
         w.write_u32_le(self.max_match_len);
         w.write_u64_le(self.uncompressed_size);
         w.write_u32_le(self.block_size);
-        w.write_u32_le(self.sequences_per_sub_block);
-        w.write_u8(self.max_codeword_len);
         write_varint(w, self.block_compressed_sizes.len() as u64);
+        if let Some(config) = self.uniform_config() {
+            w.write_u8(1);
+            config.serialize(w);
+        } else if self.block_configs.is_empty() {
+            w.write_u8(1);
+        } else {
+            w.write_u8(0);
+            for config in &self.block_configs {
+                config.serialize(w);
+            }
+        }
         for &size in &self.block_compressed_sizes {
             write_varint(w, u64::from(size));
         }
     }
 
-    /// Deserializes and validates a header.
+    /// Deserializes and validates a header (v3, or the legacy v1 layout).
     pub fn deserialize(r: &mut ByteReader<'_>) -> Result<Self> {
         let magic = r.read_bytes(4)?;
         if magic != MAGIC {
             return Err(FormatError::BadMagic);
         }
-        let version = r.read_u8()?;
-        if version != FORMAT_VERSION {
-            return Err(FormatError::UnsupportedVersion(version));
+        match r.read_u8()? {
+            FORMAT_VERSION => Self::deserialize_v3_body(r),
+            LEGACY_FORMAT_VERSION => Self::deserialize_v1_body(r),
+            version => Err(FormatError::UnsupportedVersion(version)),
         }
+    }
+
+    fn deserialize_v3_body(r: &mut ByteReader<'_>) -> Result<Self> {
+        let window_size = r.read_u32_le()?;
+        let min_match_len = r.read_u32_le()?;
+        let max_match_len = r.read_u32_le()?;
+        let uncompressed_size = r.read_u64_le()?;
+        let block_size = r.read_u32_le()?;
+        let block_count = Self::read_block_count(r)?;
+        let uniform_config = match r.read_u8()? {
+            0 => None,
+            1 => (block_count > 0).then(|| BlockConfig::deserialize(r)).transpose()?,
+            other => {
+                return Err(FormatError::InvalidHeaderField { field: "uniform", value: u64::from(other) })
+            }
+        };
+        let mut per_block_configs = Vec::new();
+        if uniform_config.is_none() && block_count > 0 {
+            // Each config costs BLOCK_CONFIG_LEN input bytes, so this
+            // pre-allocation is bounded by the bytes actually supplied.
+            per_block_configs.reserve_exact(block_count.min(r.remaining() / BLOCK_CONFIG_LEN + 1));
+            for _ in 0..block_count {
+                per_block_configs.push(BlockConfig::deserialize(r)?);
+            }
+        }
+        let block_compressed_sizes = Self::read_block_sizes(r, block_count)?;
+        // The uniform replication (8 bytes per block) only happens after the
+        // size table parsed, which itself costs at least one byte per block —
+        // a hostile header cannot inflate this beyond 8x its own length.
+        let block_configs = match uniform_config {
+            Some(config) => vec![config; block_count],
+            None => per_block_configs,
+        };
+        let header = FileHeader {
+            window_size,
+            min_match_len,
+            max_match_len,
+            uncompressed_size,
+            block_size,
+            block_configs,
+            block_compressed_sizes,
+        };
+        header.validate()?;
+        Ok(header)
+    }
+
+    /// Parses the legacy v1 body, synthesizing one uniform [`BlockConfig`]
+    /// from the file-wide mode/sub-block/CWL fields that layout carried.
+    fn deserialize_v1_body(r: &mut ByteReader<'_>) -> Result<Self> {
         let mode = EncodingMode::from_u8(r.read_u8()?)?;
         let window_size = r.read_u32_le()?;
         let min_match_len = r.read_u32_le()?;
@@ -152,71 +244,134 @@ impl FileHeader {
         let block_size = r.read_u32_le()?;
         let sequences_per_sub_block = r.read_u32_le()?;
         let max_codeword_len = r.read_u8()?;
-        // Bound the claimed block count in u64 space *before* narrowing to
-        // usize: on a 32-bit target a value like 2^33 would otherwise
-        // truncate to a small number and silently pass validation.
-        let block_count_raw = read_varint(r)?;
-        if block_count_raw > MAX_BLOCK_COUNT {
-            return Err(FormatError::InvalidHeaderField { field: "block_count", value: block_count_raw });
-        }
-        let block_count = usize::try_from(block_count_raw)
-            .map_err(|_| FormatError::InvalidHeaderField { field: "block_count", value: block_count_raw })?;
-        // Each size costs at least one varint byte, so a hostile header
-        // cannot make this pre-allocation exceed the bytes it actually
-        // supplied (plus it is already capped by MAX_BLOCK_COUNT above).
-        let mut block_compressed_sizes = Vec::with_capacity(block_count.min(r.remaining()));
-        for _ in 0..block_count {
-            let size = read_varint(r)?;
-            if size > u64::from(u32::MAX) {
-                return Err(FormatError::InvalidHeaderField { field: "block_compressed_size", value: size });
-            }
-            block_compressed_sizes.push(size as u32);
-        }
+        let block_count = Self::read_block_count(r)?;
+        let block_compressed_sizes = Self::read_block_sizes(r, block_count)?;
+        let config = BlockConfig::legacy_uniform(mode, sequences_per_sub_block, max_codeword_len);
         let header = FileHeader {
-            mode,
             window_size,
             min_match_len,
             max_match_len,
             uncompressed_size,
             block_size,
-            sequences_per_sub_block,
-            max_codeword_len,
+            block_configs: vec![config; block_count],
             block_compressed_sizes,
         };
         header.validate()?;
         Ok(header)
+    }
+
+    /// Reads and bounds the claimed block count in u64 space *before*
+    /// narrowing to usize: on a 32-bit target a value like 2^33 would
+    /// otherwise truncate to a small number and silently pass validation.
+    fn read_block_count(r: &mut ByteReader<'_>) -> Result<usize> {
+        let raw = read_varint(r)?;
+        if raw > MAX_BLOCK_COUNT {
+            return Err(FormatError::InvalidHeaderField { field: "block_count", value: raw });
+        }
+        usize::try_from(raw).map_err(|_| FormatError::InvalidHeaderField { field: "block_count", value: raw })
+    }
+
+    fn read_block_sizes(r: &mut ByteReader<'_>, block_count: usize) -> Result<Vec<u32>> {
+        // Each size costs at least one varint byte, so a hostile header
+        // cannot make this pre-allocation exceed the bytes it actually
+        // supplied (plus it is already capped by MAX_BLOCK_COUNT).
+        let mut sizes = Vec::with_capacity(block_count.min(r.remaining()));
+        for _ in 0..block_count {
+            let size = read_varint(r)?;
+            if size > u64::from(u32::MAX) {
+                return Err(FormatError::InvalidHeaderField { field: "block_compressed_size", value: size });
+            }
+            sizes.push(size as u32);
+        }
+        Ok(sizes)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block_config::ResolutionStrategy;
+
+    fn sample_config() -> BlockConfig {
+        BlockConfig {
+            mode: EncodingMode::Bit,
+            strategy: ResolutionStrategy::MultiRound,
+            dependency_elimination: false,
+            sequences_per_sub_block: 16,
+            max_codeword_len: 10,
+        }
+    }
 
     fn sample_header() -> FileHeader {
         FileHeader {
-            mode: EncodingMode::Bit,
             window_size: 8 * 1024,
             min_match_len: 3,
             max_match_len: 64,
             uncompressed_size: 1_000_000,
             block_size: 256 * 1024,
-            sequences_per_sub_block: 16,
-            max_codeword_len: 10,
+            block_configs: vec![sample_config(); 4],
             block_compressed_sizes: vec![100_000, 90_000, 85_000, 60_000],
         }
     }
 
+    fn mixed_header() -> FileHeader {
+        let byte_de = BlockConfig {
+            mode: EncodingMode::Byte,
+            strategy: ResolutionStrategy::DependencyEliminated,
+            dependency_elimination: true,
+            max_codeword_len: 0,
+            ..sample_config()
+        };
+        FileHeader {
+            block_configs: vec![sample_config(), byte_de, sample_config(), byte_de],
+            ..sample_header()
+        }
+    }
+
     #[test]
-    fn roundtrip() {
-        let header = sample_header();
-        header.validate().unwrap();
-        let mut w = ByteWriter::new();
-        header.serialize(&mut w);
-        let bytes = w.finish();
-        let mut r = ByteReader::new(&bytes);
-        let back = FileHeader::deserialize(&mut r).unwrap();
-        assert_eq!(back, header);
-        assert!(r.is_empty());
+    fn roundtrip_uniform_and_mixed() {
+        for header in [sample_header(), mixed_header()] {
+            header.validate().unwrap();
+            let mut w = ByteWriter::new();
+            header.serialize(&mut w);
+            let bytes = w.finish();
+            let mut r = ByteReader::new(&bytes);
+            let back = FileHeader::deserialize(&mut r).unwrap();
+            assert_eq!(back, header);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn uniform_files_store_one_config() {
+        let ser = |h: &FileHeader| {
+            let mut w = ByteWriter::new();
+            h.serialize(&mut w);
+            w.finish().len()
+        };
+        assert_eq!(ser(&mixed_header()) - ser(&sample_header()), 3 * BLOCK_CONFIG_LEN);
+        assert!(sample_header().uniform_config().is_some());
+        assert!(mixed_header().uniform_config().is_none());
+    }
+
+    #[test]
+    fn max_codeword_len_spans_bit_blocks_only() {
+        assert_eq!(sample_header().max_codeword_len(), 10);
+        let mut mixed = mixed_header();
+        mixed.block_configs[2].max_codeword_len = 14;
+        assert_eq!(mixed.max_codeword_len(), 14);
+        let byte_only = FileHeader {
+            block_configs: vec![
+                BlockConfig {
+                    mode: EncodingMode::Byte,
+                    max_codeword_len: 0,
+                    ..sample_config()
+                };
+                4
+            ],
+            ..sample_header()
+        };
+        assert_eq!(byte_only.max_codeword_len(), 0);
     }
 
     #[test]
@@ -248,6 +403,35 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_layout_still_parses() {
+        // Byte-for-byte the layout v1 files on disk carry.
+        let mut w = ByteWriter::new();
+        w.write_bytes(&MAGIC);
+        w.write_u8(LEGACY_FORMAT_VERSION);
+        w.write_u8(1); // mode: Byte
+        w.write_u32_le(8 * 1024);
+        w.write_u32_le(3);
+        w.write_u32_le(64);
+        w.write_u64_le(2500);
+        w.write_u32_le(1000);
+        w.write_u32_le(16); // sequences_per_sub_block
+        w.write_u8(10); // max_codeword_len
+        write_varint(&mut w, 3);
+        for size in [40u64, 55, 13] {
+            write_varint(&mut w, size);
+        }
+        let bytes = w.finish();
+        let header = FileHeader::deserialize(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(header.block_count(), 3);
+        assert_eq!(header.uniform_config(), Some(&BlockConfig::legacy_uniform(EncodingMode::Byte, 16, 10)));
+        assert_eq!(header.block_compressed_sizes, vec![40, 55, 13]);
+        // Legacy truncations still error.
+        for cut in 0..bytes.len() {
+            assert!(FileHeader::deserialize(&mut ByteReader::new(&bytes[..cut])).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
     fn validation_catches_inconsistencies() {
         let mut h = sample_header();
         h.block_size = 0;
@@ -262,16 +446,20 @@ mod tests {
         assert!(h.validate().is_err());
 
         let mut h = sample_header();
-        h.max_codeword_len = 1;
+        h.block_configs.pop(); // config table shorter than the size table
         assert!(h.validate().is_err());
 
         let mut h = sample_header();
-        h.mode = EncodingMode::Byte;
-        h.max_codeword_len = 0; // ignored in byte mode
+        h.block_configs[1].max_codeword_len = 1;
+        assert!(h.validate().is_err());
+
+        let mut h = sample_header();
+        h.block_configs[1].mode = EncodingMode::Byte;
+        h.block_configs[1].max_codeword_len = 0; // ignored in byte mode
         assert!(h.validate().is_ok());
 
         let mut h = sample_header();
-        h.sequences_per_sub_block = 0;
+        h.block_configs[3].sequences_per_sub_block = 0;
         assert!(h.validate().is_err());
     }
 
@@ -281,17 +469,11 @@ mod tests {
         let mut w = ByteWriter::new();
         w.write_bytes(&MAGIC);
         w.write_u8(FORMAT_VERSION);
-        w.write_u8(match header.mode {
-            EncodingMode::Bit => 0,
-            EncodingMode::Byte => 1,
-        });
         w.write_u32_le(header.window_size);
         w.write_u32_le(header.min_match_len);
         w.write_u32_le(header.max_match_len);
         w.write_u64_le(header.uncompressed_size);
         w.write_u32_le(header.block_size);
-        w.write_u32_le(header.sequences_per_sub_block);
-        w.write_u8(header.max_codeword_len);
         w
     }
 
@@ -313,13 +495,16 @@ mod tests {
 
     #[test]
     fn block_count_within_cap_but_unbacked_by_bytes_is_eof_not_oom() {
-        // A large-but-legal block count with no size bytes behind it must
-        // fail with EOF; the pre-allocation is bounded by the remaining
+        // A large-but-legal block count with no config/size bytes behind it
+        // must fail with EOF; pre-allocations are bounded by the remaining
         // input, so this cannot over-allocate either.
-        let mut w = serialize_prefix(&sample_header());
-        write_varint(&mut w, 1 << 28);
-        let bytes = w.finish();
-        assert!(FileHeader::deserialize(&mut ByteReader::new(&bytes)).is_err());
+        for uniform in [0u8, 1] {
+            let mut w = serialize_prefix(&sample_header());
+            write_varint(&mut w, 1 << 28);
+            w.write_u8(uniform);
+            let bytes = w.finish();
+            assert!(FileHeader::deserialize(&mut ByteReader::new(&bytes)).is_err());
+        }
     }
 
     #[test]
@@ -336,12 +521,18 @@ mod tests {
 
     #[test]
     fn empty_file_header_is_valid() {
-        let h = FileHeader { uncompressed_size: 0, block_compressed_sizes: vec![], ..sample_header() };
+        let h = FileHeader {
+            uncompressed_size: 0,
+            block_configs: vec![],
+            block_compressed_sizes: vec![],
+            ..sample_header()
+        };
         h.validate().unwrap();
         let mut w = ByteWriter::new();
         h.serialize(&mut w);
         let bytes = w.finish();
         let back = FileHeader::deserialize(&mut ByteReader::new(&bytes)).unwrap();
         assert_eq!(back.block_count(), 0);
+        assert_eq!(back.max_codeword_len(), 0);
     }
 }

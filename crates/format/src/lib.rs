@@ -12,12 +12,15 @@
 //! This crate owns:
 //!
 //! * [`header::FileHeader`] — the container header and its serialization,
+//! * [`block_config`] — the per-block codec record (mode, resolution
+//!   strategy, entropy parameters) that makes heterogeneous v3 archives
+//!   possible,
 //! * [`token_code`] — the symbol mapping used by the bit-level encoding
 //!   (literal/length alphabet, offset alphabet, extra bits),
 //! * [`bit_block`] — Huffman-coded block payloads with sub-block seeking,
 //! * [`byte_block`] — the byte-level (Gompresso/Byte) block payload,
 //! * [`file`] — the top-level container tying header and payloads together,
-//! * [`stream_frame`] — the incremental (v2) container framing used by the
+//! * [`stream_frame`] — the incremental container framing used by the
 //!   bounded-memory streaming pipeline in `gompresso-core::stream`.
 //!
 //! The compressor and the parallel decompressor live in `gompresso-core`;
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod bit_block;
+pub mod block_config;
 pub mod byte_block;
 pub mod error;
 pub mod file;
@@ -36,11 +40,14 @@ pub mod stream_frame;
 pub mod token_code;
 
 pub use bit_block::{BitBlock, EncodeScratch, InterleaveScratch, SubBlockStats};
+pub use block_config::{BlockConfig, ResolutionStrategy, BLOCK_CONFIG_LEN};
 pub use byte_block::ByteBlock;
 pub use error::FormatError;
 pub use file::{BlockPayload, CompressedFile};
 pub use header::{EncodingMode, FileHeader, MAX_BLOCK_COUNT};
-pub use stream_frame::{StreamPrelude, StreamTrailer, STREAM_FORMAT_VERSION};
+pub use stream_frame::{
+    prelude_len, StreamPrelude, StreamTrailer, LEGACY_STREAM_FORMAT_VERSION, STREAM_FORMAT_VERSION,
+};
 
 /// Result alias for format operations.
 pub type Result<T> = std::result::Result<T, FormatError>;
@@ -48,5 +55,10 @@ pub type Result<T> = std::result::Result<T, FormatError>;
 /// Magic bytes identifying a Gompresso file ("GPSO").
 pub const MAGIC: [u8; 4] = *b"GPSO";
 
-/// Current format version.
-pub const FORMAT_VERSION: u8 = 1;
+/// Current in-memory container version (per-block codec configs).
+pub const FORMAT_VERSION: u8 = 3;
+
+/// The original uniform-codec container version. Still readable; the
+/// parser synthesizes one uniform [`BlockConfig`] from its file-wide
+/// fields.
+pub const LEGACY_FORMAT_VERSION: u8 = 1;

@@ -1,59 +1,91 @@
-//! Streaming (v2) file framing.
+//! Streaming (v3) file framing.
 //!
-//! The v1 container (see [`crate::file`]) needs every block's compressed
-//! size *before* the first payload byte can be written, which forces the
-//! compressor to buffer the whole file. The v2 framing keeps the paper's
-//! back-to-back block layout but makes the container incremental:
+//! The in-memory container (see [`crate::file`]) needs every block's
+//! compressed size *before* the first payload byte can be written, which
+//! forces the compressor to buffer the whole file. The streaming framing
+//! keeps the paper's back-to-back block layout but makes the container
+//! incremental:
 //!
 //! ```text
-//! prelude | varint(len₀) block₀ | varint(len₁) block₁ | … | varint(0) | trailer
+//! prelude | varint(len₀) config₀ block₀ | varint(len₁) config₁ block₁ | … | varint(0) | trailer
 //! ```
 //!
-//! * The **prelude** is a fixed 43-byte header carrying the compression
-//!   parameters. Its two totals (uncompressed size, block count) are written
-//!   as the [`UNKNOWN_TOTAL`] sentinel when the sink cannot seek and
-//!   back-patched in place (offsets [`UNCOMPRESSED_SIZE_OFFSET`] /
-//!   [`BLOCK_COUNT_OFFSET`]) when it can.
+//! * The **prelude** is a fixed [`PRELUDE_LEN`]-byte header carrying the
+//!   file-wide match geometry. Its two totals (uncompressed size, block
+//!   count) are written as the [`UNKNOWN_TOTAL`] sentinel when the sink
+//!   cannot seek and back-patched in place (offsets
+//!   [`UNCOMPRESSED_SIZE_OFFSET`] / [`BLOCK_COUNT_OFFSET`]) when it can.
 //! * Each **block frame** is the block's serialized payload prefixed with
-//!   its length, so a sequential reader never needs the block table.
+//!   its length and its [`BlockConfig`] (v3; legacy v2 frames carry no
+//!   config — the uniform config parsed from the v2 prelude applies), so a
+//!   sequential reader never needs the block table.
 //! * A zero-length frame terminates the block list; the **trailer** then
 //!   repeats the full block-size table (restoring the paper's "offsets
 //!   without scanning" property for readers that have the whole file), the
 //!   total uncompressed size, its own length, and a closing magic — so a
 //!   random-access reader can locate the table from the end of the file.
 //!
+//! Because the prelude's length depends on its version byte, readers fetch
+//! [`PRELUDE_HEAD_LEN`] bytes first, size the rest with [`prelude_len`],
+//! and hand the whole thing to [`StreamPrelude::deserialize`].
+//!
 //! Everything here is pure in-memory (de)serialization; the actual
 //! `std::io` plumbing lives in `gompresso-core::stream`, which is also where
 //! the framing is cross-checked against what was actually read.
 
+use crate::block_config::BlockConfig;
 use crate::header::{EncodingMode, FileHeader, MAX_BLOCK_COUNT};
 use crate::{FormatError, Result, MAGIC};
 use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
 
-/// Format version byte identifying the streaming container.
-pub const STREAM_FORMAT_VERSION: u8 = 2;
+/// Format version byte identifying the current streaming container.
+pub const STREAM_FORMAT_VERSION: u8 = 3;
 
-/// Magic bytes closing a v2 trailer ("GPST").
+/// The previous streaming version (uniform codec config in the prelude,
+/// configless frames). Still readable.
+pub const LEGACY_STREAM_FORMAT_VERSION: u8 = 2;
+
+/// Magic bytes closing a stream trailer ("GPST").
 pub const TRAILER_MAGIC: [u8; 4] = *b"GPST";
 
 /// Sentinel for a prelude total that is only known from the trailer.
 pub const UNKNOWN_TOTAL: u64 = u64::MAX;
 
-/// Serialized prelude size in bytes (fixed so totals can be back-patched).
-pub const PRELUDE_LEN: usize = 43;
+/// Bytes a reader must fetch before it knows the prelude's full length
+/// (magic plus version byte).
+pub const PRELUDE_HEAD_LEN: usize = 5;
 
-/// Byte offset of the `uncompressed_size` field inside the prelude.
-pub const UNCOMPRESSED_SIZE_OFFSET: usize = 27;
+/// Serialized v3 prelude size in bytes (fixed so totals can be
+/// back-patched).
+pub const PRELUDE_LEN: usize = 37;
 
-/// Byte offset of the `block_count` field inside the prelude.
-pub const BLOCK_COUNT_OFFSET: usize = 35;
+/// Serialized size of the legacy v2 prelude.
+pub const LEGACY_PRELUDE_LEN: usize = 43;
 
-/// The fixed-size head of a v2 streaming file: all compression parameters,
+/// Byte offset of the `uncompressed_size` field inside the v3 prelude.
+pub const UNCOMPRESSED_SIZE_OFFSET: usize = 21;
+
+/// Byte offset of the `block_count` field inside the v3 prelude.
+pub const BLOCK_COUNT_OFFSET: usize = 29;
+
+/// Full serialized prelude length for a given version byte.
+pub fn prelude_len(version: u8) -> Result<usize> {
+    match version {
+        STREAM_FORMAT_VERSION => Ok(PRELUDE_LEN),
+        LEGACY_STREAM_FORMAT_VERSION => Ok(LEGACY_PRELUDE_LEN),
+        other => Err(FormatError::UnsupportedVersion(other)),
+    }
+}
+
+/// The fixed-size head of a streaming file: the file-wide match geometry,
 /// plus the two totals that a non-seekable writer only learns at the end.
+///
+/// Since v3 the codec configuration travels per block frame; a legacy v2
+/// prelude instead carried one file-wide config, surfaced here as
+/// [`StreamPrelude::legacy_uniform`] so the reader can apply it to every
+/// (configless) v2 frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamPrelude {
-    /// Encoding mode of all blocks in the file.
-    pub mode: EncodingMode,
     /// Sliding-window size in bytes used during compression.
     pub window_size: u32,
     /// Minimum match length used during compression.
@@ -62,14 +94,13 @@ pub struct StreamPrelude {
     pub max_match_len: u32,
     /// Uncompressed size of each data block (the last may be shorter).
     pub block_size: u32,
-    /// Number of sequences per sub-block for parallel Huffman decoding.
-    pub sequences_per_sub_block: u32,
-    /// Maximum Huffman codeword length (unused in Byte mode).
-    pub max_codeword_len: u8,
     /// Total uncompressed size; `None` when deferred to the trailer.
     pub uncompressed_size: Option<u64>,
     /// Number of block frames; `None` when deferred to the trailer.
     pub block_count: Option<u64>,
+    /// The uniform per-block config synthesized from a legacy v2 prelude;
+    /// `None` for v3 streams, whose frames carry their own configs.
+    pub legacy_uniform: Option<BlockConfig>,
 }
 
 impl StreamPrelude {
@@ -94,14 +125,8 @@ impl StreamPrelude {
                 value: u64::from(self.max_match_len),
             });
         }
-        if self.sequences_per_sub_block == 0 {
-            return Err(FormatError::InvalidHeaderField { field: "sequences_per_sub_block", value: 0 });
-        }
-        if self.mode == EncodingMode::Bit && (self.max_codeword_len < 2 || self.max_codeword_len > 24) {
-            return Err(FormatError::InvalidHeaderField {
-                field: "max_codeword_len",
-                value: u64::from(self.max_codeword_len),
-            });
+        if let Some(config) = &self.legacy_uniform {
+            config.validate()?;
         }
         if let Some(count) = self.block_count {
             if count > MAX_BLOCK_COUNT {
@@ -111,22 +136,17 @@ impl StreamPrelude {
         Ok(())
     }
 
-    /// Serializes the prelude to its fixed [`PRELUDE_LEN`]-byte form,
+    /// Serializes the prelude to its fixed [`PRELUDE_LEN`]-byte v3 form,
     /// writing [`UNKNOWN_TOTAL`] for totals that are not yet known.
+    /// (Writers always emit v3; `legacy_uniform` is a read-side artifact.)
     pub fn serialize(&self) -> [u8; PRELUDE_LEN] {
         let mut w = ByteWriter::with_capacity(PRELUDE_LEN);
         w.write_bytes(&MAGIC);
         w.write_u8(STREAM_FORMAT_VERSION);
-        w.write_u8(match self.mode {
-            EncodingMode::Bit => 0,
-            EncodingMode::Byte => 1,
-        });
         w.write_u32_le(self.window_size);
         w.write_u32_le(self.min_match_len);
         w.write_u32_le(self.max_match_len);
         w.write_u32_le(self.block_size);
-        w.write_u32_le(self.sequences_per_sub_block);
-        w.write_u8(self.max_codeword_len);
         let size_at = w.reserve_u64_le();
         let count_at = w.reserve_u64_le();
         debug_assert_eq!(size_at, UNCOMPRESSED_SIZE_OFFSET);
@@ -139,28 +159,35 @@ impl StreamPrelude {
         out
     }
 
-    /// Parses and validates a prelude from its fixed-size serialized form.
-    pub fn deserialize(bytes: &[u8; PRELUDE_LEN]) -> Result<Self> {
+    /// Parses and validates a prelude (v3, or the legacy v2 layout).
+    /// `bytes` must hold exactly `prelude_len(bytes[4])` bytes.
+    pub fn deserialize(bytes: &[u8]) -> Result<Self> {
         let mut r = ByteReader::new(bytes);
         let magic = r.read_bytes(4)?;
         if magic != MAGIC {
             return Err(FormatError::BadMagic);
         }
         let version = r.read_u8()?;
-        if version != STREAM_FORMAT_VERSION {
-            return Err(FormatError::UnsupportedVersion(version));
+        if bytes.len() != prelude_len(version)? {
+            return Err(FormatError::InvalidHeaderField { field: "prelude_len", value: bytes.len() as u64 });
         }
-        let mode = match r.read_u8()? {
-            0 => EncodingMode::Bit,
-            1 => EncodingMode::Byte,
-            other => return Err(FormatError::InvalidHeaderField { field: "mode", value: u64::from(other) }),
+        let legacy_uniform = if version == LEGACY_STREAM_FORMAT_VERSION {
+            Some(EncodingMode::from_u8(r.read_u8()?)?)
+        } else {
+            None
         };
         let window_size = r.read_u32_le()?;
         let min_match_len = r.read_u32_le()?;
         let max_match_len = r.read_u32_le()?;
         let block_size = r.read_u32_le()?;
-        let sequences_per_sub_block = r.read_u32_le()?;
-        let max_codeword_len = r.read_u8()?;
+        let legacy_uniform = match legacy_uniform {
+            Some(mode) => {
+                let sequences_per_sub_block = r.read_u32_le()?;
+                let max_codeword_len = r.read_u8()?;
+                Some(BlockConfig::legacy_uniform(mode, sequences_per_sub_block, max_codeword_len))
+            }
+            None => None,
+        };
         let uncompressed_size = match r.read_u64_le()? {
             UNKNOWN_TOTAL => None,
             v => Some(v),
@@ -170,21 +197,19 @@ impl StreamPrelude {
             v => Some(v),
         };
         let prelude = StreamPrelude {
-            mode,
             window_size,
             min_match_len,
             max_match_len,
             block_size,
-            sequences_per_sub_block,
-            max_codeword_len,
             uncompressed_size,
             block_count,
+            legacy_uniform,
         };
         prelude.validate()?;
         Ok(prelude)
     }
 
-    /// Patches the two total fields of an already-serialized prelude in
+    /// Patches the two total fields of an already-serialized v3 prelude in
     /// place (what a seekable writer does after the trailer is out).
     pub fn patch_totals(buf: &mut [u8; PRELUDE_LEN], uncompressed_size: u64, block_count: u64) {
         buf[UNCOMPRESSED_SIZE_OFFSET..UNCOMPRESSED_SIZE_OFFSET + 8]
@@ -192,25 +217,28 @@ impl StreamPrelude {
         buf[BLOCK_COUNT_OFFSET..BLOCK_COUNT_OFFSET + 8].copy_from_slice(&block_count.to_le_bytes());
     }
 
-    /// Converts the prelude plus the (now known) block table into a v1
+    /// Converts the prelude plus the (now known) block tables into a
     /// [`FileHeader`], so the stream reader can reuse the header-level
     /// consistency validation.
-    pub fn to_file_header(&self, uncompressed_size: u64, block_compressed_sizes: Vec<u32>) -> FileHeader {
+    pub fn to_file_header(
+        &self,
+        uncompressed_size: u64,
+        block_configs: Vec<BlockConfig>,
+        block_compressed_sizes: Vec<u32>,
+    ) -> FileHeader {
         FileHeader {
-            mode: self.mode,
             window_size: self.window_size,
             min_match_len: self.min_match_len,
             max_match_len: self.max_match_len,
             uncompressed_size,
             block_size: self.block_size,
-            sequences_per_sub_block: self.sequences_per_sub_block,
-            max_codeword_len: self.max_codeword_len,
+            block_configs,
             block_compressed_sizes,
         }
     }
 }
 
-/// The v2 trailer: the complete block-size table plus the uncompressed
+/// The stream trailer: the complete block-size table plus the uncompressed
 /// total, self-locating from the end of the file.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StreamTrailer {
@@ -280,19 +308,35 @@ impl StreamTrailer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block_config::ResolutionStrategy;
 
     fn sample_prelude() -> StreamPrelude {
         StreamPrelude {
-            mode: EncodingMode::Bit,
             window_size: 8 * 1024,
             min_match_len: 3,
             max_match_len: 64,
             block_size: 256 * 1024,
-            sequences_per_sub_block: 16,
-            max_codeword_len: 10,
             uncompressed_size: None,
             block_count: None,
+            legacy_uniform: None,
         }
+    }
+
+    /// Byte-for-byte the 43-byte layout v2 streams on disk carry.
+    fn legacy_v2_bytes(mode: u8, seqs: u32, cwl: u8) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.write_bytes(&MAGIC);
+        w.write_u8(LEGACY_STREAM_FORMAT_VERSION);
+        w.write_u8(mode);
+        w.write_u32_le(8 * 1024);
+        w.write_u32_le(3);
+        w.write_u32_le(64);
+        w.write_u32_le(256 * 1024);
+        w.write_u32_le(seqs);
+        w.write_u8(cwl);
+        w.write_u64_le(UNKNOWN_TOTAL);
+        w.write_u64_le(7);
+        w.finish()
     }
 
     #[test]
@@ -300,12 +344,36 @@ mod tests {
         let mut p = sample_prelude();
         let bytes = p.serialize();
         assert_eq!(bytes.len(), PRELUDE_LEN);
+        assert_eq!(prelude_len(bytes[4]).unwrap(), PRELUDE_LEN);
         assert_eq!(StreamPrelude::deserialize(&bytes).unwrap(), p);
 
         p.uncompressed_size = Some(1_000_000);
         p.block_count = Some(4);
         let bytes = p.serialize();
         assert_eq!(StreamPrelude::deserialize(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn legacy_v2_prelude_parses_with_uniform_config() {
+        let bytes = legacy_v2_bytes(0, 16, 10);
+        assert_eq!(bytes.len(), LEGACY_PRELUDE_LEN);
+        assert_eq!(prelude_len(bytes[4]).unwrap(), LEGACY_PRELUDE_LEN);
+        let p = StreamPrelude::deserialize(&bytes).unwrap();
+        assert_eq!(p.legacy_uniform, Some(BlockConfig::legacy_uniform(EncodingMode::Bit, 16, 10)));
+        assert_eq!(p.legacy_uniform.unwrap().strategy, ResolutionStrategy::MultiRound);
+        assert_eq!(p.uncompressed_size, None);
+        assert_eq!(p.block_count, Some(7));
+        // v2 parameter validation still applies through the synthesized
+        // config: invalid mode, zero sub-block count, CWL out of range.
+        assert!(StreamPrelude::deserialize(&legacy_v2_bytes(9, 16, 10)).is_err());
+        assert!(StreamPrelude::deserialize(&legacy_v2_bytes(0, 0, 10)).is_err());
+        assert!(StreamPrelude::deserialize(&legacy_v2_bytes(0, 16, 1)).is_err());
+        assert!(StreamPrelude::deserialize(&legacy_v2_bytes(1, 16, 0)).is_ok());
+        // Truncations of the legacy form never parse (wrong length for the
+        // declared version).
+        for cut in 0..bytes.len() {
+            assert!(StreamPrelude::deserialize(&bytes[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]
@@ -322,13 +390,14 @@ mod tests {
     fn prelude_rejects_v1_and_garbage() {
         let p = sample_prelude();
         let mut bytes = p.serialize();
-        bytes[4] = 1; // v1 version byte in a v2 frame
+        bytes[4] = 1; // in-memory v1 version byte in a stream frame
         assert!(matches!(StreamPrelude::deserialize(&bytes), Err(FormatError::UnsupportedVersion(1))));
         let mut bytes = p.serialize();
         bytes[0] = b'X';
         assert!(matches!(StreamPrelude::deserialize(&bytes), Err(FormatError::BadMagic)));
+        // A v2 version byte on a v3-length buffer is a length mismatch.
         let mut bytes = p.serialize();
-        bytes[5] = 9; // invalid mode
+        bytes[4] = LEGACY_STREAM_FORMAT_VERSION;
         assert!(StreamPrelude::deserialize(&bytes).is_err());
     }
 
@@ -380,12 +449,13 @@ mod tests {
     }
 
     #[test]
-    fn to_file_header_reuses_v1_validation() {
+    fn to_file_header_reuses_container_validation() {
         let p = sample_prelude();
-        let header = p.to_file_header(1_000_000, vec![100_000, 90_000, 85_000, 60_000]);
+        let config = BlockConfig::legacy_uniform(EncodingMode::Bit, 16, 10);
+        let header = p.to_file_header(1_000_000, vec![config; 4], vec![100_000, 90_000, 85_000, 60_000]);
         header.validate().unwrap();
-        // An inconsistent table is caught by the v1 validation.
-        let bad = p.to_file_header(1_000_000, vec![100_000]);
+        // An inconsistent table is caught by the header validation.
+        let bad = p.to_file_header(1_000_000, vec![config], vec![100_000]);
         assert!(bad.validate().is_err());
     }
 }

@@ -3,25 +3,46 @@
 //! Every test feeds deliberately malformed bytes to `FileHeader` /
 //! `CompressedFile` deserialization and asserts the same contract: the
 //! parser returns `Err` (or a still-validating `Ok`) — it never panics and
-//! never sizes an allocation from an unvalidated header field.
+//! never sizes an allocation from an unvalidated header field. Since the
+//! v3 container the header also carries per-block `BlockConfig` records,
+//! so their tag bytes, flag bits and truncation points are fuzzed here too.
 
 use gompresso_bitstream::{write_varint, ByteReader, ByteWriter};
 use gompresso_format::{
-    BlockPayload, CompressedFile, EncodingMode, FileHeader, FormatError, FORMAT_VERSION, MAGIC,
-    MAX_BLOCK_COUNT,
+    BlockConfig, BlockPayload, CompressedFile, EncodingMode, FileHeader, FormatError, ResolutionStrategy,
+    BLOCK_CONFIG_LEN, FORMAT_VERSION, MAX_BLOCK_COUNT,
 };
 use proptest::prelude::*;
 
+fn bit_config() -> BlockConfig {
+    BlockConfig {
+        mode: EncodingMode::Bit,
+        strategy: ResolutionStrategy::MultiRound,
+        dependency_elimination: false,
+        sequences_per_sub_block: 16,
+        max_codeword_len: 10,
+    }
+}
+
+fn byte_de_config() -> BlockConfig {
+    BlockConfig {
+        mode: EncodingMode::Byte,
+        strategy: ResolutionStrategy::DependencyEliminated,
+        dependency_elimination: true,
+        sequences_per_sub_block: 16,
+        max_codeword_len: 0,
+    }
+}
+
 fn sample_header() -> FileHeader {
     FileHeader {
-        mode: EncodingMode::Bit,
         window_size: 8 * 1024,
         min_match_len: 3,
         max_match_len: 64,
         uncompressed_size: 1_000_000,
         block_size: 256 * 1024,
-        sequences_per_sub_block: 16,
-        max_codeword_len: 10,
+        // Heterogeneous on purpose: serialization takes the per-block path.
+        block_configs: vec![bit_config(), byte_de_config(), bit_config(), bit_config()],
         block_compressed_sizes: vec![100_000, 90_000, 85_000, 60_000],
     }
 }
@@ -38,6 +59,7 @@ fn serialized_file() -> Vec<u8> {
     let header = FileHeader {
         uncompressed_size: 2500,
         block_size: 1000,
+        block_configs: vec![bit_config(), byte_de_config(), bit_config()],
         block_compressed_sizes: vec![0; 3],
         ..sample_header()
     };
@@ -49,22 +71,26 @@ fn serialized_file() -> Vec<u8> {
     CompressedFile::new(header, blocks).expect("valid file").serialize()
 }
 
-/// Serializes every header field up to (but excluding) the block-count
-/// varint — the prefix shared by all the varint-boundary attacks below.
+/// Serializes every fixed header field up to (but excluding) the
+/// block-count varint — the prefix shared by the attacks below.
 fn header_prefix() -> ByteWriter {
     let h = sample_header();
     let mut w = ByteWriter::new();
-    w.write_bytes(&MAGIC);
+    w.write_bytes(b"GPSO");
     w.write_u8(FORMAT_VERSION);
-    w.write_u8(0); // EncodingMode::Bit
     w.write_u32_le(h.window_size);
     w.write_u32_le(h.min_match_len);
     w.write_u32_le(h.max_match_len);
     w.write_u64_le(h.uncompressed_size);
     w.write_u32_le(h.block_size);
-    w.write_u32_le(h.sequences_per_sub_block);
-    w.write_u8(h.max_codeword_len);
     w
+}
+
+/// Byte offset where the first `BlockConfig` record starts in the
+/// serialized sample header (after the fixed fields, the one-byte block
+/// count varint and the uniform flag byte).
+fn first_config_offset() -> usize {
+    header_prefix().finish().len() + 2
 }
 
 #[test]
@@ -76,6 +102,100 @@ fn every_truncation_of_a_valid_header_errors() {
     }
     // The uncut header still parses — the loop above is not vacuous.
     assert!(FileHeader::deserialize(&mut ByteReader::new(&bytes)).is_ok());
+}
+
+#[test]
+fn truncation_at_every_block_config_offset_errors() {
+    // Cut inside each of the four 8-byte BlockConfig records specifically:
+    // a parser that sized anything from a partial record would show here.
+    let bytes = serialized_header();
+    let start = first_config_offset();
+    for record in 0..4 {
+        for within in 0..BLOCK_CONFIG_LEN {
+            let cut = start + record * BLOCK_CONFIG_LEN + within;
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(FileHeader::deserialize(&mut r).is_err(), "record {record} byte {within}");
+        }
+    }
+}
+
+#[test]
+fn invalid_config_tags_and_flags_are_rejected_in_context() {
+    let good = serialized_header();
+    let start = first_config_offset();
+    // Record 0 is a Bit/MRR config: corrupt its mode tag, strategy tag and
+    // flag byte in place.
+    for (offset, bad_values) in
+        [(0usize, vec![2u8, 7, 255]), (1, vec![3u8, 9, 255]), (2, vec![0b10u8, 0b1110, 0xFE])]
+    {
+        for bad in bad_values {
+            let mut bytes = good.clone();
+            bytes[start + offset] = bad;
+            let err = FileHeader::deserialize(&mut ByteReader::new(&bytes));
+            assert!(err.is_err(), "config byte {offset} = {bad}: got {err:?}");
+        }
+    }
+    // A DE strategy tag (2) without the DE flag is internally inconsistent.
+    let mut bytes = good.clone();
+    bytes[start + 1] = 2;
+    bytes[start + 2] = 0;
+    assert!(FileHeader::deserialize(&mut ByteReader::new(&bytes)).is_err());
+}
+
+#[test]
+fn config_count_mismatched_with_block_count_errors() {
+    // Declare 4 blocks but supply only 3 config records (non-uniform path):
+    // the parser consumes the size varints as a 4th record and must reject
+    // the stream rather than resynchronize.
+    let h = sample_header();
+    let mut w = header_prefix();
+    write_varint(&mut w, 4);
+    w.write_u8(0); // non-uniform: expects exactly 4 config records
+    for _ in 0..3 {
+        bit_config().serialize(&mut w);
+    }
+    for &size in &h.block_compressed_sizes {
+        write_varint(&mut w, u64::from(size));
+    }
+    let bytes = w.finish();
+    assert!(FileHeader::deserialize(&mut ByteReader::new(&bytes)).is_err());
+
+    // A declared block count inconsistent with the file geometry (the
+    // uncompressed size implies 4 blocks, not 6) fails validation even
+    // when every record is well-formed.
+    let mut w = header_prefix();
+    write_varint(&mut w, 6);
+    w.write_u8(1);
+    bit_config().serialize(&mut w);
+    for _ in 0..6 {
+        write_varint(&mut w, 1000);
+    }
+    let bytes = w.finish();
+    let err = FileHeader::deserialize(&mut ByteReader::new(&bytes));
+    assert!(
+        matches!(err, Err(FormatError::InvalidHeaderField { field: "block_compressed_sizes", .. })),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn hostile_uniform_flag_values_error() {
+    let h = sample_header();
+    for flag in [2u8, 7, 255] {
+        let mut w = header_prefix();
+        write_varint(&mut w, 4);
+        w.write_u8(flag);
+        bit_config().serialize(&mut w);
+        for &size in &h.block_compressed_sizes {
+            write_varint(&mut w, u64::from(size));
+        }
+        let bytes = w.finish();
+        let err = FileHeader::deserialize(&mut ByteReader::new(&bytes));
+        assert!(
+            matches!(err, Err(FormatError::InvalidHeaderField { field: "uniform", .. })),
+            "flag {flag}: got {err:?}"
+        );
+    }
 }
 
 #[test]
@@ -94,6 +214,8 @@ fn varint_overflow_at_the_block_count_boundary_errors() {
 fn varint_overflow_at_a_block_size_boundary_errors() {
     let mut w = header_prefix();
     write_varint(&mut w, 2); // two blocks claimed
+    w.write_u8(1); // uniform
+    bit_config().serialize(&mut w);
     w.write_bytes(&[0x80u8; 11]); // first size varint never terminates
     let bytes = w.finish();
     let err = FileHeader::deserialize(&mut ByteReader::new(&bytes));
@@ -117,10 +239,25 @@ fn block_count_extremes_are_rejected_before_allocation() {
 }
 
 #[test]
+fn uniform_replication_is_bounded_by_supplied_bytes() {
+    // A legal-but-huge block count through the uniform path: one config
+    // record, no size table. The parser must hit EOF on the sizes before
+    // replicating the config count-many times.
+    let mut w = header_prefix();
+    write_varint(&mut w, MAX_BLOCK_COUNT);
+    w.write_u8(1);
+    bit_config().serialize(&mut w);
+    let bytes = w.finish();
+    assert!(FileHeader::deserialize(&mut ByteReader::new(&bytes)).is_err());
+}
+
+#[test]
 fn block_compressed_size_extremes_are_rejected() {
     for size in [u64::from(u32::MAX) + 1, u64::MAX / 2] {
         let mut w = header_prefix();
         write_varint(&mut w, 1);
+        w.write_u8(1); // uniform
+        bit_config().serialize(&mut w);
         write_varint(&mut w, size);
         let bytes = w.finish();
         let err = FileHeader::deserialize(&mut ByteReader::new(&bytes));
@@ -143,8 +280,28 @@ proptest! {
         let _ = CompressedFile::deserialize(&bytes);
     }
 
-    /// Random byte-flips over a valid file never panic, and whatever still
-    /// parses is internally consistent.
+    /// Arbitrary bytes at every version tag never panic either parser path
+    /// (exercises the legacy v1 body alongside v3).
+    #[test]
+    fn random_bodies_never_panic_any_version(
+        pick in 0u8..3,
+        raw_version in any::<u8>(),
+        body in proptest::collection::vec(any::<u8>(), 0..160),
+    ) {
+        let version = match pick {
+            0 => 1u8, // legacy body parser
+            1 => 3u8, // current body parser
+            _ => raw_version,
+        };
+        let mut bytes = b"GPSO".to_vec();
+        bytes.push(version);
+        bytes.extend(body);
+        let _ = FileHeader::deserialize(&mut ByteReader::new(&bytes));
+        let _ = CompressedFile::deserialize(&bytes);
+    }
+
+    /// Random byte-flips over a valid (heterogeneous) file never panic, and
+    /// whatever still parses is internally consistent.
     #[test]
     fn byte_flips_over_a_valid_file_never_panic(
         flips in proptest::collection::vec((any::<usize>(), 1u8..=255u8), 1..8),
@@ -159,8 +316,28 @@ proptest! {
             // self-consistent and every payload fully backed by bytes.
             prop_assert!(file.header.validate().is_ok());
             prop_assert_eq!(file.header.block_count(), file.blocks.len());
+            prop_assert_eq!(file.header.block_configs.len(), file.blocks.len());
             for (i, block) in file.blocks.iter().enumerate() {
                 prop_assert_eq!(block.bytes.len() as u64, u64::from(file.header.block_compressed_sizes[i]));
+            }
+        }
+    }
+
+    /// Random flips confined to the BlockConfig region specifically: any
+    /// surviving parse must still hold only valid configs.
+    #[test]
+    fn byte_flips_inside_config_records_never_yield_invalid_configs(
+        flips in proptest::collection::vec((any::<usize>(), 1u8..=255u8), 1..6),
+    ) {
+        let mut bytes = serialized_header();
+        let start = first_config_offset();
+        let span = 4 * BLOCK_CONFIG_LEN;
+        for (pos, delta) in flips {
+            bytes[start + pos % span] ^= delta;
+        }
+        if let Ok(header) = FileHeader::deserialize(&mut ByteReader::new(&bytes)) {
+            for config in &header.block_configs {
+                prop_assert!(config.validate().is_ok());
             }
         }
     }
@@ -174,33 +351,48 @@ proptest! {
     }
 
     /// Headers that pass validation roundtrip losslessly; ones that fail
-    /// validation are also rejected when deserialized.
+    /// validation are also rejected when deserialized. Per-block configs
+    /// are drawn independently, so this covers uniform and mixed files.
     #[test]
     fn arbitrary_headers_roundtrip_iff_valid(
         window_exp in 0u32..20,
         min_match in 0u32..10,
         max_match in 0u32..200,
-        block_size in 0u32..2_000_000,
+        block_size in 1u32..2_000_000,
         uncompressed in 0u64..10_000_000,
-        seqs in 0u32..64,
-        cwl in 0u8..30,
-        byte_mode in any::<bool>(),
+        config_draws in proptest::collection::vec(
+            (any::<bool>(), 0u8..3, any::<bool>(), 0u32..64, 0u8..30),
+            1..50,
+        ),
     ) {
-        let mode = if byte_mode { EncodingMode::Byte } else { EncodingMode::Bit };
-        let block_count = if block_size == 0 || uncompressed == 0 {
+        let block_count = if uncompressed == 0 {
             0
         } else {
             uncompressed.div_ceil(u64::from(block_size)) as usize
         };
+        let block_configs: Vec<BlockConfig> = (0..block_count)
+            .map(|i| {
+                let (byte_mode, strategy, de, seqs, cwl) = config_draws[i % config_draws.len()];
+                BlockConfig {
+                    mode: if byte_mode { EncodingMode::Byte } else { EncodingMode::Bit },
+                    strategy: match strategy {
+                        0 => ResolutionStrategy::SequentialCopy,
+                        1 => ResolutionStrategy::MultiRound,
+                        _ => ResolutionStrategy::DependencyEliminated,
+                    },
+                    dependency_elimination: de,
+                    sequences_per_sub_block: seqs,
+                    max_codeword_len: cwl,
+                }
+            })
+            .collect();
         let header = FileHeader {
-            mode,
             window_size: 1u32 << window_exp,
             min_match_len: min_match,
             max_match_len: max_match,
             uncompressed_size: uncompressed,
             block_size,
-            sequences_per_sub_block: seqs,
-            max_codeword_len: cwl,
+            block_configs,
             block_compressed_sizes: vec![1; block_count],
         };
         let mut w = ByteWriter::new();

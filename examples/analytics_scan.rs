@@ -47,7 +47,7 @@ fn main() {
         );
 
         for strategy in ResolutionStrategy::ALL {
-            let dconf = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+            let dconf = DecompressorConfig { strategy: strategy.into(), ..DecompressorConfig::default() };
             let start = Instant::now();
             let mut hits = 0usize;
             for _ in 0..SCANS {

@@ -3,8 +3,8 @@
 //! format.
 //!
 //! ```text
-//! cargo run --release --example file_tool -- compress   <input> <output.gpso> [bit|byte] [--de]
-//! cargo run --release --example file_tool -- decompress <input.gpso> <output> [sc|mrr|de]
+//! cargo run --release --example file_tool -- compress   <input> <output.gpso> [bit|byte|auto] [--de]
+//! cargo run --release --example file_tool -- decompress <input.gpso> <output> [planned|sc|mrr|de]
 //! cargo run --release --example file_tool -- info       <input.gpso>
 //! ```
 //!
@@ -12,15 +12,15 @@
 
 use gompresso::{
     compress, decompress_with, CompressedFile, CompressorConfig, DecompressorConfig, EncodingMode,
-    ResolutionStrategy,
+    ResolutionStrategy, StrategySelection,
 };
 use std::fs;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!("usage:");
-    eprintln!("  file_tool compress   <input> <output.gpso> [bit|byte] [--de]");
-    eprintln!("  file_tool decompress <input.gpso> <output> [sc|mrr|de]");
+    eprintln!("  file_tool compress   <input> <output.gpso> [bit|byte|auto] [--de]");
+    eprintln!("  file_tool decompress <input.gpso> <output> [planned|sc|mrr|de]");
     eprintln!("  file_tool info       <input.gpso>");
     exit(2)
 }
@@ -31,10 +31,17 @@ fn cmd_compress(input: &str, output: &str, mode: &str, de: bool) {
         exit(1)
     });
     let mut config = match mode {
+        "bit" => CompressorConfig::bit(),
         "byte" => CompressorConfig::byte(),
-        _ => CompressorConfig::bit(),
+        "auto" => CompressorConfig::auto(),
+        other => {
+            eprintln!("unknown mode {other:?}: expected bit, byte or auto");
+            exit(2)
+        }
     };
-    config.dependency_elimination = de;
+    if mode != "auto" {
+        config.dependency_elimination = de;
+    }
     let out = compress(&data, &config).unwrap_or_else(|e| {
         eprintln!("compression failed: {e}");
         exit(1)
@@ -59,10 +66,17 @@ fn cmd_decompress(input: &str, output: &str, strategy: &str) {
         eprintln!("{input} is not a valid Gompresso file: {e}");
         exit(1)
     });
+    // Default: follow each block's recorded strategy; the explicit names
+    // force one strategy onto every block (the paper's uniform runs).
     let strategy = match strategy {
-        "sc" => ResolutionStrategy::SequentialCopy,
-        "mrr" => ResolutionStrategy::MultiRound,
-        _ => ResolutionStrategy::DependencyEliminated,
+        "planned" => StrategySelection::Planned,
+        "sc" => StrategySelection::Force(ResolutionStrategy::SequentialCopy),
+        "mrr" => StrategySelection::Force(ResolutionStrategy::MultiRound),
+        "de" => StrategySelection::Force(ResolutionStrategy::DependencyEliminated),
+        other => {
+            eprintln!("unknown strategy {other:?}: expected planned, sc, mrr or de");
+            exit(2)
+        }
     };
     let config = DecompressorConfig { strategy, ..DecompressorConfig::default() };
     let (data, report) = decompress_with(&file, &config).unwrap_or_else(|e| {
@@ -73,11 +87,18 @@ fn cmd_decompress(input: &str, output: &str, strategy: &str) {
     println!(
         "{input}: {} bytes restored with {} in {:.1} ms (host {:.2} GB/s, simulated K40 {:.2} GB/s incl. PCIe)",
         data.len(),
-        strategy.short_name(),
+        strategy.describe(),
         report.wall_seconds * 1e3,
         report.host_bandwidth() / 1e9,
         report.gpu_bandwidth_in_out() / 1e9
     );
+}
+
+fn mode_name(mode: EncodingMode) -> &'static str {
+    match mode {
+        EncodingMode::Bit => "bit (Huffman)",
+        EncodingMode::Byte => "byte (LZ4-style)",
+    }
 }
 
 fn cmd_info(input: &str) {
@@ -91,15 +112,32 @@ fn cmd_info(input: &str) {
     });
     let h = &file.header;
     println!("Gompresso file: {input}");
-    println!(
-        "  mode                 : {}",
-        if h.mode == EncodingMode::Bit { "bit (Huffman)" } else { "byte (LZ4-style)" }
-    );
+    match h.uniform_config() {
+        Some(config) => {
+            println!("  mode                 : {} (uniform)", mode_name(config.mode));
+            println!("  strategy             : {}", config.strategy.short_name());
+            println!("  sequences per subblk : {}", config.sequences_per_sub_block);
+            println!("  max codeword length  : {} bits", config.max_codeword_len);
+        }
+        None => {
+            println!("  mode                 : mixed per block");
+            // Histogram of the per-block plans actually recorded.
+            let mut counts: Vec<((EncodingMode, ResolutionStrategy), usize)> = Vec::new();
+            for config in &h.block_configs {
+                let key = (config.mode, config.strategy);
+                match counts.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((key, 1)),
+                }
+            }
+            for ((mode, strategy), n) in counts {
+                println!("    {:<19}: {} blocks ({})", mode_name(mode), n, strategy.short_name());
+            }
+        }
+    }
     println!("  uncompressed size    : {} bytes", h.uncompressed_size);
     println!("  block size           : {} KB ({} blocks)", h.block_size / 1024, h.block_count());
     println!("  window / max match   : {} / {} bytes", h.window_size, h.max_match_len);
-    println!("  sequences per subblk : {}", h.sequences_per_sub_block);
-    println!("  max codeword length  : {} bits", h.max_codeword_len);
     println!("  compression ratio    : {:.3}:1", file.compression_ratio());
 }
 
@@ -115,7 +153,7 @@ fn demo() {
 
     cmd_compress(input.to_str().unwrap(), archive.to_str().unwrap(), "bit", true);
     cmd_info(archive.to_str().unwrap());
-    cmd_decompress(archive.to_str().unwrap(), restored.to_str().unwrap(), "de");
+    cmd_decompress(archive.to_str().unwrap(), restored.to_str().unwrap(), "planned");
     assert_eq!(fs::read(&restored).unwrap(), data);
     println!("\ndemo round trip verified under {}", dir.display());
 }
@@ -125,12 +163,12 @@ fn main() {
     match args.get(1).map(String::as_str) {
         None => demo(),
         Some("compress") if args.len() >= 4 => {
-            let mode = args.get(4).map(String::as_str).unwrap_or("bit");
+            let mode = args.get(4).map(String::as_str).filter(|m| *m != "--de").unwrap_or("bit");
             let de = args.iter().any(|a| a == "--de");
             cmd_compress(&args[2], &args[3], mode, de);
         }
         Some("decompress") if args.len() >= 4 => {
-            let strategy = args.get(4).map(String::as_str).unwrap_or("de");
+            let strategy = args.get(4).map(String::as_str).unwrap_or("planned");
             cmd_decompress(&args[2], &args[3], strategy);
         }
         Some("info") if args.len() >= 3 => cmd_info(&args[2]),

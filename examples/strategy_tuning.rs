@@ -1,13 +1,35 @@
 //! Strategy and parameter tuning walk-through: shows how nesting depth,
-//! Dependency Elimination and block size interact — the knobs Sections IV
-//! and V of the paper explore.
+//! Dependency Elimination, block size and per-block adaptive planning
+//! interact — the knobs Sections IV and V of the paper explore.
 //!
 //! Run with: `cargo run --release --example strategy_tuning`
 
 use gompresso::datasets::{DatasetGenerator, NestingGenerator, WikipediaGenerator};
-use gompresso::{compress, decompress_with, CompressorConfig, DecompressorConfig, ResolutionStrategy};
+use gompresso::{
+    compress, decompress_with, CompressedOutput, CompressorConfig, DecompressorConfig, EncodingMode,
+    ResolutionStrategy, StrategySelection,
+};
 
 const SIZE: usize = 4 * 1024 * 1024;
+
+/// Per-block plan histogram of a compressed file: how many blocks landed on
+/// each (mode, strategy, DE) combination.
+fn plan_histogram(out: &CompressedOutput) -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for config in &out.file.header.block_configs {
+        let mode = match config.mode {
+            EncodingMode::Bit => "bit",
+            EncodingMode::Byte => "byte",
+        };
+        let de = if config.dependency_elimination { "+de" } else { "" };
+        let label = format!("{mode}/{}{de}", config.strategy.short_name());
+        match counts.iter_mut().find(|(k, _)| *k == label) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((label, 1)),
+        }
+    }
+    counts
+}
 
 fn main() {
     println!("1) MRR rounds versus artificial nesting depth (paper Fig. 9c)\n");
@@ -15,7 +37,10 @@ fn main() {
     for depth in [1u32, 2, 4, 8, 16, 32] {
         let data = NestingGenerator::new(depth).generate(SIZE);
         let file = compress(&data, &CompressorConfig::byte()).expect("compress");
-        let config = DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..Default::default() };
+        let config = DecompressorConfig {
+            strategy: StrategySelection::Force(ResolutionStrategy::MultiRound),
+            ..Default::default()
+        };
         let (out, report) = decompress_with(&file.file, &config).expect("decompress");
         assert_eq!(out, data);
         println!(
@@ -40,7 +65,7 @@ fn main() {
         ("MRR on plain file", &plain.file, ResolutionStrategy::MultiRound),
         ("DE  on DE file   ", &de.file, ResolutionStrategy::DependencyEliminated),
     ] {
-        let config = DecompressorConfig { strategy, ..Default::default() };
+        let config = DecompressorConfig { strategy: strategy.into(), ..Default::default() };
         let (out, report) = decompress_with(file, &config).expect("decompress");
         assert_eq!(out, data);
         println!(
@@ -63,5 +88,41 @@ fn main() {
             out.stats.ratio(),
             report.gpu_bandwidth_in_out() / 1e9
         );
+    }
+
+    println!("\n4) Adaptive per-block planning versus the static grid (v3 container)\n");
+    // Half compressible text, half incompressible noise: no single static
+    // point of the {bit,byte} x {DE,MRR} grid wins on both halves, but the
+    // auto planner picks per block.
+    let mut mixed = WikipediaGenerator::new(7).generate(SIZE / 2);
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    mixed.extend((0..SIZE / 2).map(|_| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x >> 24) as u8
+    }));
+
+    println!("   config    ratio    est. GPU GB/s (In/Out)");
+    let mut results: Vec<(&str, CompressedOutput)> = Vec::new();
+    for (label, config) in [
+        ("bit   ", CompressorConfig::bit()),
+        ("bit+de", CompressorConfig::bit_de()),
+        ("byte  ", CompressorConfig::byte()),
+        ("byt+de", CompressorConfig::byte_de()),
+        ("auto  ", CompressorConfig::auto()),
+    ] {
+        let out = compress(&mixed, &config).expect("compress");
+        let (restored, report) =
+            decompress_with(&out.file, &DecompressorConfig::default()).expect("decompress");
+        assert_eq!(restored, mixed);
+        println!("   {label}   {:>6.3}   {:>8.2}", out.stats.ratio(), report.gpu_bandwidth_in_out() / 1e9);
+        results.push((label, out));
+    }
+
+    let auto = &results.last().expect("auto row present").1;
+    println!("\n   auto per-block plan histogram ({} blocks):", auto.file.header.block_count());
+    for (label, n) in plan_histogram(auto) {
+        println!("     {label:<10} {n:>4} blocks");
     }
 }

@@ -20,10 +20,11 @@
 #![warn(missing_docs)]
 
 pub use gompresso_core::{
-    compress, compress_file, decompress, decompress_file, decompress_with, CompressedFile, CompressedOutput,
-    CompressionStats, Compressor, CompressorConfig, CostModel, DecompressionReport, Decompressor,
-    DecompressorConfig, EncodingMode, GompressoError, GpuDeviceModel, GpuEstimate, MrrStats, PcieLink,
-    ResolutionStrategy, StreamCompressor, StreamDecompressor, StreamStats,
+    compress, compress_file, decompress, decompress_file, decompress_with, planner_for, AdaptivePlanner,
+    BlockConfig, BlockFeedback, BlockPlan, CompressedFile, CompressedOutput, CompressionStats, Compressor,
+    CompressorConfig, CostModel, DecompressionReport, Decompressor, DecompressorConfig, EncodingMode,
+    FileSettings, GompressoError, GpuDeviceModel, GpuEstimate, MrrStats, PcieLink, Planner, PlanningMode,
+    ResolutionStrategy, StaticPlanner, StrategySelection, StreamCompressor, StreamDecompressor, StreamStats,
 };
 
 /// Low-level building blocks re-exported for advanced users (custom codecs,

@@ -1,0 +1,74 @@
+//! Backward-compatibility fixtures: archives produced by pre-v3 releases
+//! (v1 in-memory containers, v2 streaming containers) are committed under
+//! `tests/fixtures/` and must keep decoding bit-exactly forever.
+//!
+//! The fixtures were generated before per-block `BlockConfig` records
+//! existed, so decoding them also pins the legacy synthesis path: a v1/v2
+//! reader must fabricate one uniform config from the old header fields.
+
+use gompresso::{
+    decompress, decompress_with, CompressedFile, DecompressorConfig, EncodingMode, ResolutionStrategy,
+    StrategySelection, StreamDecompressor,
+};
+use std::path::Path;
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+fn reference_input() -> Vec<u8> {
+    let data = fixture("fixture_input.bin");
+    assert_eq!(data.len(), 131072, "fixture input changed size");
+    data
+}
+
+#[test]
+fn v1_container_fixtures_decode_bit_exactly() {
+    let input = reference_input();
+    for (name, mode) in [("v1_bit_de.gpso", EncodingMode::Bit), ("v1_byte.gpso", EncodingMode::Byte)] {
+        let file = CompressedFile::deserialize(&fixture(name))
+            .unwrap_or_else(|e| panic!("{name} no longer parses: {e}"));
+        // Legacy headers synthesize one uniform per-block config.
+        let uniform = file.header.uniform_config().expect("legacy archives are uniform");
+        assert_eq!(uniform.mode, mode, "{name}");
+        assert_eq!(uniform.strategy, ResolutionStrategy::MultiRound, "{name}: legacy default strategy");
+        assert!(!uniform.dependency_elimination, "{name}: v1 headers carry no DE flag");
+        let (restored, report) = decompress(&file).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert_eq!(restored, input, "{name} output differs from the committed input");
+        assert_eq!(report.uncompressed_size, input.len() as u64);
+    }
+}
+
+#[test]
+fn v1_fixture_decodes_under_forced_strategies() {
+    // The synthesized MRR plan is only a default: forcing SC or MRR onto a
+    // legacy file must still reproduce the input (strategy changes warp
+    // scheduling, never bytes).
+    let input = reference_input();
+    let file = CompressedFile::deserialize(&fixture("v1_bit_de.gpso")).expect("fixture parses");
+    for strategy in [ResolutionStrategy::SequentialCopy, ResolutionStrategy::MultiRound] {
+        let dconf = DecompressorConfig { strategy: strategy.into(), ..DecompressorConfig::default() };
+        let (restored, _) = decompress_with(&file, &dconf).expect("forced-strategy decode");
+        assert_eq!(restored, input, "{strategy:?}");
+    }
+    // And the per-block Planned default resolves to the synthesized config.
+    let dconf = DecompressorConfig { strategy: StrategySelection::Planned, ..DecompressorConfig::default() };
+    let (restored, _) = decompress_with(&file, &dconf).expect("planned decode");
+    assert_eq!(restored, input);
+}
+
+#[test]
+fn v2_stream_fixtures_decode_bit_exactly() {
+    let input = reference_input();
+    for name in ["v2_bit.gpsos", "v2_byte_de.gpsos"] {
+        let bytes = fixture(name);
+        let mut restored = Vec::new();
+        let stats = StreamDecompressor::new(DecompressorConfig::default())
+            .decompress(bytes.as_slice(), &mut restored)
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert_eq!(restored, input, "{name} output differs from the committed input");
+        assert_eq!(stats.uncompressed_size, input.len() as u64);
+        assert_eq!(stats.blocks, input.len().div_ceil(32 * 1024) as u64, "{name}: 32 KiB blocks");
+    }
+}

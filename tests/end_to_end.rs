@@ -29,7 +29,7 @@ fn every_mode_and_strategy_roundtrips_on_every_dataset() {
             let out = compress(&data, &config).expect("compression failed");
             assert!(out.stats.ratio() > 1.0, "{name}: ratio {} should exceed 1", out.stats.ratio());
             for strategy in ResolutionStrategy::ALL {
-                let dconf = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+                let dconf = DecompressorConfig { strategy: strategy.into(), ..DecompressorConfig::default() };
                 let (restored, report) = decompress_with(&out.file, &dconf).expect("decompression failed");
                 assert_eq!(restored, data, "{name} {:?} {strategy}", config.mode);
                 assert_eq!(report.uncompressed_size, data.len() as u64);
@@ -44,7 +44,7 @@ fn serialized_files_roundtrip_through_disk_representation() {
     let out = compress(&data, &CompressorConfig::bit_de()).unwrap();
     let bytes = out.file.serialize();
     let parsed = CompressedFile::deserialize(&bytes).expect("file should parse");
-    assert_eq!(parsed.header.mode, EncodingMode::Bit);
+    assert_eq!(parsed.header.uniform_config().expect("uniform archive").mode, EncodingMode::Bit);
     assert_eq!(parsed.header.uncompressed_size, data.len() as u64);
     let (restored, _) = decompress(&parsed).unwrap();
     assert_eq!(restored, data);
@@ -68,7 +68,7 @@ fn de_strategy_on_de_file_is_validated_and_single_round() {
     let data = MatrixMarketGenerator::new(3).generate(SIZE);
     let out = compress(&data, &CompressorConfig::byte_de()).unwrap();
     let config = DecompressorConfig {
-        strategy: ResolutionStrategy::DependencyEliminated,
+        strategy: ResolutionStrategy::DependencyEliminated.into(),
         validate_de: true,
         ..DecompressorConfig::default()
     };
@@ -86,8 +86,8 @@ fn gpu_estimates_rank_strategies_like_the_paper() {
     let data = WikipediaGenerator::new(21).generate(SIZE);
     let plain = compress(&data, &CompressorConfig::byte()).unwrap();
     let de = compress(&data, &CompressorConfig::byte_de()).unwrap();
-    let time = |file, strategy| {
-        let config = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+    let time = |file, strategy: ResolutionStrategy| {
+        let config = DecompressorConfig { strategy: strategy.into(), ..DecompressorConfig::default() };
         let (_, report) = decompress_with(file, &config).unwrap();
         report.gpu.device_only_s()
     };
@@ -105,8 +105,10 @@ fn deeper_nesting_costs_more_mrr_rounds() {
     let deep = NestingGenerator::new(32).generate(SIZE / 4);
     let rounds = |data: &[u8]| {
         let out = compress(data, &CompressorConfig::byte()).unwrap();
-        let config =
-            DecompressorConfig { strategy: ResolutionStrategy::MultiRound, ..DecompressorConfig::default() };
+        let config = DecompressorConfig {
+            strategy: ResolutionStrategy::MultiRound.into(),
+            ..DecompressorConfig::default()
+        };
         let (restored, report) = decompress_with(&out.file, &config).unwrap();
         assert_eq!(restored, data);
         report.mrr.mean_rounds()
@@ -150,6 +152,74 @@ fn streaming_pipeline_matches_in_memory_path_under_tight_budget() {
             assert_eq!(restored, in_memory);
         }
     }
+}
+
+#[test]
+fn adaptive_heterogeneous_archive_roundtrips_through_disk() {
+    // Half text, half incompressible noise: the adaptive planner must mix
+    // modes within one archive, the archive must survive serialization, and
+    // the per-block Planned decode must restore the input bit-exactly.
+    let mut data = WikipediaGenerator::new(17).generate(SIZE / 2);
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    data.extend((0..SIZE / 2).map(|_| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x >> 24) as u8
+    }));
+
+    let out = compress(&data, &gompresso::CompressorConfig::auto()).unwrap();
+    let modes: Vec<EncodingMode> = out.file.header.block_configs.iter().map(|c| c.mode).collect();
+    assert!(
+        modes.contains(&EncodingMode::Bit) && modes.contains(&EncodingMode::Byte),
+        "expected mixed bit/byte blocks, got {modes:?}"
+    );
+    assert!(out.file.header.uniform_config().is_none());
+
+    let parsed = CompressedFile::deserialize(&out.file.serialize()).expect("v3 archive parses");
+    let (restored, _) = decompress(&parsed).unwrap();
+    assert_eq!(restored, data);
+}
+
+#[test]
+fn hand_spliced_mixed_mode_archive_decodes_per_block() {
+    // Build a heterogeneous archive without the planner: compress one input
+    // with bit+DE and another with plain byte (same geometry), then splice
+    // the blocks and their configs into a single file. Exercises mixed
+    // bit/byte AND mixed DE/MRR inside one container, with DE validation on.
+    use gompresso::substrate::format::FileHeader;
+
+    let text = WikipediaGenerator::new(23).generate(256 * 1024); // 32 KiB multiple
+    let noisy = MatrixMarketGenerator::new(23).generate(128 * 1024);
+    let block_size = 32 * 1024;
+    let bit_cfg = gompresso::CompressorConfig { block_size, ..gompresso::CompressorConfig::bit_de() };
+    let byte_cfg = gompresso::CompressorConfig { block_size, ..gompresso::CompressorConfig::byte() };
+    let bit_out = compress(&text, &bit_cfg).unwrap();
+    let byte_out = compress(&noisy, &byte_cfg).unwrap();
+
+    let mut block_configs = bit_out.file.header.block_configs.clone();
+    block_configs.extend_from_slice(&byte_out.file.header.block_configs);
+    let header = FileHeader {
+        window_size: bit_out.file.header.window_size,
+        min_match_len: bit_out.file.header.min_match_len,
+        max_match_len: bit_out.file.header.max_match_len,
+        uncompressed_size: (text.len() + noisy.len()) as u64,
+        block_size: block_size as u32,
+        block_configs,
+        block_compressed_sizes: Vec::new(),
+    };
+    let mut blocks = bit_out.file.blocks.clone();
+    blocks.extend_from_slice(&byte_out.file.blocks);
+    let spliced =
+        gompresso::substrate::format::CompressedFile::new(header, blocks).expect("spliced archive validates");
+
+    let reparsed = CompressedFile::deserialize(&spliced.serialize()).expect("spliced archive parses");
+    assert!(reparsed.header.uniform_config().is_none());
+    let dconf = DecompressorConfig { validate_de: true, ..DecompressorConfig::default() };
+    let (restored, _) = decompress_with(&reparsed, &dconf).expect("per-block planned decode");
+    let mut expected = text.clone();
+    expected.extend_from_slice(&noisy);
+    assert_eq!(restored, expected);
 }
 
 #[test]
