@@ -36,8 +36,12 @@ pub struct PerfRow {
     /// best of the timed samples).
     pub compress_gbps: f64,
     /// Host decompression throughput in GB/s (uncompressed bytes per
-    /// second, best of the timed samples).
+    /// second, best of the timed samples), with checksum verification
+    /// disabled — the hot path alone, comparable across format versions.
     pub decompress_gbps: f64,
+    /// Host decompression throughput in GB/s with per-block content
+    /// checksum verification enabled (the v4 default configuration).
+    pub decompress_checksummed_gbps: f64,
 }
 
 /// The configurations measured: DE decompresses the DE-compressed file (as
@@ -85,7 +89,11 @@ pub fn host_throughput(size: usize, samples: usize) -> Vec<PerfRow> {
             }
             let out = out.expect("at least one compression sample runs");
 
-            let dconf = DecompressorConfig { strategy, ..DecompressorConfig::default() };
+            // Two decode measurements per configuration: the raw hot path
+            // (checksums off, comparable across format versions) and the
+            // v4 default (content checksums verified on every block).
+            let dconf =
+                DecompressorConfig { strategy, verify_checksums: false, ..DecompressorConfig::default() };
             let mut best_decompress = f64::INFINITY;
             for sample in 0..samples {
                 let start = Instant::now();
@@ -96,6 +104,15 @@ pub fn host_throughput(size: usize, samples: usize) -> Vec<PerfRow> {
                 }
             }
 
+            let dconf_sum =
+                DecompressorConfig { strategy, verify_checksums: true, ..DecompressorConfig::default() };
+            let mut best_checksummed = f64::INFINITY;
+            for _ in 0..samples {
+                let start = Instant::now();
+                decompress_with(&out.file, &dconf_sum).expect("perf checksummed decompression failed");
+                best_checksummed = best_checksummed.min(start.elapsed().as_secs_f64());
+            }
+
             rows.push(PerfRow {
                 dataset: dataset.to_string(),
                 mode: mode.to_string(),
@@ -103,6 +120,7 @@ pub fn host_throughput(size: usize, samples: usize) -> Vec<PerfRow> {
                 ratio: out.stats.ratio(),
                 compress_gbps: gbps(data.len() as f64 / best_compress),
                 decompress_gbps: gbps(data.len() as f64 / best_decompress),
+                decompress_checksummed_gbps: gbps(data.len() as f64 / best_checksummed),
             });
         }
     }
@@ -131,7 +149,7 @@ pub fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"gompresso-bench-host-v2\",\n");
+    s.push_str("  \"schema\": \"gompresso-bench-host-v3\",\n");
     s.push_str(
         "  \"command\": \"cargo run --release -p gompresso-bench --bin experiments -- --exp perf --stream --size-mb <N>\",\n",
     );
@@ -141,13 +159,14 @@ pub fn render_json(
     s.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"dataset\": \"{}\", \"mode\": \"{}\", \"strategy\": \"{}\", \"ratio\": {}, \"compress_gbps\": {}, \"decompress_gbps\": {}}}{}\n",
+            "    {{\"dataset\": \"{}\", \"mode\": \"{}\", \"strategy\": \"{}\", \"ratio\": {}, \"compress_gbps\": {}, \"decompress_gbps\": {}, \"decompress_checksummed_gbps\": {}}}{}\n",
             row.dataset,
             row.mode,
             row.strategy,
             json_f64(row.ratio),
             json_f64(row.compress_gbps),
             json_f64(row.decompress_gbps),
+            json_f64(row.decompress_checksummed_gbps),
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -188,6 +207,7 @@ mod tests {
             assert!(row.ratio > 1.0, "{row:?}");
             assert!(row.compress_gbps > 0.0, "{row:?}");
             assert!(row.decompress_gbps > 0.0, "{row:?}");
+            assert!(row.decompress_checksummed_gbps > 0.0, "{row:?}");
         }
         // Both modes and both strategies appear for both datasets, plus one
         // adaptive (auto/planned) row each.
@@ -207,7 +227,8 @@ mod tests {
     fn json_document_is_well_formed() {
         let rows = host_throughput(64 * 1024, 1);
         let json = render_json(&rows, &[], 64 * 1024, 1);
-        assert!(json.contains("\"schema\": \"gompresso-bench-host-v2\""));
+        assert!(json.contains("\"schema\": \"gompresso-bench-host-v3\""));
+        assert!(json.contains("\"decompress_checksummed_gbps\""));
         assert!(json.contains("\"size_bytes\": 65536"));
         assert!(!json.contains("stream_rows"));
         assert_eq!(json.matches("\"dataset\"").count(), rows.len());

@@ -24,6 +24,13 @@ impl<'a> ByteReader<'a> {
         self.pos
     }
 
+    /// The full underlying buffer, independent of the cursor. Lets callers
+    /// re-inspect a byte range they already consumed (e.g. to checksum a
+    /// header after parsing it).
+    pub fn data(&self) -> &'a [u8] {
+        self.data
+    }
+
     /// Bytes remaining after the cursor.
     pub fn remaining(&self) -> usize {
         self.data.len() - self.pos

@@ -25,8 +25,8 @@ use crate::stats::CompressionStats;
 use crate::Result;
 use gompresso_bitstream::ByteWriter;
 use gompresso_format::{
-    token_code::TokenCoder, BitBlock, BlockConfig, BlockPayload, ByteBlock, CompressedFile, EncodeScratch,
-    EncodingMode, FileHeader,
+    content_checksum, token_code::TokenCoder, BitBlock, BlockConfig, BlockPayload, ByteBlock, CompressedFile,
+    EncodeScratch, EncodingMode, FileHeader,
 };
 use gompresso_lz77::{Matcher, MatcherScratch, SequenceBlock};
 use rayon::prelude::*;
@@ -125,6 +125,9 @@ struct CompressedBlock {
     mode: EncodingMode,
     uncompressed_len: usize,
     seconds: f64,
+    /// Content checksum of the block's *uncompressed* bytes, recorded in
+    /// the v4 header so decompression can prove the payload round-trips.
+    checksum: u64,
 }
 
 fn compress_one(
@@ -145,6 +148,7 @@ fn compress_one(
         mode: plan.mode,
         uncompressed_len: chunk.len(),
         seconds: start.elapsed().as_secs_f64(),
+        checksum: content_checksum(chunk),
         payload,
     })
 }
@@ -202,11 +206,13 @@ impl Compressor {
 
         let mut payloads = Vec::with_capacity(per_block.len());
         let mut configs = Vec::with_capacity(per_block.len());
+        let mut checksums = Vec::with_capacity(per_block.len());
         let mut summary = BlockSummary::default();
         for item in per_block {
             let block = item?;
             payloads.push(block.payload);
             configs.push(block.config);
+            checksums.push(block.checksum);
             summary.merge(&block.summary);
         }
 
@@ -218,6 +224,7 @@ impl Compressor {
             block_size: cfg.block_size as u32,
             block_configs: configs,
             block_compressed_sizes: Vec::new(), // filled by CompressedFile::new
+            block_checksums: checksums,
         };
         let file = CompressedFile::new(header, payloads)?;
         let wall_seconds = start.elapsed().as_secs_f64();

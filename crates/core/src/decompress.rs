@@ -67,6 +67,12 @@ pub struct DecompressorConfig {
     /// plausibility bound this keeps a crafted header from requesting an
     /// arbitrarily large allocation; raise it explicitly for larger files.
     pub max_output_size: u64,
+    /// Verify each block's stored content checksum against the bytes
+    /// actually produced (v4 archives; pre-v4 archives carry no checksums
+    /// and skip the check). On by default — the explicit opt-out exists for
+    /// benchmarking the raw decode path and for callers that layer their
+    /// own end-to-end integrity checks.
+    pub verify_checksums: bool,
 }
 
 impl Default for DecompressorConfig {
@@ -76,6 +82,7 @@ impl Default for DecompressorConfig {
             validate_de: false,
             cost_model: CostModel::tesla_k40(),
             max_output_size: 4 << 30,
+            verify_checksums: true,
         }
     }
 }
@@ -176,7 +183,22 @@ impl Decompressor {
         let results: Vec<Result<BlockResult>> = work
             .into_par_iter()
             .map(|(idx, payload, dst)| {
-                decompress_block_into(&self.config, header.block_config(idx), &coder, idx, payload, dst)
+                let result =
+                    decompress_block_into(&self.config, header.block_config(idx), &coder, idx, payload, dst)
+                        .map_err(|e| e.in_block(idx as u64, None))?;
+                if self.config.verify_checksums {
+                    if let Some(&stored) = header.block_checksums.get(idx) {
+                        let computed = gompresso_format::content_checksum(dst);
+                        if computed != stored {
+                            return Err(GompressoError::BlockChecksumMismatch {
+                                block: idx as u64,
+                                stored,
+                                computed,
+                            });
+                        }
+                    }
+                }
+                Ok(result)
             })
             .collect();
 
@@ -506,7 +528,12 @@ mod tests {
         // The non-DE file contains same-warp nesting on this input and must
         // be rejected when DE is forced with validation...
         let err = decompress_with(&plain_file.file, &config);
-        assert!(matches!(err, Err(GompressoError::DependencyEliminationViolated { .. })));
+        // Per-block failures carry block context; the root cause is the DE
+        // violation.
+        assert!(matches!(
+            err.as_ref().map_err(|e| e.root_cause()),
+            Err(GompressoError::DependencyEliminationViolated { .. })
+        ));
         // ...but decompresses fine with MRR.
         let mrr = DecompressorConfig {
             strategy: ResolutionStrategy::MultiRound.into(),
@@ -617,6 +644,7 @@ mod tests {
             block_size,
             block_configs: vec![BlockConfig::legacy_uniform(EncodingMode::Byte, 16, 0); n_blocks],
             block_compressed_sizes: vec![],
+            block_checksums: vec![],
         };
         let file = CompressedFile::new(header, payloads).expect("crafted file assembles");
         file.header.validate().expect("crafted header is self-consistent");

@@ -41,6 +41,72 @@ pub enum GompressoError {
         /// The error's display message.
         message: String,
     },
+    /// A block's decompressed bytes do not hash to the content checksum
+    /// recorded when it was compressed: the archive (or the decode) is
+    /// corrupt even though the payload was structurally parseable.
+    BlockChecksumMismatch {
+        /// Index of the offending block.
+        block: u64,
+        /// Checksum recorded in the archive.
+        stored: u64,
+        /// Checksum of the bytes actually produced.
+        computed: u64,
+    },
+    /// A pipeline stage panicked. The panic was caught at the stage
+    /// boundary; the pipeline shut down cleanly instead of aborting the
+    /// process.
+    StagePanicked {
+        /// Which stage panicked ("reader", "compress worker", ...).
+        stage: &'static str,
+        /// The panic payload's message, when it was a string.
+        message: String,
+    },
+    /// An error, annotated with the block it occurred in and (for streams)
+    /// the byte offset of that block's frame in the compressed input.
+    InBlock {
+        /// Index of the block being processed when the error occurred.
+        block: u64,
+        /// Byte offset of the block's frame in the compressed stream;
+        /// `None` for in-memory containers.
+        offset: Option<u64>,
+        /// The underlying error.
+        source: Box<GompressoError>,
+    },
+}
+
+impl GompressoError {
+    /// Wraps `self` with block context (see [`GompressoError::InBlock`]);
+    /// no-op re-wrapping is avoided so the innermost context wins.
+    pub fn in_block(self, block: u64, offset: Option<u64>) -> Self {
+        match self {
+            GompressoError::InBlock { .. } => self,
+            other => GompressoError::InBlock { block, offset, source: Box::new(other) },
+        }
+    }
+
+    /// The error stripped of any block-context wrapper.
+    pub fn root_cause(&self) -> &GompressoError {
+        match self {
+            GompressoError::InBlock { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
+
+    /// Whether this error indicates archive corruption (as opposed to a
+    /// configuration or I/O problem) — the distinction the `verify` tool
+    /// uses for its exit code.
+    pub fn is_corruption(&self) -> bool {
+        match self.root_cause() {
+            GompressoError::Format(_)
+            | GompressoError::Huffman(_)
+            | GompressoError::Lz77(_)
+            | GompressoError::OutputSizeMismatch { .. }
+            | GompressoError::DependencyEliminationViolated { .. }
+            | GompressoError::BlockChecksumMismatch { .. } => true,
+            GompressoError::Io { kind, .. } => *kind == std::io::ErrorKind::UnexpectedEof,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for GompressoError {
@@ -58,6 +124,17 @@ impl fmt::Display for GompressoError {
                 "block {block} contains same-warp nested back-references; it was not compressed with DE"
             ),
             GompressoError::Io { kind, message } => write!(f, "i/o error ({kind:?}): {message}"),
+            GompressoError::BlockChecksumMismatch { block, stored, computed } => write!(
+                f,
+                "block {block} content checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            GompressoError::StagePanicked { stage, message } => {
+                write!(f, "{stage} stage panicked: {message}")
+            }
+            GompressoError::InBlock { block, offset, source } => match offset {
+                Some(off) => write!(f, "block {block} (frame at byte {off}): {source}"),
+                None => write!(f, "block {block}: {source}"),
+            },
         }
     }
 }

@@ -46,7 +46,9 @@ pub mod compress;
 pub mod config;
 pub mod decompress;
 pub mod error;
+pub mod fault;
 pub mod planner;
+pub mod salvage;
 pub mod stats;
 pub mod strategy;
 pub mod stream;
@@ -56,7 +58,9 @@ pub use compress::{compress, CompressedOutput, Compressor};
 pub use config::{BlockPlan, CompressorConfig, FileSettings, PlanningMode};
 pub use decompress::{decompress, decompress_with, Decompressor, DecompressorConfig};
 pub use error::GompressoError;
+pub use fault::{FaultPlan, FaultReader, FaultWriter};
 pub use planner::{planner_for, AdaptivePlanner, BlockFeedback, Planner, StaticPlanner};
+pub use salvage::{decompress_salvage, salvage_file, BlockRecord, BlockStatus, RecoveryReport};
 pub use stats::{CompressionStats, DecompressionReport, GpuEstimate, MrrStats};
 pub use strategy::{ResolutionStrategy, StrategySelection};
 pub use stream::{compress_file, decompress_file, StreamCompressor, StreamDecompressor, StreamStats};

@@ -24,13 +24,23 @@
 //!   block has been written, which is what makes the bound hold even when
 //!   one slow block stalls the in-order frontier.
 //!
-//! Files are framed with the incremental v3 container
-//! ([`gompresso_format::stream_frame`]): a fixed prelude with the file-wide
-//! match geometry (totals back-patched when the sink can seek), block frames
-//! of `varint(payload_len) | BlockConfig | payload`, and a trailer that
-//! repeats the block-size table for random-access readers. Legacy v2
-//! streams (uniform codec config in the prelude, configless frames) still
-//! decode: the reader synthesizes the per-block config from the prelude.
+//! Files are framed with the incremental v4 container
+//! ([`gompresso_format::stream_frame`]): a checksummed fixed prelude with
+//! the file-wide match geometry (totals back-patched when the sink can
+//! seek), block frames of `varint(payload_len) | BlockConfig |
+//! content_checksum | payload` — the checksum is XXH64 of the block's
+//! *uncompressed* bytes, verified by the decode workers unless
+//! [`DecompressorConfig::verify_checksums`] is off — and a checksummed
+//! trailer that repeats the block-size table for random-access readers.
+//! Legacy v3 streams (per-frame configs, no checksums) and v2 streams
+//! (uniform codec config in the prelude, configless frames) still decode;
+//! the reader synthesizes the v2 per-block config from the prelude.
+//!
+//! Every pipeline stage is panic-isolated: worker bodies run under
+//! `catch_unwind` (a panicking block surfaces as that block's error and
+//! its buffers return to the pool), and stage threads are joined through
+//! [`join_stage`], which converts a stage panic into
+//! [`GompressoError::StagePanicked`] instead of aborting the process.
 //!
 //! Note on adaptive planning: with [`crate::PlanningMode::Adaptive`] the
 //! planner's ratio feedback arrives in worker-completion order here (the
@@ -52,15 +62,17 @@ use crate::decompress::{decompress_block_into, plausible_output_ceiling, Decompr
 use crate::planner::{planner_for, BlockFeedback};
 use crate::{GompressoError, Result};
 use gompresso_format::stream_frame::{
-    prelude_len, StreamPrelude, StreamTrailer, PRELUDE_HEAD_LEN, PRELUDE_LEN, UNCOMPRESSED_SIZE_OFFSET,
+    prelude_len, StreamPrelude, StreamTrailer, PRELUDE_HEAD_LEN, PRELUDE_LEN, STREAM_FORMAT_VERSION,
+    UNCOMPRESSED_SIZE_OFFSET,
 };
 use gompresso_format::{
-    token_code::TokenCoder, BitBlock, BlockConfig, ByteBlock, EncodingMode, FormatError, BLOCK_CONFIG_LEN,
-    MAGIC, MAX_BLOCK_COUNT,
+    content_checksum, token_code::TokenCoder, BitBlock, BlockConfig, ByteBlock, EncodingMode, FormatError,
+    BLOCK_CONFIG_LEN, MAGIC, MAX_BLOCK_COUNT,
 };
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
@@ -236,23 +248,70 @@ fn fail_writer(
     }
 }
 
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Joins a pipeline stage thread, converting a stage panic into
+/// [`GompressoError::StagePanicked`] instead of propagating the unwind
+/// (which would abort the whole process from a `std::thread::scope`).
+fn join_stage<T>(handle: std::thread::ScopedJoinHandle<'_, T>, stage: &'static str) -> Result<T> {
+    handle.join().map_err(|p| GompressoError::StagePanicked { stage, message: panic_message(p.as_ref()) })
+}
+
+/// Locks a pipeline mutex, recovering the guard even if another thread
+/// panicked while holding it (the protected values are plain channels, so
+/// no invariant can be torn).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// One finished block travelling from a worker to the writer stage: the
 /// block index, the recycled input buffer, and the block's outcome.
 type DoneItem = (u64, Vec<u8>, BlockOutcome);
+
+/// Per-frame metadata the compression writer emits in front of each
+/// payload: the plan's container record plus the content checksum of the
+/// block's uncompressed bytes.
+#[derive(Clone, Copy)]
+struct FrameMeta {
+    config: BlockConfig,
+    checksum: u64,
+}
+
+/// One parsed frame travelling from the stream reader to a decompress
+/// worker.
+struct FrameJob {
+    idx: u64,
+    payload: Vec<u8>,
+    config: BlockConfig,
+    /// The content checksum a v4 frame carries; `None` for legacy frames.
+    checksum: Option<u64>,
+    /// Byte offset of the frame in the compressed stream, for error
+    /// context.
+    offset: u64,
+}
 
 /// A produced block parked in the writer's re-order map.
 struct PendingBlock {
     buf: Vec<u8>,
     produced: Vec<u8>,
-    config: Option<BlockConfig>,
+    meta: Option<FrameMeta>,
 }
 
 /// What a worker did with one block.
 enum BlockOutcome {
     /// The block was transformed; these are its produced bytes, plus (on
-    /// the compression side) the container record of the plan it was
+    /// the compression side) the frame metadata of the plan it was
     /// compressed under.
-    Produced(Vec<u8>, Option<BlockConfig>),
+    Produced(Vec<u8>, Option<FrameMeta>),
     /// The pipeline was already aborting, so the worker only returned the
     /// input buffer. Distinct from an empty production: a skipped block
     /// must never be emitted as output (the compressor would write a
@@ -276,7 +335,7 @@ fn writer_stage(
     pool_tx: &mpsc::Sender<Vec<u8>>,
     scrap_tx: Option<&mpsc::Sender<Vec<u8>>>,
     abort: &AtomicBool,
-    mut emit: impl FnMut(u64, Option<&BlockConfig>, &[u8]) -> Result<()>,
+    mut emit: impl FnMut(u64, Option<&FrameMeta>, &[u8]) -> Result<()>,
 ) -> Option<GompressoError> {
     let mut pending: BTreeMap<u64, PendingBlock> = BTreeMap::new();
     let mut next = 0u64;
@@ -284,8 +343,8 @@ fn writer_stage(
     let mut first_error_idx = u64::MAX;
     while let Ok((idx, buf, outcome)) = done_rx.recv() {
         match outcome {
-            BlockOutcome::Produced(produced, config) if first_error.is_none() => {
-                pending.insert(idx, PendingBlock { buf, produced, config });
+            BlockOutcome::Produced(produced, meta) if first_error.is_none() => {
+                pending.insert(idx, PendingBlock { buf, produced, meta });
             }
             BlockOutcome::Produced(..) | BlockOutcome::Skipped => {
                 let _ = pool_tx.send(buf);
@@ -296,8 +355,8 @@ fn writer_stage(
             }
         }
         while first_error.is_none() {
-            let Some(PendingBlock { buf, produced, config }) = pending.remove(&next) else { break };
-            let emitted = emit(next, config.as_ref(), &produced);
+            let Some(PendingBlock { buf, produced, meta }) = pending.remove(&next) else { break };
+            let emitted = emit(next, meta.as_ref(), &produced);
             let _ = pool_tx.send(buf);
             if let Some(tx) = scrap_tx {
                 let _ = tx.send(produced);
@@ -386,6 +445,7 @@ impl StreamCompressor {
     fn prelude(&self) -> StreamPrelude {
         let cfg = &self.config;
         StreamPrelude {
+            version: STREAM_FORMAT_VERSION,
             window_size: cfg.window_size as u32,
             min_match_len: cfg.min_match_len as u32,
             max_match_len: cfg.max_match_len as u32,
@@ -478,35 +538,51 @@ impl StreamCompressor {
                 let done_tx = done_tx.clone();
                 let coder = &coder;
                 s.spawn(move || loop {
-                    let msg = work_rx.lock().expect("work queue lock").recv();
+                    let msg = lock_unpoisoned(work_rx).recv();
                     let Ok((idx, buf, plan)) = msg else { break };
                     let outcome = if abort.load(Ordering::Relaxed) {
                         // The run is already failing: just return the buffer.
                         BlockOutcome::Skipped
                     } else {
-                        let block_start = Instant::now();
-                        let result = COMPRESS_SCRATCH.with(|scratch| {
-                            compress_block_with_scratch(
-                                &buf,
-                                settings,
-                                &plan,
-                                coder,
-                                &mut scratch.borrow_mut(),
-                            )
-                        });
-                        match result {
-                            Ok((payload, _summary)) => {
-                                planner.record(&BlockFeedback {
-                                    block_index: idx,
-                                    mode: plan.mode,
-                                    uncompressed_len: buf.len(),
-                                    compressed_len: payload.bytes.len(),
-                                    seconds: block_start.elapsed().as_secs_f64(),
-                                });
-                                BlockOutcome::Produced(payload.bytes, Some(plan.block_config()))
+                        // catch_unwind: a panicking block becomes that
+                        // block's error and its buffer still recycles, so
+                        // the pipeline shuts down instead of deadlocking
+                        // on a buffer that never returns.
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let block_start = Instant::now();
+                            let result = COMPRESS_SCRATCH.with(|scratch| {
+                                compress_block_with_scratch(
+                                    &buf,
+                                    settings,
+                                    &plan,
+                                    coder,
+                                    &mut scratch.borrow_mut(),
+                                )
+                            });
+                            match result {
+                                Ok((payload, _summary)) => {
+                                    planner.record(&BlockFeedback {
+                                        block_index: idx,
+                                        mode: plan.mode,
+                                        uncompressed_len: buf.len(),
+                                        compressed_len: payload.bytes.len(),
+                                        seconds: block_start.elapsed().as_secs_f64(),
+                                    });
+                                    let meta = FrameMeta {
+                                        config: plan.block_config(),
+                                        checksum: content_checksum(&buf),
+                                    };
+                                    BlockOutcome::Produced(payload.bytes, Some(meta))
+                                }
+                                Err(e) => BlockOutcome::Failed(e.in_block(idx, None)),
                             }
-                            Err(e) => BlockOutcome::Failed(e),
-                        }
+                        }))
+                        .unwrap_or_else(|p| {
+                            BlockOutcome::Failed(GompressoError::StagePanicked {
+                                stage: "compress worker",
+                                message: panic_message(p.as_ref()),
+                            })
+                        })
                     };
                     if done_tx.send((idx, buf, outcome)).is_err() {
                         break;
@@ -516,24 +592,26 @@ impl StreamCompressor {
             drop(done_tx);
 
             // Writer stage (this thread): emit framed blocks in order —
-            // varint payload length, the block's config record, the payload.
-            first_error = writer_stage(&done_rx, &pool_tx, None, abort, |_, config, payload| {
+            // varint payload length, the block's config record, the
+            // content checksum of its uncompressed bytes, the payload.
+            first_error = writer_stage(&done_rx, &pool_tx, None, abort, |_, meta, payload| {
                 let len = u32::try_from(payload.len())
                     .map_err(|_| invalid_field("block_compressed_size", payload.len() as u64))?;
                 container_bytes += write_varint_io(writer, u64::from(len))?;
-                let config = config.expect("compressor frames always carry a config");
-                let mut cw = gompresso_bitstream::ByteWriter::with_capacity(BLOCK_CONFIG_LEN);
-                config.serialize(&mut cw);
+                let meta = meta.expect("compressor frames always carry a config");
+                let mut cw = gompresso_bitstream::ByteWriter::with_capacity(BLOCK_CONFIG_LEN + 8);
+                meta.config.serialize(&mut cw);
+                cw.write_u64_le(meta.checksum);
                 writer.write_all(cw.as_slice())?;
                 writer.write_all(payload)?;
-                container_bytes += BLOCK_CONFIG_LEN as u64 + u64::from(len);
+                container_bytes += (BLOCK_CONFIG_LEN + 8) as u64 + u64::from(len);
                 block_sizes.push(len);
                 Ok(())
             });
 
-            match reader_handle.join().expect("reader stage panicked") {
-                Ok(total) => total_in = total,
-                Err(e) => {
+            match join_stage(reader_handle, "reader") {
+                Ok(Ok(total)) => total_in = total,
+                Ok(Err(e)) | Err(e) => {
                     if first_error.is_none() {
                         first_error = Some(e);
                     }
@@ -588,12 +666,14 @@ impl StreamDecompressor {
         &self.config
     }
 
-    /// Decompresses a v3 (or legacy v2) streaming file from `reader` into
-    /// `writer`, validating the framing as it goes: every block's declared
-    /// size is bounds- and plausibility-checked before its output buffer is
-    /// allocated, only the final block may be shorter than the block size,
-    /// and the trailer's block table and totals must agree with what was
-    /// actually read and produced.
+    /// Decompresses a v4 (or legacy v3/v2) streaming file from `reader`
+    /// into `writer`, validating the framing as it goes: every block's
+    /// declared size is bounds- and plausibility-checked before its output
+    /// buffer is allocated, only the final block may be shorter than the
+    /// block size, v4 per-frame content checksums are verified (unless
+    /// [`DecompressorConfig::verify_checksums`] is off), and the trailer's
+    /// block table and totals must agree with what was actually read and
+    /// produced.
     pub fn decompress<R: Read + Send, W: Write>(&self, reader: R, mut writer: W) -> Result<StreamStats> {
         let start = Instant::now();
         let mut counting = CountingReader { inner: reader, count: 0 };
@@ -614,8 +694,9 @@ impl StreamDecompressor {
         let block_size = prelude.block_size as usize;
         let max_match_len = prelude.max_match_len;
         // v2 frames carry no config; the prelude's synthesized uniform
-        // config applies to every block.
+        // config applies to every block. Only v4 frames carry checksums.
         let legacy_uniform = prelude.legacy_uniform;
+        let version = prelude.version;
 
         let workers = effective_workers(self.workers);
         let in_flight = blocks_in_flight(self.mem_budget, block_size, workers);
@@ -641,7 +722,7 @@ impl StreamDecompressor {
         for _ in 0..in_flight {
             pool_tx.send(Vec::new()).expect("receiver alive");
         }
-        let (work_tx, work_rx) = mpsc::channel::<(u64, Vec<u8>, BlockConfig)>();
+        let (work_tx, work_rx) = mpsc::channel::<FrameJob>();
         let work_rx = Mutex::new(work_rx);
         let work_rx = &work_rx;
         let (done_tx, done_rx) = mpsc::channel::<DoneItem>();
@@ -668,6 +749,7 @@ impl StreamDecompressor {
                     if abort.load(Ordering::Relaxed) {
                         return Err(on_err(invalid_field("aborted", idx)));
                     }
+                    let frame_offset = r.count;
                     let len = read_varint_io(&mut r).map_err(on_err)?;
                     if len == 0 {
                         break;
@@ -687,6 +769,13 @@ impl StreamDecompressor {
                                 .map_err(|e| on_err(GompressoError::Format(e)))?
                         }
                     };
+                    let checksum = if version == STREAM_FORMAT_VERSION {
+                        let mut sum = [0u8; 8];
+                        r.read_exact(&mut sum).map_err(|e| on_err(truncated_block(e, idx)))?;
+                        Some(u64::from_le_bytes(sum))
+                    } else {
+                        None
+                    };
                     let Ok(mut buf) = pool_rx.recv() else { break };
                     if abort.load(Ordering::Relaxed) {
                         return Err(on_err(invalid_field("aborted", idx)));
@@ -698,7 +787,8 @@ impl StreamDecompressor {
                     read_frame_growing(&mut r, &mut buf, len as usize, idx).map_err(on_err)?;
                     observed.push(len as u32);
                     configs.push(config);
-                    if work_tx.send((idx, buf, config)).is_err() {
+                    let job = FrameJob { idx, payload: buf, config, checksum, offset: frame_offset };
+                    if work_tx.send(job).is_err() {
                         break;
                     }
                     idx += 1;
@@ -709,7 +799,7 @@ impl StreamDecompressor {
                 let cap = 64 + 5 * (observed.len() as u64 + 1);
                 let mut trailer_bytes = Vec::new();
                 (&mut r).take(cap + 1).read_to_end(&mut trailer_bytes).map_err(|e| on_err(e.into()))?;
-                let trailer = StreamTrailer::deserialize(&trailer_bytes)
+                let trailer = StreamTrailer::deserialize(&trailer_bytes, version == STREAM_FORMAT_VERSION)
                     .map_err(|e| on_err(GompressoError::Format(e)))?;
                 Ok((trailer, observed, configs, r.count))
             });
@@ -720,26 +810,37 @@ impl StreamDecompressor {
                 let done_tx = done_tx.clone();
                 let coder = &coder;
                 s.spawn(move || loop {
-                    let msg = work_rx.lock().expect("work queue lock").recv();
-                    let Ok((idx, buf, config)) = msg else { break };
+                    let msg = lock_unpoisoned(work_rx).recv();
+                    let Ok(FrameJob { idx, payload: buf, config, checksum, offset }) = msg else { break };
                     let outcome = if abort.load(Ordering::Relaxed) {
                         BlockOutcome::Skipped
                     } else {
-                        let mut out =
-                            scrap_rx.lock().expect("scrap queue lock").try_recv().unwrap_or_default();
-                        match decode_stream_block(
-                            dconf,
-                            &config,
-                            coder,
-                            block_size,
-                            max_match_len,
-                            idx,
-                            &buf,
-                            &mut out,
-                        ) {
-                            Ok(()) => BlockOutcome::Produced(out, None),
-                            Err(e) => BlockOutcome::Failed(e),
-                        }
+                        // catch_unwind: see the compression worker.
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let mut out = lock_unpoisoned(scrap_rx).try_recv().unwrap_or_default();
+                            match decode_stream_block(
+                                dconf,
+                                &config,
+                                coder,
+                                block_size,
+                                max_match_len,
+                                idx,
+                                &buf,
+                                &mut out,
+                            ) {
+                                Ok(()) => match verify_block_checksum(dconf, idx, checksum, &out) {
+                                    Ok(()) => BlockOutcome::Produced(out, None),
+                                    Err(e) => BlockOutcome::Failed(e.in_block(idx, Some(offset))),
+                                },
+                                Err(e) => BlockOutcome::Failed(e.in_block(idx, Some(offset))),
+                            }
+                        }))
+                        .unwrap_or_else(|p| {
+                            BlockOutcome::Failed(GompressoError::StagePanicked {
+                                stage: "decompress worker",
+                                message: panic_message(p.as_ref()),
+                            })
+                        })
                     };
                     if done_tx.send((idx, buf, outcome)).is_err() {
                         break;
@@ -764,7 +865,7 @@ impl StreamDecompressor {
                 Ok(())
             });
 
-            reader_outcome = Some(reader_handle.join().expect("reader stage panicked"));
+            reader_outcome = Some(join_stage(reader_handle, "reader").and_then(|r| r));
         });
 
         if let Some(e) = first_error {
@@ -849,7 +950,26 @@ fn decode_stream_block(
     Ok(())
 }
 
-/// Compresses the file at `input` into a v3 streaming container at
+/// Verifies a decoded block against the content checksum its v4 frame
+/// carried (a no-op for legacy frames or when verification is disabled).
+fn verify_block_checksum(
+    config: &DecompressorConfig,
+    idx: u64,
+    stored: Option<u64>,
+    out: &[u8],
+) -> Result<()> {
+    if !config.verify_checksums {
+        return Ok(());
+    }
+    let Some(stored) = stored else { return Ok(()) };
+    let computed = content_checksum(out);
+    if computed != stored {
+        return Err(GompressoError::BlockChecksumMismatch { block: idx, stored, computed });
+    }
+    Ok(())
+}
+
+/// Compresses the file at `input` into a v4 streaming container at
 /// `output` with bounded memory, back-patching the prelude totals (the
 /// output file is seekable by construction). Uses the rayon pool size for
 /// workers and the default memory budget; build a [`StreamCompressor`]
@@ -879,9 +999,23 @@ mod tests {
     use crate::compress::compress;
     use crate::decompress::decompress;
     use gompresso_bitstream::ByteWriter;
-    use gompresso_format::stream_frame::{LEGACY_STREAM_FORMAT_VERSION, UNKNOWN_TOTAL};
+    use gompresso_format::stream_frame::{LEGACY_STREAM_FORMAT_VERSION, TRAILER_MAGIC, UNKNOWN_TOTAL};
     use gompresso_format::CompressedFile;
     use std::io::Cursor;
+
+    /// Byte-for-byte the checksum-less trailer layout v2/v3 streams carry.
+    fn legacy_trailer_bytes(sizes: &[u32], total: u64) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        gompresso_bitstream::write_varint(&mut w, sizes.len() as u64);
+        for &s in sizes {
+            gompresso_bitstream::write_varint(&mut w, u64::from(s));
+        }
+        w.write_u64_le(total);
+        let table_len = w.len() as u32;
+        w.write_u32_le(table_len);
+        w.write_bytes(&TRAILER_MAGIC);
+        w.finish()
+    }
 
     fn wiki_like(len: usize) -> Vec<u8> {
         let mut data = Vec::with_capacity(len + 128);
@@ -996,6 +1130,7 @@ mod tests {
         let mut r = compressed.as_slice();
         let mut prelude = [0u8; PRELUDE_LEN];
         r.read_exact(&mut prelude).unwrap();
+        let chunks: Vec<&[u8]> = data.chunks(cfg.block_size).collect();
         for (i, expected) in reference.file.blocks.iter().enumerate() {
             let len = read_varint_io(&mut r).unwrap() as usize;
             let mut config_bytes = [0u8; BLOCK_CONFIG_LEN];
@@ -1003,6 +1138,13 @@ mod tests {
             let config =
                 BlockConfig::deserialize(&mut gompresso_bitstream::ByteReader::new(&config_bytes)).unwrap();
             assert_eq!(&config, reference.file.header.block_config(i), "config of block {i}");
+            let mut sum = [0u8; 8];
+            r.read_exact(&mut sum).unwrap();
+            assert_eq!(
+                u64::from_le_bytes(sum),
+                content_checksum(chunks[i]),
+                "frame checksum of block {i} must hash the uncompressed chunk"
+            );
             let mut payload = vec![0u8; len];
             r.read_exact(&mut payload).unwrap();
             assert_eq!(payload, expected.bytes, "block {i} differs from the in-memory path");
@@ -1087,8 +1229,7 @@ mod tests {
             sizes.push(block.bytes.len() as u32);
         }
         write_varint_io(&mut v2, 0).unwrap();
-        let trailer = StreamTrailer { block_compressed_sizes: sizes, uncompressed_size: data.len() as u64 };
-        v2.extend_from_slice(&trailer.serialize());
+        v2.extend_from_slice(&legacy_trailer_bytes(&sizes, data.len() as u64));
 
         let mut restored = Vec::new();
         let stats = StreamDecompressor::new(DecompressorConfig::default())
@@ -1210,6 +1351,7 @@ mod tests {
         // stream costs at most one read step (1 MiB) before the truncation
         // is detected — not a multi-GiB zero-filled allocation.
         let prelude = StreamPrelude {
+            version: STREAM_FORMAT_VERSION,
             window_size: 8 * 1024,
             min_match_len: 3,
             max_match_len: 64,
@@ -1243,12 +1385,33 @@ mod tests {
         let cfg = small(CompressorConfig::byte());
         let mut compressed = Vec::new();
         StreamCompressor::new(cfg).unwrap().compress(data.as_slice(), &mut compressed).unwrap();
-        // The trailer's uncompressed_size u64 sits 16 bytes before the end
-        // (8 size + 4 trailer_len + 4 magic).
-        let at = compressed.len() - 16;
-        let mut tampered = compressed.clone();
-        let old = u64::from_le_bytes(tampered[at..at + 8].try_into().unwrap());
-        tampered[at..at + 8].copy_from_slice(&(old + 1).to_le_bytes());
+        // Locate the trailer from its tail fields (u32 table length, magic).
+        let table_len =
+            u32::from_le_bytes(compressed[compressed.len() - 8..compressed.len() - 4].try_into().unwrap())
+                as usize;
+        let trailer_start = compressed.len() - 8 - table_len;
+
+        // A raw flip in the trailer's total is caught by its checksum.
+        let at = trailer_start + table_len - 16; // uncompressed_size u64
+        let mut flipped = compressed.clone();
+        flipped[at] ^= 1;
+        let mut restored = Vec::new();
+        let err = StreamDecompressor::new(DecompressorConfig::default())
+            .decompress(flipped.as_slice(), &mut restored);
+        assert!(
+            matches!(
+                err,
+                Err(GompressoError::Format(FormatError::ChecksumMismatch { what: "stream trailer", .. }))
+            ),
+            "expected trailer checksum mismatch, got {err:?}"
+        );
+
+        // A consistently re-serialized trailer (checksum valid, total
+        // wrong) is still rejected by the totals cross-check.
+        let mut trailer = StreamTrailer::deserialize(&compressed[trailer_start..], true).unwrap();
+        trailer.uncompressed_size += 1;
+        let mut tampered = compressed[..trailer_start].to_vec();
+        tampered.extend_from_slice(&trailer.serialize());
         let mut restored = Vec::new();
         let err = StreamDecompressor::new(DecompressorConfig::default())
             .decompress(tampered.as_slice(), &mut restored);
@@ -1256,6 +1419,58 @@ mod tests {
             matches!(err, Err(GompressoError::OutputSizeMismatch { .. })),
             "expected total mismatch, got {err:?}"
         );
+    }
+
+    #[test]
+    fn panicking_stage_is_reported_not_aborted() {
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| panic!("boom in stage"));
+            let err = join_stage(handle, "reader").unwrap_err();
+            assert!(
+                matches!(
+                    &err,
+                    GompressoError::StagePanicked { stage: "reader", message } if message.contains("boom")
+                ),
+                "got {err:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn corrupted_frame_checksum_is_detected_with_block_context() {
+        // Flip one bit inside the first frame's checksum field: the payload
+        // still decodes, but the checksum verification must fail and carry
+        // the block index and frame offset.
+        let data = wiki_like(100_000);
+        let cfg = small(CompressorConfig::byte());
+        let mut compressed = Vec::new();
+        StreamCompressor::new(cfg).unwrap().compress(data.as_slice(), &mut compressed).unwrap();
+        let mut r = &compressed[PRELUDE_LEN..];
+        let _ = read_varint_io(&mut r).unwrap();
+        let sum_at = compressed.len() - r.len() + BLOCK_CONFIG_LEN;
+        let mut tampered = compressed.clone();
+        tampered[sum_at] ^= 1;
+        let mut restored = Vec::new();
+        let err = StreamDecompressor::new(DecompressorConfig::default())
+            .decompress(tampered.as_slice(), &mut restored)
+            .unwrap_err();
+        assert!(
+            matches!(err.root_cause(), GompressoError::BlockChecksumMismatch { block: 0, .. }),
+            "got {err:?}"
+        );
+        assert!(
+            matches!(err, GompressoError::InBlock { block: 0, offset: Some(off), .. } if off == PRELUDE_LEN as u64),
+            "error must carry the frame offset"
+        );
+        assert!(err.is_corruption());
+
+        // With verification off the flip is invisible: the checksum field
+        // is not part of the decode.
+        let mut restored = Vec::new();
+        StreamDecompressor::new(DecompressorConfig { verify_checksums: false, ..Default::default() })
+            .decompress(tampered.as_slice(), &mut restored)
+            .unwrap();
+        assert_eq!(restored, data);
     }
 
     #[test]

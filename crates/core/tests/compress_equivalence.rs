@@ -380,6 +380,7 @@ fn ref_compress_file(data: &[u8], cfg: &CompressorConfig) -> CompressedFile {
         block_size: cfg.block_size as u32,
         block_configs: vec![cfg.base_plan().block_config(); payloads.len()],
         block_compressed_sizes: Vec::new(),
+        block_checksums: data.chunks(cfg.block_size.max(1)).map(gompresso_format::content_checksum).collect(),
     };
     CompressedFile::new(header, payloads).expect("reference file assembles")
 }

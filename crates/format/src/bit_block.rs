@@ -234,9 +234,12 @@ impl BitBlock {
         if index >= self.sub_block_bits.len() {
             return Err(FormatError::SubBlockOutOfRange { index, available: self.sub_block_bits.len() });
         }
-        let full = self.sequences_per_sub_block;
-        let start = index as u32 * full;
-        Ok((self.n_sequences - start).min(full))
+        // Saturating: a corrupt block can declare fewer sequences than its
+        // sub-block table implies, and that must surface as an empty
+        // sub-block (then a decode error), not an arithmetic panic.
+        let full = u64::from(self.sequences_per_sub_block);
+        let start = index as u64 * full;
+        Ok(u64::from(self.n_sequences).saturating_sub(start).min(full) as u32)
     }
 
     /// Decodes one sub-block into its sequences and literal bytes.

@@ -37,6 +37,15 @@ pub enum FormatError {
         /// Description of the violation.
         reason: &'static str,
     },
+    /// A stored checksum does not match the bytes it covers.
+    ChecksumMismatch {
+        /// What the checksum covers ("header", "stream prelude", ...).
+        what: &'static str,
+        /// The checksum recorded in the file.
+        stored: u64,
+        /// The checksum computed over the actual bytes.
+        computed: u64,
+    },
     /// The underlying byte/bit stream ended prematurely or was malformed.
     Stream(StreamError),
     /// A Huffman tree or codeword was invalid.
@@ -58,6 +67,9 @@ impl fmt::Display for FormatError {
                 write!(f, "sub-block {index} requested but only {available} exist")
             }
             FormatError::InvalidToken { reason } => write!(f, "invalid token: {reason}"),
+            FormatError::ChecksumMismatch { what, stored, computed } => {
+                write!(f, "{what} checksum mismatch: stored {stored:#018x}, computed {computed:#018x}")
+            }
             FormatError::Stream(e) => write!(f, "stream error: {e}"),
             FormatError::Huffman(e) => write!(f, "huffman error: {e}"),
             FormatError::Lz77(e) => write!(f, "lz77 error: {e}"),

@@ -101,6 +101,7 @@ mod tests {
             block_size,
             block_configs: vec![BlockConfig::legacy_uniform(EncodingMode::Byte, 16, 10); n_blocks],
             block_compressed_sizes: vec![0; n_blocks],
+            block_checksums: vec![],
         }
     }
 

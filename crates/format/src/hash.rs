@@ -1,0 +1,149 @@
+//! In-repo XXH64 implementation used for all v4 integrity checksums.
+//!
+//! The container needs a fast non-cryptographic 64-bit hash (the same role
+//! XXH64 plays in the zstd and lz4 frame formats) but the build is offline,
+//! so the algorithm is implemented here rather than pulled in as a crate.
+//! This is the reference XXH64 algorithm: four parallel 8-byte lanes over
+//! 32-byte stripes, a merge round, then a tail loop and avalanche finish.
+
+const PRIME_1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME_3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME_4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME_5: u64 = 0x27D4_EB2F_1656_67C5;
+
+/// Seed for every checksum the container format computes. A fixed non-zero
+/// seed means a Gompresso checksum never collides definitionally with a
+/// plain `xxh64(data, 0)` someone computes out-of-band.
+pub const CHECKSUM_SEED: u64 = 0x6770_736F_0000_0004; // "gpso" + format v4
+
+#[inline]
+fn round(mut acc: u64, lane: u64) -> u64 {
+    acc = acc.wrapping_add(lane.wrapping_mul(PRIME_2));
+    acc = acc.rotate_left(31);
+    acc.wrapping_mul(PRIME_1)
+}
+
+#[inline]
+fn merge_round(mut acc: u64, lane: u64) -> u64 {
+    acc ^= round(0, lane);
+    acc.wrapping_mul(PRIME_1).wrapping_add(PRIME_4)
+}
+
+#[inline]
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+#[inline]
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+/// One-shot XXH64 of `data` under `seed`.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len();
+    let mut pos = 0;
+
+    let mut acc = if len >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME_1).wrapping_add(PRIME_2);
+        let mut v2 = seed.wrapping_add(PRIME_2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME_1);
+        while pos + 32 <= len {
+            v1 = round(v1, read_u64(data, pos));
+            v2 = round(v2, read_u64(data, pos + 8));
+            v3 = round(v3, read_u64(data, pos + 16));
+            v4 = round(v4, read_u64(data, pos + 24));
+            pos += 32;
+        }
+        let mut acc = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        acc = merge_round(acc, v1);
+        acc = merge_round(acc, v2);
+        acc = merge_round(acc, v3);
+        merge_round(acc, v4)
+    } else {
+        seed.wrapping_add(PRIME_5)
+    };
+
+    acc = acc.wrapping_add(len as u64);
+
+    while pos + 8 <= len {
+        acc ^= round(0, read_u64(data, pos));
+        acc = acc.rotate_left(27).wrapping_mul(PRIME_1).wrapping_add(PRIME_4);
+        pos += 8;
+    }
+    if pos + 4 <= len {
+        acc ^= u64::from(read_u32(data, pos)).wrapping_mul(PRIME_1);
+        acc = acc.rotate_left(23).wrapping_mul(PRIME_2).wrapping_add(PRIME_3);
+        pos += 4;
+    }
+    while pos < len {
+        acc ^= u64::from(data[pos]).wrapping_mul(PRIME_5);
+        acc = acc.rotate_left(11).wrapping_mul(PRIME_1);
+        pos += 1;
+    }
+
+    acc ^= acc >> 33;
+    acc = acc.wrapping_mul(PRIME_2);
+    acc ^= acc >> 29;
+    acc = acc.wrapping_mul(PRIME_3);
+    acc ^= acc >> 32;
+    acc
+}
+
+/// Content checksum as stored in v4 containers: XXH64 under [`CHECKSUM_SEED`].
+#[inline]
+pub fn content_checksum(data: &[u8]) -> u64 {
+    xxh64(data, CHECKSUM_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Published XXH64 reference vectors (xxHash project test suite).
+    #[test]
+    fn matches_reference_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxh64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+    }
+
+    #[test]
+    fn every_length_up_to_two_stripes_is_distinct_and_stable() {
+        // Covers all three tail paths (8-byte, 4-byte, 1-byte) and the
+        // stripe loop; no two prefixes of a fixed pattern may collide.
+        let data: Vec<u8> = (0u16..96).map(|i| (i as u8).wrapping_mul(31).wrapping_add(7)).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=data.len() {
+            let h = xxh64(&data[..len], 0);
+            assert_eq!(h, xxh64(&data[..len], 0), "determinism at len {len}");
+            assert!(seen.insert(h), "prefix collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn seed_changes_the_digest() {
+        let data = b"gompresso integrity layer";
+        assert_ne!(xxh64(data, 0), xxh64(data, 1));
+        assert_ne!(xxh64(data, 0), content_checksum(data));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let mut data: Vec<u8> = (0u8..=63).collect();
+        let baseline = content_checksum(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(content_checksum(&data), baseline, "flip {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! The Gompresso file header (paper, Figure 3).
 
 use crate::block_config::{BlockConfig, BLOCK_CONFIG_LEN};
-use crate::{FormatError, Result, FORMAT_VERSION, LEGACY_FORMAT_VERSION, MAGIC};
+use crate::hash::{xxh64, CHECKSUM_SEED};
+use crate::{FormatError, Result, FORMAT_VERSION, LEGACY_FORMAT_VERSION, LEGACY_FORMAT_VERSION_V3, MAGIC};
 use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
 
 /// Whether a block uses bit-level (Huffman) or byte-level encoding.
@@ -55,6 +56,11 @@ pub struct FileHeader {
     pub block_configs: Vec<BlockConfig>,
     /// Compressed payload size in bytes of each block, in order.
     pub block_compressed_sizes: Vec<u32>,
+    /// XXH64 content checksum of each block's *decompressed* bytes, in
+    /// order (seeded with [`CHECKSUM_SEED`]). Empty for archives read from
+    /// pre-v4 containers, which carried no integrity data; v4 writers
+    /// always fill one entry per block.
+    pub block_checksums: Vec<u64>,
 }
 
 /// Hard cap on the number of blocks a header may declare (2^28 blocks of
@@ -144,14 +150,23 @@ impl FileHeader {
         for config in &self.block_configs {
             config.validate()?;
         }
+        if !self.block_checksums.is_empty() && self.block_checksums.len() != self.block_compressed_sizes.len()
+        {
+            return Err(FormatError::InvalidHeaderField {
+                field: "block_checksums",
+                value: self.block_checksums.len() as u64,
+            });
+        }
         Ok(())
     }
 
-    /// Serializes the header, including magic and version.
+    /// Serializes the header, including magic and version (always the
+    /// current v4 layout: v3 body + checksum section + header checksum).
     ///
     /// Uniform files (every block sharing one config) store the config once
     /// behind a flag byte, so the common case costs the same as v1.
     pub fn serialize(&self, w: &mut ByteWriter) {
+        let start = w.len();
         w.write_bytes(&MAGIC);
         w.write_u8(FORMAT_VERSION);
         w.write_u32_le(self.window_size);
@@ -174,22 +189,101 @@ impl FileHeader {
         for &size in &self.block_compressed_sizes {
             write_varint(w, u64::from(size));
         }
+        if self.block_checksums.is_empty() {
+            w.write_u8(0);
+        } else {
+            w.write_u8(1);
+            for &sum in &self.block_checksums {
+                w.write_u64_le(sum);
+            }
+        }
+        // The header checksum covers every header byte above, so any
+        // single-bit corruption of the geometry, config table, size table
+        // or checksum table is detected before the payload is touched.
+        let checksum = xxh64(&w.as_slice()[start..], CHECKSUM_SEED);
+        w.write_u64_le(checksum);
     }
 
-    /// Deserializes and validates a header (v3, or the legacy v1 layout).
+    /// Deserializes and validates a header (v4, or the legacy v3/v1
+    /// layouts, which carry no checksums).
     pub fn deserialize(r: &mut ByteReader<'_>) -> Result<Self> {
+        let (header, checksum) = Self::deserialize_lenient(r)?;
+        if let Some((stored, computed)) = checksum {
+            if stored != computed {
+                return Err(FormatError::ChecksumMismatch { what: "header", stored, computed });
+            }
+        }
+        Ok(header)
+    }
+
+    /// Like [`FileHeader::deserialize`], but reports a v4 header-checksum
+    /// mismatch as data (`Some((stored, computed))` with unequal values)
+    /// instead of an error, as long as the fields themselves parse and
+    /// validate. Legacy headers (no checksum) report `None`. The salvage
+    /// decoder uses this to keep per-block recovery going when only the
+    /// header checksum was hit — the per-block checksums still arbitrate
+    /// which blocks are trustworthy.
+    pub fn deserialize_lenient(r: &mut ByteReader<'_>) -> Result<(Self, Option<(u64, u64)>)> {
+        let start = r.position();
         let magic = r.read_bytes(4)?;
         if magic != MAGIC {
             return Err(FormatError::BadMagic);
         }
         match r.read_u8()? {
-            FORMAT_VERSION => Self::deserialize_v3_body(r),
-            LEGACY_FORMAT_VERSION => Self::deserialize_v1_body(r),
+            FORMAT_VERSION => Self::deserialize_v4_body(r, start),
+            LEGACY_FORMAT_VERSION_V3 => Self::deserialize_v3_body(r).map(|h| (h, None)),
+            LEGACY_FORMAT_VERSION => Self::deserialize_v1_body(r).map(|h| (h, None)),
             version => Err(FormatError::UnsupportedVersion(version)),
         }
     }
 
+    fn deserialize_v4_body(r: &mut ByteReader<'_>, start: usize) -> Result<(Self, Option<(u64, u64)>)> {
+        let mut header = Self::parse_common_body(r)?;
+        let block_count = header.block_compressed_sizes.len();
+        match r.read_u8()? {
+            0 => {}
+            1 => {
+                let mut sums = Vec::with_capacity(block_count.min(r.remaining() / 8 + 1));
+                for _ in 0..block_count {
+                    sums.push(r.read_u64_le()?);
+                }
+                header.block_checksums = sums;
+            }
+            other => {
+                return Err(FormatError::InvalidHeaderField {
+                    field: "checksum_flag",
+                    value: u64::from(other),
+                })
+            }
+        }
+        // The header checksum covers everything before it; the caller
+        // compares it before field validation so a corrupted header says
+        // "checksum mismatch", not whichever field the flipped bit
+        // happened to land in.
+        let computed = xxh64(&r.data()[start..r.position()], CHECKSUM_SEED);
+        let stored = r.read_u64_le()?;
+        if stored != computed {
+            // A lenient caller may proceed only when the fields still
+            // validate; otherwise everyone gets the checksum mismatch (the
+            // most truthful description of a corrupted header).
+            if header.validate().is_err() {
+                return Err(FormatError::ChecksumMismatch { what: "header", stored, computed });
+            }
+            return Ok((header, Some((stored, computed))));
+        }
+        header.validate()?;
+        Ok((header, Some((stored, computed))))
+    }
+
     fn deserialize_v3_body(r: &mut ByteReader<'_>) -> Result<Self> {
+        let header = Self::parse_common_body(r)?;
+        header.validate()?;
+        Ok(header)
+    }
+
+    /// Parses the shared v3/v4 body (geometry, config table, size table)
+    /// without validating, leaving the cursor after the size table.
+    fn parse_common_body(r: &mut ByteReader<'_>) -> Result<Self> {
         let window_size = r.read_u32_le()?;
         let min_match_len = r.read_u32_le()?;
         let max_match_len = r.read_u32_le()?;
@@ -220,7 +314,7 @@ impl FileHeader {
             Some(config) => vec![config; block_count],
             None => per_block_configs,
         };
-        let header = FileHeader {
+        Ok(FileHeader {
             window_size,
             min_match_len,
             max_match_len,
@@ -228,9 +322,8 @@ impl FileHeader {
             block_size,
             block_configs,
             block_compressed_sizes,
-        };
-        header.validate()?;
-        Ok(header)
+            block_checksums: Vec::new(),
+        })
     }
 
     /// Parses the legacy v1 body, synthesizing one uniform [`BlockConfig`]
@@ -255,6 +348,7 @@ impl FileHeader {
             block_size,
             block_configs: vec![config; block_count],
             block_compressed_sizes,
+            block_checksums: Vec::new(),
         };
         header.validate()?;
         Ok(header)
@@ -311,7 +405,12 @@ mod tests {
             block_size: 256 * 1024,
             block_configs: vec![sample_config(); 4],
             block_compressed_sizes: vec![100_000, 90_000, 85_000, 60_000],
+            block_checksums: vec![],
         }
+    }
+
+    fn checksummed_header() -> FileHeader {
+        FileHeader { block_checksums: vec![11, 22, 33, 44], ..sample_header() }
     }
 
     fn mixed_header() -> FileHeader {
@@ -330,7 +429,7 @@ mod tests {
 
     #[test]
     fn roundtrip_uniform_and_mixed() {
-        for header in [sample_header(), mixed_header()] {
+        for header in [sample_header(), mixed_header(), checksummed_header()] {
             header.validate().unwrap();
             let mut w = ByteWriter::new();
             header.serialize(&mut w);
@@ -400,6 +499,51 @@ mod tests {
             FileHeader::deserialize(&mut ByteReader::new(&bytes)),
             Err(FormatError::UnsupportedVersion(99))
         ));
+    }
+
+    #[test]
+    fn every_header_bit_flip_is_detected() {
+        // The header checksum covers everything before it, and the stored
+        // checksum itself can only mismatch — no single-bit flip anywhere
+        // in a serialized v4 header may parse successfully.
+        let mut w = ByteWriter::new();
+        checksummed_header().serialize(&mut w);
+        let bytes = w.finish();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    FileHeader::deserialize(&mut ByteReader::new(&bad)).is_err(),
+                    "flip at {byte}:{bit} parsed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_v3_layout_still_parses_without_checksums() {
+        // Byte-for-byte the layout v3 files on disk carry: the common body
+        // with no checksum section and no trailing header checksum.
+        let header = sample_header();
+        let mut w = ByteWriter::new();
+        w.write_bytes(&MAGIC);
+        w.write_u8(LEGACY_FORMAT_VERSION_V3);
+        w.write_u32_le(header.window_size);
+        w.write_u32_le(header.min_match_len);
+        w.write_u32_le(header.max_match_len);
+        w.write_u64_le(header.uncompressed_size);
+        w.write_u32_le(header.block_size);
+        write_varint(&mut w, 4);
+        w.write_u8(1);
+        sample_config().serialize(&mut w);
+        for &size in &header.block_compressed_sizes {
+            write_varint(&mut w, u64::from(size));
+        }
+        let bytes = w.finish();
+        let back = FileHeader::deserialize(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back, header);
+        assert!(back.block_checksums.is_empty());
     }
 
     #[test]

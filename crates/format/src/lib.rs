@@ -35,6 +35,7 @@ pub mod block_config;
 pub mod byte_block;
 pub mod error;
 pub mod file;
+pub mod hash;
 pub mod header;
 pub mod stream_frame;
 pub mod token_code;
@@ -44,9 +45,11 @@ pub use block_config::{BlockConfig, ResolutionStrategy, BLOCK_CONFIG_LEN};
 pub use byte_block::ByteBlock;
 pub use error::FormatError;
 pub use file::{BlockPayload, CompressedFile};
+pub use hash::{content_checksum, xxh64, CHECKSUM_SEED};
 pub use header::{EncodingMode, FileHeader, MAX_BLOCK_COUNT};
 pub use stream_frame::{
-    prelude_len, StreamPrelude, StreamTrailer, LEGACY_STREAM_FORMAT_VERSION, STREAM_FORMAT_VERSION,
+    prelude_len, StreamPrelude, StreamTrailer, LEGACY_STREAM_FORMAT_VERSION, LEGACY_STREAM_FORMAT_VERSION_V3,
+    STREAM_FORMAT_VERSION,
 };
 
 /// Result alias for format operations.
@@ -55,8 +58,13 @@ pub type Result<T> = std::result::Result<T, FormatError>;
 /// Magic bytes identifying a Gompresso file ("GPSO").
 pub const MAGIC: [u8; 4] = *b"GPSO";
 
-/// Current in-memory container version (per-block codec configs).
-pub const FORMAT_VERSION: u8 = 3;
+/// Current in-memory container version: per-block codec configs plus the
+/// v4 integrity layer (per-block content checksums and a header checksum).
+pub const FORMAT_VERSION: u8 = 4;
+
+/// The v3 container: per-block codec configs, no checksums. Still fully
+/// readable; checksum verification is skipped because nothing is stored.
+pub const LEGACY_FORMAT_VERSION_V3: u8 = 3;
 
 /// The original uniform-codec container version. Still readable; the
 /// parser synthesizes one uniform [`BlockConfig`] from its file-wide

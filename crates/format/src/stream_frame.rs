@@ -1,4 +1,4 @@
-//! Streaming (v3) file framing.
+//! Streaming (v4) file framing.
 //!
 //! The in-memory container (see [`crate::file`]) needs every block's
 //! compressed size *before* the first payload byte can be written, which
@@ -7,23 +7,29 @@
 //! incremental:
 //!
 //! ```text
-//! prelude | varint(len₀) config₀ block₀ | varint(len₁) config₁ block₁ | … | varint(0) | trailer
+//! prelude | varint(len₀) config₀ sum₀ block₀ | varint(len₁) config₁ sum₁ block₁ | … | varint(0) | trailer
 //! ```
 //!
 //! * The **prelude** is a fixed [`PRELUDE_LEN`]-byte header carrying the
-//!   file-wide match geometry. Its two totals (uncompressed size, block
-//!   count) are written as the [`UNKNOWN_TOTAL`] sentinel when the sink
-//!   cannot seek and back-patched in place (offsets
-//!   [`UNCOMPRESSED_SIZE_OFFSET`] / [`BLOCK_COUNT_OFFSET`]) when it can.
+//!   file-wide match geometry, protected by an XXH64 checksum over the
+//!   geometry fields. Its two totals (uncompressed size, block count) are
+//!   written as the [`UNKNOWN_TOTAL`] sentinel when the sink cannot seek
+//!   and back-patched in place (offsets [`UNCOMPRESSED_SIZE_OFFSET`] /
+//!   [`BLOCK_COUNT_OFFSET`]) when it can. The totals sit *after* the
+//!   checksum so back-patching never invalidates it; they are instead
+//!   cross-checked against the trailer by the stream reader.
 //! * Each **block frame** is the block's serialized payload prefixed with
-//!   its length and its [`BlockConfig`] (v3; legacy v2 frames carry no
-//!   config — the uniform config parsed from the v2 prelude applies), so a
-//!   sequential reader never needs the block table.
+//!   its length, its [`BlockConfig`], and (v4) the XXH64 checksum of the
+//!   block's *decompressed* bytes, so a sequential reader verifies every
+//!   block as it lands without the block table. Legacy v3 frames carry no
+//!   checksum; legacy v2 frames carry neither checksum nor config — the
+//!   uniform config parsed from the v2 prelude applies.
 //! * A zero-length frame terminates the block list; the **trailer** then
 //!   repeats the full block-size table (restoring the paper's "offsets
 //!   without scanning" property for readers that have the whole file), the
-//!   total uncompressed size, its own length, and a closing magic — so a
-//!   random-access reader can locate the table from the end of the file.
+//!   total uncompressed size, its own XXH64 checksum, its own length, and
+//!   a closing magic — so a random-access reader can locate the table from
+//!   the end of the file and trust what it finds.
 //!
 //! Because the prelude's length depends on its version byte, readers fetch
 //! [`PRELUDE_HEAD_LEN`] bytes first, size the rest with [`prelude_len`],
@@ -34,14 +40,20 @@
 //! the framing is cross-checked against what was actually read.
 
 use crate::block_config::BlockConfig;
+use crate::hash::{xxh64, CHECKSUM_SEED};
 use crate::header::{EncodingMode, FileHeader, MAX_BLOCK_COUNT};
 use crate::{FormatError, Result, MAGIC};
 use gompresso_bitstream::{read_varint, write_varint, ByteReader, ByteWriter};
 
-/// Format version byte identifying the current streaming container.
-pub const STREAM_FORMAT_VERSION: u8 = 3;
+/// Format version byte identifying the current streaming container
+/// (per-frame content checksums, prelude and trailer checksums).
+pub const STREAM_FORMAT_VERSION: u8 = 4;
 
-/// The previous streaming version (uniform codec config in the prelude,
+/// The previous streaming version: per-frame codec configs, no checksums.
+/// Still readable.
+pub const LEGACY_STREAM_FORMAT_VERSION_V3: u8 = 3;
+
+/// The original streaming version (uniform codec config in the prelude,
 /// configless frames). Still readable.
 pub const LEGACY_STREAM_FORMAT_VERSION: u8 = 2;
 
@@ -55,23 +67,31 @@ pub const UNKNOWN_TOTAL: u64 = u64::MAX;
 /// (magic plus version byte).
 pub const PRELUDE_HEAD_LEN: usize = 5;
 
-/// Serialized v3 prelude size in bytes (fixed so totals can be
+/// Serialized v4 prelude size in bytes (fixed so totals can be
 /// back-patched).
-pub const PRELUDE_LEN: usize = 37;
+pub const PRELUDE_LEN: usize = 45;
+
+/// Serialized size of the legacy v3 prelude (no checksum field).
+pub const LEGACY_PRELUDE_LEN_V3: usize = 37;
 
 /// Serialized size of the legacy v2 prelude.
 pub const LEGACY_PRELUDE_LEN: usize = 43;
 
-/// Byte offset of the `uncompressed_size` field inside the v3 prelude.
-pub const UNCOMPRESSED_SIZE_OFFSET: usize = 21;
+/// Byte offset of the prelude checksum inside the v4 prelude; the checksum
+/// covers the bytes before it (magic, version, geometry).
+pub const PRELUDE_CHECKSUM_OFFSET: usize = 21;
 
-/// Byte offset of the `block_count` field inside the v3 prelude.
-pub const BLOCK_COUNT_OFFSET: usize = 29;
+/// Byte offset of the `uncompressed_size` field inside the v4 prelude.
+pub const UNCOMPRESSED_SIZE_OFFSET: usize = 29;
+
+/// Byte offset of the `block_count` field inside the v4 prelude.
+pub const BLOCK_COUNT_OFFSET: usize = 37;
 
 /// Full serialized prelude length for a given version byte.
 pub fn prelude_len(version: u8) -> Result<usize> {
     match version {
         STREAM_FORMAT_VERSION => Ok(PRELUDE_LEN),
+        LEGACY_STREAM_FORMAT_VERSION_V3 => Ok(LEGACY_PRELUDE_LEN_V3),
         LEGACY_STREAM_FORMAT_VERSION => Ok(LEGACY_PRELUDE_LEN),
         other => Err(FormatError::UnsupportedVersion(other)),
     }
@@ -86,6 +106,10 @@ pub fn prelude_len(version: u8) -> Result<usize> {
 /// (configless) v2 frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamPrelude {
+    /// The stream format version this prelude was parsed from (writers
+    /// always serialize the current [`STREAM_FORMAT_VERSION`]). Tells the
+    /// reader whether frames carry configs (v3+) and checksums (v4+).
+    pub version: u8,
     /// Sliding-window size in bytes used during compression.
     pub window_size: u32,
     /// Minimum match length used during compression.
@@ -136,9 +160,13 @@ impl StreamPrelude {
         Ok(())
     }
 
-    /// Serializes the prelude to its fixed [`PRELUDE_LEN`]-byte v3 form,
+    /// Serializes the prelude to its fixed [`PRELUDE_LEN`]-byte v4 form,
     /// writing [`UNKNOWN_TOTAL`] for totals that are not yet known.
-    /// (Writers always emit v3; `legacy_uniform` is a read-side artifact.)
+    /// (Writers always emit v4; `legacy_uniform` is a read-side artifact.)
+    ///
+    /// The checksum covers the geometry bytes before it; the two totals
+    /// after it stay patchable without re-hashing and are cross-checked
+    /// against the trailer by the stream reader instead.
     pub fn serialize(&self) -> [u8; PRELUDE_LEN] {
         let mut w = ByteWriter::with_capacity(PRELUDE_LEN);
         w.write_bytes(&MAGIC);
@@ -147,6 +175,9 @@ impl StreamPrelude {
         w.write_u32_le(self.min_match_len);
         w.write_u32_le(self.max_match_len);
         w.write_u32_le(self.block_size);
+        debug_assert_eq!(w.len(), PRELUDE_CHECKSUM_OFFSET);
+        let checksum = xxh64(w.as_slice(), CHECKSUM_SEED);
+        w.write_u64_le(checksum);
         let size_at = w.reserve_u64_le();
         let count_at = w.reserve_u64_le();
         debug_assert_eq!(size_at, UNCOMPRESSED_SIZE_OFFSET);
@@ -159,9 +190,26 @@ impl StreamPrelude {
         out
     }
 
-    /// Parses and validates a prelude (v3, or the legacy v2 layout).
+    /// Parses and validates a prelude (v4, or the legacy v3/v2 layouts).
     /// `bytes` must hold exactly `prelude_len(bytes[4])` bytes.
     pub fn deserialize(bytes: &[u8]) -> Result<Self> {
+        let (prelude, checksum_ok) = Self::deserialize_lenient(bytes)?;
+        if !checksum_ok {
+            let stored = u64::from_le_bytes(
+                bytes[PRELUDE_CHECKSUM_OFFSET..PRELUDE_CHECKSUM_OFFSET + 8].try_into().unwrap(),
+            );
+            let computed = xxh64(&bytes[..PRELUDE_CHECKSUM_OFFSET], CHECKSUM_SEED);
+            return Err(FormatError::ChecksumMismatch { what: "stream prelude", stored, computed });
+        }
+        Ok(prelude)
+    }
+
+    /// Parses a prelude but reports a v4 checksum mismatch as a flag
+    /// (`false`) instead of an error, as long as the fields themselves
+    /// still validate. The salvage decoder uses this to keep going when
+    /// only the prelude checksum byte was hit. Legacy preludes (no
+    /// checksum) report `true`.
+    pub fn deserialize_lenient(bytes: &[u8]) -> Result<(Self, bool)> {
         let mut r = ByteReader::new(bytes);
         let magic = r.read_bytes(4)?;
         if magic != MAGIC {
@@ -188,6 +236,13 @@ impl StreamPrelude {
             }
             None => None,
         };
+        let checksum_ok = if version == STREAM_FORMAT_VERSION {
+            let computed = xxh64(&bytes[..r.position()], CHECKSUM_SEED);
+            let stored = r.read_u64_le()?;
+            stored == computed
+        } else {
+            true
+        };
         let uncompressed_size = match r.read_u64_le()? {
             UNKNOWN_TOTAL => None,
             v => Some(v),
@@ -197,6 +252,7 @@ impl StreamPrelude {
             v => Some(v),
         };
         let prelude = StreamPrelude {
+            version,
             window_size,
             min_match_len,
             max_match_len,
@@ -206,11 +262,12 @@ impl StreamPrelude {
             legacy_uniform,
         };
         prelude.validate()?;
-        Ok(prelude)
+        Ok((prelude, checksum_ok))
     }
 
-    /// Patches the two total fields of an already-serialized v3 prelude in
-    /// place (what a seekable writer does after the trailer is out).
+    /// Patches the two total fields of an already-serialized v4 prelude in
+    /// place (what a seekable writer does after the trailer is out). The
+    /// totals sit after the prelude checksum, so no re-hash is needed.
     pub fn patch_totals(buf: &mut [u8; PRELUDE_LEN], uncompressed_size: u64, block_count: u64) {
         buf[UNCOMPRESSED_SIZE_OFFSET..UNCOMPRESSED_SIZE_OFFSET + 8]
             .copy_from_slice(&uncompressed_size.to_le_bytes());
@@ -234,6 +291,7 @@ impl StreamPrelude {
             block_size: self.block_size,
             block_configs,
             block_compressed_sizes,
+            block_checksums: Vec::new(),
         }
     }
 }
@@ -249,16 +307,19 @@ pub struct StreamTrailer {
 }
 
 impl StreamTrailer {
-    /// Serializes the trailer: varint block count, varint sizes, `u64`
-    /// uncompressed size, `u32` trailer length (bytes before this field),
+    /// Serializes the trailer (always the current v4 layout): varint block
+    /// count, varint sizes, `u64` uncompressed size, `u64` XXH64 checksum
+    /// of the bytes so far, `u32` trailer length (bytes before this field),
     /// closing magic.
     pub fn serialize(&self) -> Vec<u8> {
-        let mut w = ByteWriter::with_capacity(16 + 5 * self.block_compressed_sizes.len());
+        let mut w = ByteWriter::with_capacity(24 + 5 * self.block_compressed_sizes.len());
         write_varint(&mut w, self.block_compressed_sizes.len() as u64);
         for &size in &self.block_compressed_sizes {
             write_varint(&mut w, u64::from(size));
         }
         w.write_u64_le(self.uncompressed_size);
+        let checksum = xxh64(w.as_slice(), CHECKSUM_SEED);
+        w.write_u64_le(checksum);
         let table_len = w.len() as u32;
         w.write_u32_le(table_len);
         w.write_bytes(&TRAILER_MAGIC);
@@ -268,7 +329,9 @@ impl StreamTrailer {
     /// Parses a trailer from `bytes`, which must hold exactly the trailer
     /// (what the stream reader has left after the zero-length terminator
     /// frame, or what a random-access reader located via the tail fields).
-    pub fn deserialize(bytes: &[u8]) -> Result<Self> {
+    /// `checksummed` says whether the stream version carries a trailer
+    /// checksum (v4) or not (legacy v2/v3).
+    pub fn deserialize(bytes: &[u8], checksummed: bool) -> Result<Self> {
         let mut r = ByteReader::new(bytes);
         let count_raw = read_varint(&mut r)?;
         if count_raw > MAX_BLOCK_COUNT {
@@ -285,6 +348,13 @@ impl StreamTrailer {
             block_compressed_sizes.push(size as u32);
         }
         let uncompressed_size = r.read_u64_le()?;
+        if checksummed {
+            let computed = xxh64(&bytes[..r.position()], CHECKSUM_SEED);
+            let stored = r.read_u64_le()?;
+            if stored != computed {
+                return Err(FormatError::ChecksumMismatch { what: "stream trailer", stored, computed });
+            }
+        }
         let declared_table_len = r.read_u32_le()?;
         if u64::from(declared_table_len) != (r.position() - 4) as u64 {
             return Err(FormatError::InvalidHeaderField {
@@ -312,6 +382,7 @@ mod tests {
 
     fn sample_prelude() -> StreamPrelude {
         StreamPrelude {
+            version: STREAM_FORMAT_VERSION,
             window_size: 8 * 1024,
             min_match_len: 3,
             max_match_len: 64,
@@ -417,9 +488,25 @@ mod tests {
     fn trailer_roundtrip() {
         let t = StreamTrailer { block_compressed_sizes: vec![100, 2000, 3], uncompressed_size: 777 };
         let bytes = t.serialize();
-        assert_eq!(StreamTrailer::deserialize(&bytes).unwrap(), t);
+        assert_eq!(StreamTrailer::deserialize(&bytes, true).unwrap(), t);
         let empty = StreamTrailer::default();
-        assert_eq!(StreamTrailer::deserialize(&empty.serialize()).unwrap(), empty);
+        assert_eq!(StreamTrailer::deserialize(&empty.serialize(), true).unwrap(), empty);
+    }
+
+    #[test]
+    fn legacy_trailer_layout_still_parses() {
+        // Byte-for-byte the checksum-less layout v2/v3 streams carry.
+        let mut w = ByteWriter::new();
+        write_varint(&mut w, 2);
+        write_varint(&mut w, 5);
+        write_varint(&mut w, 6);
+        w.write_u64_le(11);
+        let table_len = w.len() as u32;
+        w.write_u32_le(table_len);
+        w.write_bytes(&TRAILER_MAGIC);
+        let bytes = w.finish();
+        let t = StreamTrailer::deserialize(&bytes, false).unwrap();
+        assert_eq!(t, StreamTrailer { block_compressed_sizes: vec![5, 6], uncompressed_size: 11 });
     }
 
     #[test]
@@ -428,24 +515,49 @@ mod tests {
         let good = t.serialize();
         // Truncation at every cut point is an error, never a panic.
         for cut in 0..good.len() {
-            assert!(StreamTrailer::deserialize(&good[..cut]).is_err(), "cut {cut}");
+            assert!(StreamTrailer::deserialize(&good[..cut], true).is_err(), "cut {cut}");
         }
-        // Bad closing magic.
-        let mut bad = good.clone();
-        let n = bad.len();
-        bad[n - 1] = b'?';
-        assert!(StreamTrailer::deserialize(&bad).is_err());
+        // Every single-bit flip anywhere in the trailer is detected.
+        for byte in 0..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(StreamTrailer::deserialize(&bad, true).is_err(), "flip {byte}:{bit} parsed");
+            }
+        }
         // Trailing garbage after the magic.
         let mut long = good.clone();
         long.push(0);
-        assert!(StreamTrailer::deserialize(&long).is_err());
+        assert!(StreamTrailer::deserialize(&long, true).is_err());
         // Hostile block count cannot over-allocate.
         let mut w = ByteWriter::new();
         write_varint(&mut w, u64::MAX);
-        assert!(StreamTrailer::deserialize(&w.finish()).is_err());
+        assert!(StreamTrailer::deserialize(&w.finish(), true).is_err());
         // Zero-sized blocks are impossible (frames are self-delimiting).
         let zero = StreamTrailer { block_compressed_sizes: vec![0], uncompressed_size: 0 }.serialize();
-        assert!(StreamTrailer::deserialize(&zero).is_err());
+        assert!(StreamTrailer::deserialize(&zero, true).is_err());
+    }
+
+    #[test]
+    fn prelude_geometry_corruption_is_detected() {
+        // Flips in the covered region (magic..block_size) and in the
+        // checksum itself must be rejected; the trailing totals are
+        // deliberately outside the checksum (they get back-patched) and
+        // are cross-checked against the trailer by the stream reader.
+        let bytes = sample_prelude().serialize();
+        for byte in 0..UNCOMPRESSED_SIZE_OFFSET {
+            for bit in 0..8 {
+                let mut bad = bytes;
+                bad[byte] ^= 1 << bit;
+                assert!(StreamPrelude::deserialize(&bad).is_err(), "flip {byte}:{bit} parsed");
+            }
+        }
+        // Lenient parse keeps the fields when only the checksum is wrong.
+        let mut bad = bytes;
+        bad[PRELUDE_CHECKSUM_OFFSET] ^= 1;
+        let (p, ok) = StreamPrelude::deserialize_lenient(&bad).unwrap();
+        assert!(!ok);
+        assert_eq!(p.block_size, sample_prelude().block_size);
     }
 
     #[test]

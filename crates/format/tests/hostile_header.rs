@@ -9,8 +9,8 @@
 
 use gompresso_bitstream::{write_varint, ByteReader, ByteWriter};
 use gompresso_format::{
-    BlockConfig, BlockPayload, CompressedFile, EncodingMode, FileHeader, FormatError, ResolutionStrategy,
-    BLOCK_CONFIG_LEN, FORMAT_VERSION, MAX_BLOCK_COUNT,
+    xxh64, BlockConfig, BlockPayload, CompressedFile, EncodingMode, FileHeader, FormatError,
+    ResolutionStrategy, BLOCK_CONFIG_LEN, CHECKSUM_SEED, FORMAT_VERSION, MAX_BLOCK_COUNT,
 };
 use proptest::prelude::*;
 
@@ -44,6 +44,7 @@ fn sample_header() -> FileHeader {
         // Heterogeneous on purpose: serialization takes the per-block path.
         block_configs: vec![bit_config(), byte_de_config(), bit_config(), bit_config()],
         block_compressed_sizes: vec![100_000, 90_000, 85_000, 60_000],
+        block_checksums: vec![],
     }
 }
 
@@ -162,7 +163,7 @@ fn config_count_mismatched_with_block_count_errors() {
 
     // A declared block count inconsistent with the file geometry (the
     // uncompressed size implies 4 blocks, not 6) fails validation even
-    // when every record is well-formed.
+    // when every record is well-formed and the header checksum is correct.
     let mut w = header_prefix();
     write_varint(&mut w, 6);
     w.write_u8(1);
@@ -170,6 +171,9 @@ fn config_count_mismatched_with_block_count_errors() {
     for _ in 0..6 {
         write_varint(&mut w, 1000);
     }
+    w.write_u8(0); // no per-block checksums
+    let checksum = xxh64(w.as_slice(), CHECKSUM_SEED);
+    w.write_u64_le(checksum);
     let bytes = w.finish();
     let err = FileHeader::deserialize(&mut ByteReader::new(&bytes));
     assert!(
@@ -281,16 +285,17 @@ proptest! {
     }
 
     /// Arbitrary bytes at every version tag never panic either parser path
-    /// (exercises the legacy v1 body alongside v3).
+    /// (exercises the legacy v1/v3 bodies alongside v4).
     #[test]
     fn random_bodies_never_panic_any_version(
-        pick in 0u8..3,
+        pick in 0u8..4,
         raw_version in any::<u8>(),
         body in proptest::collection::vec(any::<u8>(), 0..160),
     ) {
         let version = match pick {
-            0 => 1u8, // legacy body parser
-            1 => 3u8, // current body parser
+            0 => 1u8, // legacy v1 body parser
+            1 => 3u8, // legacy v3 body parser
+            2 => 4u8, // current body parser
             _ => raw_version,
         };
         let mut bytes = b"GPSO".to_vec();
@@ -394,6 +399,7 @@ proptest! {
             block_size,
             block_configs,
             block_compressed_sizes: vec![1; block_count],
+            block_checksums: vec![],
         };
         let mut w = ByteWriter::new();
         header.serialize(&mut w);

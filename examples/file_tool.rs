@@ -11,8 +11,8 @@
 //! With no arguments it runs a self-contained demo on a temporary file.
 
 use gompresso::{
-    compress, decompress_with, CompressedFile, CompressorConfig, DecompressorConfig, EncodingMode,
-    ResolutionStrategy, StrategySelection,
+    compress, decompress_salvage, decompress_with, CompressedFile, CompressorConfig, DecompressorConfig,
+    EncodingMode, RecoveryReport, ResolutionStrategy, StrategySelection, StreamDecompressor,
 };
 use std::fs;
 use std::process::exit;
@@ -22,6 +22,10 @@ fn usage() -> ! {
     eprintln!("  file_tool compress   <input> <output.gpso> [bit|byte|auto] [--de]");
     eprintln!("  file_tool decompress <input.gpso> <output> [planned|sc|mrr|de]");
     eprintln!("  file_tool info       <input.gpso>");
+    eprintln!("  file_tool verify     <input.gpso|input.gpsos>");
+    eprintln!("  file_tool salvage    <input.gpso|input.gpsos> <output>");
+    eprintln!();
+    eprintln!("exit codes: 0 = ok, 1 = corruption found, 2 = usage or I/O error");
     exit(2)
 }
 
@@ -141,6 +145,118 @@ fn cmd_info(input: &str) {
     println!("  compression ratio    : {:.3}:1", file.compression_ratio());
 }
 
+/// Reads `input` or exits 2 (I/O problems are not corruption).
+fn read_or_exit(input: &str) -> Vec<u8> {
+    fs::read(input).unwrap_or_else(|e| {
+        eprintln!("cannot read {input}: {e}");
+        exit(2)
+    })
+}
+
+/// Whether to try the streaming format first (`.gpsos` extension).
+fn looks_like_stream(input: &str) -> bool {
+    input.ends_with(".gpsos")
+}
+
+/// Checks every integrity layer of `input` without writing any output.
+/// Exit 0 when the archive decodes fully with checksums verified, 1 when
+/// any corruption is found, 2 on I/O or usage errors.
+fn cmd_verify(input: &str) {
+    let bytes = read_or_exit(input);
+    let config = DecompressorConfig::default(); // checksums on
+
+    let container = || -> Result<usize, gompresso::GompressoError> {
+        let file = CompressedFile::deserialize(&bytes).map_err(gompresso::GompressoError::Format)?;
+        decompress_with(&file, &config).map(|(data, _)| data.len())
+    };
+    let stream = || -> Result<usize, gompresso::GompressoError> {
+        let mut sink = std::io::sink();
+        StreamDecompressor::new(config.clone())
+            .decompress(bytes.as_slice(), &mut sink)
+            .map(|stats| stats.uncompressed_size as usize)
+    };
+
+    // Try the format the extension suggests first; fall back to the other
+    // so a renamed archive still verifies.
+    let (first, second): (&dyn Fn() -> _, &dyn Fn() -> _) =
+        if looks_like_stream(input) { (&stream, &container) } else { (&container, &stream) };
+    match first().or_else(|first_err| second().map_err(|_| first_err)) {
+        Ok(size) => {
+            println!("{input}: OK ({size} bytes, all checksums verified)");
+        }
+        Err(e) => {
+            eprintln!("{input}: CORRUPT: {e}");
+            exit(1)
+        }
+    }
+}
+
+fn print_recovery(input: &str, report: &RecoveryReport) {
+    println!(
+        "{input}: recovered {}/{} blocks ({} bytes), lost {} blocks ({} bytes{})",
+        report.blocks_recovered,
+        report.blocks_recovered + report.blocks_lost,
+        report.bytes_recovered,
+        report.blocks_lost,
+        report.bytes_lost,
+        if report.lost_sizes_exact { "" } else { ", sizes approximate" },
+    );
+    if !report.head_intact {
+        println!("  note: archive head checksum did not verify");
+    }
+    if !report.trailer_intact {
+        println!(
+            "  note: trailer missing or damaged{}",
+            if report.resyncs > 0 { "; resynchronized by scanning" } else { "" }
+        );
+    }
+    for block in report.blocks.iter().filter(|b| !b.status.is_recovered()) {
+        if let gompresso::BlockStatus::Lost(e) = &block.status {
+            println!(
+                "  lost block {} (input bytes {}..{}, output bytes {}..{} zero-filled): {e}",
+                block.block,
+                block.input_range.0,
+                block.input_range.1,
+                block.output_range.0,
+                block.output_range.1
+            );
+        }
+    }
+}
+
+/// Best-effort recovery of a damaged archive into `output`. Exit 0 when
+/// everything was recovered, 1 when corruption was found (recovered output
+/// is still written), 2 on I/O or usage errors.
+fn cmd_salvage(input: &str, output: &str) {
+    let bytes = read_or_exit(input);
+    let config = DecompressorConfig::default();
+
+    let container = || decompress_salvage(&bytes, &config);
+    let stream = || StreamDecompressor::new(config.clone()).salvage_bytes(&bytes);
+    let result = if looks_like_stream(input) {
+        stream().or_else(|e| container().map_err(|_| e))
+    } else {
+        container().or_else(|e| stream().map_err(|_| e))
+    };
+
+    match result {
+        Ok((data, report)) => {
+            fs::write(output, &data).unwrap_or_else(|e| {
+                eprintln!("cannot write {output}: {e}");
+                exit(2)
+            });
+            print_recovery(input, &report);
+            if !(report.is_complete() && report.head_intact && report.trailer_intact) {
+                exit(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("{input}: unsalvageable (cannot even parse the archive head): {e}");
+            exit(1)
+        }
+    }
+}
+
 fn demo() {
     println!("no arguments given — running the self-contained demo\n");
     let dir = std::env::temp_dir().join("gompresso_file_tool_demo");
@@ -172,6 +288,8 @@ fn main() {
             cmd_decompress(&args[2], &args[3], strategy);
         }
         Some("info") if args.len() >= 3 => cmd_info(&args[2]),
+        Some("verify") if args.len() >= 3 => cmd_verify(&args[2]),
+        Some("salvage") if args.len() >= 4 => cmd_salvage(&args[2], &args[3]),
         _ => usage(),
     }
 }

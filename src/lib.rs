@@ -20,11 +20,13 @@
 #![warn(missing_docs)]
 
 pub use gompresso_core::{
-    compress, compress_file, decompress, decompress_file, decompress_with, planner_for, AdaptivePlanner,
-    BlockConfig, BlockFeedback, BlockPlan, CompressedFile, CompressedOutput, CompressionStats, Compressor,
-    CompressorConfig, CostModel, DecompressionReport, Decompressor, DecompressorConfig, EncodingMode,
+    compress, compress_file, decompress, decompress_file, decompress_salvage, decompress_with, planner_for,
+    salvage_file, AdaptivePlanner, BlockConfig, BlockFeedback, BlockPlan, BlockRecord, BlockStatus,
+    CompressedFile, CompressedOutput, CompressionStats, Compressor, CompressorConfig, CostModel,
+    DecompressionReport, Decompressor, DecompressorConfig, EncodingMode, FaultPlan, FaultReader, FaultWriter,
     FileSettings, GompressoError, GpuDeviceModel, GpuEstimate, MrrStats, PcieLink, Planner, PlanningMode,
-    ResolutionStrategy, StaticPlanner, StrategySelection, StreamCompressor, StreamDecompressor, StreamStats,
+    RecoveryReport, ResolutionStrategy, StaticPlanner, StrategySelection, StreamCompressor,
+    StreamDecompressor, StreamStats,
 };
 
 /// Low-level building blocks re-exported for advanced users (custom codecs,

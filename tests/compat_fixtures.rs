@@ -59,6 +59,40 @@ fn v1_fixture_decodes_under_forced_strategies() {
 }
 
 #[test]
+fn v3_container_fixtures_decode_bit_exactly() {
+    // v3 containers carry per-block configs but no checksums. They must
+    // keep decoding without any checksum requirement.
+    let input = reference_input();
+    for (name, mode) in [("v3_bit_de.gpso", EncodingMode::Bit), ("v3_byte.gpso", EncodingMode::Byte)] {
+        let file = CompressedFile::deserialize(&fixture(name))
+            .unwrap_or_else(|e| panic!("{name} no longer parses: {e}"));
+        assert!(file.header.block_checksums.is_empty(), "{name}: v3 headers carry no checksums");
+        let uniform = file.header.uniform_config().expect("fixture is uniform");
+        assert_eq!(uniform.mode, mode, "{name}");
+        let (restored, report) = decompress(&file).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert_eq!(restored, input, "{name} output differs from the committed input");
+        assert_eq!(report.uncompressed_size, input.len() as u64);
+    }
+}
+
+#[test]
+fn v3_stream_fixtures_decode_bit_exactly() {
+    // v3 streams carry per-frame configs but no per-frame checksums and no
+    // trailer checksum; the v4 reader must keep accepting them.
+    let input = reference_input();
+    for name in ["v3_bit.gpsos", "v3_byte_de.gpsos"] {
+        let bytes = fixture(name);
+        let mut restored = Vec::new();
+        let stats = StreamDecompressor::new(DecompressorConfig::default())
+            .decompress(bytes.as_slice(), &mut restored)
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert_eq!(restored, input, "{name} output differs from the committed input");
+        assert_eq!(stats.uncompressed_size, input.len() as u64);
+        assert_eq!(stats.blocks, input.len().div_ceil(32 * 1024) as u64, "{name}: 32 KiB blocks");
+    }
+}
+
+#[test]
 fn v2_stream_fixtures_decode_bit_exactly() {
     let input = reference_input();
     for name in ["v2_bit.gpsos", "v2_byte_de.gpsos"] {

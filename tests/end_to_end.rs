@@ -207,6 +207,7 @@ fn hand_spliced_mixed_mode_archive_decodes_per_block() {
         block_size: block_size as u32,
         block_configs,
         block_compressed_sizes: Vec::new(),
+        block_checksums: Vec::new(),
     };
     let mut blocks = bit_out.file.blocks.clone();
     blocks.extend_from_slice(&byte_out.file.blocks);
