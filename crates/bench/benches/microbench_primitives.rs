@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gompresso_bench::wikipedia_data;
 use gompresso_bitstream::{BitReader, BitWriter};
 use gompresso_format::token_code::TokenCoder;
-use gompresso_format::{BitBlock, InterleaveScratch};
-use gompresso_huffman::{CanonicalCode, DecodeTable, EncodeTable, Histogram};
+use gompresso_format::{BitBlock, EncodeScratch, InterleaveScratch};
+use gompresso_huffman::{CanonicalCode, DecodeTable, EncodeTable, Histogram, PairTable, StripeCounters};
 use gompresso_lz77::{
     common_prefix_len, decompress_block_into, decompress_block_reference, Matcher, MatcherConfig, Sequence,
     SequenceBlock,
@@ -205,6 +205,35 @@ fn bench_huffman(c: &mut Criterion) {
             w.finish().len()
         });
     });
+    group.bench_function("encode_slice_paired_1mib", |b| {
+        // The multi-symbol path: two literals per table hit through the
+        // 64K-entry fused pair table.
+        let mut pairs = PairTable::new();
+        pairs.rebuild(&enc);
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(encoded.len());
+            enc.encode_slice_paired(&mut w, &data, &pairs).unwrap();
+            w.finish().len()
+        });
+    });
+    group.bench_function("histogram_flat_1mib", |b| {
+        // Single 256-counter array: every byte bumps the same cache lines,
+        // so repeated bytes serialize on store-to-load forwarding.
+        b.iter(|| {
+            let mut h = Histogram::new(256);
+            h.add_bytes(&data);
+            h.count(0)
+        });
+    });
+    group.bench_function("histogram_striped_1mib", |b| {
+        // Two-level build: four u16 lane counters merged per chunk.
+        let mut lanes = StripeCounters::new();
+        b.iter(|| {
+            let mut h = Histogram::new(256);
+            h.add_bytes_striped(&data, &mut lanes);
+            h.count(0)
+        });
+    });
     group.bench_function("decode_fused_1mib", |b| {
         // The production path: one refill + one lookup per symbol.
         b.iter(|| {
@@ -332,6 +361,49 @@ fn bench_interleaved_decode(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_interleaved_encode(c: &mut Criterion) {
+    // Interleaved multi-lane sub-block encode at S = 1/2/4/8 against the
+    // single-writer sequential emitter, over a realistic 1 MiB block. The
+    // decode side rewards interleaving (it hides the serial peek → lookup →
+    // consume chain); this case tracks whether the write side ever does.
+    let data = wikipedia_data(1 << 20);
+    let cfg = MatcherConfig::gompresso();
+    let coder =
+        TokenCoder::new(cfg.min_match_len as u32, cfg.max_match_len as u32, cfg.window_size as u32).unwrap();
+    let block = Matcher::new(cfg).compress(&data);
+
+    let mut group = c.benchmark_group("micro_interleave_encode");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    group.bench_function("sequential_emit", |b| {
+        let mut scratch = EncodeScratch::new();
+        b.iter(|| {
+            BitBlock::encode_sequential_with_scratch(&block, &coder, 16, 10, &mut scratch)
+                .unwrap()
+                .bitstream
+                .len()
+        });
+    });
+    macro_rules! encode_case {
+        ($s:literal) => {
+            group.bench_function(concat!("interleaved_s", $s), |b| {
+                let mut scratch = EncodeScratch::new();
+                b.iter(|| {
+                    BitBlock::encode_sub_blocks_interleaved::<$s>(&block, &coder, 16, 10, &mut scratch)
+                        .unwrap()
+                        .bitstream
+                        .len()
+                });
+            });
+        };
+    }
+    encode_case!(1);
+    encode_case!(2);
+    encode_case!(4);
+    encode_case!(8);
+    group.finish();
+}
+
 fn bench_lut_layout(c: &mut Criterion) {
     // Packed-u32 LUT lookup vs the former (u16, u8) tuple layout, isolated
     // from the bitstream: chase 4M windows through each table.
@@ -396,6 +468,7 @@ criterion_group!(
     bench_huffman,
     bench_wild_copy,
     bench_interleaved_decode,
+    bench_interleaved_encode,
     bench_lut_layout,
     bench_matcher
 );

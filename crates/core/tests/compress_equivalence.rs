@@ -14,7 +14,7 @@
 //!
 //! The reference mirrors the *algorithm* (quad-byte hashing, single-probe
 //! chains whose DE-vetoed candidates do not consume attempts, skip-stride
-//! over miss runs, the sampled covered-position insertion inside long DE
+//! over miss runs, the sampled covered-position insertion inside long
 //! matches, the minimal-staleness policy) in its simplest possible code, so
 //! any divergence introduced by the word-wise/batched implementations fails
 //! the property.
@@ -162,13 +162,16 @@ fn ref_compress(cfg: &MatcherConfig, input: &[u8]) -> SequenceBlock {
             emitted.push((pos, pos + best_len));
             miss_run = 0;
             // Covered-position insertion, sampled every other position for
-            // long matches under DE.
-            let step = if cfg.dependency_elimination && best_len >= 8 { 2 } else { 1 };
+            // long matches.
+            let step = if best_len >= 8 { 2 } else { 1 };
             insert(&mut head, &mut prev, input, pos);
             let mut p = pos + 1;
             while p < pos + best_len {
                 insert(&mut head, &mut prev, input, p);
                 p += step;
+            }
+            if !cfg.dependency_elimination && best_len >= 8 && best_len.is_multiple_of(2) {
+                insert(&mut head, &mut prev, input, pos + best_len - 2);
             }
             pos += best_len;
             literal_start = pos;

@@ -8,11 +8,30 @@
 //! sum and start decoding immediately — the single-pass parallel Huffman
 //! decoding scheme of Section III-B-1.
 
-use crate::token_code::{TokenCoder, TokenTables, END_OF_SEQUENCES, FIRST_LENGTH_SYMBOL};
+use crate::token_code::{TokenCoder, TokenEncodeTables, TokenTables, END_OF_SEQUENCES, FIRST_LENGTH_SYMBOL};
 use crate::{FormatError, Result};
 use gompresso_bitstream::{read_varint, write_varint, BitReader, BitWriter, ByteReader, ByteWriter};
-use gompresso_huffman::{CanonicalCode, DecodeTable, EncodeTable, Histogram};
+use gompresso_huffman::{CanonicalCode, DecodeTable, EncodeTable, Histogram, PairTable, StripeCounters};
 use gompresso_lz77::{Sequence, SequenceBlock};
+
+/// Lanes the default block encoder keeps live.
+///
+/// Measured on the host benchmark rows, the write side does not reward
+/// interleaving the way the decode side does: decoding carries a long
+/// serial dependency chain per symbol (peek → table load → consume) that
+/// lane interleaving hides, while the grouped emitter touches its writer
+/// once per sequence and is throughput-bound on table loads the
+/// out-of-order window already overlaps. Extra lanes only add staging
+/// and splice cost (S=4 measures ~10 % slower than S=1 on all rows), so
+/// the default stays at one lane — which, with lane 0 emitting directly
+/// into the block writer, stages and splices nothing at all. The
+/// microbench suite tracks the S sweep so a future core with a longer
+/// store-forwarding penalty can revisit this.
+pub const ENCODE_LANES: usize = 1;
+
+/// Literal bytes a block must contain before rebuilding the 64 K-entry
+/// paired-literal table pays for itself.
+const PAIR_TABLE_MIN_LITERALS: usize = 1 << 18;
 
 /// A Huffman-coded data block with sub-block index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,25 +53,50 @@ pub struct BitBlock {
     pub bitstream: Vec<u8>,
 }
 
-/// Reusable histogram state for [`BitBlock::encode_with_scratch`].
+/// Reusable per-worker state for [`BitBlock::encode_with_scratch`]: the two
+/// pass-1 histograms (with their striped lane counters), the flat
+/// encode-side token tables (cached per coder), the paired-literal table
+/// (rebuilt per block when gated in) and the lane staging writers of the
+/// interleaved emit pass.
 ///
-/// The first encoding pass builds two histograms whose alphabets depend only
-/// on the token coder, so a per-worker scratch lets every block of a file
-/// reuse the same allocations; [`BitBlock::encode`] creates a throwaway one.
+/// One scratch per worker lets every block of a file reuse the same
+/// allocations; [`BitBlock::encode`] creates a throwaway one.
 #[derive(Debug, Clone)]
 pub struct EncodeScratch {
     lit_len_hist: Histogram,
     offset_hist: Histogram,
-    /// Per-match token data computed by pass 1 and replayed by pass 2:
-    /// `(length symbol, offset symbol, length extra, offset extra,
-    /// length extra bits, offset extra bits)`.
-    match_tokens: Vec<(u16, u16, u32, u32, u8, u8)>,
+    /// Striped `u16` lane counters for the two-level literal histogram.
+    stripes: StripeCounters,
+    /// Paired-literal fused-code table; rebuilt per block from the block's
+    /// literal/length code when the block has enough literals to amortize
+    /// the 64 K-entry build.
+    pairs: PairTable,
+    /// Flat encode-side token tables, rebuilt only when the file's coding
+    /// parameters change.
+    tokens: Option<(TokenCoder, TokenEncodeTables)>,
+    /// Per-block fused length entries, indexed by `len - min_match_len`:
+    /// the Huffman code word with the extra bits pre-shifted behind it,
+    /// plus the combined width (0 = uncoded in this block / not tabulated).
+    len_fused: Vec<(u64, u32)>,
+    /// Per-block fused offset entries, indexed by `offset - 1`.
+    off_fused: Vec<(u64, u32)>,
+    /// Per-lane staging writers for the interleaved emit pass.
+    lane_writers: Vec<BitWriter>,
 }
 
 impl EncodeScratch {
-    /// Creates an empty scratch; histograms are sized on first use.
+    /// Creates an empty scratch; everything is sized on first use.
     pub fn new() -> Self {
-        Self { lit_len_hist: Histogram::new(0), offset_hist: Histogram::new(0), match_tokens: Vec::new() }
+        Self {
+            lit_len_hist: Histogram::new(0),
+            offset_hist: Histogram::new(0),
+            stripes: StripeCounters::new(),
+            pairs: PairTable::new(),
+            tokens: None,
+            len_fused: Vec::new(),
+            off_fused: Vec::new(),
+            lane_writers: Vec::new(),
+        }
     }
 
     /// Clears the histograms, reallocating only if the coder's alphabets
@@ -69,12 +113,261 @@ impl EncodeScratch {
             self.offset_hist = Histogram::new(offset_alphabet);
         }
     }
+
+    /// Rebuilds the cached encode-side token tables if `coder` differs from
+    /// the cached parameters (or nothing is cached yet).
+    fn ensure_tokens(&mut self, coder: &TokenCoder) {
+        if self.tokens.as_ref().is_none_or(|(cached, _)| cached != coder) {
+            self.tokens = Some((*coder, TokenEncodeTables::new(coder)));
+        }
+    }
 }
 
 impl Default for EncodeScratch {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Everything pass 1 decides: the block's two canonical codes, their encode
+/// tables, the exact output bit count, and whether the paired-literal table
+/// was (re)built for this block.
+struct EntropyPlan {
+    lit_len_code: CanonicalCode,
+    offset_code: CanonicalCode,
+    lit_len_enc: EncodeTable,
+    offset_enc: EncodeTable,
+    total_bits: u64,
+    use_pairs: bool,
+}
+
+/// Pass 1: histograms over both alphabets (striped two-level build for the
+/// literal bulk, flat token tables for the match symbols), code
+/// construction, and the exact size hint for the emit pass. Also rebuilds
+/// the per-block fused token tables and, when the block's literal volume
+/// justifies it, the paired-literal table.
+fn plan_entropy(
+    block: &SequenceBlock,
+    coder: &TokenCoder,
+    max_codeword_len: u8,
+    scratch: &mut EncodeScratch,
+) -> Result<EntropyPlan> {
+    scratch.prepare(coder.lit_len_alphabet(), coder.offset_alphabet());
+    scratch.ensure_tokens(coder);
+    let EncodeScratch { lit_len_hist, offset_hist, stripes, pairs, tokens, len_fused, off_fused, .. } =
+        scratch;
+    let tables = &tokens.as_ref().expect("ensure_tokens populated the cache").1;
+
+    // Guarantee both alphabets are non-empty so code construction cannot
+    // fail on blocks without matches (or without literals).
+    lit_len_hist.add(END_OF_SEQUENCES);
+    offset_hist.add(0);
+    let mut extra_bits = 0u64;
+
+    // Literal frequencies do not depend on how literals interleave with
+    // matches, so the whole literal buffer is counted with one bulk striped
+    // sweep; the per-sequence loop then only handles match symbols.
+    lit_len_hist.add_bytes_striped(&block.literals, stripes);
+    for seq in &block.sequences {
+        if seq.has_match() {
+            let (len_sym, len_bits, _) = tables.length_token(seq.match_len)?;
+            let (off_sym, off_bits, _) = tables.offset_token(seq.match_offset)?;
+            lit_len_hist.add(len_sym);
+            offset_hist.add(off_sym);
+            extra_bits += u64::from(len_bits) + u64::from(off_bits);
+        } else {
+            lit_len_hist.add(END_OF_SEQUENCES);
+        }
+    }
+
+    let lit_len_code = CanonicalCode::from_histogram(lit_len_hist, max_codeword_len)?;
+    let offset_code = CanonicalCode::from_histogram(offset_hist, max_codeword_len)?;
+    let lit_len_enc = EncodeTable::new(&lit_len_code);
+    let offset_enc = EncodeTable::new(&offset_code);
+
+    // The histograms seeded one EOS and one offset-0 occurrence that the
+    // stream will not contain; subtracting their code lengths makes the
+    // size hint exact.
+    let seeded_bits = u64::from(lit_len_enc.code_len(END_OF_SEQUENCES).unwrap_or(0))
+        + u64::from(offset_enc.code_len(0).unwrap_or(0));
+    let total_bits = lit_len_enc.encoded_bits_for_histogram(lit_len_hist)?
+        + offset_enc.encoded_bits_for_histogram(offset_hist)?
+        + extra_bits
+        - seeded_bits;
+
+    // Fuse this block's Huffman code words with the verbatim extra bits
+    // into per-value tables: the emit pass then loads one `(bits, width)`
+    // entry per match field instead of a token lookup, a code lookup and
+    // two shifts. Values whose symbol got no code this block keep the
+    // width-0 sentinel — unreachable for well-formed streams (pass 1
+    // counted every present value) but kept as an error path. Tabulated
+    // widths are bounded well under the 62-bit packer cap: code words are
+    // at most 32 bits and tabulated extras at most 16 (lengths) / 13
+    // (offsets).
+    len_fused.clear();
+    len_fused.extend(tables.length_entries().iter().map(|&(sym, bits, extra)| match lit_len_enc.code(sym) {
+        Ok((code, code_bits)) => {
+            (u64::from(code) | u64::from(extra) << code_bits, u32::from(code_bits) + u32::from(bits))
+        }
+        Err(_) => (0, 0),
+    }));
+    off_fused.clear();
+    off_fused.extend(tables.offset_entries().iter().map(|&(sym, bits, extra)| match offset_enc.code(sym) {
+        Ok((code, code_bits)) => {
+            (u64::from(code) | u64::from(extra) << code_bits, u32::from(code_bits) + u32::from(bits))
+        }
+        Err(_) => (0, 0),
+    }));
+
+    let use_pairs = block.literals.len() >= PAIR_TABLE_MIN_LITERALS;
+    if use_pairs {
+        pairs.rebuild(&lit_len_enc);
+    }
+    Ok(EntropyPlan { lit_len_code, offset_code, lit_len_enc, offset_enc, total_bits, use_pairs })
+}
+
+/// Shared read-only state of the emit pass: the block's code tables in the
+/// forms the hot loop wants (raw byte codes, fused match tokens, pair
+/// table), plus the fallbacks for values outside the tabulated ranges.
+struct Emitter<'a> {
+    plan: &'a EntropyPlan,
+    pairs: &'a PairTable,
+    /// `(code, len)` per literal byte, straight out of the encode table.
+    lit_codes: &'a [(u32, u8)],
+    len_fused: &'a [(u64, u32)],
+    off_fused: &'a [(u64, u32)],
+    tables: &'a TokenEncodeTables,
+    min_match_len: u32,
+}
+
+/// Appends `width` bits to a local 64-bit group, flushing the group to `w`
+/// first when the bits would not fit its 62-bit budget.
+#[inline(always)]
+fn pack(w: &mut BitWriter, group: &mut u64, group_bits: &mut u32, bits: u64, width: u32) {
+    if *group_bits + width > 62 {
+        w.write_bits_u64(*group, *group_bits);
+        *group = 0;
+        *group_bits = 0;
+    }
+    *group |= bits << *group_bits;
+    *group_bits += width;
+}
+
+impl Emitter<'_> {
+    fn new<'a>(plan: &'a EntropyPlan, scratch_refs: EmitScratchRefs<'a>) -> Result<Emitter<'a>> {
+        let lit_codes = plan
+            .lit_len_enc
+            .literal_codes()
+            .ok_or(FormatError::InvalidToken { reason: "literal/length alphabet below 256 symbols" })?;
+        Ok(Emitter {
+            plan,
+            pairs: scratch_refs.pairs,
+            lit_codes,
+            len_fused: scratch_refs.len_fused,
+            off_fused: scratch_refs.off_fused,
+            tables: scratch_refs.tables,
+            min_match_len: scratch_refs.tables.min_match_len(),
+        })
+    }
+
+    /// Emits one sequence — its literal run, then a match token or the
+    /// end-of-sequences marker — into `w`, advancing `lit_cursor`.
+    ///
+    /// The whole sequence is packed through one local group accumulator,
+    /// so the writer's accumulator chain is touched once per sequence in
+    /// the common case (a typical sequence is a handful of literal codes
+    /// plus two fused match fields, well under the 62-bit group budget per
+    /// visit).
+    #[inline]
+    fn emit(&self, w: &mut BitWriter, seq: &Sequence, literals: &[u8], lit_cursor: &mut usize) -> Result<()> {
+        let mut group = 0u64;
+        let mut group_bits = 0u32;
+        let lit_end = *lit_cursor + seq.literal_len as usize;
+        let run = &literals[*lit_cursor..lit_end];
+        *lit_cursor = lit_end;
+
+        if self.plan.use_pairs {
+            let mut chunks = run.chunks_exact(2);
+            for pair in &mut chunks {
+                let (code, len) = self.pairs.entry(pair[0], pair[1]);
+                if len != 0 {
+                    pack(w, &mut group, &mut group_bits, u64::from(code), u32::from(len));
+                    continue;
+                }
+                for &b in pair {
+                    self.pack_literal(w, &mut group, &mut group_bits, b)?;
+                }
+            }
+            if let [b] = chunks.remainder() {
+                self.pack_literal(w, &mut group, &mut group_bits, *b)?;
+            }
+        } else {
+            for &b in run {
+                self.pack_literal(w, &mut group, &mut group_bits, b)?;
+            }
+        }
+
+        if seq.has_match() {
+            let len_idx = seq.match_len.wrapping_sub(self.min_match_len) as usize;
+            match self.len_fused.get(len_idx) {
+                Some(&(bits, width)) if width > 0 => pack(w, &mut group, &mut group_bits, bits, width),
+                _ => {
+                    // Outside the tabulated span (or an uncoded symbol,
+                    // which a well-formed stream cannot produce): flush the
+                    // group to keep bit order, then fall back to the
+                    // arithmetic token path.
+                    w.write_bits_u64(group, group_bits);
+                    group = 0;
+                    group_bits = 0;
+                    let (sym, bits, extra) = self.tables.length_token(seq.match_len)?;
+                    let (code, code_bits) = self.plan.lit_len_enc.code(sym)?;
+                    w.write_bits_u64(
+                        u64::from(code) | u64::from(extra) << code_bits,
+                        u32::from(code_bits) + u32::from(bits),
+                    );
+                }
+            }
+            let off_idx = seq.match_offset.wrapping_sub(1) as usize;
+            match self.off_fused.get(off_idx) {
+                Some(&(bits, width)) if width > 0 => pack(w, &mut group, &mut group_bits, bits, width),
+                _ => {
+                    w.write_bits_u64(group, group_bits);
+                    group = 0;
+                    group_bits = 0;
+                    let (sym, bits, extra) = self.tables.offset_token(seq.match_offset)?;
+                    let (code, code_bits) = self.plan.offset_enc.code(sym)?;
+                    w.write_bits_u64(
+                        u64::from(code) | u64::from(extra) << code_bits,
+                        u32::from(code_bits) + u32::from(bits),
+                    );
+                }
+            }
+        } else {
+            let (code, code_bits) = self.plan.lit_len_enc.code(END_OF_SEQUENCES)?;
+            pack(w, &mut group, &mut group_bits, u64::from(code), u32::from(code_bits));
+        }
+
+        w.write_bits_u64(group, group_bits);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn pack_literal(&self, w: &mut BitWriter, group: &mut u64, group_bits: &mut u32, b: u8) -> Result<()> {
+        let (code, len) = self.lit_codes[usize::from(b)];
+        if len == 0 {
+            return Err(gompresso_huffman::HuffmanError::UnknownSymbol(u16::from(b)).into());
+        }
+        pack(w, group, group_bits, u64::from(code), u32::from(len));
+        Ok(())
+    }
+}
+
+/// The borrowed pieces of [`EncodeScratch`] the emit pass reads.
+struct EmitScratchRefs<'a> {
+    pairs: &'a PairTable,
+    len_fused: &'a [(u64, u32)],
+    off_fused: &'a [(u64, u32)],
+    tables: &'a TokenEncodeTables,
 }
 
 impl BitBlock {
@@ -95,11 +388,12 @@ impl BitBlock {
     }
 
     /// Entropy-codes an LZ77 sequence block, reusing caller-provided
-    /// histogram scratch.
+    /// scratch.
     ///
-    /// The output bitstream is preallocated exactly: the pass-1 histograms
-    /// and the finished code tables predict the encoded bit count (including
-    /// extra bits), so pass 2 never reallocates.
+    /// This is the interleaved emit path with the default lane count
+    /// ([`ENCODE_LANES`]); its output is bit-identical to
+    /// [`Self::encode_sequential_with_scratch`] for every input — see
+    /// [`Self::encode_sub_blocks_interleaved`] for why.
     pub fn encode_with_scratch(
         block: &SequenceBlock,
         coder: &TokenCoder,
@@ -107,89 +401,209 @@ impl BitBlock {
         max_codeword_len: u8,
         scratch: &mut EncodeScratch,
     ) -> Result<Self> {
+        Self::encode_sub_blocks_interleaved::<ENCODE_LANES>(
+            block,
+            coder,
+            sequences_per_sub_block,
+            max_codeword_len,
+            scratch,
+        )
+    }
+
+    /// Entropy-codes a sequence block with `S` interleaved lane writers —
+    /// the write-side mirror of [`Self::decode_sub_blocks_interleaved`].
+    ///
+    /// Each sub-block's bit encoding is position-independent (a sub-block
+    /// is just the concatenation of its sequences' code words), so `S`
+    /// sub-blocks are staged concurrently into `S` independent
+    /// [`BitWriter`] lanes and spliced back into the block stream in
+    /// sub-block order after each chunk. The lanes' accumulator chains have
+    /// no data dependencies on each other, so the round-robin emission
+    /// overlaps their shift/store latencies — the same ILP the interleaved
+    /// decoder extracts from its table lookups. Because the splice is an
+    /// exact bit-append, the serialized block is **bit-identical to the
+    /// sequential encoder for every `S`**, including sub-block counts not
+    /// divisible by `S`; there is no compatibility mode to opt into.
+    ///
+    /// Pass 1 (histograms and code construction) is shared with the
+    /// sequential path: a striped two-level literal histogram, flat token
+    /// tables for the match symbols, and an exact preallocation of the
+    /// output stream from the finished codes.
+    pub fn encode_sub_blocks_interleaved<const S: usize>(
+        block: &SequenceBlock,
+        coder: &TokenCoder,
+        sequences_per_sub_block: u32,
+        max_codeword_len: u8,
+        scratch: &mut EncodeScratch,
+    ) -> Result<Self> {
+        assert!(S >= 1, "at least one interleaved lane");
         assert!(sequences_per_sub_block >= 1, "sub-blocks must hold at least one sequence");
 
-        // Pass 1: histograms over both alphabets, plus the total number of
-        // extra (verbatim) bits that will accompany the coded symbols.
-        scratch.prepare(coder.lit_len_alphabet(), coder.offset_alphabet());
-        let EncodeScratch { lit_len_hist, offset_hist, match_tokens } = scratch;
-        match_tokens.clear();
-        // Guarantee both alphabets are non-empty so code construction cannot
-        // fail on blocks without matches (or without literals).
-        lit_len_hist.add(END_OF_SEQUENCES);
-        offset_hist.add(0);
-        let mut extra_bits = 0u64;
+        let plan = plan_entropy(block, coder, max_codeword_len, scratch)?;
+        // Lane 0 of every chunk emits straight into the block writer (it is
+        // first in drain order anyway), so only S-1 staging writers exist.
+        let staged = S - 1;
+        if scratch.lane_writers.len() < staged {
+            scratch.lane_writers.resize_with(staged, BitWriter::new);
+        }
+        let EncodeScratch { pairs, tokens, len_fused, off_fused, lane_writers, .. } = scratch;
+        let tables = &tokens.as_ref().expect("ensure_tokens populated the cache").1;
+        let emitter = Emitter::new(&plan, EmitScratchRefs { pairs, len_fused, off_fused, tables })?;
+        let lanes = &mut lane_writers[..staged];
 
-        // Literal frequencies do not depend on how literals interleave with
-        // matches, so the whole literal buffer is counted with one bulk
-        // sweep; the per-sequence loop then only handles match symbols.
-        lit_len_hist.add_bytes(&block.literals);
-        for seq in &block.sequences {
-            if seq.has_match() {
-                let (len_sym, len_bits, len_extra) = coder.encode_length(seq.match_len)?;
-                let (off_sym, off_bits, off_extra) = coder.encode_offset(seq.match_offset)?;
-                lit_len_hist.add(len_sym);
-                offset_hist.add(off_sym);
-                extra_bits += u64::from(len_bits) + u64::from(off_bits);
-                match_tokens.push((len_sym, off_sym, len_extra, off_extra, len_bits, off_bits));
-            } else {
-                lit_len_hist.add(END_OF_SEQUENCES);
-            }
+        let mut w = BitWriter::with_capacity((plan.total_bits as usize).div_ceil(8));
+        let per = sequences_per_sub_block as usize;
+        let n_sub_blocks = block.sequences.len().div_ceil(per);
+        let mut sub_block_bits = Vec::with_capacity(n_sub_blocks);
+        let push_bits = |sub_block_bits: &mut Vec<u32>, bits: u64| {
+            u32::try_from(bits)
+                .map(|b| sub_block_bits.push(b))
+                .map_err(|_| FormatError::InvalidToken { reason: "sub-block exceeds 2^32 bits" })
+        };
+
+        // Cursors of one emission lane: the sub-block's sequence range and
+        // its position in the shared literal buffer.
+        #[derive(Clone, Copy, Default)]
+        struct LaneCursor {
+            seq_idx: usize,
+            seq_end: usize,
+            lit_cursor: usize,
         }
 
-        let lit_len_code = CanonicalCode::from_histogram(lit_len_hist, max_codeword_len)?;
-        let offset_code = CanonicalCode::from_histogram(offset_hist, max_codeword_len)?;
-        let lit_len_enc = EncodeTable::new(&lit_len_code);
-        let offset_enc = EncodeTable::new(&offset_code);
+        let mut sub = 0usize;
+        let mut seq_cursor = 0usize;
+        let mut lit_cursor = 0usize;
+        let mut cursors = [LaneCursor::default(); S];
+        while sub < n_sub_blocks {
+            let chunk = S.min(n_sub_blocks - sub);
+            for (lane, cur) in cursors.iter_mut().enumerate().take(chunk) {
+                let seq_end = (seq_cursor + per).min(block.sequences.len());
+                *cur = LaneCursor { seq_idx: seq_cursor, seq_end, lit_cursor };
+                if lane > 0 {
+                    lanes[lane - 1].clear();
+                }
+                // Later lanes start mid-buffer: advance the shared literal
+                // cursor over this lane's sequences. The last lane's span
+                // is not scanned — its post-emit cursor supplies the next
+                // chunk's starting position instead, so a single-lane
+                // encoder never scans at all.
+                if lane + 1 < chunk {
+                    for seq in &block.sequences[seq_cursor..seq_end] {
+                        lit_cursor += seq.literal_len as usize;
+                    }
+                }
+                seq_cursor = seq_end;
+            }
+            let w_start = w.bit_len();
 
-        // The histograms seeded one EOS and one offset-0 occurrence that the
-        // stream will not contain; subtracting their code lengths makes the
-        // size hint exact.
-        let seeded_bits = u64::from(lit_len_enc.code_len(END_OF_SEQUENCES).unwrap_or(0))
-            + u64::from(offset_enc.code_len(0).unwrap_or(0));
-        let total_bits = lit_len_enc.encoded_bits_for_histogram(lit_len_hist)?
-            + offset_enc.encoded_bits_for_histogram(offset_hist)?
-            + extra_bits
-            - seeded_bits;
+            if chunk == S && cursors.iter().all(|c| c.seq_end - c.seq_idx == per) {
+                // Full chunk: every lane holds exactly `per` sequences, so
+                // the round-robin needs no liveness checks — one sequence
+                // per lane per turn, with the lanes' independent
+                // accumulator chains overlapping in flight. The cursors
+                // are split into plain scalar arrays so the compiler keeps
+                // them in registers across the turn loop.
+                let mut seq_idx = [0usize; S];
+                let mut lit = [0usize; S];
+                for lane in 0..S {
+                    seq_idx[lane] = cursors[lane].seq_idx;
+                    lit[lane] = cursors[lane].lit_cursor;
+                }
+                for _ in 0..per {
+                    emitter.emit(&mut w, &block.sequences[seq_idx[0]], &block.literals, &mut lit[0])?;
+                    seq_idx[0] += 1;
+                    for lane in 1..S {
+                        emitter.emit(
+                            &mut lanes[lane - 1],
+                            &block.sequences[seq_idx[lane]],
+                            &block.literals,
+                            &mut lit[lane],
+                        )?;
+                        seq_idx[lane] += 1;
+                    }
+                }
+                for lane in 0..S {
+                    cursors[lane].seq_idx = seq_idx[lane];
+                    cursors[lane].lit_cursor = lit[lane];
+                }
+            } else {
+                // Ragged tail: round-robin with liveness checks. Every
+                // sub-block holds at least one sequence, so all `chunk`
+                // lanes start live.
+                let mut active = chunk;
+                while active > 0 {
+                    for (lane, cur) in cursors.iter_mut().enumerate().take(chunk) {
+                        if cur.seq_idx == cur.seq_end {
+                            continue;
+                        }
+                        let lane_w = if lane == 0 { &mut w } else { &mut lanes[lane - 1] };
+                        emitter.emit(
+                            lane_w,
+                            &block.sequences[cur.seq_idx],
+                            &block.literals,
+                            &mut cur.lit_cursor,
+                        )?;
+                        cur.seq_idx += 1;
+                        if cur.seq_idx == cur.seq_end {
+                            active -= 1;
+                        }
+                    }
+                }
+            }
 
-        // Pass 2: emit the bitstream, recording sub-block boundaries.
-        let mut w = BitWriter::with_capacity((total_bits as usize).div_ceil(8));
+            // Drain in sub-block order: lane 0 is already in place; record
+            // its size, then splice the staged lanes behind it.
+            push_bits(&mut sub_block_bits, w.bit_len() - w_start)?;
+            for staged_w in lanes.iter().take(chunk - 1) {
+                push_bits(&mut sub_block_bits, staged_w.bit_len())?;
+                w.append_writer(staged_w);
+            }
+            lit_cursor = cursors[chunk - 1].lit_cursor;
+            sub += chunk;
+        }
+
+        debug_assert_eq!(w.bit_len(), plan.total_bits, "size hint must predict the bitstream exactly");
+        Ok(BitBlock {
+            lit_len_code: plan.lit_len_code,
+            offset_code: plan.offset_code,
+            n_sequences: block.sequences.len() as u32,
+            uncompressed_len: block.uncompressed_len as u32,
+            sequences_per_sub_block,
+            sub_block_bits,
+            bitstream: w.finish(),
+        })
+    }
+
+    /// Entropy-codes a sequence block with a single writer walking the
+    /// sub-blocks in order — the pre-interleaving reference emitter.
+    ///
+    /// Kept as the ground truth the equivalence suite and the microbenches
+    /// compare [`Self::encode_sub_blocks_interleaved`] against; production
+    /// paths use [`Self::encode_with_scratch`].
+    pub fn encode_sequential_with_scratch(
+        block: &SequenceBlock,
+        coder: &TokenCoder,
+        sequences_per_sub_block: u32,
+        max_codeword_len: u8,
+        scratch: &mut EncodeScratch,
+    ) -> Result<Self> {
+        assert!(sequences_per_sub_block >= 1, "sub-blocks must hold at least one sequence");
+        let plan = plan_entropy(block, coder, max_codeword_len, scratch)?;
+        let EncodeScratch { pairs, tokens, len_fused, off_fused, .. } = scratch;
+        let tables = &tokens.as_ref().expect("ensure_tokens populated the cache").1;
+        let emitter = Emitter::new(&plan, EmitScratchRefs { pairs, len_fused, off_fused, tables })?;
+
+        let mut w = BitWriter::with_capacity((plan.total_bits as usize).div_ceil(8));
         let n_sub_blocks = block.sequences.len().div_ceil(sequences_per_sub_block as usize);
         let mut sub_block_bits = Vec::with_capacity(n_sub_blocks);
         let mut sub_block_start_bit = 0u64;
-        let mut literal_cursor = 0usize;
+        let mut lit_cursor = 0usize;
         // Countdown instead of `(i + 1) % sequences_per_sub_block`: the
         // boundary test runs per sequence and a runtime modulo is a real
         // division on most cores.
         let mut seqs_left_in_sub_block = sequences_per_sub_block;
-        let mut next_match_token = 0usize;
         for (i, seq) in block.sequences.iter().enumerate() {
-            let lit_end = literal_cursor + seq.literal_len as usize;
-            lit_len_enc.encode_slice(&mut w, &block.literals[literal_cursor..lit_end])?;
-            literal_cursor = lit_end;
-            if seq.has_match() {
-                // Replay the token data pass 1 computed, fusing the four
-                // match fields (length code + extra bits, offset code +
-                // extra bits) into two bulk appends. Their combined width
-                // is at most 16 + 16 + 16 + 13 bits, but the u64 packer is
-                // capped at 62, so emit in two halves.
-                let (len_sym, off_sym, len_extra, off_extra, len_bits, off_bits) =
-                    match_tokens[next_match_token];
-                next_match_token += 1;
-                let (len_code, len_code_bits) = lit_len_enc.code(len_sym)?;
-                w.write_bits_u64(
-                    u64::from(len_code) | u64::from(len_extra) << len_code_bits,
-                    u32::from(len_code_bits) + u32::from(len_bits),
-                );
-                let (off_code, off_code_bits) = offset_enc.code(off_sym)?;
-                w.write_bits_u64(
-                    u64::from(off_code) | u64::from(off_extra) << off_code_bits,
-                    u32::from(off_code_bits) + u32::from(off_bits),
-                );
-            } else {
-                lit_len_enc.encode(&mut w, END_OF_SEQUENCES)?;
-            }
-
+            emitter.emit(&mut w, seq, &block.literals, &mut lit_cursor)?;
             seqs_left_in_sub_block -= 1;
             let is_last = i + 1 == block.sequences.len();
             if seqs_left_in_sub_block == 0 || is_last {
@@ -203,10 +617,10 @@ impl BitBlock {
             }
         }
 
-        debug_assert_eq!(w.bit_len(), total_bits, "size hint must predict the bitstream exactly");
+        debug_assert_eq!(w.bit_len(), plan.total_bits, "size hint must predict the bitstream exactly");
         Ok(BitBlock {
-            lit_len_code,
-            offset_code,
+            lit_len_code: plan.lit_len_code,
+            offset_code: plan.offset_code,
             n_sequences: block.sequences.len() as u32,
             uncompressed_len: block.uncompressed_len as u32,
             sequences_per_sub_block,

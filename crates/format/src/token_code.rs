@@ -166,6 +166,119 @@ impl TokenCoder {
     }
 }
 
+/// Flat encode-side token tables.
+///
+/// [`TokenCoder::encode_length`]/[`TokenCoder::encode_offset`] re-derive the
+/// geometric bucket (a `leading_zeros` split with data-dependent branches)
+/// on every call, twice per match. The hot encode path instead builds these
+/// tables once per coder and turns each match token into two loads: a flat
+/// `(symbol, extra bits, extra value)` entry per exact length, and the same
+/// per exact offset when the window is small enough to tabulate (the
+/// default 8 KiB window is; a table for the 1 GiB maximum would not fit in
+/// cache, so larger windows fall back to the arithmetic path).
+#[derive(Debug, Clone)]
+pub struct TokenEncodeTables {
+    /// Indexed by `len - min_match_len`: `(symbol, extra bits, extra)`.
+    lengths: Box<[(u16, u8, u32)]>,
+    /// Indexed by `offset - 1`: `(symbol, extra bits, extra)`. Empty when
+    /// the window exceeds [`Self::MAX_OFFSET_TABLE`].
+    offsets: Box<[(u16, u8, u32)]>,
+    min_match_len: u32,
+    max_match_len: u32,
+    max_offset: u32,
+}
+
+impl TokenEncodeTables {
+    /// Largest window tabulated per exact offset (a 16 K-entry table is
+    /// 128 KiB — still cache-resident next to the matcher's hash table).
+    const MAX_OFFSET_TABLE: u32 = 16 * 1024;
+
+    /// Largest length span tabulated per exact length.
+    const MAX_LENGTH_TABLE: u32 = 64 * 1024;
+
+    /// Builds the tables for a coder.
+    pub fn new(coder: &TokenCoder) -> Self {
+        let span = coder.max_match_len - coder.min_match_len;
+        let lengths = if span < Self::MAX_LENGTH_TABLE {
+            (0..=span)
+                .map(|v| {
+                    let (bucket, bits, extra) = bucket_of(v);
+                    (FIRST_LENGTH_SYMBOL + bucket, bits, extra)
+                })
+                .collect()
+        } else {
+            Box::from([])
+        };
+        let offsets = if coder.max_offset <= Self::MAX_OFFSET_TABLE {
+            (0..coder.max_offset)
+                .map(|v| {
+                    let (bucket, bits, extra) = bucket_of(v);
+                    (bucket, bits, extra)
+                })
+                .collect()
+        } else {
+            Box::from([])
+        };
+        Self {
+            lengths,
+            offsets,
+            min_match_len: coder.min_match_len,
+            max_match_len: coder.max_match_len,
+            max_offset: coder.max_offset,
+        }
+    }
+
+    /// The tabulated length entries, indexed by `len - min_match_len`;
+    /// empty when the length span is too large to tabulate. Used by the
+    /// block encoder to pre-fuse Huffman code words with the extra bits.
+    pub(crate) fn length_entries(&self) -> &[(u16, u8, u32)] {
+        &self.lengths
+    }
+
+    /// The tabulated offset entries, indexed by `offset - 1`; empty when
+    /// the window is too large to tabulate.
+    pub(crate) fn offset_entries(&self) -> &[(u16, u8, u32)] {
+        &self.offsets
+    }
+
+    /// The coder's minimum match length (the rebase of the length table).
+    pub(crate) fn min_match_len(&self) -> u32 {
+        self.min_match_len
+    }
+
+    /// `(symbol, extra bits, extra value)` for a match length; identical to
+    /// [`TokenCoder::encode_length`].
+    #[inline]
+    pub fn length_token(&self, len: u32) -> Result<(u16, u8, u32)> {
+        match self.lengths.get(len.wrapping_sub(self.min_match_len) as usize) {
+            Some(&entry) => Ok(entry),
+            None => {
+                if len < self.min_match_len || len > self.max_match_len {
+                    return Err(FormatError::InvalidToken { reason: "match length out of configured range" });
+                }
+                let (bucket, bits, extra) = bucket_of(len - self.min_match_len);
+                Ok((FIRST_LENGTH_SYMBOL + bucket, bits, extra))
+            }
+        }
+    }
+
+    /// `(symbol, extra bits, extra value)` for a match offset; identical to
+    /// [`TokenCoder::encode_offset`].
+    #[inline]
+    pub fn offset_token(&self, offset: u32) -> Result<(u16, u8, u32)> {
+        match self.offsets.get(offset.wrapping_sub(1) as usize) {
+            Some(&entry) => Ok(entry),
+            None => {
+                if offset < 1 || offset > self.max_offset {
+                    return Err(FormatError::InvalidToken { reason: "match offset out of configured range" });
+                }
+                let (bucket, bits, extra) = bucket_of(offset - 1);
+                Ok((bucket, bits, extra))
+            }
+        }
+    }
+}
+
 /// Flat per-symbol decode tables for the token coder.
 ///
 /// [`TokenCoder::decode_length`]/[`TokenCoder::decode_offset`] re-derive the
@@ -285,6 +398,40 @@ mod tests {
         // Out-of-alphabet symbols error like the coder's range checks.
         assert!(t.length_entry(c.lit_len_alphabet() as u16).is_err());
         assert!(t.offset_entry(c.offset_alphabet() as u16).is_err());
+    }
+
+    #[test]
+    fn encode_tables_agree_with_coder_encode() {
+        let c = coder();
+        let t = TokenEncodeTables::new(&c);
+        for len in 3u32..=258 {
+            assert_eq!(t.length_token(len).unwrap(), c.encode_length(len).unwrap());
+        }
+        for offset in (1u32..=32 * 1024).step_by(11).chain([1, 2, 32 * 1024]) {
+            assert_eq!(t.offset_token(offset).unwrap(), c.encode_offset(offset).unwrap());
+        }
+        assert!(t.length_token(2).is_err());
+        assert!(t.length_token(259).is_err());
+        assert!(t.offset_token(0).is_err());
+        assert!(t.offset_token(32 * 1024 + 1).is_err());
+
+        // The default 8 KiB window fits the offset table: every offset is
+        // a direct load.
+        let small = TokenCoder::new(3, 64, 8 * 1024).unwrap();
+        let ts = TokenEncodeTables::new(&small);
+        for offset in 1u32..=8 * 1024 {
+            assert_eq!(ts.offset_token(offset).unwrap(), small.encode_offset(offset).unwrap());
+        }
+
+        // A window too large to tabulate takes the arithmetic fallback and
+        // must agree with the coder as well.
+        let big = TokenCoder::new(3, 64, 1 << 20).unwrap();
+        let tb = TokenEncodeTables::new(&big);
+        for offset in [1u32, 5, 1024, 65537, 1 << 20] {
+            assert_eq!(tb.offset_token(offset).unwrap(), big.encode_offset(offset).unwrap());
+        }
+        assert!(tb.offset_token(0).is_err());
+        assert!(tb.offset_token((1 << 20) + 1).is_err());
     }
 
     #[test]

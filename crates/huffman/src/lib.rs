@@ -31,9 +31,9 @@ pub mod lengths;
 
 pub use canonical::{CanonicalCode, CodeEntry};
 pub use decoder::DecodeTable;
-pub use encoder::EncodeTable;
+pub use encoder::{EncodeTable, PairTable};
 pub use error::HuffmanError;
-pub use histogram::Histogram;
+pub use histogram::{Histogram, StripeCounters};
 pub use lengths::{code_lengths, limited_code_lengths};
 
 /// Result alias for Huffman operations.

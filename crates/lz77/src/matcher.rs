@@ -41,7 +41,9 @@
 //! discard all matches. Because emitted back-references are produced at
 //! strictly increasing output positions, the per-group overlap check is a
 //! binary search over a sorted list of disjoint intervals rather than a
-//! linear scan.
+//! linear scan (with a one-compare fast path for candidates below the
+//! group's first emitted range, the common case under the staleness
+//! policy).
 
 use crate::sequence::{Sequence, SequenceBlock};
 use crate::GROUP_SIZE;
@@ -91,7 +93,7 @@ impl Default for MatcherConfig {
             min_match_len: 3,
             max_match_len: 64,
             chain_depth: 1,
-            hash_bits: 15,
+            hash_bits: 14,
             hash_bytes: 4,
             dependency_elimination: false,
             strict_hwm: false,
@@ -182,12 +184,16 @@ impl MatcherScratch {
         Self::default()
     }
 
-    /// Clears and resizes the tables for a matcher configuration.
-    fn prepare(&mut self, hash_size: usize, window_size: usize, group_size: usize) {
+    /// Clears and resizes the tables for a matcher configuration. The
+    /// `prev` ring is only materialised for matchers that walk chains
+    /// (depth > 1 or DE); a single-probe matcher never reads it.
+    fn prepare(&mut self, hash_size: usize, window_size: usize, group_size: usize, chain: bool) {
         self.head.clear();
         self.head.resize(hash_size, u32::MAX);
         self.prev.clear();
-        self.prev.resize(window_size, u32::MAX);
+        if chain {
+            self.prev.resize(window_size, u32::MAX);
+        }
         self.emitted.clear();
         self.emitted.reserve(group_size);
     }
@@ -257,32 +263,6 @@ impl Matcher {
         &self.config
     }
 
-    /// Multiplicative hash of the first `hash_bytes` bytes at `pos`,
-    /// computed from a single unaligned `u32` load whenever four bytes are
-    /// in bounds (the three-byte key masks the loaded word).
-    ///
-    /// Callers guarantee `pos + min_match_len <= input.len()`, so at least
-    /// three bytes are always loadable.
-    #[inline(always)]
-    fn hash(&self, input: &[u8], pos: usize) -> usize {
-        let quad = match self.config.hash_bytes {
-            0 => self.config.min_match_len >= 4,
-            b => b >= 4,
-        };
-        let bytes = if let Some(chunk) = input.get(pos..pos + 4) {
-            let word = u32::from_le_bytes(chunk.try_into().expect("slice of length 4"));
-            if quad {
-                word
-            } else {
-                word & 0x00FF_FFFF
-            }
-        } else {
-            u32::from_le_bytes([input[pos], input[pos + 1], input[pos + 2], 0])
-        };
-        let h = bytes.wrapping_mul(2654435761);
-        (h >> (32 - self.config.hash_bits)) as usize
-    }
-
     /// Longest match length the dependency-elimination policy permits for a
     /// candidate source starting at `cand` (`usize::MAX` without DE).
     ///
@@ -307,7 +287,20 @@ impl Matcher {
             return group_start.saturating_sub(cand);
         }
         // Precise rule: the source must not overlap the output of any
-        // back-reference already emitted in this group.
+        // back-reference already emitted in this group. Two fast paths
+        // cover the overwhelmingly common cases before the binary search:
+        // an empty group, and a candidate that starts below the group's
+        // first emitted range — the staleness replacement policy keeps
+        // table entries old, so most candidates lie entirely below the
+        // group span and resolve with a single compare (the bound is the
+        // same one the search would produce for partition index 0).
+        let first = match emitted.first() {
+            None => return usize::MAX,
+            Some(first) => first,
+        };
+        if cand < first.start {
+            return first.start - cand;
+        }
         let i = emitted.partition_point(|r| r.end <= cand);
         match emitted.get(i) {
             Some(r) => r.start.saturating_sub(cand),
@@ -336,17 +329,22 @@ impl Matcher {
     /// `SequenceBlock` and [`MatcherScratch`], so the steady-state compress
     /// loop performs no heap allocation at all.
     pub fn compress_into(&self, input: &[u8], out: &mut SequenceBlock, scratch: &mut MatcherScratch) {
-        if self.config.dependency_elimination {
-            self.compress_core::<true>(input, out, scratch);
-        } else {
-            self.compress_core::<false>(input, out, scratch);
+        match (self.config.dependency_elimination, self.config.chain_depth > 1) {
+            (true, _) => self.compress_core::<true, true>(input, out, scratch),
+            (false, true) => self.compress_core::<false, true>(input, out, scratch),
+            (false, false) => self.compress_core::<false, false>(input, out, scratch),
         }
     }
 
-    /// The compression loop, monomorphised on Dependency Elimination so the
+    /// The compression loop, monomorphised on Dependency Elimination (so the
     /// plain matcher carries no staleness checks, no emitted-range
-    /// bookkeeping and no per-candidate policy test.
-    fn compress_core<const DE: bool>(
+    /// bookkeeping and no per-candidate policy test) and on chain walking
+    /// (`CHAIN`): a single-probe matcher without DE never follows a `prev`
+    /// link — the first candidate always consumes its one attempt — so the
+    /// specialisation elides every `prev` read, write and the ring clear.
+    /// DE always walks chains because policy-vetoed candidates do not
+    /// consume attempts.
+    fn compress_core<const DE: bool, const CHAIN: bool>(
         &self,
         input: &[u8],
         out: &mut SequenceBlock,
@@ -361,9 +359,34 @@ impl Matcher {
             return;
         }
 
-        scratch.prepare(1usize << cfg.hash_bits, cfg.window_size, cfg.group_size);
+        scratch.prepare(1usize << cfg.hash_bits, cfg.window_size, cfg.group_size, CHAIN);
         let MatcherScratch { head, prev, emitted } = scratch;
         let window_mask = cfg.window_size - 1;
+
+        // Multiplicative hash of the first `hash_bytes` bytes at `pos` from
+        // a single unaligned `u32` load whenever four bytes are in bounds
+        // (the three-byte key masks the loaded word; callers guarantee at
+        // least three loadable bytes). The key width and shift are hoisted
+        // out of the loop here so the per-probe cost is one load, one
+        // multiply and one shift.
+        let quad = match cfg.hash_bytes {
+            0 => cfg.min_match_len >= 4,
+            b => b >= 4,
+        };
+        let hash_shift = 32 - cfg.hash_bits;
+        let hash_at = |pos: usize| -> usize {
+            let bytes = if let Some(chunk) = input.get(pos..pos + 4) {
+                let word = u32::from_le_bytes(chunk.try_into().expect("slice of length 4"));
+                if quad {
+                    word
+                } else {
+                    word & 0x00FF_FFFF
+                }
+            } else {
+                u32::from_le_bytes([input[pos], input[pos + 1], input[pos + 2], 0])
+            };
+            (bytes.wrapping_mul(2654435761) >> hash_shift) as usize
+        };
 
         // Insertion with a caller-precomputed hash and head entry: the
         // search loop already hashed the anchor position and loaded its
@@ -371,18 +394,20 @@ impl Matcher {
         let insert_loaded = |head: &mut [u32], prev: &mut [u32], pos: usize, h: usize, existing: u32| {
             if DE {
                 // Minimal-staleness policy: keep the old entry — and skip
-                // both table writes — unless it has fallen far enough
-                // behind the cursor. Inside matched regions the "keep"
-                // outcome dominates, so the branch predicts well and the
-                // skipped stores keep the tables' cache lines clean.
-                let stale =
-                    existing == u32::MAX || (pos as u64 - u64::from(existing)) > cfg.min_staleness as u64;
+                // both table writes — unless it has fallen far enough behind
+                // the cursor. Valid entries are always <= pos (tables are
+                // cleared per block), so the wrapping subtraction also
+                // classifies the empty sentinel as stale without a separate
+                // compare.
+                let stale = (pos as u64).wrapping_sub(u64::from(existing)) > cfg.min_staleness as u64;
                 if stale {
                     prev[pos & window_mask] = existing;
                     head[h] = pos as u32;
                 }
             } else {
-                prev[pos & window_mask] = existing;
+                if CHAIN {
+                    prev[pos & window_mask] = existing;
+                }
                 head[h] = pos as u32;
             }
         };
@@ -390,7 +415,7 @@ impl Matcher {
             if pos + cfg.min_match_len > n {
                 return;
             }
-            let h = self.hash(input, pos);
+            let h = hash_at(pos);
             let existing = head[h];
             insert_loaded(head, prev, pos, h, existing);
         };
@@ -409,7 +434,7 @@ impl Matcher {
             let mut anchor_hash = 0usize;
             let mut anchor_head = u32::MAX;
             if pos + cfg.min_match_len <= n {
-                let h = self.hash(input, pos);
+                let h = hash_at(pos);
                 anchor_hash = h;
                 anchor_head = head[h];
                 let mut cand = anchor_head;
@@ -424,10 +449,14 @@ impl Matcher {
                 let target = if wordwise { load_u64(input, pos) } else { 0 };
                 while cand != u32::MAX && attempts < cfg.chain_depth {
                     let cand_pos = cand as usize;
-                    // Offsets are strictly smaller than the window so they fit
-                    // the formats' offset fields (e.g. 16 bits for a 64 KiB
-                    // window in the byte-level encodings).
-                    if cand_pos >= pos || pos - cand_pos >= cfg.window_size {
+                    // Offsets must be strictly smaller than the window so
+                    // they fit the formats' offset fields (e.g. 16 bits for
+                    // a 64 KiB window in the byte-level encodings). The
+                    // wrapping subtraction folds "candidate at or past the
+                    // cursor" and "offset too large" into one unsigned
+                    // compare: offset-1 must lie in 0..=window_size-2, so
+                    // anything >= window_mask breaks.
+                    if pos.wrapping_sub(cand_pos).wrapping_sub(1) >= window_mask {
                         break;
                     }
                     // A candidate can only become the new best if it matches
@@ -469,14 +498,13 @@ impl Matcher {
                             // vetoed it. Such rejections do not consume a
                             // chain attempt: an older chain entry usually
                             // lies below the group's output span and is
-                            // eligible, and giving up here instead causes a
-                            // ratio cliff on periodic data whose recurrence
-                            // distance falls inside the group span (dense
-                            // maximal matches outrun the staleness policy).
+                            // eligible, and giving up here instead costs
+                            // about half a percent of ratio on both seeded
+                            // datasets for no measurable speed gain.
                             de_blocked = true;
                         }
                     }
-                    let next = prev[cand_pos & window_mask];
+                    let next = if CHAIN { prev[cand_pos & window_mask] } else { u32::MAX };
                     // The ring buffer may contain stale entries from a
                     // position that has since wrapped; chains must strictly
                     // decrease to be valid.
@@ -492,9 +520,19 @@ impl Matcher {
 
             if best_len >= cfg.min_match_len {
                 // Emit the pending literals plus this back-reference as one
-                // sequence.
+                // sequence. Literal runs average only a few bytes on text,
+                // so short runs with word-sized slack are copied as one
+                // fixed eight-byte store and truncated back — the compiler
+                // turns the constant-length copy into a single unaligned
+                // word move, far cheaper than a variable-length memcpy call.
                 let literal_len = pos - literal_start;
-                out.literals.extend_from_slice(&input[literal_start..pos]);
+                if literal_len <= 8 && literal_start + 8 <= n {
+                    let old_len = out.literals.len();
+                    out.literals.extend_from_slice(&input[literal_start..literal_start + 8]);
+                    out.literals.truncate(old_len + literal_len);
+                } else {
+                    out.literals.extend_from_slice(&input[literal_start..pos]);
+                }
                 out.sequences.push(Sequence {
                     literal_len: literal_len as u32,
                     match_offset: (pos - best_cand) as u32,
@@ -505,19 +543,31 @@ impl Matcher {
                 }
                 miss_run = 0;
 
-                // Insert hash entries for every position covered by the
-                // match so later matches can reference into it. The anchor's
-                // hash and chain head were already fetched by the search.
-                // Under DE, long matches are sampled every other position:
-                // the staleness policy declines almost all of their inserts
-                // anyway, so probing the table per covered byte is wasted
-                // work (mirrored by the equivalence-test reference).
+                // Insert hash entries for positions covered by the match so
+                // later matches can reference into it. The anchor's hash and
+                // chain head were already fetched by the search. For DE and
+                // single-probe matchers, long matches are sampled every
+                // other position: a candidate two bytes earlier almost
+                // always reaches the same maximal match (the paper's DE
+                // staleness policy already declined most of these inserts),
+                // so hashing every covered byte is wasted work (mirrored by
+                // the equivalence-test reference). Deep-chain matchers keep
+                // the dense inserts — they pay for their ratio with chain
+                // walks, and thinning their chains costs measurably on text.
                 insert_loaded(head, prev, pos, anchor_hash, anchor_head);
-                let step = if DE && best_len >= 8 { 2 } else { 1 };
+                let sampled = DE || !CHAIN;
+                let step = if sampled && best_len >= 8 { 2 } else { 1 };
                 let mut p = pos + 1;
                 while p < pos + best_len {
                     insert(head, prev, p);
                     p += step;
+                }
+                if !DE && sampled && best_len >= 8 && best_len.is_multiple_of(2) {
+                    // The second-to-last covered position falls on the
+                    // sampled-out parity for even lengths, yet it is the
+                    // likeliest anchor for the next match (the position LZ4
+                    // always re-inserts); keep it hot.
+                    insert(head, prev, pos + best_len - 2);
                 }
 
                 pos += best_len;

@@ -52,12 +52,13 @@ fn cmd_compress(input: &str, output: &str, mode: &str, de: bool) {
     });
     fs::write(output, out.file.serialize()).expect("cannot write output");
     println!(
-        "{input}: {} -> {} bytes (ratio {:.2}:1, {} blocks, {:.1} MB/s)",
+        "{input}: {} -> {} bytes (ratio {:.2}:1, {} blocks) in {:.1} ms ({:.3} GB/s)",
         out.stats.uncompressed_size,
         out.stats.compressed_size,
         out.stats.ratio(),
         out.stats.blocks,
-        out.stats.speed_bytes_per_sec() / 1e6
+        out.stats.wall_seconds * 1e3,
+        out.stats.speed_bytes_per_sec() / 1e9
     );
 }
 

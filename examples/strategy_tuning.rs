@@ -76,7 +76,7 @@ fn main() {
     }
 
     println!("\n3) Block-size trade-off for Gompresso/Bit (paper Fig. 12)\n");
-    println!("   block    ratio    est. GPU GB/s (In/Out)");
+    println!("   block    ratio    compress GB/s    est. GPU GB/s (In/Out)");
     for block_kb in [32usize, 64, 128, 256] {
         let config = CompressorConfig { block_size: block_kb * 1024, ..CompressorConfig::bit_de() };
         let out = compress(&data, &config).expect("compress");
@@ -84,8 +84,9 @@ fn main() {
             decompress_with(&out.file, &DecompressorConfig::default()).expect("decompress");
         assert_eq!(restored, data);
         println!(
-            "   {block_kb:>4} KB  {:>6.3}   {:>8.2}",
+            "   {block_kb:>4} KB  {:>6.3}   {:>13.3}   {:>8.2}",
             out.stats.ratio(),
+            out.stats.speed_bytes_per_sec() / 1e9,
             report.gpu_bandwidth_in_out() / 1e9
         );
     }
@@ -103,7 +104,7 @@ fn main() {
         (x >> 24) as u8
     }));
 
-    println!("   config    ratio    est. GPU GB/s (In/Out)");
+    println!("   config    ratio    compress GB/s    est. GPU GB/s (In/Out)");
     let mut results: Vec<(&str, CompressedOutput)> = Vec::new();
     for (label, config) in [
         ("bit   ", CompressorConfig::bit()),
@@ -116,7 +117,12 @@ fn main() {
         let (restored, report) =
             decompress_with(&out.file, &DecompressorConfig::default()).expect("decompress");
         assert_eq!(restored, mixed);
-        println!("   {label}   {:>6.3}   {:>8.2}", out.stats.ratio(), report.gpu_bandwidth_in_out() / 1e9);
+        println!(
+            "   {label}   {:>6.3}   {:>13.3}   {:>8.2}",
+            out.stats.ratio(),
+            out.stats.speed_bytes_per_sec() / 1e9,
+            report.gpu_bandwidth_in_out() / 1e9
+        );
         results.push((label, out));
     }
 
