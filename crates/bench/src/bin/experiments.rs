@@ -1,9 +1,9 @@
 //! Regenerates the paper's tables and figures as text tables.
 //!
 //! ```text
-//! experiments [--exp all|setup|fig9a|fig9b|fig9c|fig11|fig12|fig13|fig14|perf|stream]
+//! experiments [--exp all|setup|fig9a|fig9b|fig9c|fig11|fig12|fig13|fig14|perf|stream|scan]
 //!             [--size-mb N] [--samples N] [--json PATH] [--threads N]
-//!             [--stream] [--mem-budget-mb N]
+//!             [--stream] [--scan] [--mem-budget-mb N]
 //! ```
 //!
 //! `--size-mb` scales the synthetic datasets (default 8 MiB, the paper used
@@ -19,15 +19,20 @@
 //! bounded-memory streaming pipeline file-to-file at 1/2/4 workers with a
 //! `--mem-budget-mb` budget (default 4 MiB), verifies the roundtrip is
 //! byte-identical to the in-memory path, and records per-row peak RSS.
+//!
+//! The `scan` experiment (`--exp scan`, or `--scan` alongside `--exp perf`
+//! to embed its rows in the JSON document) measures the random-access
+//! layer: cold-seek latency, parallel range-decode throughput and
+//! full-file scan rate at 1/2/4 workers on seekable stream archives.
 
 use gompresso_bench::{
     fig11_de_impact, fig12_block_size, fig13_speed_vs_ratio, fig14_energy, fig9a_strategy_comparison,
-    fig9b_bytes_per_round, fig9c_nesting_depth, host_throughput, render_json, setup_dataset_ratios,
-    stream_throughput, Table,
+    fig9b_bytes_per_round, fig9c_nesting_depth, host_throughput, render_json, scan_throughput,
+    setup_dataset_ratios, stream_throughput, Table,
 };
 
-const EXPERIMENTS: [&str; 11] =
-    ["all", "setup", "fig9a", "fig9b", "fig9c", "fig11", "fig12", "fig13", "fig14", "perf", "stream"];
+const EXPERIMENTS: [&str; 12] =
+    ["all", "setup", "fig9a", "fig9b", "fig9c", "fig11", "fig12", "fig13", "fig14", "perf", "stream", "scan"];
 
 struct Args {
     exp: String,
@@ -39,6 +44,9 @@ struct Args {
     /// Run the streaming experiment in addition to `--exp` (implied by
     /// `--exp stream`).
     stream: bool,
+    /// Run the random-access scan experiment in addition to `--exp`
+    /// (implied by `--exp scan`).
+    scan: bool,
     /// Memory budget for the streaming pipeline, in MiB.
     mem_budget_mb: usize,
     /// Whether --samples was given explicitly (it only affects the perf
@@ -57,6 +65,7 @@ fn parse_args() -> Args {
     let mut json_path = "BENCH_host.json".to_string();
     let mut threads = 0usize;
     let mut stream = false;
+    let mut scan = false;
     let mut mem_budget_mb = 4usize;
     let mut samples_given = false;
     let mut json_given = false;
@@ -108,6 +117,10 @@ fn parse_args() -> Args {
                 stream = true;
                 i += 1;
             }
+            "--scan" => {
+                scan = true;
+                i += 1;
+            }
             "--mem-budget-mb" if i + 1 < args.len() => {
                 mem_budget_mb = match args[i + 1].parse::<usize>() {
                     Ok(n) if n >= 1 => n,
@@ -123,7 +136,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--exp {}] [--size-mb N] [--samples N] [--json PATH] [--threads N] [--stream] [--mem-budget-mb N]",
+                    "usage: experiments [--exp {}] [--size-mb N] [--samples N] [--json PATH] [--threads N] [--stream] [--scan] [--mem-budget-mb N]",
                     EXPERIMENTS.join("|")
                 );
                 std::process::exit(0);
@@ -138,12 +151,22 @@ fn parse_args() -> Args {
         eprintln!("unknown experiment {exp}; expected one of {}", EXPERIMENTS.join("|"));
         std::process::exit(2);
     }
-    Args { exp, size_mb, samples, json_path, threads, stream, mem_budget_mb, samples_given, json_given }
+    Args { exp, size_mb, samples, json_path, threads, stream, scan, mem_budget_mb, samples_given, json_given }
 }
 
 fn main() {
-    let Args { exp, size_mb, samples, json_path, threads, stream, mem_budget_mb, samples_given, json_given } =
-        parse_args();
+    let Args {
+        exp,
+        size_mb,
+        samples,
+        json_path,
+        threads,
+        stream,
+        scan,
+        mem_budget_mb,
+        samples_given,
+        json_given,
+    } = parse_args();
     if threads > 0 {
         if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(threads).build_global() {
             eprintln!("failed to configure {threads} worker threads: {e}");
@@ -151,17 +174,19 @@ fn main() {
         }
     }
     let size = size_mb * 1024 * 1024;
-    // `perf` and `stream` overwrite / feed the committed BENCH_host.json
-    // reference, so they only run when requested explicitly — never as
-    // part of `all`.
-    let run = |name: &str| (exp == "all" && name != "perf" && name != "stream") || exp == name;
+    // `perf`, `stream` and `scan` overwrite / feed the committed
+    // BENCH_host.json reference, so they only run when requested explicitly
+    // — never as part of `all`.
+    let run =
+        |name: &str| (exp == "all" && name != "perf" && name != "stream" && name != "scan") || exp == name;
     let run_stream = stream || exp == "stream";
+    let run_scan = scan || exp == "scan";
     if json_given && !run("perf") {
         eprintln!("warning: --json only affects the perf experiment; pass --exp perf to write the document");
     }
-    if samples_given && !run("perf") && !run_stream {
+    if samples_given && !run("perf") && !run_stream && !run_scan {
         eprintln!(
-            "warning: --samples only affects the perf and stream experiments; pass --exp perf or --stream"
+            "warning: --samples only affects the perf, stream and scan experiments; pass --exp perf, --stream or --scan"
         );
     }
 
@@ -314,6 +339,26 @@ fn main() {
         println!("roundtrips verified byte-identical to the in-memory path\n");
     }
 
+    let mut scan_rows = Vec::new();
+    if run_scan {
+        println!("== Random access: cold seek, parallel range decode, scan rate (best of {samples}) ==");
+        scan_rows = scan_throughput(size, samples);
+        let mut t =
+            Table::new(&["dataset", "mode", "threads", "cold open ms", "range decode GB/s", "scans/s"]);
+        for row in &scan_rows {
+            t.row(&[
+                row.dataset.clone(),
+                row.mode.clone(),
+                row.threads.to_string(),
+                format!("{:.2}", row.cold_open_ms),
+                format!("{:.3}", row.range_decode_gbps),
+                format!("{:.2}", row.scans_per_sec),
+            ]);
+        }
+        println!("{}", t.render());
+        println!("range decodes verified byte-identical to the original data\n");
+    }
+
     if run("perf") {
         println!(
             "== Host throughput: wall-clock compress/decompress GB/s (best of {samples}, {} threads) ==",
@@ -332,7 +377,7 @@ fn main() {
             ]);
         }
         println!("{}", t.render());
-        let json = render_json(&rows, &stream_rows, size, samples);
+        let json = render_json(&rows, &stream_rows, &scan_rows, size, samples);
         match std::fs::write(&json_path, &json) {
             Ok(()) => println!("wrote {json_path}"),
             Err(e) => {

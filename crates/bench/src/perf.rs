@@ -138,20 +138,21 @@ fn json_f64(v: f64) -> String {
 /// Renders the rows as the `BENCH_host.json` document. The format is plain
 /// JSON written by hand (the workspace vendors no serde); keys are stable so
 /// future PRs can diff files directly. `stream_rows` (from
-/// [`crate::stream_bench::stream_throughput`]) may be empty, in which case
-/// the `stream_rows` array is omitted and the document stays v1-shaped
-/// apart from the schema tag.
+/// [`crate::stream_bench::stream_throughput`]) and `scan_rows` (from
+/// [`crate::scan_bench::scan_throughput`]) may be empty, in which case the
+/// corresponding array is omitted.
 pub fn render_json(
     rows: &[PerfRow],
     stream_rows: &[crate::stream_bench::StreamRow],
+    scan_rows: &[crate::scan_bench::ScanRow],
     size: usize,
     samples: usize,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"gompresso-bench-host-v3\",\n");
+    s.push_str("  \"schema\": \"gompresso-bench-host-v4\",\n");
     s.push_str(
-        "  \"command\": \"cargo run --release -p gompresso-bench --bin experiments -- --exp perf --stream --size-mb <N>\",\n",
+        "  \"command\": \"cargo run --release -p gompresso-bench --bin experiments -- --exp perf --stream --scan --size-mb <N>\",\n",
     );
     s.push_str(&format!("  \"size_bytes\": {size},\n"));
     s.push_str(&format!("  \"samples\": {samples},\n"));
@@ -170,28 +171,47 @@ pub fn render_json(
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    if stream_rows.is_empty() {
+    if stream_rows.is_empty() && scan_rows.is_empty() {
         s.push_str("  ]\n}\n");
         return s;
     }
     s.push_str("  ],\n");
-    s.push_str("  \"stream_rows\": [\n");
-    for (i, row) in stream_rows.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"dataset\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"mem_budget_mb\": {}, \"blocks_in_flight\": {}, \"ratio\": {}, \"compress_gbps\": {}, \"decompress_gbps\": {}, \"peak_rss_mb\": {}}}{}\n",
-            row.dataset,
-            row.mode,
-            row.threads,
-            row.mem_budget_mb,
-            row.blocks_in_flight,
-            json_f64(row.ratio),
-            json_f64(row.compress_gbps),
-            json_f64(row.decompress_gbps),
-            json_f64(row.peak_rss_mb),
-            if i + 1 == stream_rows.len() { "" } else { "," },
-        ));
+    if !stream_rows.is_empty() {
+        s.push_str("  \"stream_rows\": [\n");
+        for (i, row) in stream_rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"mem_budget_mb\": {}, \"blocks_in_flight\": {}, \"ratio\": {}, \"compress_gbps\": {}, \"decompress_gbps\": {}, \"peak_rss_mb\": {}}}{}\n",
+                row.dataset,
+                row.mode,
+                row.threads,
+                row.mem_budget_mb,
+                row.blocks_in_flight,
+                json_f64(row.ratio),
+                json_f64(row.compress_gbps),
+                json_f64(row.decompress_gbps),
+                json_f64(row.peak_rss_mb),
+                if i + 1 == stream_rows.len() { "" } else { "," },
+            ));
+        }
+        s.push_str(if scan_rows.is_empty() { "  ]\n" } else { "  ],\n" });
     }
-    s.push_str("  ]\n}\n");
+    if !scan_rows.is_empty() {
+        s.push_str("  \"scan_rows\": [\n");
+        for (i, row) in scan_rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"cold_open_ms\": {}, \"range_decode_gbps\": {}, \"scans_per_sec\": {}}}{}\n",
+                row.dataset,
+                row.mode,
+                row.threads,
+                json_f64(row.cold_open_ms),
+                json_f64(row.range_decode_gbps),
+                json_f64(row.scans_per_sec),
+                if i + 1 == scan_rows.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ]\n");
+    }
+    s.push_str("}\n");
     s
 }
 
@@ -226,11 +246,12 @@ mod tests {
     #[test]
     fn json_document_is_well_formed() {
         let rows = host_throughput(64 * 1024, 1);
-        let json = render_json(&rows, &[], 64 * 1024, 1);
-        assert!(json.contains("\"schema\": \"gompresso-bench-host-v3\""));
+        let json = render_json(&rows, &[], &[], 64 * 1024, 1);
+        assert!(json.contains("\"schema\": \"gompresso-bench-host-v4\""));
         assert!(json.contains("\"decompress_checksummed_gbps\""));
         assert!(json.contains("\"size_bytes\": 65536"));
         assert!(!json.contains("stream_rows"));
+        assert!(!json.contains("scan_rows"));
         assert_eq!(json.matches("\"dataset\"").count(), rows.len());
         // Balanced braces/brackets, no trailing comma before the closer.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -239,9 +260,9 @@ mod tests {
     }
 
     #[test]
-    fn json_document_includes_stream_rows_when_present() {
+    fn json_document_includes_stream_and_scan_rows_when_present() {
         let rows = host_throughput(64 * 1024, 1);
-        let stream_rows = vec![crate::stream_bench::StreamRow {
+        let stream_rows = [crate::stream_bench::StreamRow {
             dataset: "wikipedia".into(),
             mode: "bit".into(),
             threads: 2,
@@ -252,12 +273,28 @@ mod tests {
             decompress_gbps: 0.1,
             peak_rss_mb: 12.5,
         }];
-        let json = render_json(&rows, &stream_rows, 64 * 1024, 1);
-        assert!(json.contains("\"stream_rows\": ["));
-        assert!(json.contains("\"threads\": 2"));
-        assert!(json.contains("\"peak_rss_mb\": 12.5"));
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert!(!json.contains(",\n  ]"));
+        let scan_rows = [crate::scan_bench::ScanRow {
+            dataset: "wikipedia".into(),
+            mode: "bit".into(),
+            threads: 4,
+            cold_open_ms: 1.25,
+            range_decode_gbps: 0.2,
+            scans_per_sec: 3.5,
+        }];
+        for (streams, scans) in
+            [(&stream_rows[..], &scan_rows[..]), (&stream_rows[..], &[][..]), (&[][..], &scan_rows[..])]
+        {
+            let json = render_json(&rows, streams, scans, 64 * 1024, 1);
+            assert_eq!(json.contains("\"stream_rows\": ["), !streams.is_empty());
+            assert_eq!(json.contains("\"scan_rows\": ["), !scans.is_empty());
+            if !scans.is_empty() {
+                assert!(json.contains("\"cold_open_ms\": 1.25"));
+                assert!(json.contains("\"range_decode_gbps\": 0.2"));
+            }
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            assert_eq!(json.matches('[').count(), json.matches(']').count());
+            assert!(!json.contains(",\n  ]"));
+            assert!(!json.contains(",\n}"));
+        }
     }
 }

@@ -1,0 +1,177 @@
+//! Random-access / analytics-scan experiment (`scan_rows` in
+//! `BENCH_host.json`).
+//!
+//! The perf and stream experiments measure whole-file throughput; this one
+//! measures the query-side behaviors the random-access layer exists for,
+//! on seekable stream archives staged on disk:
+//!
+//! * **cold-seek latency** — open the archive (index build included) and
+//!   decode one mid-file block, as a point query would;
+//! * **range-decode throughput** — decode the middle half of the file
+//!   through `ArchiveReader::decompress_range`, blocks in parallel;
+//! * **scan rate** — full-file `scan_filter_count` through the
+//!   block-streaming scan engine, never materializing the whole file.
+//!
+//! Each (dataset × mode) archive is measured at 1, 2 and 4 worker threads
+//! so the JSON records how the parallel range decoder scales.
+//!
+//! Regenerate the committed `BENCH_host.json` (including these rows) with:
+//!
+//! ```text
+//! cargo run --release -p gompresso-bench --bin experiments -- \
+//!     --exp perf --stream --scan --size-mb 16
+//! ```
+
+use crate::datasets::{matrix_data, wikipedia_data};
+use crate::gbps;
+use gompresso_core::{scan_filter_count, ArchiveReader, CompressorConfig, ScanOptions, StreamCompressor};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Worker counts measured per archive.
+pub const SCAN_THREADS: [usize; 3] = [1, 2, 4];
+
+/// One measured (dataset × mode × worker-count) random-access configuration.
+#[derive(Debug, Clone)]
+pub struct ScanRow {
+    /// Dataset name ("wikipedia" or "matrix").
+    pub dataset: String,
+    /// Encoding mode ("bit" or "byte"); both use Dependency Elimination.
+    pub mode: String,
+    /// Worker threads available to the parallel range decoder.
+    pub threads: usize,
+    /// Cold point query: archive open (index build included) plus one
+    /// mid-file block decode, in milliseconds (best of the samples).
+    pub cold_open_ms: f64,
+    /// Throughput decoding the middle half of the file through
+    /// `decompress_range`, in GB/s of uncompressed output (best of the
+    /// samples).
+    pub range_decode_gbps: f64,
+    /// Full-file filter-count scans per second through the streaming scan
+    /// engine (best of the samples).
+    pub scans_per_sec: f64,
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gompresso-scan-bench-{}-{name}", std::process::id()))
+}
+
+fn configs() -> Vec<(&'static str, CompressorConfig)> {
+    vec![("bit", CompressorConfig::bit_de()), ("byte", CompressorConfig::byte_de())]
+}
+
+fn open_archive(path: &Path) -> ArchiveReader<BufReader<File>> {
+    ArchiveReader::open(BufReader::new(File::open(path).expect("open scan-bench archive")))
+        .expect("scan-bench archive must parse")
+}
+
+/// Measures cold-seek latency, range-decode throughput and scan rate for
+/// every configuration and worker count in [`SCAN_THREADS`]. Each archive's
+/// random-access output is verified byte-identical to the original data
+/// before any timing. Restores the global worker-count override to the
+/// core count before returning.
+pub fn scan_throughput(size: usize, samples: usize) -> Vec<ScanRow> {
+    let samples = samples.max(1);
+    let mut rows = Vec::new();
+    for dataset in ["wikipedia", "matrix"] {
+        let data = match dataset {
+            "matrix" => matrix_data(size),
+            _ => wikipedia_data(size),
+        };
+        for (mode, cconf) in configs() {
+            let path = temp_path(&format!("{dataset}-{mode}.gpsos"));
+            StreamCompressor::new(cconf)
+                .expect("valid config")
+                .compress_seekable(
+                    std::io::Cursor::new(&data),
+                    BufWriter::new(File::create(&path).expect("create scan-bench archive")),
+                )
+                .expect("scan-bench compression failed");
+
+            // Correctness before speed: the timed range must decode
+            // byte-identically to the original slice.
+            let mid_range = (data.len() as u64 / 4)..(3 * data.len() as u64 / 4);
+            {
+                let mut reader = open_archive(&path);
+                let got = reader.decompress_range(mid_range.clone()).expect("range decode failed");
+                assert_eq!(
+                    got,
+                    &data[mid_range.start as usize..mid_range.end as usize],
+                    "range decode diverged from input ({dataset}/{mode})"
+                );
+            }
+
+            for threads in SCAN_THREADS {
+                rayon::ThreadPoolBuilder::new().num_threads(threads).build_global().expect("worker override");
+
+                let mut best_cold = f64::INFINITY;
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    let mut reader = open_archive(&path);
+                    let mid_block = reader.index().block_count() / 2;
+                    let block = reader.decompress_block(mid_block).expect("block decode failed");
+                    best_cold = best_cold.min(start.elapsed().as_secs_f64());
+                    assert!(!block.is_empty());
+                }
+
+                let mut reader = open_archive(&path);
+                let mut best_range = f64::INFINITY;
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    let out = reader.decompress_range(mid_range.clone()).expect("range decode failed");
+                    best_range = best_range.min(start.elapsed().as_secs_f64());
+                    assert_eq!(out.len() as u64, mid_range.end - mid_range.start);
+                }
+
+                let mut best_scan = f64::INFINITY;
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    let hits = scan_filter_count(&mut reader, &ScanOptions::default(), |line| {
+                        !line.is_empty() && line[0] & 1 == 0
+                    })
+                    .expect("scan failed");
+                    best_scan = best_scan.min(start.elapsed().as_secs_f64());
+                    assert!(hits > 0);
+                }
+
+                rows.push(ScanRow {
+                    dataset: dataset.to_string(),
+                    mode: mode.to_string(),
+                    threads,
+                    cold_open_ms: best_cold * 1e3,
+                    range_decode_gbps: gbps((mid_range.end - mid_range.start) as f64 / best_range),
+                    scans_per_sec: 1.0 / best_scan,
+                });
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+    // Leave the global pool at its default for whatever runs next.
+    rayon::ThreadPoolBuilder::new().num_threads(0).build_global().expect("worker override");
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_rows_cover_all_configurations() {
+        let rows = scan_throughput(192 * 1024, 1);
+        assert_eq!(rows.len(), 2 * configs().len() * SCAN_THREADS.len());
+        for row in &rows {
+            assert!(row.cold_open_ms > 0.0, "{row:?}");
+            assert!(row.range_decode_gbps > 0.0, "{row:?}");
+            assert!(row.scans_per_sec > 0.0, "{row:?}");
+        }
+        for threads in SCAN_THREADS {
+            assert!(rows.iter().any(|r| r.threads == threads));
+        }
+        assert_eq!(
+            rayon::current_num_threads(),
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        );
+    }
+}

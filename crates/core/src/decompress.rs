@@ -183,22 +183,16 @@ impl Decompressor {
         let results: Vec<Result<BlockResult>> = work
             .into_par_iter()
             .map(|(idx, payload, dst)| {
-                let result =
-                    decompress_block_into(&self.config, header.block_config(idx), &coder, idx, payload, dst)
-                        .map_err(|e| e.in_block(idx as u64, None))?;
-                if self.config.verify_checksums {
-                    if let Some(&stored) = header.block_checksums.get(idx) {
-                        let computed = gompresso_format::content_checksum(dst);
-                        if computed != stored {
-                            return Err(GompressoError::BlockChecksumMismatch {
-                                block: idx as u64,
-                                stored,
-                                computed,
-                            });
-                        }
-                    }
-                }
-                Ok(result)
+                decompress_block_checked(
+                    &self.config,
+                    header.block_config(idx),
+                    &coder,
+                    idx,
+                    payload,
+                    header.block_checksums.get(idx).copied(),
+                    dst,
+                )
+                .map_err(|e| e.in_block(idx as u64, None))
             })
             .collect();
 
@@ -295,6 +289,41 @@ pub(crate) fn decompress_block_into(
         )?;
         Ok(BlockResult { decode_counters, lz77_counters: outcome.counters, mrr: outcome.mrr })
     })
+}
+
+/// Verifies a block's stored content checksum (when the archive carries
+/// one) against the decompressed bytes. One definition shared by the
+/// in-memory decompressor, the random-access [`crate::archive`] reader and
+/// the salvage decoder, so "does this block prove itself?" means the same
+/// thing on every path.
+pub(crate) fn verify_block_checksum(block: u64, stored: Option<u64>, dst: &[u8]) -> Result<()> {
+    if let Some(stored) = stored {
+        let computed = gompresso_format::content_checksum(dst);
+        if computed != stored {
+            return Err(GompressoError::BlockChecksumMismatch { block, stored, computed });
+        }
+    }
+    Ok(())
+}
+
+/// Single-block decode with the configured integrity policy applied: decodes
+/// `payload` into `dst` and, unless checksum verification is disabled,
+/// checks the stored content checksum. This is the unit the all-blocks loop,
+/// the streaming workers and the random-access reader are all built from.
+pub(crate) fn decompress_block_checked(
+    config: &DecompressorConfig,
+    block: &BlockConfig,
+    coder: &TokenCoder,
+    block_index: usize,
+    payload: &[u8],
+    checksum: Option<u64>,
+    dst: &mut [u8],
+) -> Result<BlockResult> {
+    let result = decompress_block_into(config, block, coder, block_index, payload, dst)?;
+    if config.verify_checksums {
+        verify_block_checksum(block_index as u64, checksum, dst)?;
+    }
+    Ok(result)
 }
 
 /// Format-derived expansion ceiling: byte mode is LZ4-style (a 255-chained

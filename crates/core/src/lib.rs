@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod compress;
 pub mod config;
 pub mod decompress;
@@ -49,11 +50,13 @@ pub mod error;
 pub mod fault;
 pub mod planner;
 pub mod salvage;
+pub mod scan;
 pub mod stats;
 pub mod strategy;
 pub mod stream;
 pub mod warp_lz77;
 
+pub use archive::{ArchiveFormat, ArchiveReader};
 pub use compress::{compress, CompressedOutput, Compressor};
 pub use config::{BlockPlan, CompressorConfig, FileSettings, PlanningMode};
 pub use decompress::{decompress, decompress_with, Decompressor, DecompressorConfig};
@@ -61,12 +64,13 @@ pub use error::GompressoError;
 pub use fault::{FaultPlan, FaultReader, FaultWriter};
 pub use planner::{planner_for, AdaptivePlanner, BlockFeedback, Planner, StaticPlanner};
 pub use salvage::{decompress_salvage, salvage_file, BlockRecord, BlockStatus, RecoveryReport};
+pub use scan::{scan_count_lines, scan_filter_count, scan_filter_map, scan_lines, ScanOptions, ScanStats};
 pub use stats::{CompressionStats, DecompressionReport, GpuEstimate, MrrStats};
 pub use strategy::{ResolutionStrategy, StrategySelection};
 pub use stream::{compress_file, decompress_file, StreamCompressor, StreamDecompressor, StreamStats};
 
 // Re-export the pieces of the public API that callers routinely need.
-pub use gompresso_format::{BlockConfig, CompressedFile, EncodingMode};
+pub use gompresso_format::{BlockConfig, BlockEntry, BlockIndex, CompressedFile, EncodingMode};
 pub use gompresso_simt::{CostModel, GpuDeviceModel, PcieLink};
 
 /// Result alias for Gompresso operations.

@@ -32,14 +32,16 @@
 //! candidate on structure + decode alone and the report marks the weaker
 //! evidence via [`RecoveryReport::checksummed`].
 
-use crate::decompress::{decompress_block_into, plausible_output_ceiling, DecompressorConfig};
+use crate::decompress::{
+    decompress_block_into, plausible_output_ceiling, verify_block_checksum, DecompressorConfig,
+};
 use crate::{GompressoError, Result};
 use gompresso_bitstream::{read_varint, varint_len, ByteReader};
 use gompresso_format::stream_frame::{
     prelude_len, StreamPrelude, StreamTrailer, PRELUDE_HEAD_LEN, STREAM_FORMAT_VERSION, TRAILER_MAGIC,
 };
 use gompresso_format::{
-    content_checksum, token_code::TokenCoder, BlockConfig, FileHeader, FormatError, BLOCK_CONFIG_LEN, MAGIC,
+    token_code::TokenCoder, BlockConfig, FileHeader, FormatError, BLOCK_CONFIG_LEN, MAGIC,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -208,12 +210,9 @@ fn salvage_decode_container_block(
         }));
     }
     decompress_block_into(config, block, coder, idx, payload, dst)?;
-    if let Some(&stored) = header.block_checksums.get(idx) {
-        let computed = content_checksum(dst);
-        if computed != stored {
-            return Err(GompressoError::BlockChecksumMismatch { block: idx as u64, stored, computed });
-        }
-    }
+    // Salvage always verifies, regardless of the caller's checksum policy:
+    // the checksum is the evidence that the recovered bytes are original.
+    verify_block_checksum(idx as u64, header.block_checksums.get(idx).copied(), dst)?;
     Ok(())
 }
 
@@ -289,14 +288,9 @@ impl<'a> StreamSalvage<'a> {
         }
         let mut out = vec![0u8; declared as usize];
         decompress_block_into(self.config, &config, &self.coder, 0, payload, &mut out)?;
-        if let Some(stored) = checksum {
-            // Salvage always verifies: the checksum is the evidence that
-            // the recovered bytes are the original bytes.
-            let computed = content_checksum(&out);
-            if computed != stored {
-                return Err(GompressoError::BlockChecksumMismatch { block: 0, stored, computed });
-            }
-        }
+        // Salvage always verifies: the checksum is the evidence that the
+        // recovered bytes are the original bytes.
+        verify_block_checksum(0, checksum, &out)?;
         Ok(SalvagedFrame { consumed: r.position() as u64, output: out })
     }
 

@@ -961,12 +961,7 @@ fn verify_block_checksum(
     if !config.verify_checksums {
         return Ok(());
     }
-    let Some(stored) = stored else { return Ok(()) };
-    let computed = content_checksum(out);
-    if computed != stored {
-        return Err(GompressoError::BlockChecksumMismatch { block: idx, stored, computed });
-    }
-    Ok(())
+    crate::decompress::verify_block_checksum(idx, stored, out)
 }
 
 /// Compresses the file at `input` into a v4 streaming container at

@@ -21,7 +21,9 @@
 //! * [`byte_block`] — the byte-level (Gompresso/Byte) block payload,
 //! * [`file`] — the top-level container tying header and payloads together,
 //! * [`stream_frame`] — the incremental container framing used by the
-//!   bounded-memory streaming pipeline in `gompresso-core::stream`.
+//!   bounded-memory streaming pipeline in `gompresso-core::stream`,
+//! * [`block_index`] — the random-access seek structure built from either
+//!   layout's block table, consumed by `gompresso-core::archive`.
 //!
 //! The compressor and the parallel decompressor live in `gompresso-core`;
 //! everything here is deterministic, sequential, and independent of the
@@ -32,6 +34,7 @@
 
 pub mod bit_block;
 pub mod block_config;
+pub mod block_index;
 pub mod byte_block;
 pub mod error;
 pub mod file;
@@ -42,6 +45,7 @@ pub mod token_code;
 
 pub use bit_block::{BitBlock, EncodeScratch, InterleaveScratch, SubBlockStats};
 pub use block_config::{BlockConfig, ResolutionStrategy, BLOCK_CONFIG_LEN};
+pub use block_index::{parse_stream_frame_head, stream_frame_layout, BlockEntry, BlockIndex, FrameLayout};
 pub use byte_block::ByteBlock;
 pub use error::FormatError;
 pub use file::{BlockPayload, CompressedFile};

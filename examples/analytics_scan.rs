@@ -2,34 +2,34 @@
 //! once at load time and repeatedly decompressed by read-heavy analytics
 //! jobs, so decompression speed dominates.
 //!
-//! This example loads a synthetic Matrix Market edge list (the paper's
-//! second dataset), compresses it once with both Gompresso modes, then runs
-//! a small "query" — counting edges incident to low-numbered hub vertices —
-//! several times, decompressing the data on every scan. It reports the
-//! amortised scan cost and compares the back-reference resolution
-//! strategies.
+//! This example is now a thin driver over the library's scan engine
+//! (`gompresso::scan_filter_count` on top of `ArchiveReader`): a synthetic
+//! Matrix Market edge list is compressed once into a seekable stream
+//! archive, then a small "query" — counting edges incident to low-numbered
+//! hub vertices — runs several times directly against the compressed bytes.
+//! Blocks stream through the scan in bounded batches and decode in
+//! parallel; the whole file is never materialized.
 //!
 //! Run with: `cargo run --release --example analytics_scan`
 
 use gompresso::datasets::{DatasetGenerator, MatrixMarketGenerator};
-use gompresso::{compress, decompress_with, CompressorConfig, DecompressorConfig, ResolutionStrategy};
+use gompresso::{scan_filter_count, ArchiveReader, CompressorConfig, ScanOptions, StreamCompressor};
+use std::io::Cursor;
 use std::time::Instant;
 
 const SCANS: usize = 3;
 
-fn count_hub_edges(matrix_text: &[u8]) -> usize {
-    // The "query": count edges whose column (second field) is a hub id.
-    matrix_text
-        .split(|&b| b == b'\n')
-        .filter(|line| !line.starts_with(b"%"))
-        .filter_map(|line| {
-            let mut fields = line.split(|&b| b == b' ');
-            let _row = fields.next()?;
-            let col = fields.next()?;
-            std::str::from_utf8(col).ok()?.parse::<u64>().ok()
-        })
-        .filter(|&col| col < 1000)
-        .count()
+/// The "query" predicate: an edge line whose column (second field) is a
+/// hub id. Comment lines (`%…`) never match.
+fn is_hub_edge(line: &[u8]) -> bool {
+    if line.starts_with(b"%") {
+        return false;
+    }
+    let mut fields = line.split(|&b| b == b' ');
+    let (Some(_row), Some(col)) = (fields.next(), fields.next()) else {
+        return false;
+    };
+    matches!(std::str::from_utf8(col).ok().and_then(|c| c.parse::<u64>().ok()), Some(col) if col < 1000)
 }
 
 fn main() {
@@ -38,31 +38,33 @@ fn main() {
     for (label, config) in
         [("Gompresso/Bit+DE", CompressorConfig::bit_de()), ("Gompresso/Byte+DE", CompressorConfig::byte_de())]
     {
-        let compressed = compress(&data, &config).expect("compression failed");
+        // Compress once at "load time" into a seekable stream archive.
+        let mut archive = Vec::new();
+        let stats = StreamCompressor::new(config)
+            .expect("valid config")
+            .compress_seekable(Cursor::new(&data), Cursor::new(&mut archive))
+            .expect("compression failed");
         println!(
             "{label}: stored {} MB as {:.2} MB (ratio {:.2}:1)",
             data.len() / (1024 * 1024),
-            compressed.stats.compressed_size as f64 / (1024.0 * 1024.0),
-            compressed.stats.ratio()
+            stats.compressed_size as f64 / (1024.0 * 1024.0),
+            stats.uncompressed_size as f64 / stats.compressed_size as f64
         );
 
-        for strategy in ResolutionStrategy::ALL {
-            let dconf = DecompressorConfig { strategy: strategy.into(), ..DecompressorConfig::default() };
-            let start = Instant::now();
-            let mut hits = 0usize;
-            for _ in 0..SCANS {
-                let (scan, _report) =
-                    decompress_with(&compressed.file, &dconf).expect("decompression failed");
-                hits = count_hub_edges(&scan);
-            }
-            let per_scan = start.elapsed().as_secs_f64() / SCANS as f64;
-            println!(
-                "  strategy {:>3}: {SCANS} scans, {:.1} ms/scan on the host ({:.2} GB/s), query hit count {}",
-                strategy.short_name(),
-                per_scan * 1e3,
-                data.len() as f64 / per_scan / 1e9,
-                hits
-            );
+        // Scan it repeatedly, straight off the compressed representation.
+        let mut reader = ArchiveReader::open(Cursor::new(&archive)).expect("open archive");
+        let opts = ScanOptions::default();
+        let start = Instant::now();
+        let mut hits = 0u64;
+        for _ in 0..SCANS {
+            hits = scan_filter_count(&mut reader, &opts, is_hub_edge).expect("scan failed");
         }
+        let per_scan = start.elapsed().as_secs_f64() / SCANS as f64;
+        println!(
+            "  {SCANS} scans, {:.1} ms/scan on the host ({:.2} GB/s), query hit count {hits}, {} blocks/scan",
+            per_scan * 1e3,
+            data.len() as f64 / per_scan / 1e9,
+            reader.blocks_decoded() / SCANS as u64,
+        );
     }
 }

@@ -11,17 +11,22 @@
 //! With no arguments it runs a self-contained demo on a temporary file.
 
 use gompresso::{
-    compress, decompress_salvage, decompress_with, CompressedFile, CompressorConfig, DecompressorConfig,
-    EncodingMode, RecoveryReport, ResolutionStrategy, StrategySelection, StreamDecompressor,
+    compress, decompress_salvage, decompress_with, ArchiveFormat, ArchiveReader, CompressedFile,
+    CompressorConfig, DecompressorConfig, EncodingMode, RecoveryReport, ResolutionStrategy,
+    StrategySelection, StreamDecompressor,
 };
 use std::fs;
+use std::io::{Cursor, Write};
+use std::ops::Range;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!("usage:");
     eprintln!("  file_tool compress   <input> <output.gpso> [bit|byte|auto] [--de]");
     eprintln!("  file_tool decompress <input.gpso> <output> [planned|sc|mrr|de]");
-    eprintln!("  file_tool info       <input.gpso>");
+    eprintln!("  file_tool cat        <input.gpso|input.gpsos> <output|-> [--range a..b]");
+    eprintln!("  file_tool info       <input.gpso|input.gpsos>");
+    eprintln!("  file_tool index      <input.gpso|input.gpsos>");
     eprintln!("  file_tool verify     <input.gpso|input.gpsos>");
     eprintln!("  file_tool salvage    <input.gpso|input.gpsos> <output>");
     eprintln!();
@@ -106,15 +111,131 @@ fn mode_name(mode: EncodingMode) -> &'static str {
     }
 }
 
+/// Opens `input` through the random-access reader (either layout) or
+/// exits: 2 if unreadable, 1 if not a valid archive.
+fn open_archive(input: &str) -> ArchiveReader<Cursor<Vec<u8>>> {
+    let bytes = read_or_exit(input);
+    ArchiveReader::open(Cursor::new(bytes)).unwrap_or_else(|e| {
+        eprintln!("{input} is not a valid Gompresso archive: {e}");
+        exit(1)
+    })
+}
+
+/// Parses `a..b` (either side optional: `100..`, `..4096`, `..`).
+fn parse_range(spec: &str) -> Range<u64> {
+    let bad = || -> ! {
+        eprintln!("invalid range {spec:?}: expected <start>..<end> with either side optional");
+        exit(2)
+    };
+    let Some((start, end)) = spec.split_once("..") else { bad() };
+    let parse = |s: &str, default| if s.is_empty() { default } else { s.parse().unwrap_or_else(|_| bad()) };
+    parse(start, 0)..parse(end, u64::MAX)
+}
+
+/// Decodes an uncompressed byte range straight out of the archive — only
+/// the overlapping blocks are read and decoded — and writes it to a file
+/// or stdout (`-`).
+fn cmd_cat(input: &str, output: &str, range: Option<&str>) {
+    let mut reader = open_archive(input);
+    let range = range.map(parse_range).unwrap_or(0..u64::MAX);
+    let data = reader.decompress_range(range.clone()).unwrap_or_else(|e| {
+        eprintln!("cannot decode {input} range {}..{}: {e}", range.start, range.end);
+        exit(1)
+    });
+    if output == "-" {
+        std::io::stdout().write_all(&data).unwrap_or_else(|e| {
+            eprintln!("cannot write to stdout: {e}");
+            exit(2)
+        });
+    } else {
+        fs::write(output, &data).unwrap_or_else(|e| {
+            eprintln!("cannot write {output}: {e}");
+            exit(2)
+        });
+    }
+    eprintln!(
+        "{input}: {} bytes from {} of {} blocks",
+        data.len(),
+        reader.blocks_decoded(),
+        reader.index().block_count()
+    );
+}
+
+fn short_mode(mode: EncodingMode) -> &'static str {
+    match mode {
+        EncodingMode::Bit => "bit",
+        EncodingMode::Byte => "byte",
+    }
+}
+
+fn print_block_table(reader: &ArchiveReader<Cursor<Vec<u8>>>) {
+    let index = reader.index();
+    println!(
+        "  {:>5}  {:>12}  {:>10}  {:>12}  {:>10}  codec",
+        "block", "comp.off", "comp.size", "uncomp.off", "uncomp.size"
+    );
+    for (i, entry) in index.entries().iter().enumerate() {
+        println!(
+            "  {:>5}  {:>12}  {:>10}  {:>12}  {:>10}  {}/{}{}",
+            i,
+            entry.compressed_offset,
+            entry.compressed_size,
+            entry.uncompressed_offset,
+            entry.uncompressed_size,
+            short_mode(entry.config.mode),
+            entry.config.strategy.short_name(),
+            if entry.checksum.is_some() { " +crc" } else { "" },
+        );
+    }
+}
+
+/// `info` for stream archives (and anything else the container parser
+/// rejects): header summary plus the per-block seek table.
+fn info_via_index(input: &str) {
+    let reader = open_archive(input);
+    let index = reader.index();
+    let kind = match reader.format() {
+        ArchiveFormat::Container => "in-memory container",
+        ArchiveFormat::Stream => "stream container",
+    };
+    println!("Gompresso archive: {input} ({kind})");
+    println!("  uncompressed size    : {} bytes", index.uncompressed_size());
+    println!("  block size           : {} KB ({} blocks)", index.block_size() / 1024, index.block_count());
+    println!("  window / max match   : {} / {} bytes", index.window_size(), index.max_match_len());
+    println!("  block checksums      : {}", if index.checksummed() { "yes" } else { "no" });
+    println!("  block index:");
+    print_block_table(&reader);
+}
+
+fn cmd_index(input: &str) {
+    let reader = open_archive(input);
+    let kind = match reader.format() {
+        ArchiveFormat::Container => "container",
+        ArchiveFormat::Stream => "stream",
+    };
+    println!(
+        "{input}: {kind}, {} blocks, {} uncompressed bytes{}",
+        reader.index().block_count(),
+        reader.uncompressed_size(),
+        if reader.index().checksummed() { ", per-block checksums" } else { "" },
+    );
+    print_block_table(&reader);
+}
+
 fn cmd_info(input: &str) {
     let bytes = fs::read(input).unwrap_or_else(|e| {
         eprintln!("cannot read {input}: {e}");
         exit(1)
     });
-    let file = CompressedFile::deserialize(&bytes).unwrap_or_else(|e| {
-        eprintln!("{input} is not a valid Gompresso file: {e}");
-        exit(1)
-    });
+    if looks_like_stream(input) {
+        return info_via_index(input);
+    }
+    let file = match CompressedFile::deserialize(&bytes) {
+        Ok(file) => file,
+        // Not an in-memory container — maybe a renamed stream archive; the
+        // index-based path sniffs the layout itself.
+        Err(_) => return info_via_index(input),
+    };
     let h = &file.header;
     println!("Gompresso file: {input}");
     match h.uniform_config() {
@@ -272,7 +393,10 @@ fn demo() {
     cmd_info(archive.to_str().unwrap());
     cmd_decompress(archive.to_str().unwrap(), restored.to_str().unwrap(), "planned");
     assert_eq!(fs::read(&restored).unwrap(), data);
-    println!("\ndemo round trip verified under {}", dir.display());
+    let slice = dir.join("demo.slice");
+    cmd_cat(archive.to_str().unwrap(), slice.to_str().unwrap(), Some("36..108"));
+    assert_eq!(fs::read(&slice).unwrap(), &data[36..108]);
+    println!("\ndemo round trip (and a random-access slice) verified under {}", dir.display());
 }
 
 fn main() {
@@ -288,7 +412,15 @@ fn main() {
             let strategy = args.get(4).map(String::as_str).unwrap_or("planned");
             cmd_decompress(&args[2], &args[3], strategy);
         }
+        Some("cat") if args.len() >= 4 => {
+            let range = args
+                .iter()
+                .position(|a| a == "--range")
+                .map(|i| args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage()));
+            cmd_cat(&args[2], &args[3], range);
+        }
         Some("info") if args.len() >= 3 => cmd_info(&args[2]),
+        Some("index") if args.len() >= 3 => cmd_index(&args[2]),
         Some("verify") if args.len() >= 3 => cmd_verify(&args[2]),
         Some("salvage") if args.len() >= 4 => cmd_salvage(&args[2], &args[3]),
         _ => usage(),

@@ -21,12 +21,13 @@
 
 pub use gompresso_core::{
     compress, compress_file, decompress, decompress_file, decompress_salvage, decompress_with, planner_for,
-    salvage_file, AdaptivePlanner, BlockConfig, BlockFeedback, BlockPlan, BlockRecord, BlockStatus,
-    CompressedFile, CompressedOutput, CompressionStats, Compressor, CompressorConfig, CostModel,
+    salvage_file, scan_count_lines, scan_filter_count, scan_filter_map, scan_lines, AdaptivePlanner,
+    ArchiveFormat, ArchiveReader, BlockConfig, BlockEntry, BlockFeedback, BlockIndex, BlockPlan, BlockRecord,
+    BlockStatus, CompressedFile, CompressedOutput, CompressionStats, Compressor, CompressorConfig, CostModel,
     DecompressionReport, Decompressor, DecompressorConfig, EncodingMode, FaultPlan, FaultReader, FaultWriter,
     FileSettings, GompressoError, GpuDeviceModel, GpuEstimate, MrrStats, PcieLink, Planner, PlanningMode,
-    RecoveryReport, ResolutionStrategy, StaticPlanner, StrategySelection, StreamCompressor,
-    StreamDecompressor, StreamStats,
+    RecoveryReport, ResolutionStrategy, ScanOptions, ScanStats, StaticPlanner, StrategySelection,
+    StreamCompressor, StreamDecompressor, StreamStats,
 };
 
 /// Low-level building blocks re-exported for advanced users (custom codecs,

@@ -270,6 +270,60 @@ fn container_salvage_survives_header_checksum_damage() {
 }
 
 // ---------------------------------------------------------------------------
+// Random-access damage locality: a flip in block k fails exactly the
+// ranges that touch block k.
+// ---------------------------------------------------------------------------
+
+/// For each block k of a v4 archive (either layout), flip one payload bit
+/// of that block and drive every block's range through `ArchiveReader`:
+/// ranges not touching k must decode byte-exactly, and the flip must be
+/// detected on block k itself (or be benign padding, in which case k too
+/// decodes byte-exactly). Damage never leaks across block boundaries.
+#[test]
+fn range_decode_fails_only_ranges_touching_the_damaged_block() {
+    let data = test_input();
+    for archive in [container_archive(&data), stream_archive(&data)] {
+        let entries: Vec<_> = {
+            let reader = gompresso::ArchiveReader::open(Cursor::new(archive.clone())).unwrap();
+            assert!(reader.index().checksummed(), "v4 archives carry per-block checksums");
+            reader.index().entries().to_vec()
+        };
+        assert!(entries.len() >= 4, "need a multi-block archive");
+        let mut detected = 0u64;
+        for (k, damaged_entry) in entries.iter().enumerate() {
+            let flip_at = damaged_entry.compressed_offset + u64::from(damaged_entry.compressed_size) / 2;
+            let damaged = FaultPlan::clean().flip(flip_at, 3).apply_to(&archive);
+            let mut reader = gompresso::ArchiveReader::open(Cursor::new(damaged))
+                .unwrap_or_else(|e| panic!("payload flip in block {k} must not break the index: {e}"));
+            for (j, entry) in entries.iter().enumerate() {
+                let range = entry.uncompressed_range();
+                match reader.decompress_range(range.clone()) {
+                    Ok(out) => assert_eq!(
+                        out,
+                        &data[range.start as usize..range.end as usize],
+                        "block {j} decoded wrong after a flip in block {k}"
+                    ),
+                    Err(e) => {
+                        assert_eq!(j, k, "flip in block {k} failed unrelated block {j}: {e}");
+                        detected += 1;
+                    }
+                }
+            }
+            // A range spanning all blocks touches the damaged one, so it
+            // must agree with the per-block outcome: full-file decode
+            // errors exactly when block k's own range did.
+            let full = reader.decompress_range(0..data.len() as u64);
+            let block_ok = reader.decompress_range(damaged_entry.uncompressed_range()).is_ok();
+            assert_eq!(full.is_ok(), block_ok, "full-range outcome diverges for flip in block {k}");
+            if let Ok(out) = full {
+                assert_eq!(out, data);
+            }
+        }
+        assert!(detected > 0, "no payload flip was ever detected — the matrix is toothless");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Fault-injection matrix: seeded random damage through the Read adapter.
 // ---------------------------------------------------------------------------
 

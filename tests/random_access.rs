@@ -1,0 +1,158 @@
+//! Random-access contract tests: `ArchiveReader::decompress_range` must be
+//! byte-identical to the corresponding slice of a full decompression on
+//! every container version this repository can read, must decode only the
+//! blocks a range overlaps (observable through the reader's decode
+//! counter), and must treat degenerate ranges as empty rather than errors.
+
+use gompresso::{ArchiveFormat, ArchiveReader, CompressorConfig, StreamCompressor};
+use proptest::prelude::*;
+use std::io::Cursor;
+use std::path::Path;
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+fn reference_input() -> Vec<u8> {
+    let data = fixture("fixture_input.bin");
+    assert_eq!(data.len(), 131072, "fixture input changed size");
+    data
+}
+
+/// Every committed intact fixture: all readable container versions of both
+/// layouts. Each holds the 128 KiB reference input in 32 KiB blocks.
+const INTACT_FIXTURES: [&str; 9] = [
+    "v1_bit_de.gpso",
+    "v1_byte.gpso",
+    "v2_bit.gpsos",
+    "v2_byte_de.gpsos",
+    "v3_bit.gpsos",
+    "v3_bit_de.gpso",
+    "v3_byte.gpso",
+    "v3_byte_de.gpsos",
+    "v4_bit_de.gpso",
+];
+
+#[test]
+fn ranges_on_every_fixture_version_match_the_reference_slice() {
+    let input = reference_input();
+    let total = input.len() as u64;
+    // Block size is 32 KiB in every fixture: cover within-block,
+    // block-boundary-straddling, whole-file, tail-clamped and degenerate
+    // requests.
+    let ranges: [std::ops::Range<u64>; 8] = [
+        0..total,
+        0..1,
+        32_767..32_769,
+        65_536..98_304,
+        10_000..120_000,
+        131_000..500_000,
+        7..7,
+        total..total + 10,
+    ];
+    for name in INTACT_FIXTURES {
+        let bytes = fixture(name);
+        let expect_stream = name.ends_with(".gpsos");
+        let mut reader = ArchiveReader::open(Cursor::new(bytes))
+            .unwrap_or_else(|e| panic!("{name} no longer opens for random access: {e}"));
+        assert_eq!(
+            reader.format() == ArchiveFormat::Stream,
+            expect_stream,
+            "{name}: sniffed the wrong layout"
+        );
+        assert_eq!(reader.uncompressed_size(), total, "{name}");
+        assert_eq!(reader.index().block_count(), 4, "{name}: fixture geometry changed");
+        for range in &ranges {
+            let got = reader
+                .decompress_range(range.clone())
+                .unwrap_or_else(|e| panic!("{name} range {range:?} failed: {e}"));
+            let end = (range.end as usize).min(input.len());
+            let start = (range.start as usize).min(end);
+            assert_eq!(got, &input[start..end], "{name} range {range:?} differs from the reference");
+        }
+    }
+}
+
+#[test]
+fn v4_stream_fixture_supports_checksummed_random_access() {
+    let input = reference_input();
+    let mut reader = ArchiveReader::open(Cursor::new(fixture("v4_bit_de.gpsos"))).unwrap();
+    assert!(reader.index().checksummed(), "v4 stream fixtures carry per-block checksums");
+    let got = reader.decompress_range(40_000..100_000).unwrap();
+    assert_eq!(got, &input[40_000..100_000]);
+}
+
+#[test]
+fn only_overlapping_blocks_are_decoded_on_fixtures() {
+    for name in ["v4_bit_de.gpso", "v4_bit_de.gpsos"] {
+        let mut reader = ArchiveReader::open(Cursor::new(fixture(name))).unwrap();
+        // Entirely inside block 1 (32 KiB blocks).
+        reader.decompress_range(40_000..50_000).unwrap();
+        assert_eq!(reader.blocks_decoded(), 1, "{name}: a within-block range must decode one block");
+        // Straddles the block 1 / block 2 boundary.
+        reader.decompress_range(65_535..65_537).unwrap();
+        assert_eq!(reader.blocks_decoded(), 3, "{name}: a boundary range must decode two blocks");
+        // Degenerate and fully out-of-range requests decode nothing.
+        assert!(reader.decompress_range(5..5).unwrap().is_empty());
+        assert!(reader.decompress_range(1 << 40..1 << 41).unwrap().is_empty());
+        assert_eq!(reader.blocks_decoded(), 3, "{name}: empty ranges must not decode blocks");
+    }
+}
+
+#[test]
+#[allow(clippy::reversed_empty_ranges)]
+fn reversed_ranges_are_empty_not_errors() {
+    let mut reader = ArchiveReader::open(Cursor::new(fixture("v4_bit_de.gpso"))).unwrap();
+    assert!(reader.decompress_range(1000..10).unwrap().is_empty());
+    assert_eq!(reader.blocks_decoded(), 0);
+}
+
+fn configs() -> Vec<CompressorConfig> {
+    vec![
+        CompressorConfig::bit(),
+        CompressorConfig::byte(),
+        CompressorConfig::bit_de(),
+        CompressorConfig::byte_de(),
+    ]
+}
+
+fn small_block_config(mut c: CompressorConfig) -> CompressorConfig {
+    c.block_size = 1024;
+    c.sequences_per_sub_block = 4;
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For freshly compressed archives of both layouts, every mode:
+    /// `decompress_range(a..b)` equals the same slice of the input, for
+    /// arbitrary (including degenerate and out-of-bounds) ranges.
+    #[test]
+    fn range_decode_equals_slice_of_full_decompression(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..96), 0..80),
+        spans in proptest::collection::vec((0usize..6000, 0usize..6000), 1..6),
+    ) {
+        let data: Vec<u8> = chunks.concat();
+        for config in configs() {
+            let config = small_block_config(config);
+            let container = gompresso::compress(&data, &config).unwrap().file.serialize();
+            let mut stream = Vec::new();
+            StreamCompressor::new(config.clone())
+                .unwrap()
+                .compress_seekable(Cursor::new(&data), Cursor::new(&mut stream))
+                .unwrap();
+            for archive in [container, stream] {
+                let mut reader = ArchiveReader::open(Cursor::new(archive)).unwrap();
+                prop_assert_eq!(reader.uncompressed_size(), data.len() as u64);
+                for &(a, b) in &spans {
+                    let got = reader.decompress_range(a as u64..b as u64).unwrap();
+                    let end = b.min(data.len());
+                    let start = a.min(end);
+                    prop_assert_eq!(&got, &data[start..end], "mode {:?} range {}..{}", config.mode, a, b);
+                }
+            }
+        }
+    }
+}
