@@ -1,9 +1,9 @@
 //! Regenerates the paper's tables and figures as text tables.
 //!
 //! ```text
-//! experiments [--exp all|setup|fig9a|fig9b|fig9c|fig11|fig12|fig13|fig14|perf|stream|scan]
+//! experiments [--exp all|setup|fig9a|fig9b|fig9c|fig11|fig12|fig13|fig14|perf|stream|scan|serve]
 //!             [--size-mb N] [--samples N] [--json PATH] [--threads N]
-//!             [--stream] [--scan] [--mem-budget-mb N]
+//!             [--stream] [--scan] [--serve] [--mem-budget-mb N]
 //! ```
 //!
 //! `--size-mb` scales the synthetic datasets (default 8 MiB, the paper used
@@ -24,15 +24,23 @@
 //! to embed its rows in the JSON document) measures the random-access
 //! layer: cold-seek latency, parallel range-decode throughput and
 //! full-file scan rate at 1/2/4 workers on seekable stream archives.
+//!
+//! The `serve` experiment (`--exp serve`, or `--serve` alongside
+//! `--exp perf` to embed its rows in the JSON document) boots the
+//! `gompressod` service in-process and measures end-to-end requests/sec
+//! at 1/2/4 concurrent wire-protocol clients, verifying every daemon
+//! response byte-identical to the library path.
 
 use gompresso_bench::{
     fig11_de_impact, fig12_block_size, fig13_speed_vs_ratio, fig14_energy, fig9a_strategy_comparison,
     fig9b_bytes_per_round, fig9c_nesting_depth, host_throughput, render_json, scan_throughput,
-    setup_dataset_ratios, stream_throughput, Table,
+    serve_throughput, setup_dataset_ratios, stream_throughput, Table,
 };
 
-const EXPERIMENTS: [&str; 12] =
-    ["all", "setup", "fig9a", "fig9b", "fig9c", "fig11", "fig12", "fig13", "fig14", "perf", "stream", "scan"];
+const EXPERIMENTS: [&str; 13] = [
+    "all", "setup", "fig9a", "fig9b", "fig9c", "fig11", "fig12", "fig13", "fig14", "perf", "stream", "scan",
+    "serve",
+];
 
 struct Args {
     exp: String,
@@ -47,6 +55,9 @@ struct Args {
     /// Run the random-access scan experiment in addition to `--exp`
     /// (implied by `--exp scan`).
     scan: bool,
+    /// Run the service-daemon experiment in addition to `--exp` (implied
+    /// by `--exp serve`).
+    serve: bool,
     /// Memory budget for the streaming pipeline, in MiB.
     mem_budget_mb: usize,
     /// Whether --samples was given explicitly (it only affects the perf
@@ -66,6 +77,7 @@ fn parse_args() -> Args {
     let mut threads = 0usize;
     let mut stream = false;
     let mut scan = false;
+    let mut serve = false;
     let mut mem_budget_mb = 4usize;
     let mut samples_given = false;
     let mut json_given = false;
@@ -121,6 +133,10 @@ fn parse_args() -> Args {
                 scan = true;
                 i += 1;
             }
+            "--serve" => {
+                serve = true;
+                i += 1;
+            }
             "--mem-budget-mb" if i + 1 < args.len() => {
                 mem_budget_mb = match args[i + 1].parse::<usize>() {
                     Ok(n) if n >= 1 => n,
@@ -136,7 +152,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--exp {}] [--size-mb N] [--samples N] [--json PATH] [--threads N] [--stream] [--scan] [--mem-budget-mb N]",
+                    "usage: experiments [--exp {}] [--size-mb N] [--samples N] [--json PATH] [--threads N] [--stream] [--scan] [--serve] [--mem-budget-mb N]",
                     EXPERIMENTS.join("|")
                 );
                 std::process::exit(0);
@@ -151,7 +167,19 @@ fn parse_args() -> Args {
         eprintln!("unknown experiment {exp}; expected one of {}", EXPERIMENTS.join("|"));
         std::process::exit(2);
     }
-    Args { exp, size_mb, samples, json_path, threads, stream, scan, mem_budget_mb, samples_given, json_given }
+    Args {
+        exp,
+        size_mb,
+        samples,
+        json_path,
+        threads,
+        stream,
+        scan,
+        serve,
+        mem_budget_mb,
+        samples_given,
+        json_given,
+    }
 }
 
 fn main() {
@@ -163,6 +191,7 @@ fn main() {
         threads,
         stream,
         scan,
+        serve,
         mem_budget_mb,
         samples_given,
         json_given,
@@ -174,19 +203,22 @@ fn main() {
         }
     }
     let size = size_mb * 1024 * 1024;
-    // `perf`, `stream` and `scan` overwrite / feed the committed
+    // `perf`, `stream`, `scan` and `serve` overwrite / feed the committed
     // BENCH_host.json reference, so they only run when requested explicitly
     // — never as part of `all`.
-    let run =
-        |name: &str| (exp == "all" && name != "perf" && name != "stream" && name != "scan") || exp == name;
+    let run = |name: &str| {
+        (exp == "all" && name != "perf" && name != "stream" && name != "scan" && name != "serve")
+            || exp == name
+    };
     let run_stream = stream || exp == "stream";
     let run_scan = scan || exp == "scan";
+    let run_serve = serve || exp == "serve";
     if json_given && !run("perf") {
         eprintln!("warning: --json only affects the perf experiment; pass --exp perf to write the document");
     }
-    if samples_given && !run("perf") && !run_stream && !run_scan {
+    if samples_given && !run("perf") && !run_stream && !run_scan && !run_serve {
         eprintln!(
-            "warning: --samples only affects the perf, stream and scan experiments; pass --exp perf, --stream or --scan"
+            "warning: --samples only affects the perf, stream, scan and serve experiments; pass --exp perf, --stream, --scan or --serve"
         );
     }
 
@@ -359,6 +391,38 @@ fn main() {
         println!("range decodes verified byte-identical to the original data\n");
     }
 
+    let mut serve_rows = Vec::new();
+    if run_serve {
+        println!(
+            "== Service daemon: end-to-end requests/sec, {mem_budget_mb} MiB budget (best of {samples}) =="
+        );
+        serve_rows = serve_throughput(size, samples, mem_budget_mb);
+        let mut t = Table::new(&[
+            "dataset",
+            "clients",
+            "payload KiB",
+            "requests/s",
+            "compress GB/s",
+            "ratio",
+            "sheds",
+            "peak RSS MiB",
+        ]);
+        for row in &serve_rows {
+            t.row(&[
+                row.dataset.clone(),
+                row.clients.to_string(),
+                (row.payload_bytes / 1024).to_string(),
+                format!("{:.2}", row.requests_per_sec),
+                format!("{:.3}", row.compress_gbps),
+                format!("{:.3}", row.ratio),
+                row.sheds.to_string(),
+                format!("{:.1}", row.peak_rss_mb),
+            ]);
+        }
+        println!("{}", t.render());
+        println!("daemon responses verified byte-identical to the library path\n");
+    }
+
     if run("perf") {
         println!(
             "== Host throughput: wall-clock compress/decompress GB/s (best of {samples}, {} threads) ==",
@@ -377,7 +441,7 @@ fn main() {
             ]);
         }
         println!("{}", t.render());
-        let json = render_json(&rows, &stream_rows, &scan_rows, size, samples);
+        let json = render_json(&rows, &stream_rows, &scan_rows, &serve_rows, size, samples);
         match std::fs::write(&json_path, &json) {
             Ok(()) => println!("wrote {json_path}"),
             Err(e) => {

@@ -17,6 +17,7 @@ pub mod datasets;
 pub mod experiments;
 pub mod perf;
 pub mod scan_bench;
+pub mod serve_bench;
 pub mod stream_bench;
 pub mod table;
 
@@ -24,6 +25,7 @@ pub use datasets::{matrix_data, nesting_data, wikipedia_data};
 pub use experiments::*;
 pub use perf::{host_throughput, render_json, PerfRow};
 pub use scan_bench::{scan_throughput, ScanRow, SCAN_THREADS};
+pub use serve_bench::{serve_throughput, ServeRow, SERVE_CLIENTS};
 pub use stream_bench::{peak_rss_bytes, reset_peak_rss, stream_throughput, StreamRow, STREAM_THREADS};
 pub use table::Table;
 

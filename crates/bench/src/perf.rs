@@ -138,21 +138,23 @@ fn json_f64(v: f64) -> String {
 /// Renders the rows as the `BENCH_host.json` document. The format is plain
 /// JSON written by hand (the workspace vendors no serde); keys are stable so
 /// future PRs can diff files directly. `stream_rows` (from
-/// [`crate::stream_bench::stream_throughput`]) and `scan_rows` (from
-/// [`crate::scan_bench::scan_throughput`]) may be empty, in which case the
-/// corresponding array is omitted.
+/// [`crate::stream_bench::stream_throughput`]), `scan_rows` (from
+/// [`crate::scan_bench::scan_throughput`]) and `service_rows` (from
+/// [`crate::serve_bench::serve_throughput`]) may be empty, in which case
+/// the corresponding array is omitted.
 pub fn render_json(
     rows: &[PerfRow],
     stream_rows: &[crate::stream_bench::StreamRow],
     scan_rows: &[crate::scan_bench::ScanRow],
+    serve_rows: &[crate::serve_bench::ServeRow],
     size: usize,
     samples: usize,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"gompresso-bench-host-v4\",\n");
+    s.push_str("  \"schema\": \"gompresso-bench-host-v5\",\n");
     s.push_str(
-        "  \"command\": \"cargo run --release -p gompresso-bench --bin experiments -- --exp perf --stream --scan --size-mb <N>\",\n",
+        "  \"command\": \"cargo run --release -p gompresso-bench --bin experiments -- --exp perf --stream --scan --serve --size-mb <N>\",\n",
     );
     s.push_str(&format!("  \"size_bytes\": {size},\n"));
     s.push_str(&format!("  \"samples\": {samples},\n"));
@@ -171,7 +173,7 @@ pub fn render_json(
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    if stream_rows.is_empty() && scan_rows.is_empty() {
+    if stream_rows.is_empty() && scan_rows.is_empty() && serve_rows.is_empty() {
         s.push_str("  ]\n}\n");
         return s;
     }
@@ -193,7 +195,7 @@ pub fn render_json(
                 if i + 1 == stream_rows.len() { "" } else { "," },
             ));
         }
-        s.push_str(if scan_rows.is_empty() { "  ]\n" } else { "  ],\n" });
+        s.push_str(if scan_rows.is_empty() && serve_rows.is_empty() { "  ]\n" } else { "  ],\n" });
     }
     if !scan_rows.is_empty() {
         s.push_str("  \"scan_rows\": [\n");
@@ -207,6 +209,25 @@ pub fn render_json(
                 json_f64(row.range_decode_gbps),
                 json_f64(row.scans_per_sec),
                 if i + 1 == scan_rows.len() { "" } else { "," },
+            ));
+        }
+        s.push_str(if serve_rows.is_empty() { "  ]\n" } else { "  ],\n" });
+    }
+    if !serve_rows.is_empty() {
+        s.push_str("  \"service_rows\": [\n");
+        for (i, row) in serve_rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"clients\": {}, \"payload_bytes\": {}, \"requests\": {}, \"requests_per_sec\": {}, \"compress_gbps\": {}, \"ratio\": {}, \"sheds\": {}, \"peak_rss_mb\": {}}}{}\n",
+                row.dataset,
+                row.clients,
+                row.payload_bytes,
+                row.requests,
+                json_f64(row.requests_per_sec),
+                json_f64(row.compress_gbps),
+                json_f64(row.ratio),
+                row.sheds,
+                json_f64(row.peak_rss_mb),
+                if i + 1 == serve_rows.len() { "" } else { "," },
             ));
         }
         s.push_str("  ]\n");
@@ -246,12 +267,13 @@ mod tests {
     #[test]
     fn json_document_is_well_formed() {
         let rows = host_throughput(64 * 1024, 1);
-        let json = render_json(&rows, &[], &[], 64 * 1024, 1);
-        assert!(json.contains("\"schema\": \"gompresso-bench-host-v4\""));
+        let json = render_json(&rows, &[], &[], &[], 64 * 1024, 1);
+        assert!(json.contains("\"schema\": \"gompresso-bench-host-v5\""));
         assert!(json.contains("\"decompress_checksummed_gbps\""));
         assert!(json.contains("\"size_bytes\": 65536"));
         assert!(!json.contains("stream_rows"));
         assert!(!json.contains("scan_rows"));
+        assert!(!json.contains("service_rows"));
         assert_eq!(json.matches("\"dataset\"").count(), rows.len());
         // Balanced braces/brackets, no trailing comma before the closer.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -281,15 +303,35 @@ mod tests {
             range_decode_gbps: 0.2,
             scans_per_sec: 3.5,
         }];
-        for (streams, scans) in
-            [(&stream_rows[..], &scan_rows[..]), (&stream_rows[..], &[][..]), (&[][..], &scan_rows[..])]
-        {
-            let json = render_json(&rows, streams, scans, 64 * 1024, 1);
+        let serve_rows = [crate::serve_bench::ServeRow {
+            dataset: "wikipedia".into(),
+            clients: 4,
+            payload_bytes: 1 << 20,
+            requests: 16,
+            requests_per_sec: 42.5,
+            compress_gbps: 0.04,
+            ratio: 2.5,
+            sheds: 0,
+            peak_rss_mb: 33.0,
+        }];
+        for (streams, scans, serves) in [
+            (&stream_rows[..], &scan_rows[..], &serve_rows[..]),
+            (&stream_rows[..], &[][..], &[][..]),
+            (&[][..], &scan_rows[..], &[][..]),
+            (&[][..], &[][..], &serve_rows[..]),
+            (&stream_rows[..], &scan_rows[..], &[][..]),
+        ] {
+            let json = render_json(&rows, streams, scans, serves, 64 * 1024, 1);
             assert_eq!(json.contains("\"stream_rows\": ["), !streams.is_empty());
             assert_eq!(json.contains("\"scan_rows\": ["), !scans.is_empty());
+            assert_eq!(json.contains("\"service_rows\": ["), !serves.is_empty());
             if !scans.is_empty() {
                 assert!(json.contains("\"cold_open_ms\": 1.25"));
                 assert!(json.contains("\"range_decode_gbps\": 0.2"));
+            }
+            if !serves.is_empty() {
+                assert!(json.contains("\"requests_per_sec\": 42.5"));
+                assert!(json.contains("\"clients\": 4"));
             }
             assert_eq!(json.matches('{').count(), json.matches('}').count());
             assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -1,0 +1,194 @@
+//! Service-daemon throughput experiment (`service_rows` of BENCH_host.json).
+//!
+//! Boots an in-process [`gompresso_service::Server`] and drives it with
+//! concurrent wire-protocol clients, each looping compression jobs over a
+//! ~1 MiB payload. The measured figure is end-to-end requests per second —
+//! framing, admission, session scheduling and the compression pipeline all
+//! included — at several client counts, which is the regression guard for
+//! the daemon's per-request overhead.
+//!
+//! Every first response per client per sample is verified byte-identical
+//! to the library's own `StreamCompressor` output for the same
+//! configuration, so the row also re-proves the daemon is a transparent
+//! transport around the pipeline.
+//!
+//! Regenerate the committed `BENCH_host.json` (including these rows) with:
+//!
+//! ```text
+//! cargo run --release -p gompresso-bench --bin experiments -- \
+//!     --exp perf --stream --scan --serve --size-mb 16 --mem-budget-mb 4
+//! ```
+
+use crate::datasets::wikipedia_data;
+use crate::gbps;
+use crate::stream_bench::{peak_rss_bytes, reset_peak_rss};
+use gompresso_core::{CompressorConfig, StreamCompressor};
+use gompresso_service::{Client, ClientError, CompressParams, Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+/// Concurrent client counts measured for the service rows.
+pub const SERVE_CLIENTS: [usize; 3] = [1, 2, 4];
+
+/// Compression jobs each client issues per timed sample.
+const REQUESTS_PER_CLIENT: usize = 4;
+
+/// Block size requested over the wire (and used for the library
+/// reference), a middle-of-the-road paper configuration.
+const WIRE_BLOCK_SIZE: usize = 64 * 1024;
+
+/// One measured (client-count) service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Dataset name (currently always "wikipedia").
+    pub dataset: String,
+    /// Concurrent client connections issuing jobs.
+    pub clients: usize,
+    /// Uncompressed payload bytes per request.
+    pub payload_bytes: usize,
+    /// Total requests issued per timed sample (clients × per-client loop).
+    pub requests: usize,
+    /// End-to-end requests per second (best of the samples).
+    pub requests_per_sec: f64,
+    /// Uncompressed bytes through the daemon per second, in GB/s.
+    pub compress_gbps: f64,
+    /// Compression ratio of the daemon's output container.
+    pub ratio: f64,
+    /// `Busy` sheds the server recorded across this row's samples.
+    pub sheds: u64,
+    /// Peak RSS in MiB across this row's samples (Linux VmHWM, reset per
+    /// row; 0.0 where unsupported). Covers the whole process — server,
+    /// clients and payload copies — so it bounds the daemon from above.
+    pub peak_rss_mb: f64,
+}
+
+/// The wire parameters and the matching library configuration. The daemon
+/// must produce byte-identical output to [`StreamCompressor`] under this
+/// config — that equivalence is asserted on every row.
+fn wire_config() -> (CompressParams, CompressorConfig) {
+    let params = CompressParams { mode: 0, de: true, block_size: WIRE_BLOCK_SIZE as u32 };
+    let mut config = CompressorConfig::bit_de();
+    config.block_size = WIRE_BLOCK_SIZE;
+    (params, config)
+}
+
+/// Measures daemon requests/sec for every client count in
+/// [`SERVE_CLIENTS`]. Each row boots a fresh server (so its counters are
+/// the row's counters), runs `samples` timed rounds, and reports the best.
+/// The payload is capped at 1 MiB so request *rate* — not bulk bandwidth —
+/// dominates the figure.
+pub fn serve_throughput(size: usize, samples: usize, mem_budget_mb: usize) -> Vec<ServeRow> {
+    let samples = samples.max(1);
+    let payload = wikipedia_data(size.clamp(64 * 1024, 1 << 20));
+    let (params, config) = wire_config();
+
+    // The library reference the daemon's responses must match bit-for-bit.
+    let mut reference = Vec::new();
+    StreamCompressor::new(config)
+        .expect("valid wire config")
+        .with_workers(1)
+        .compress(payload.as_slice(), &mut reference)
+        .expect("reference compression failed");
+    let ratio = payload.len() as f64 / reference.len().max(1) as f64;
+
+    let mut rows = Vec::new();
+    for clients in SERVE_CLIENTS {
+        let server_config = ServerConfig {
+            // Headroom above the client fleet so the stats connection at
+            // the end of the row is never shed.
+            max_sessions: clients + 2,
+            mem_budget: mem_budget_mb.max(1) << 20,
+            workers: 1,
+            io_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", server_config).expect("bind bench server");
+        let handle = server.handle().expect("server handle");
+        let addr = handle.addr().to_string();
+        let run = std::thread::spawn(move || server.run().expect("server run failed"));
+
+        reset_peak_rss();
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..clients {
+                    let addr = &addr;
+                    let payload = &payload;
+                    let reference = &reference;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr, Some(Duration::from_secs(60)))
+                            .expect("connect bench client");
+                        let mut out = Vec::with_capacity(reference.len());
+                        for request in 0..REQUESTS_PER_CLIENT {
+                            out.clear();
+                            compress_with_backoff(&mut client, params, payload, &mut out);
+                            if request == 0 {
+                                assert_eq!(
+                                    out, *reference,
+                                    "daemon output diverged from the library path ({clients} clients)"
+                                );
+                            }
+                        }
+                    });
+                }
+            });
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+
+        let mut stats_client =
+            Client::connect(&addr, Some(Duration::from_secs(10))).expect("connect stats client");
+        let snapshot = stats_client.stats().expect("stats request failed");
+        drop(stats_client);
+        handle.shutdown();
+        run.join().expect("server thread panicked");
+
+        let requests = clients * REQUESTS_PER_CLIENT;
+        rows.push(ServeRow {
+            dataset: "wikipedia".to_string(),
+            clients,
+            payload_bytes: payload.len(),
+            requests,
+            requests_per_sec: requests as f64 / best,
+            compress_gbps: gbps((requests * payload.len()) as f64 / best),
+            ratio,
+            sheds: snapshot.sheds,
+            peak_rss_mb: peak_rss_bytes() as f64 / (1 << 20) as f64,
+        });
+    }
+    rows
+}
+
+/// One compression job, absorbing `Busy` sheds with the server's backoff
+/// hint: under a transient overload the bench should measure the retry
+/// path, not die. Any other failure is a bench bug.
+fn compress_with_backoff(client: &mut Client, params: CompressParams, input: &[u8], out: &mut Vec<u8>) {
+    loop {
+        match client.compress(params, input, &mut *out) {
+            Ok(_) => return,
+            Err(ClientError::Busy { backoff_ms }) => {
+                out.clear();
+                std::thread::sleep(Duration::from_millis(u64::from(backoff_ms)));
+            }
+            Err(e) => panic!("bench job failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_rows_cover_all_client_counts() {
+        let rows = serve_throughput(128 * 1024, 1, 1);
+        assert_eq!(rows.len(), SERVE_CLIENTS.len());
+        for (row, clients) in rows.iter().zip(SERVE_CLIENTS) {
+            assert_eq!(row.clients, clients, "{row:?}");
+            assert_eq!(row.requests, clients * REQUESTS_PER_CLIENT, "{row:?}");
+            assert!(row.requests_per_sec > 0.0, "{row:?}");
+            assert!(row.compress_gbps > 0.0, "{row:?}");
+            assert!(row.ratio > 1.0, "{row:?}");
+            assert_eq!(row.payload_bytes, 128 * 1024, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Admission control: bounded sessions, bounded memory, shed — don't OOM.
+//!
+//! Two resources are guarded. **Session slots** cap concurrent
+//! connections; a connection that cannot get a slot is told `Busy` and
+//! closed before it costs anything. **Memory permits** cap the summed
+//! per-job budgets of jobs actually running a pipeline; a request that
+//! cannot get a permit is told `Busy` with a backoff hint but keeps its
+//! connection, so the retry is cheap. Both are RAII guards: a panicking
+//! session or job releases its resources on unwind, which is what makes
+//! the "no leaked slot" stats invariant hold under the fault matrix.
+//!
+//! The per-job budget is the global budget divided by the session cap
+//! (floored so the stream pipeline keeps its minimum two blocks in
+//! flight). Each admitted job runs its pipeline under
+//! `with_mem_budget(per_job)`, so the daemon's aggregate pipeline memory
+//! is bounded by the global budget no matter how demand arrives — overload
+//! becomes `Busy` responses, never growth.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Floor for the per-job memory budget: enough for the stream pipeline's
+/// minimum two 32 KiB-class blocks in flight with slack.
+pub const MIN_JOB_BUDGET: usize = 256 * 1024;
+
+/// The daemon's admission state.
+#[derive(Debug)]
+pub struct Admission {
+    max_sessions: usize,
+    mem_budget: usize,
+    per_job: usize,
+    sessions: AtomicUsize,
+    mem_in_use: Mutex<usize>,
+}
+
+/// RAII session slot; dropping it releases the slot.
+#[derive(Debug)]
+pub struct SessionSlot<'a> {
+    admission: &'a Admission,
+}
+
+/// RAII memory permit for one running job; dropping it returns the bytes.
+#[derive(Debug)]
+pub struct MemPermit<'a> {
+    admission: &'a Admission,
+    bytes: usize,
+}
+
+impl Admission {
+    /// Creates the admission state for `max_sessions` concurrent sessions
+    /// sharing `mem_budget` bytes of pipeline memory.
+    pub fn new(max_sessions: usize, mem_budget: usize) -> Admission {
+        let max_sessions = max_sessions.max(1);
+        let per_job = (mem_budget / max_sessions).max(MIN_JOB_BUDGET);
+        Admission {
+            max_sessions,
+            mem_budget: mem_budget.max(per_job),
+            per_job,
+            sessions: AtomicUsize::new(0),
+            mem_in_use: Mutex::new(0),
+        }
+    }
+
+    /// The pipeline memory budget each admitted job runs under.
+    pub fn per_job_budget(&self) -> usize {
+        self.per_job
+    }
+
+    /// Sessions currently holding a slot.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.load(Ordering::Relaxed)
+    }
+
+    /// Tries to claim a session slot.
+    pub fn try_session(&self) -> Option<SessionSlot<'_>> {
+        // CAS loop instead of fetch_add/undo so a refused connection never
+        // transiently occupies the last slot.
+        let mut cur = self.sessions.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max_sessions {
+                return None;
+            }
+            match self.sessions.compare_exchange_weak(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return Some(SessionSlot { admission: self }),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Tries to claim a memory permit for one job.
+    pub fn try_mem(&self) -> Option<MemPermit<'_>> {
+        let mut in_use = self.mem_in_use.lock().unwrap_or_else(|p| p.into_inner());
+        if *in_use + self.per_job > self.mem_budget {
+            return None;
+        }
+        *in_use += self.per_job;
+        Some(MemPermit { admission: self, bytes: self.per_job })
+    }
+}
+
+impl Drop for SessionSlot<'_> {
+    fn drop(&mut self) {
+        self.admission.sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for MemPermit<'_> {
+    fn drop(&mut self) {
+        let mut in_use = self.admission.mem_in_use.lock().unwrap_or_else(|p| p.into_inner());
+        *in_use = in_use.saturating_sub(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_slots_are_bounded_and_released() {
+        let a = Admission::new(2, 1 << 20);
+        let s1 = a.try_session().unwrap();
+        let _s2 = a.try_session().unwrap();
+        assert!(a.try_session().is_none(), "third session must be shed");
+        assert_eq!(a.active_sessions(), 2);
+        drop(s1);
+        assert_eq!(a.active_sessions(), 1);
+        assert!(a.try_session().is_some(), "released slot is reusable");
+    }
+
+    #[test]
+    fn memory_permits_partition_the_global_budget() {
+        let a = Admission::new(4, 4 * MIN_JOB_BUDGET);
+        assert_eq!(a.per_job_budget(), MIN_JOB_BUDGET);
+        let permits: Vec<_> = (0..4).map(|_| a.try_mem().unwrap()).collect();
+        assert!(a.try_mem().is_none(), "budget exhausted: fifth job must be shed");
+        drop(permits);
+        assert!(a.try_mem().is_some(), "dropped permits return their bytes");
+    }
+
+    #[test]
+    fn tiny_budgets_floor_at_the_pipeline_minimum() {
+        let a = Admission::new(8, 1024);
+        assert_eq!(a.per_job_budget(), MIN_JOB_BUDGET);
+        // The floored per-job budget implies a single admitted job.
+        let _p = a.try_mem().unwrap();
+        assert!(a.try_mem().is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! `gompressod` — the Gompresso compression service daemon.
+//!
+//! ```text
+//! gompressod [--addr HOST:PORT] [--port-file PATH] [--max-sessions N]
+//!            [--mem-budget-mb N] [--workers N] [--io-timeout-ms N]
+//!            [--idle-timeout-ms N] [--drain-timeout-ms N]
+//! ```
+//!
+//! Listens until SIGTERM/SIGINT or a wire `shutdown` request, then drains
+//! gracefully: in-flight sessions finish, new work is refused, and after
+//! the drain deadline stragglers are forced shut. Exit code 0 means the
+//! drain was clean; 1 means sessions had to be forced.
+
+use gompresso_service::{Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+fn install_signal_handlers() {
+    // Raw libc `signal` keeps the daemon dependency-free; the handler only
+    // flips an atomic, which the watcher thread polls.
+    unsafe {
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gompressod [--addr HOST:PORT] [--port-file PATH] [--max-sessions N]\n\
+         \u{20}                 [--mem-budget-mb N] [--workers N] [--io-timeout-ms N]\n\
+         \u{20}                 [--idle-timeout-ms N] [--drain-timeout-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let Some(v) = args.next() else {
+        eprintln!("gompressod: {flag} needs a value");
+        usage();
+    };
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("gompressod: bad value {v:?} for {flag}");
+        usage();
+    })
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut port_file: Option<String> = None;
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args();
+    args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse(&mut args, "--addr"),
+            "--port-file" => port_file = Some(parse(&mut args, "--port-file")),
+            "--max-sessions" => config.max_sessions = parse(&mut args, "--max-sessions"),
+            "--mem-budget-mb" => {
+                config.mem_budget = parse::<usize>(&mut args, "--mem-budget-mb") << 20;
+            }
+            "--workers" => config.workers = parse(&mut args, "--workers"),
+            "--io-timeout-ms" => {
+                config.io_timeout = Duration::from_millis(parse(&mut args, "--io-timeout-ms"));
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = Duration::from_millis(parse(&mut args, "--idle-timeout-ms"));
+            }
+            "--drain-timeout-ms" => {
+                config.drain_timeout = Duration::from_millis(parse(&mut args, "--drain-timeout-ms"));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("gompressod: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::bind(&addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gompressod: cannot bind {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let local = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("gompressod: no local address: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = &port_file {
+        // The CI soak job (and any script using an ephemeral port) learns
+        // the bound address from this file.
+        if let Err(e) = std::fs::write(path, format!("{local}\n")) {
+            eprintln!("gompressod: cannot write port file {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("gompressod: listening on {local}");
+
+    install_signal_handlers();
+    let handle = match server.handle() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("gompressod: no server handle: {e}");
+            std::process::exit(2);
+        }
+    };
+    let watcher = {
+        let handle = handle.clone();
+        std::thread::spawn(move || loop {
+            if SIGNALLED.load(Ordering::SeqCst) {
+                eprintln!("gompressod: signal received, draining");
+                handle.shutdown();
+                return;
+            }
+            if handle.is_shutting_down() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        })
+    };
+
+    let report = match server.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gompressod: accept loop failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let _ = watcher.join();
+    if report.clean {
+        eprintln!("gompressod: drained cleanly");
+        std::process::exit(0);
+    }
+    eprintln!("gompressod: drain deadline expired; {} session(s) forced shut", report.forced_sessions);
+    std::process::exit(1);
+}

@@ -1,0 +1,267 @@
+//! Client side of the `gompressod` protocol.
+//!
+//! A [`Client`] owns one connection and can issue any number of requests
+//! over it. Job requests are full-duplex: a scoped sender thread streams
+//! the input as `Data` frames while the calling thread consumes the
+//! server's response frames — so a large transfer can never deadlock on
+//! bounded socket buffers, mirroring the server's pipelined session
+//! layout.
+//!
+//! `Busy` responses surface as [`ClientError::Busy`] with the server's
+//! backoff hint; [`run_with_retry`] wraps the reconnect-sleep-retry loop
+//! that scripted callers (the `file_tool client` subcommand, the CI soak
+//! job) use.
+
+use crate::protocol::{read_frame, write_frame, CompressParams, ErrCode, FrameKind, JobSummary, DATA_CHUNK};
+use crate::stats::StatsSnapshot;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Errors surfaced by the client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure.
+    Io(io::Error),
+    /// The server (or a middlebox) broke the wire protocol.
+    Protocol(String),
+    /// The server answered with an error frame.
+    Remote {
+        /// The wire error code.
+        code: ErrCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The server shed the request; retry after the hint.
+    Busy {
+        /// Server-suggested backoff, milliseconds.
+        backoff_ms: u32,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Remote { code, message } => write!(f, "server error ({}): {message}", code.name()),
+            ClientError::Busy { backoff_ms } => write!(f, "server busy (retry in {backoff_ms} ms)"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// Whether this failure means the job's *input* was corrupt — the
+    /// distinction the CLI exit codes encode.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, ClientError::Remote { code: ErrCode::Corrupt, .. })
+    }
+}
+
+/// One connection to a `gompressod` instance.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects, with optional per-IO deadlines on the client side.
+    pub fn connect(addr: &str, timeout: Option<Duration>) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Compresses `input` through the daemon into `output`.
+    pub fn compress<R: Read + Send, W: Write>(
+        &mut self,
+        params: CompressParams,
+        input: R,
+        output: W,
+    ) -> Result<JobSummary, ClientError> {
+        self.run_job(FrameKind::ReqCompress, &params.encode(), input, output)
+    }
+
+    /// Decompresses a v4 stream container through the daemon.
+    pub fn decompress<R: Read + Send, W: Write>(
+        &mut self,
+        input: R,
+        output: W,
+    ) -> Result<JobSummary, ClientError> {
+        self.run_job(FrameKind::ReqDecompress, &[], input, output)
+    }
+
+    /// Verifies a v4 stream container (decode + checksums, output
+    /// discarded server-side).
+    pub fn verify<R: Read + Send>(&mut self, input: R) -> Result<JobSummary, ClientError> {
+        self.run_job(FrameKind::ReqVerify, &[], input, io::sink())
+    }
+
+    /// Fetches the server's counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        write_frame(&mut self.stream, FrameKind::ReqStats, &[])?;
+        let (kind, payload) = self.read_response()?;
+        match kind {
+            FrameKind::Stats => StatsSnapshot::decode(&payload)
+                .ok_or_else(|| ClientError::Protocol("malformed stats payload".into())),
+            other => Err(ClientError::Protocol(format!("expected Stats, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, FrameKind::ReqShutdown, &[])?;
+        let (kind, _) = self.read_response()?;
+        match kind {
+            FrameKind::Ok => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+
+    fn read_response(&mut self) -> Result<(FrameKind, Vec<u8>), ClientError> {
+        let (kind, payload) = read_frame(&mut self.reader).map_err(|e| {
+            if e.kind() == io::ErrorKind::InvalidData {
+                ClientError::Protocol(e.to_string())
+            } else {
+                ClientError::Io(e)
+            }
+        })?;
+        match kind {
+            FrameKind::Err => {
+                let code = payload.first().copied().map(ErrCode::from_u8).unwrap_or(ErrCode::Io);
+                let message = String::from_utf8_lossy(payload.get(1..).unwrap_or(&[])).into_owned();
+                Err(ClientError::Remote { code, message })
+            }
+            FrameKind::Busy => {
+                let backoff_ms =
+                    payload.get(..4).map(|b| u32::from_le_bytes(b.try_into().unwrap())).unwrap_or(100);
+                Err(ClientError::Busy { backoff_ms })
+            }
+            other => Ok((other, payload)),
+        }
+    }
+
+    fn run_job<R: Read + Send, W: Write>(
+        &mut self,
+        kind: FrameKind,
+        req_payload: &[u8],
+        mut input: R,
+        mut output: W,
+    ) -> Result<JobSummary, ClientError> {
+        write_frame(&mut self.stream, kind, req_payload)?;
+        match self.read_response()? {
+            (FrameKind::Go, _) => {}
+            (other, _) => return Err(ClientError::Protocol(format!("expected Go, got {other:?}"))),
+        }
+        // Full duplex: the sender thread streams input while this thread
+        // drains the server's output — neither side can be blocked by the
+        // other filling a socket buffer.
+        let send_stream = &self.stream;
+        let reader = &mut self.reader;
+        std::thread::scope(|scope| {
+            let sender = scope.spawn(move || -> io::Result<()> {
+                let mut w = BufWriter::new(send_stream);
+                let mut chunk = vec![0u8; DATA_CHUNK];
+                loop {
+                    let n = read_some(&mut input, &mut chunk)?;
+                    if n == 0 {
+                        break;
+                    }
+                    write_frame(&mut w, FrameKind::Data, &chunk[..n])?;
+                }
+                write_frame(&mut w, FrameKind::End, &[])?;
+                w.flush()
+            });
+            let mut received: Result<JobSummary, ClientError> = loop {
+                let (kind, payload) = match read_frame_client(reader) {
+                    Ok(f) => f,
+                    Err(e) => break Err(e),
+                };
+                match kind {
+                    FrameKind::Data => {
+                        if let Err(e) = output.write_all(&payload) {
+                            break Err(ClientError::Io(e));
+                        }
+                    }
+                    FrameKind::Ok => {
+                        break JobSummary::decode(&payload)
+                            .ok_or_else(|| ClientError::Protocol("malformed Ok payload".into()))
+                    }
+                    FrameKind::Err => {
+                        let code = payload.first().copied().map(ErrCode::from_u8).unwrap_or(ErrCode::Io);
+                        let message = String::from_utf8_lossy(payload.get(1..).unwrap_or(&[])).into_owned();
+                        break Err(ClientError::Remote { code, message });
+                    }
+                    other => break Err(ClientError::Protocol(format!("unexpected {other:?} frame"))),
+                }
+            };
+            // A server-side failure may kill the connection while the
+            // sender is still writing; the server's error is the real
+            // story, the sender's broken pipe just its echo.
+            let send_result =
+                sender.join().unwrap_or_else(|_| Err(io::Error::other("sender thread panicked")));
+            if received.is_ok() {
+                if let Err(e) = send_result {
+                    received = Err(ClientError::Io(e));
+                }
+            }
+            received
+        })
+    }
+}
+
+/// One read, retrying `Interrupted`, into the front of `buf`.
+fn read_some<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    loop {
+        match r.read(buf) {
+            Ok(n) => return Ok(n),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn read_frame_client<R: Read>(r: &mut R) -> Result<(FrameKind, Vec<u8>), ClientError> {
+    read_frame(r).map_err(|e| {
+        if e.kind() == io::ErrorKind::InvalidData {
+            ClientError::Protocol(e.to_string())
+        } else {
+            ClientError::Io(e)
+        }
+    })
+}
+
+/// Runs `job` against `addr`, reconnecting and retrying up to `attempts`
+/// times when the server sheds the request with `Busy`. Each retry sleeps
+/// the server's backoff hint. Non-`Busy` outcomes return immediately.
+pub fn run_with_retry<T>(
+    addr: &str,
+    timeout: Option<Duration>,
+    attempts: usize,
+    mut job: impl FnMut(&mut Client) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    let mut last_backoff = 100;
+    for attempt in 0..attempts.max(1) {
+        let mut client = Client::connect(addr, timeout)?;
+        match job(&mut client) {
+            Err(ClientError::Busy { backoff_ms }) if attempt + 1 < attempts => {
+                last_backoff = backoff_ms;
+                std::thread::sleep(Duration::from_millis(u64::from(backoff_ms)));
+            }
+            other => return other,
+        }
+    }
+    Err(ClientError::Busy { backoff_ms: last_backoff })
+}

@@ -1,0 +1,30 @@
+//! `gompressod` — a fault-hardened TCP compression service over the
+//! Gompresso streaming engine.
+//!
+//! The library half of the daemon: the framed wire [`protocol`], the
+//! [`admission`]-controlled [`server`] with its session isolation and
+//! graceful drain, the [`client`], and the observable [`stats`] counters.
+//! The `gompressod` binary in this crate is a thin argv wrapper around
+//! [`Server`]; tests and the bench harness embed the server in-process
+//! through the same API.
+//!
+//! Design contract (see `DESIGN.md` §4e): the transport layer never
+//! brings down the process — every failure is a clean per-session error,
+//! every resource is an RAII guard, and overload is shed as `Busy`
+//! instead of growing past the memory budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod server;
+mod session;
+pub mod stats;
+
+pub use admission::Admission;
+pub use client::{run_with_retry, Client, ClientError};
+pub use protocol::{CompressParams, ErrCode, FrameKind, JobSummary, DATA_CHUNK, MAX_FRAME_PAYLOAD};
+pub use server::{DrainReport, Server, ServerConfig, ServerHandle};
+pub use stats::{peak_rss_bytes, ServiceStats, StatsSnapshot};

@@ -1,0 +1,300 @@
+//! The `gompressod` wire protocol: length-prefixed frames over a byte
+//! stream.
+//!
+//! Every frame is `kind: u8 | len: u32le | payload[len]`. A connection
+//! carries a sequence of requests; each request is one control frame,
+//! optionally followed (for the job requests) by a client→server stream of
+//! [`FrameKind::Data`] frames terminated by [`FrameKind::End`]. The server
+//! answers a job request with [`FrameKind::Go`] (admitted — stream your
+//! data), [`FrameKind::Busy`] (shed — retry after the hint), or an
+//! immediate [`FrameKind::Err`]; during the job it may interleave `Data`
+//! frames of produced output, and it finishes with [`FrameKind::Ok`] or
+//! [`FrameKind::Err`]. The payload *inside* the `Data` frames is an
+//! ordinary Gompresso v4 stream container (or raw bytes, depending on
+//! direction) — the framing layer is codec-agnostic.
+//!
+//! Hostile inputs are handled at this layer: a frame with an unknown kind
+//! or a length beyond its kind's cap is rejected *before* any allocation
+//! is sized from it, surfacing as `io::ErrorKind::InvalidData` — which the
+//! session layer maps to a clean [`ErrCode::Protocol`] error for that
+//! session only.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on any frame payload (1 MiB). `Data` frames use the full cap;
+/// control frames use [`MAX_CONTROL_PAYLOAD`].
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
+
+/// Cap on control-frame payloads (requests, results, errors, stats).
+pub const MAX_CONTROL_PAYLOAD: usize = 4096;
+
+/// Chunk size used when slicing a byte stream into `Data` frames.
+pub const DATA_CHUNK: usize = 256 * 1024;
+
+/// Frame kinds. Requests are `0x0_`, stream frames `0x1_`, responses
+/// `0x2_`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Start a compression job; payload is a [`CompressParams`] record.
+    ReqCompress = 0x01,
+    /// Start a decompression job; empty payload.
+    ReqDecompress = 0x02,
+    /// Start a verify job (decompress + checksums, output discarded);
+    /// empty payload.
+    ReqVerify = 0x03,
+    /// Request the server's counters; empty payload.
+    ReqStats = 0x04,
+    /// Ask the server to drain and exit; empty payload.
+    ReqShutdown = 0x05,
+    /// A chunk of job bytes (either direction).
+    Data = 0x10,
+    /// End of the client's job bytes.
+    End = 0x11,
+    /// Job admitted: stream your data.
+    Go = 0x20,
+    /// Job finished: payload is `uncompressed: u64le | compressed: u64le |
+    /// blocks: u64le`.
+    Ok = 0x21,
+    /// Request failed: payload is `code: u8 | utf8 message`.
+    Err = 0x22,
+    /// Server is saturated: payload is `backoff_hint_ms: u32le`. Retry.
+    Busy = 0x23,
+    /// Stats response: payload is `count: u32le | count × (tag: u8,
+    /// value: u64le)`.
+    Stats = 0x24,
+}
+
+impl FrameKind {
+    /// Decodes a wire kind byte.
+    pub fn from_u8(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            0x01 => FrameKind::ReqCompress,
+            0x02 => FrameKind::ReqDecompress,
+            0x03 => FrameKind::ReqVerify,
+            0x04 => FrameKind::ReqStats,
+            0x05 => FrameKind::ReqShutdown,
+            0x10 => FrameKind::Data,
+            0x11 => FrameKind::End,
+            0x20 => FrameKind::Go,
+            0x21 => FrameKind::Ok,
+            0x22 => FrameKind::Err,
+            0x23 => FrameKind::Busy,
+            0x24 => FrameKind::Stats,
+            _ => return None,
+        })
+    }
+
+    /// The largest payload a frame of this kind may declare.
+    pub fn max_payload(self) -> usize {
+        match self {
+            FrameKind::Data => MAX_FRAME_PAYLOAD,
+            _ => MAX_CONTROL_PAYLOAD,
+        }
+    }
+}
+
+/// Error codes carried by [`FrameKind::Err`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrCode {
+    /// The peer violated the wire protocol (bad frame, bad request).
+    Protocol = 1,
+    /// The job's input bytes are corrupt (checksum / format failure).
+    Corrupt = 2,
+    /// The server failed internally (a caught panic).
+    Internal = 3,
+    /// A read or write deadline expired.
+    Timeout = 4,
+    /// The server is draining and refuses new work.
+    ShuttingDown = 5,
+    /// A transport-level I/O failure.
+    Io = 6,
+}
+
+impl ErrCode {
+    /// Decodes a wire code byte; unknown codes collapse to [`ErrCode::Io`].
+    pub fn from_u8(b: u8) -> ErrCode {
+        match b {
+            1 => ErrCode::Protocol,
+            2 => ErrCode::Corrupt,
+            3 => ErrCode::Internal,
+            4 => ErrCode::Timeout,
+            5 => ErrCode::ShuttingDown,
+            _ => ErrCode::Io,
+        }
+    }
+
+    /// Stable lowercase name, used in client-facing messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrCode::Protocol => "protocol",
+            ErrCode::Corrupt => "corrupt",
+            ErrCode::Internal => "internal",
+            ErrCode::Timeout => "timeout",
+            ErrCode::ShuttingDown => "shutting-down",
+            ErrCode::Io => "io",
+        }
+    }
+}
+
+/// Parameters of a compression request, as carried on the wire:
+/// `mode: u8 (0 bit, 1 byte, 2 auto) | de: u8 | block_size: u32le`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressParams {
+    /// 0 = Gompresso/Bit, 1 = Gompresso/Byte, 2 = adaptive per-block.
+    pub mode: u8,
+    /// Enable Dependency Elimination (ignored for mode 2, which plans DE
+    /// per block).
+    pub de: bool,
+    /// Block size in bytes; 0 means the server default.
+    pub block_size: u32,
+}
+
+impl CompressParams {
+    /// Serializes to the 6-byte wire record.
+    pub fn encode(&self) -> [u8; 6] {
+        let mut out = [0u8; 6];
+        out[0] = self.mode;
+        out[1] = self.de as u8;
+        out[2..6].copy_from_slice(&self.block_size.to_le_bytes());
+        out
+    }
+
+    /// Parses the wire record; `None` if the payload is malformed.
+    pub fn decode(payload: &[u8]) -> Option<CompressParams> {
+        if payload.len() != 6 || payload[0] > 2 || payload[1] > 1 {
+            return None;
+        }
+        Some(CompressParams {
+            mode: payload[0],
+            de: payload[1] == 1,
+            block_size: u32::from_le_bytes(payload[2..6].try_into().unwrap()),
+        })
+    }
+}
+
+/// Totals reported by a finished job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobSummary {
+    /// Uncompressed bytes that crossed the job's pipeline.
+    pub uncompressed: u64,
+    /// Compressed container bytes.
+    pub compressed: u64,
+    /// Data blocks processed.
+    pub blocks: u64,
+}
+
+impl JobSummary {
+    /// Serializes to the 24-byte [`FrameKind::Ok`] payload.
+    pub fn encode(&self) -> [u8; 24] {
+        let mut out = [0u8; 24];
+        out[..8].copy_from_slice(&self.uncompressed.to_le_bytes());
+        out[8..16].copy_from_slice(&self.compressed.to_le_bytes());
+        out[16..].copy_from_slice(&self.blocks.to_le_bytes());
+        out
+    }
+
+    /// Parses the [`FrameKind::Ok`] payload.
+    pub fn decode(payload: &[u8]) -> Option<JobSummary> {
+        if payload.len() != 24 {
+            return None;
+        }
+        Some(JobSummary {
+            uncompressed: u64::from_le_bytes(payload[..8].try_into().unwrap()),
+            compressed: u64::from_le_bytes(payload[8..16].try_into().unwrap()),
+            blocks: u64::from_le_bytes(payload[16..].try_into().unwrap()),
+        })
+    }
+}
+
+/// Writes one frame. The caller is responsible for flushing.
+pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= kind.max_payload());
+    let mut head = [0u8; 5];
+    head[0] = kind as u8;
+    head[1..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)
+}
+
+/// Writes an [`FrameKind::Err`] frame, truncating the message to the
+/// control cap.
+pub fn write_err<W: Write>(w: &mut W, code: ErrCode, message: &str) -> io::Result<()> {
+    let msg = message.as_bytes();
+    let msg = &msg[..msg.len().min(MAX_CONTROL_PAYLOAD - 1)];
+    let mut payload = Vec::with_capacity(1 + msg.len());
+    payload.push(code as u8);
+    payload.extend_from_slice(msg);
+    write_frame(w, FrameKind::Err, &payload)
+}
+
+/// Reads one frame, enforcing the per-kind payload cap *before* sizing the
+/// payload buffer. Unknown kinds and oversized declarations surface as
+/// `InvalidData` — a per-session protocol error, never a crash or an
+/// allocation driven by hostile bytes.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(FrameKind, Vec<u8>)> {
+    let mut head = [0u8; 5];
+    r.read_exact(&mut head)?;
+    let kind = FrameKind::from_u8(head[0]).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("unknown frame kind {:#04x}", head[0]))
+    })?;
+    let len = u32::from_le_bytes(head[1..].try_into().unwrap()) as usize;
+    if len > kind.max_payload() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame {kind:?} declares {len} payload bytes (cap {})", kind.max_payload()),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok((kind, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Go, &[]).unwrap();
+        write_frame(&mut wire, FrameKind::Data, b"payload").unwrap();
+        write_err(&mut wire, ErrCode::Corrupt, "bad block").unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), (FrameKind::Go, vec![]));
+        assert_eq!(read_frame(&mut r).unwrap(), (FrameKind::Data, b"payload".to_vec()));
+        let (kind, payload) = read_frame(&mut r).unwrap();
+        assert_eq!(kind, FrameKind::Err);
+        assert_eq!(ErrCode::from_u8(payload[0]), ErrCode::Corrupt);
+        assert_eq!(&payload[1..], b"bad block");
+    }
+
+    #[test]
+    fn hostile_frames_are_rejected_before_allocation() {
+        // Unknown kind.
+        let mut wire = vec![0x7F, 0, 0, 0, 0];
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // A control frame declaring 4 GiB of payload: rejected from the
+        // 5-byte head alone.
+        wire = vec![FrameKind::Go as u8, 0xFF, 0xFF, 0xFF, 0xFF];
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // A Data frame just over its cap.
+        let mut head = vec![FrameKind::Data as u8];
+        head.extend_from_slice(&((MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes()));
+        let err = read_frame(&mut head.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn params_and_summary_roundtrip() {
+        let p = CompressParams { mode: 2, de: true, block_size: 64 * 1024 };
+        assert_eq!(CompressParams::decode(&p.encode()), Some(p));
+        assert_eq!(CompressParams::decode(&[3, 0, 0, 0, 0, 0]), None);
+        assert_eq!(CompressParams::decode(&[0, 0, 0]), None);
+        let s = JobSummary { uncompressed: 10, compressed: 3, blocks: 1 };
+        assert_eq!(JobSummary::decode(&s.encode()), Some(s));
+    }
+}

@@ -1,0 +1,290 @@
+//! Observable degradation: the daemon's counters.
+//!
+//! Every robustness decision the server makes — shedding a request,
+//! timing out a stalled peer, catching a worker panic, refusing work while
+//! draining — increments a counter here, and the `stats` request exposes
+//! the whole set over the wire. The counters are the test suite's oracle
+//! for "no session slot leaked" (`sessions_accepted - sessions_completed =
+//! sessions_active`) and CI's oracle for "the soak run shed instead of
+//! crashing".
+
+use crate::protocol::{write_frame, FrameKind};
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wire tags for the stats counters. Stable across releases: clients match
+/// on the tag, never on the position in the frame.
+pub mod tag {
+    /// Connections accepted (including ones later shed).
+    pub const SESSIONS_ACCEPTED: u8 = 1;
+    /// Sessions currently holding a slot.
+    pub const SESSIONS_ACTIVE: u8 = 2;
+    /// Sessions that released their slot.
+    pub const SESSIONS_COMPLETED: u8 = 3;
+    /// Compression jobs finished successfully.
+    pub const JOBS_COMPRESS: u8 = 4;
+    /// Decompression jobs finished successfully.
+    pub const JOBS_DECOMPRESS: u8 = 5;
+    /// Verify jobs finished successfully.
+    pub const JOBS_VERIFY: u8 = 6;
+    /// Job payload bytes received from clients.
+    pub const BYTES_IN: u8 = 7;
+    /// Job payload bytes sent to clients.
+    pub const BYTES_OUT: u8 = 8;
+    /// Requests shed with `Busy` (session slots or memory exhausted).
+    pub const SHEDS: u8 = 9;
+    /// Read/write deadlines that expired.
+    pub const TIMEOUTS: u8 = 10;
+    /// Wire-protocol violations by peers.
+    pub const PROTOCOL_ERRORS: u8 = 11;
+    /// Jobs that failed on corrupt input.
+    pub const CORRUPTIONS: u8 = 12;
+    /// Transport-level I/O failures.
+    pub const IO_ERRORS: u8 = 13;
+    /// Panics caught at a session or job boundary.
+    pub const PANICS_CAUGHT: u8 = 14;
+    /// Requests refused because the server was draining.
+    pub const REFUSED_DRAINING: u8 = 15;
+    /// Peak resident set size of the process, bytes (0 where unreadable).
+    pub const PEAK_RSS_BYTES: u8 = 16;
+}
+
+/// Lock-free counter block shared by every session thread.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// See [`tag::SESSIONS_ACCEPTED`].
+    pub sessions_accepted: AtomicU64,
+    /// See [`tag::SESSIONS_COMPLETED`].
+    pub sessions_completed: AtomicU64,
+    /// See [`tag::JOBS_COMPRESS`].
+    pub jobs_compress: AtomicU64,
+    /// See [`tag::JOBS_DECOMPRESS`].
+    pub jobs_decompress: AtomicU64,
+    /// See [`tag::JOBS_VERIFY`].
+    pub jobs_verify: AtomicU64,
+    /// See [`tag::BYTES_IN`].
+    pub bytes_in: AtomicU64,
+    /// See [`tag::BYTES_OUT`].
+    pub bytes_out: AtomicU64,
+    /// See [`tag::SHEDS`].
+    pub sheds: AtomicU64,
+    /// See [`tag::TIMEOUTS`].
+    pub timeouts: AtomicU64,
+    /// See [`tag::PROTOCOL_ERRORS`].
+    pub protocol_errors: AtomicU64,
+    /// See [`tag::CORRUPTIONS`].
+    pub corruptions: AtomicU64,
+    /// See [`tag::IO_ERRORS`].
+    pub io_errors: AtomicU64,
+    /// See [`tag::PANICS_CAUGHT`].
+    pub panics_caught: AtomicU64,
+    /// See [`tag::REFUSED_DRAINING`].
+    pub refused_draining: AtomicU64,
+}
+
+/// `c.bump()` / `c.add(n)` with relaxed ordering — counters are
+/// monotonic telemetry, not synchronization.
+pub(crate) trait Bump {
+    fn bump(&self);
+    fn add(&self, n: u64);
+}
+
+impl Bump for AtomicU64 {
+    fn bump(&self) {
+        self.fetch_add(1, Ordering::Relaxed);
+    }
+    fn add(&self, n: u64) {
+        self.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl ServiceStats {
+    /// Serializes every counter (plus the live `sessions_active` value and
+    /// the process peak RSS) into a [`FrameKind::Stats`] frame.
+    pub fn write_frame<W: Write>(&self, w: &mut W, sessions_active: u64) -> io::Result<()> {
+        let pairs = self.pairs(sessions_active);
+        let mut payload = Vec::with_capacity(4 + pairs.len() * 9);
+        payload.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+        for (t, v) in pairs {
+            payload.push(t);
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        write_frame(w, FrameKind::Stats, &payload)
+    }
+
+    fn pairs(&self, sessions_active: u64) -> Vec<(u8, u64)> {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            (tag::SESSIONS_ACCEPTED, g(&self.sessions_accepted)),
+            (tag::SESSIONS_ACTIVE, sessions_active),
+            (tag::SESSIONS_COMPLETED, g(&self.sessions_completed)),
+            (tag::JOBS_COMPRESS, g(&self.jobs_compress)),
+            (tag::JOBS_DECOMPRESS, g(&self.jobs_decompress)),
+            (tag::JOBS_VERIFY, g(&self.jobs_verify)),
+            (tag::BYTES_IN, g(&self.bytes_in)),
+            (tag::BYTES_OUT, g(&self.bytes_out)),
+            (tag::SHEDS, g(&self.sheds)),
+            (tag::TIMEOUTS, g(&self.timeouts)),
+            (tag::PROTOCOL_ERRORS, g(&self.protocol_errors)),
+            (tag::CORRUPTIONS, g(&self.corruptions)),
+            (tag::IO_ERRORS, g(&self.io_errors)),
+            (tag::PANICS_CAUGHT, g(&self.panics_caught)),
+            (tag::REFUSED_DRAINING, g(&self.refused_draining)),
+            (tag::PEAK_RSS_BYTES, peak_rss_bytes()),
+        ]
+    }
+}
+
+/// Client-side decoded stats frame. Unknown tags are ignored, so old
+/// clients read new servers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`tag::SESSIONS_ACCEPTED`].
+    pub sessions_accepted: u64,
+    /// See [`tag::SESSIONS_ACTIVE`].
+    pub sessions_active: u64,
+    /// See [`tag::SESSIONS_COMPLETED`].
+    pub sessions_completed: u64,
+    /// See [`tag::JOBS_COMPRESS`].
+    pub jobs_compress: u64,
+    /// See [`tag::JOBS_DECOMPRESS`].
+    pub jobs_decompress: u64,
+    /// See [`tag::JOBS_VERIFY`].
+    pub jobs_verify: u64,
+    /// See [`tag::BYTES_IN`].
+    pub bytes_in: u64,
+    /// See [`tag::BYTES_OUT`].
+    pub bytes_out: u64,
+    /// See [`tag::SHEDS`].
+    pub sheds: u64,
+    /// See [`tag::TIMEOUTS`].
+    pub timeouts: u64,
+    /// See [`tag::PROTOCOL_ERRORS`].
+    pub protocol_errors: u64,
+    /// See [`tag::CORRUPTIONS`].
+    pub corruptions: u64,
+    /// See [`tag::IO_ERRORS`].
+    pub io_errors: u64,
+    /// See [`tag::PANICS_CAUGHT`].
+    pub panics_caught: u64,
+    /// See [`tag::REFUSED_DRAINING`].
+    pub refused_draining: u64,
+    /// See [`tag::PEAK_RSS_BYTES`].
+    pub peak_rss_bytes: u64,
+}
+
+impl StatsSnapshot {
+    /// Parses a [`FrameKind::Stats`] payload; `None` if malformed.
+    pub fn decode(payload: &[u8]) -> Option<StatsSnapshot> {
+        if payload.len() < 4 {
+            return None;
+        }
+        let count = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+        if payload.len() != 4 + count * 9 {
+            return None;
+        }
+        let mut s = StatsSnapshot::default();
+        for i in 0..count {
+            let rec = &payload[4 + i * 9..4 + (i + 1) * 9];
+            let v = u64::from_le_bytes(rec[1..].try_into().unwrap());
+            match rec[0] {
+                tag::SESSIONS_ACCEPTED => s.sessions_accepted = v,
+                tag::SESSIONS_ACTIVE => s.sessions_active = v,
+                tag::SESSIONS_COMPLETED => s.sessions_completed = v,
+                tag::JOBS_COMPRESS => s.jobs_compress = v,
+                tag::JOBS_DECOMPRESS => s.jobs_decompress = v,
+                tag::JOBS_VERIFY => s.jobs_verify = v,
+                tag::BYTES_IN => s.bytes_in = v,
+                tag::BYTES_OUT => s.bytes_out = v,
+                tag::SHEDS => s.sheds = v,
+                tag::TIMEOUTS => s.timeouts = v,
+                tag::PROTOCOL_ERRORS => s.protocol_errors = v,
+                tag::CORRUPTIONS => s.corruptions = v,
+                tag::IO_ERRORS => s.io_errors = v,
+                tag::PANICS_CAUGHT => s.panics_caught = v,
+                tag::REFUSED_DRAINING => s.refused_draining = v,
+                tag::PEAK_RSS_BYTES => s.peak_rss_bytes = v,
+                _ => {}
+            }
+        }
+        Some(s)
+    }
+
+    /// Renders `tag value` lines in a stable order (the `client stats`
+    /// output format).
+    pub fn render(&self) -> String {
+        format!(
+            "sessions_accepted {}\nsessions_active {}\nsessions_completed {}\n\
+             jobs_compress {}\njobs_decompress {}\njobs_verify {}\n\
+             bytes_in {}\nbytes_out {}\nsheds {}\ntimeouts {}\n\
+             protocol_errors {}\ncorruptions {}\nio_errors {}\npanics_caught {}\n\
+             refused_draining {}\npeak_rss_bytes {}\n",
+            self.sessions_accepted,
+            self.sessions_active,
+            self.sessions_completed,
+            self.jobs_compress,
+            self.jobs_decompress,
+            self.jobs_verify,
+            self.bytes_in,
+            self.bytes_out,
+            self.sheds,
+            self.timeouts,
+            self.protocol_errors,
+            self.corruptions,
+            self.io_errors,
+            self.panics_caught,
+            self.refused_draining,
+            self.peak_rss_bytes,
+        )
+    }
+}
+
+/// Peak resident set size of this process in bytes, from
+/// `/proc/self/status` `VmHWM`; 0 where the proc interface is missing.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::read_frame;
+
+    #[test]
+    fn stats_frame_roundtrips() {
+        let stats = ServiceStats::default();
+        stats.sheds.add(7);
+        stats.jobs_compress.bump();
+        stats.bytes_in.add(1234);
+        let mut wire = Vec::new();
+        stats.write_frame(&mut wire, 3).unwrap();
+        let (kind, payload) = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(kind, FrameKind::Stats);
+        let snap = StatsSnapshot::decode(&payload).unwrap();
+        assert_eq!(snap.sheds, 7);
+        assert_eq!(snap.jobs_compress, 1);
+        assert_eq!(snap.bytes_in, 1234);
+        assert_eq!(snap.sessions_active, 3);
+        assert!(snap.render().contains("sheds 7"));
+    }
+
+    #[test]
+    fn malformed_stats_payloads_decode_to_none() {
+        assert_eq!(StatsSnapshot::decode(&[]), None);
+        assert_eq!(StatsSnapshot::decode(&[2, 0, 0, 0, 1]), None);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0);
+        }
+    }
+}

@@ -29,6 +29,11 @@ fn usage() -> ! {
     eprintln!("  file_tool index      <input.gpso|input.gpsos>");
     eprintln!("  file_tool verify     <input.gpso|input.gpsos>");
     eprintln!("  file_tool salvage    <input.gpso|input.gpsos> <output>");
+    eprintln!("  file_tool client <addr> compress   <input> <output.gpsos> [bit|byte|auto] [--de]");
+    eprintln!("  file_tool client <addr> decompress <input.gpsos> <output>");
+    eprintln!("  file_tool client <addr> verify     <input.gpsos>");
+    eprintln!("  file_tool client <addr> stats");
+    eprintln!("  file_tool client <addr> shutdown");
     eprintln!();
     eprintln!("exit codes: 0 = ok, 1 = corruption found, 2 = usage or I/O error");
     exit(2)
@@ -379,6 +384,103 @@ fn cmd_salvage(input: &str, output: &str) {
     }
 }
 
+/// Converts a client failure into the tool's exit-code convention:
+/// corrupt input is 1, everything else (transport, protocol, usage) is 2.
+fn client_exit(context: &str, e: gompresso::service::ClientError) -> ! {
+    eprintln!("{context}: {e}");
+    exit(if e.is_corruption() { 1 } else { 2 })
+}
+
+/// Runs one daemon request with Busy-retries (reconnecting each attempt,
+/// sleeping the server's backoff hint between them).
+fn client_call<T>(
+    addr: &str,
+    context: &str,
+    job: impl FnMut(&mut gompresso::service::Client) -> Result<T, gompresso::service::ClientError>,
+) -> T {
+    use std::time::Duration;
+    gompresso::service::run_with_retry(addr, Some(Duration::from_secs(60)), 10, job)
+        .unwrap_or_else(|e| client_exit(context, e))
+}
+
+/// The `client` subcommand: the same compress/decompress/verify verbs,
+/// executed by a `gompressod` daemon over its wire protocol. Exit codes
+/// match the local verbs: 0 ok, 1 corrupt input, 2 usage/transport.
+fn cmd_client(addr: &str, args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("compress") if args.len() >= 3 => {
+            let (input, output) = (&args[1], &args[2]);
+            let mode = match args.get(3).map(String::as_str).filter(|m| *m != "--de").unwrap_or("bit") {
+                "bit" => 0,
+                "byte" => 1,
+                "auto" => 2,
+                other => {
+                    eprintln!("unknown mode {other:?}: expected bit, byte or auto");
+                    exit(2)
+                }
+            };
+            let de = args.iter().any(|a| a == "--de");
+            let params = gompresso::service::CompressParams { mode, de, block_size: 0 };
+            let summary = client_call(addr, input, |client| {
+                let reader = fs::File::open(input).unwrap_or_else(|e| {
+                    eprintln!("cannot read {input}: {e}");
+                    exit(2)
+                });
+                let writer = fs::File::create(output).unwrap_or_else(|e| {
+                    eprintln!("cannot write {output}: {e}");
+                    exit(2)
+                });
+                client.compress(params, std::io::BufReader::new(reader), std::io::BufWriter::new(writer))
+            });
+            println!(
+                "{input}: {} -> {} bytes via {addr} (ratio {:.2}:1, {} blocks)",
+                summary.uncompressed,
+                summary.compressed,
+                summary.uncompressed as f64 / summary.compressed.max(1) as f64,
+                summary.blocks
+            );
+        }
+        Some("decompress") if args.len() >= 3 => {
+            let (input, output) = (&args[1], &args[2]);
+            let summary = client_call(addr, input, |client| {
+                let reader = fs::File::open(input).unwrap_or_else(|e| {
+                    eprintln!("cannot read {input}: {e}");
+                    exit(2)
+                });
+                let writer = fs::File::create(output).unwrap_or_else(|e| {
+                    eprintln!("cannot write {output}: {e}");
+                    exit(2)
+                });
+                client.decompress(std::io::BufReader::new(reader), std::io::BufWriter::new(writer))
+            });
+            println!(
+                "{input}: {} bytes restored via {addr} ({} blocks)",
+                summary.uncompressed, summary.blocks
+            );
+        }
+        Some("verify") if args.len() >= 2 => {
+            let input = &args[1];
+            let summary = client_call(addr, input, |client| {
+                let reader = fs::File::open(input).unwrap_or_else(|e| {
+                    eprintln!("cannot read {input}: {e}");
+                    exit(2)
+                });
+                client.verify(std::io::BufReader::new(reader))
+            });
+            println!("{input}: OK ({} bytes, all checksums verified via {addr})", summary.uncompressed);
+        }
+        Some("stats") => {
+            let stats = client_call(addr, addr, |client| client.stats());
+            print!("{}", stats.render());
+        }
+        Some("shutdown") => {
+            client_call(addr, addr, |client| client.shutdown());
+            println!("{addr}: draining");
+        }
+        _ => usage(),
+    }
+}
+
 fn demo() {
     println!("no arguments given — running the self-contained demo\n");
     let dir = std::env::temp_dir().join("gompresso_file_tool_demo");
@@ -423,6 +525,7 @@ fn main() {
         Some("index") if args.len() >= 3 => cmd_index(&args[2]),
         Some("verify") if args.len() >= 3 => cmd_verify(&args[2]),
         Some("salvage") if args.len() >= 4 => cmd_salvage(&args[2], &args[3]),
+        Some("client") if args.len() >= 4 => cmd_client(&args[2], &args[3..]),
         _ => usage(),
     }
 }

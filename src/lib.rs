@@ -51,6 +51,12 @@ pub mod datasets {
     pub use gompresso_datasets::*;
 }
 
+/// The `gompressod` service daemon and its wire-protocol client (see
+/// `DESIGN.md` §4e).
+pub mod service {
+    pub use gompresso_service::*;
+}
+
 /// Wall-power / energy model used for the Figure 14 comparison.
 pub mod energy {
     pub use gompresso_energy::*;
